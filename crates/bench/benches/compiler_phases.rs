@@ -1,0 +1,32 @@
+//! Criterion benchmarks for the end-to-end compiler on the campus topology
+//! (the per-table harness binaries cover the large topologies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snap_bench::dns_tunnel_with_routing;
+use snap_core::{Compiler, SolverChoice};
+use snap_topology::{generators, TrafficMatrix};
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(10);
+
+    let topo = generators::campus();
+    let tm = TrafficMatrix::gravity(&topo, 600.0, 2);
+    let policy = dns_tunnel_with_routing(6);
+
+    let heuristic = Compiler::new(topo.clone(), tm.clone()).with_solver(SolverChoice::Heuristic);
+    group.bench_function("campus_cold_start_heuristic", |b| {
+        b.iter(|| heuristic.compile(&policy).unwrap())
+    });
+
+    let compiled = heuristic.compile(&policy).unwrap();
+    let shifted = TrafficMatrix::gravity(&topo, 900.0, 9);
+    group.bench_function("campus_te_reroute", |b| {
+        b.iter(|| heuristic.reroute(&compiled, &shifted))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

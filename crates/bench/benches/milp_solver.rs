@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the built-in LP/MILP solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snap_milp::{solve_lp, solve_milp, LinExpr, Model, Sense};
+
+/// A small multicommodity-flow style LP with `n` demands over `n` parallel
+/// paths of shared capacity.
+fn flow_lp(n: usize) -> Model {
+    let mut m = Model::new();
+    let mut vars = Vec::new();
+    for d in 0..n {
+        let direct = m.add_var(format!("direct_{d}"), 0.0, f64::INFINITY);
+        let detour = m.add_var(format!("detour_{d}"), 0.0, f64::INFINITY);
+        m.set_objective(direct, 1.0);
+        m.set_objective(detour, 2.0);
+        m.add_constraint(
+            format!("demand_{d}"),
+            LinExpr::new().with(direct, 1.0).with(detour, 1.0),
+            Sense::Eq,
+            1.0,
+        );
+        vars.push(direct);
+    }
+    // Shared bottleneck over the direct paths.
+    let mut shared = LinExpr::new();
+    for v in &vars {
+        shared.add(*v, 1.0);
+    }
+    m.add_constraint("bottleneck", shared, Sense::Le, (n as f64) / 2.0);
+    m
+}
+
+/// A placement-flavoured MILP: choose one of `k` locations per state variable.
+fn placement_milp(vars: usize, nodes: usize) -> Model {
+    let mut m = Model::new();
+    for s in 0..vars {
+        let mut one = LinExpr::new();
+        for n in 0..nodes {
+            let p = m.add_binary(format!("P_{s}_{n}"));
+            m.set_objective(p, ((s + n) % 5) as f64 + 1.0);
+            one.add(p, 1.0);
+        }
+        m.add_constraint(format!("place_{s}"), one, Sense::Eq, 1.0);
+    }
+    m
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp");
+    group.sample_size(20);
+    let lp = flow_lp(30);
+    group.bench_function("simplex_flow_lp_30_demands", |b| b.iter(|| solve_lp(&lp)));
+    let milp = placement_milp(4, 8);
+    group.bench_function("branch_bound_placement_4x8", |b| b.iter(|| solve_milp(&milp)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_milp);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the xFDD algebra: translation of the
+//! running example and composition of Table 3 policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snap_apps as apps;
+use snap_xfdd::{seq, to_xfdd, StateDependencies};
+
+fn bench_xfdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xfdd");
+    group.sample_size(20);
+
+    let dns = apps::dns_tunnel_detect(10).seq(apps::assign_egress(6));
+    group.bench_function("translate_dns_tunnel_with_routing", |b| {
+        b.iter(|| {
+            let deps = StateDependencies::analyze(&dns);
+            to_xfdd(&dns, &deps.var_order()).unwrap()
+        })
+    });
+
+    let firewall = apps::stateful_firewall();
+    let monitor = apps::port_monitoring();
+    let composed = firewall.clone().par(monitor.clone()).seq(apps::assign_egress(6));
+    group.bench_function("translate_parallel_composition", |b| {
+        b.iter(|| {
+            let deps = StateDependencies::analyze(&composed);
+            to_xfdd(&composed, &deps.var_order()).unwrap()
+        })
+    });
+
+    // Sequential composition of two already-built diagrams.
+    let deps = StateDependencies::analyze(&dns);
+    let order = deps.var_order();
+    let d1 = to_xfdd(&apps::dns_tunnel_detect(10), &order).unwrap();
+    let d2 = to_xfdd(&apps::assign_egress(6), &order).unwrap();
+    group.bench_function("seq_compose_diagrams", |b| {
+        b.iter(|| seq(&d1, &d2, &order).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_xfdd);
+criterion_main!(benches);

@@ -1,0 +1,278 @@
+//! Packet-state mapping (§4.3): which OBS flows need which state variables.
+//!
+//! The xFDD gives a complete, explicit description of how the program handles
+//! packets. Walking every root-to-leaf path, we collect the state variables
+//! read (tests) or written (leaf actions) along the path, the ingress ports
+//! consistent with the path's tests on `inport`, and the egress ports the
+//! path's leaf can assign. Aggregating over paths gives `S_{uv}` — the set of
+//! state variables the flow from OBS port `u` to OBS port `v` must traverse —
+//! which feeds the placement/routing optimization.
+
+use serde::{Deserialize, Serialize};
+use snap_lang::{Field, StateVar, Value};
+use snap_topology::PortId;
+use snap_xfdd::{Action, Leaf, Test, Xfdd};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The packet-state mapping: state variables needed per (ingress, egress)
+/// OBS port pair.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PacketStateMap {
+    per_pair: BTreeMap<(PortId, PortId), BTreeSet<StateVar>>,
+}
+
+impl PacketStateMap {
+    /// Compute the mapping for a program xFDD over the given OBS ports.
+    pub fn analyze(xfdd: &Xfdd, ports: &[PortId]) -> PacketStateMap {
+        let mut map = PacketStateMap::default();
+        for (path, leaf) in xfdd.paths() {
+            let mut vars: BTreeSet<StateVar> = BTreeSet::new();
+            for (test, _) in &path {
+                if let Some(v) = test.state_var() {
+                    vars.insert(v.clone());
+                }
+            }
+            vars.extend(leaf.written_vars());
+            if vars.is_empty() {
+                continue;
+            }
+            let inports = consistent_inports(&path, ports);
+            let outports = leaf_outports(leaf, &path, ports);
+            for &u in &inports {
+                for &v in &outports {
+                    if u == v {
+                        continue;
+                    }
+                    map.per_pair
+                        .entry((u, v))
+                        .or_default()
+                        .extend(vars.iter().cloned());
+                }
+            }
+        }
+        map
+    }
+
+    /// The state variables needed by the flow from `u` to `v`.
+    pub fn vars_for(&self, u: PortId, v: PortId) -> BTreeSet<StateVar> {
+        self.per_pair.get(&(u, v)).cloned().unwrap_or_default()
+    }
+
+    /// Iterate over `(u, v, vars)` entries with a non-empty variable set.
+    pub fn iter(&self) -> impl Iterator<Item = (PortId, PortId, &BTreeSet<StateVar>)> {
+        self.per_pair.iter().map(|(&(u, v), s)| (u, v, s))
+    }
+
+    /// Number of flows that need at least one state variable.
+    pub fn num_stateful_flows(&self) -> usize {
+        self.per_pair.len()
+    }
+
+    /// All state variables mentioned anywhere in the mapping.
+    pub fn all_vars(&self) -> BTreeSet<StateVar> {
+        self.per_pair.values().flatten().cloned().collect()
+    }
+
+    /// The flows (port pairs) that need a given variable.
+    pub fn flows_needing(&self, var: &StateVar) -> Vec<(PortId, PortId)> {
+        self.per_pair
+            .iter()
+            .filter(|(_, vars)| vars.contains(var))
+            .map(|(&pair, _)| pair)
+            .collect()
+    }
+}
+
+/// Which ingress ports are consistent with the path's tests on `inport`?
+fn consistent_inports(path: &[(Test, bool)], ports: &[PortId]) -> Vec<PortId> {
+    ports
+        .iter()
+        .copied()
+        .filter(|p| {
+            path.iter().all(|(test, outcome)| match test {
+                Test::FieldValue(Field::InPort, v) => {
+                    let matches = v.matches(&Value::Int(p.0 as i64));
+                    matches == *outcome
+                }
+                _ => true,
+            })
+        })
+        .collect()
+}
+
+/// Which egress ports can this leaf assign, given the path?
+///
+/// Priority: explicit `outport ←` assignments in the leaf's action sequences;
+/// otherwise positive `outport = v` tests along the path; otherwise the flow
+/// could exit anywhere (conservatively, all ports).
+fn leaf_outports(leaf: &Leaf, path: &[(Test, bool)], ports: &[PortId]) -> Vec<PortId> {
+    let mut assigned: BTreeSet<PortId> = BTreeSet::new();
+    let mut any_passing_seq = false;
+    for seq in &leaf.0 {
+        if seq.drops {
+            continue;
+        }
+        any_passing_seq = true;
+        let last_assignment = seq.actions.iter().rev().find_map(|a| match a {
+            Action::Modify(Field::OutPort, Value::Int(p)) if *p >= 0 => Some(PortId(*p as usize)),
+            _ => None,
+        });
+        if let Some(p) = last_assignment {
+            assigned.insert(p);
+        }
+    }
+    if !assigned.is_empty() {
+        return assigned.into_iter().collect();
+    }
+    // Tests on outport along the path.
+    let tested: Vec<PortId> = ports
+        .iter()
+        .copied()
+        .filter(|p| {
+            path.iter().any(|(test, outcome)| {
+                matches!(test, Test::FieldValue(Field::OutPort, v)
+                    if *outcome && v.matches(&Value::Int(p.0 as i64)))
+            })
+        })
+        .collect();
+    if !tested.is_empty() {
+        return tested;
+    }
+    if any_passing_seq {
+        // Unknown egress: conservatively, the flow may leave anywhere.
+        ports.to_vec()
+    } else {
+        // The path drops every packet; it contributes no (u, v) demand.
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_lang::builder::*;
+    use snap_lang::Policy;
+    use snap_xfdd::{to_xfdd, StateDependencies};
+
+    fn ports(n: usize) -> Vec<PortId> {
+        (1..=n).map(PortId).collect()
+    }
+
+    fn analyze(p: &Policy, nports: usize) -> PacketStateMap {
+        let deps = StateDependencies::analyze(p);
+        let d = to_xfdd(p, &deps.var_order()).unwrap();
+        PacketStateMap::analyze(&d, &ports(nports))
+    }
+
+    fn assign_egress() -> Policy {
+        // Port i serves prefix 10.0.i.0/24, as in the running example.
+        let mut p = drop();
+        for i in (1..=6u8).rev() {
+            p = ite(
+                test_prefix(Field::DstIp, 10, 0, i, 0, 24),
+                modify(Field::OutPort, Value::Int(i64::from(i))),
+                p,
+            );
+        }
+        p
+    }
+
+    fn dns_tunnel_detect() -> Policy {
+        ite(
+            test_prefix(Field::DstIp, 10, 0, 6, 0, 24).and(test(Field::SrcPort, Value::Int(53))),
+            Policy::seq_all(vec![
+                state_set(
+                    "orphan",
+                    vec![field(Field::DstIp), field(Field::DnsRdata)],
+                    Value::Bool(true),
+                ),
+                state_incr("susp-client", vec![field(Field::DstIp)]),
+                ite(
+                    state_test("susp-client", vec![field(Field::DstIp)], int(5)),
+                    state_set("blacklist", vec![field(Field::DstIp)], Value::Bool(true)),
+                    id(),
+                ),
+            ]),
+            ite(
+                test_prefix(Field::SrcIp, 10, 0, 6, 0, 24).and(state_truthy(
+                    "orphan",
+                    vec![field(Field::SrcIp), field(Field::DstIp)],
+                )),
+                state_set(
+                    "orphan",
+                    vec![field(Field::SrcIp), field(Field::DstIp)],
+                    Value::Bool(false),
+                )
+                .seq(state_decr("susp-client", vec![field(Field::SrcIp)])),
+                id(),
+            ),
+        )
+    }
+
+    #[test]
+    fn stateless_program_has_empty_mapping() {
+        let m = analyze(&assign_egress(), 6);
+        assert_eq!(m.num_stateful_flows(), 0);
+        assert!(m.all_vars().is_empty());
+    }
+
+    #[test]
+    fn dns_tunnel_flows_to_port6_need_all_three_vars() {
+        let p = dns_tunnel_detect().seq(assign_egress());
+        let m = analyze(&p, 6);
+        // DNS responses (dstip in subnet 6) exit at port 6 and need all vars.
+        for u in 1..=5 {
+            let vars = m.vars_for(PortId(u), PortId(6));
+            assert!(
+                vars.contains(&"orphan".into())
+                    && vars.contains(&"susp-client".into())
+                    && vars.contains(&"blacklist".into()),
+                "flow {u}->6 should need all three variables, got {vars:?}"
+            );
+        }
+        // Traffic from the protected subnet (srcip in subnet 6) exiting at
+        // other ports needs orphan and susp-client but not blacklist.
+        let vars = m.vars_for(PortId(6), PortId(1));
+        assert!(vars.contains(&"orphan".into()));
+        assert!(vars.contains(&"susp-client".into()));
+        assert!(!vars.contains(&"blacklist".into()));
+    }
+
+    #[test]
+    fn inport_tests_limit_the_ingress_side() {
+        // Count only packets entering at port 2, forwarded to port 1.
+        let p = ite(
+            test(Field::InPort, Value::Int(2)),
+            state_incr("count", vec![field(Field::InPort)]),
+            id(),
+        )
+        .seq(modify(Field::OutPort, Value::Int(1)));
+        let m = analyze(&p, 3);
+        assert!(m.vars_for(PortId(2), PortId(1)).contains(&"count".into()));
+        assert!(m.vars_for(PortId(3), PortId(1)).is_empty());
+        assert_eq!(m.flows_needing(&"count".into()), vec![(PortId(2), PortId(1))]);
+    }
+
+    #[test]
+    fn unknown_egress_is_conservatively_all_ports() {
+        // State is read but the outport is never assigned.
+        let p = ite(
+            state_truthy("blacklist", vec![field(Field::SrcIp)]),
+            drop(),
+            id(),
+        );
+        let m = analyze(&p, 3);
+        // The passing branch exits somewhere unknown: every distinct pair is
+        // conservatively included.
+        assert_eq!(m.num_stateful_flows(), 3 * 2);
+    }
+
+    #[test]
+    fn monitoring_counts_all_ingress_ports() {
+        let p = state_incr("count", vec![field(Field::InPort)]).seq(assign_egress());
+        let m = analyze(&p, 6);
+        // Every (u, v) pair needs `count`.
+        assert_eq!(m.num_stateful_flows(), 6 * 5);
+        assert_eq!(m.all_vars().len(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # snap-dataplane
+//!
+//! A stateful software data plane for SNAP: a NetASM-like instruction set, a
+//! node-addressable (indexed) form of xFDDs and a network simulator that
+//! executes *distributed* SNAP programs hop by hop over a physical topology.
+//!
+//! The paper's prototype emits NetASM and runs it on the NetASM software
+//! switch; that artifact is not available, so this crate implements an
+//! equivalent substrate:
+//!
+//! * [`IndexedXfdd`] — xFDDs with stable node identifiers, which the
+//!   SNAP header uses to record how far a packet has progressed (§4.5);
+//! * [`NetAsmProgram`] — branch / table / store instructions lowered from an
+//!   indexed xFDD, plus an interpreter (§5);
+//! * [`Network`] / [`SwitchConfig`] — per-switch programs and state tables,
+//!   packet injection at OBS ports and hop-by-hop forwarding, used to verify
+//!   that distributed execution matches the one-big-switch semantics.
+
+#![warn(missing_docs)]
+
+pub mod netasm;
+pub mod network;
+pub mod program;
+
+pub use netasm::{Instruction, NetAsmProgram};
+pub use network::{Network, SimError, SwitchConfig};
+pub use program::{IndexedNode, IndexedXfdd, NodeIdx};

@@ -1,0 +1,366 @@
+//! A NetASM-like instruction set for stateful data planes.
+//!
+//! The SNAP prototype emits NetASM — an assembly-style intermediate
+//! representation for programmable data planes — for each switch (§5): a
+//! branch instruction per xFDD test node, table lookups for state variables
+//! and store instructions for leaf actions, with atomic execution of the
+//! stateful portions. NetASM itself is an external research artifact, so this
+//! module provides an equivalent instruction set, a lowering from indexed
+//! xFDDs, and an interpreter with the same observable behaviour.
+
+use crate::program::{IndexedNode, IndexedXfdd};
+use serde::{Deserialize, Serialize};
+use snap_lang::{EvalError, Expr, Field, Packet, StateVar, Store, Value};
+use snap_xfdd::{ActionSeq, Test, Xfdd};
+use std::collections::BTreeSet;
+
+/// One instruction of the data-plane program. Jump targets are instruction
+/// indices within the same program.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Branch on a header/state test: continue at `on_true` or `on_false`.
+    Branch {
+        /// The test to evaluate (state tests read the switch's local tables).
+        test: Test,
+        /// Target when the test passes.
+        on_true: usize,
+        /// Target when the test fails.
+        on_false: usize,
+    },
+    /// Write a constant into a header field.
+    SetField(Field, Value),
+    /// `s[e] ← e` against the local state table.
+    StateSet {
+        /// Variable written.
+        var: StateVar,
+        /// Index expressions.
+        index: Vec<Expr>,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `s[e] += delta` against the local state table.
+    StateAdd {
+        /// Variable written.
+        var: StateVar,
+        /// Index expressions.
+        index: Vec<Expr>,
+        /// Signed amount (+1 for `++`, -1 for `--`).
+        delta: i64,
+    },
+    /// Emit (a copy of) the current packet.
+    Emit,
+    /// Drop the current packet copy.
+    Drop,
+    /// Restore the working packet to the packet as it entered the program
+    /// (used at the start of each parallel action sequence of a leaf).
+    Restore,
+    /// Unconditional jump.
+    Jump(usize),
+    /// End of the program.
+    Halt,
+}
+
+/// A data-plane program: straight-line instructions with branches.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetAsmProgram {
+    /// The instructions.
+    pub instructions: Vec<Instruction>,
+}
+
+impl NetAsmProgram {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Is the program empty?
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Number of branch instructions (≈ match stages needed on a switch).
+    pub fn num_branches(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::Branch { .. }))
+            .count()
+    }
+
+    /// Number of stateful instructions.
+    pub fn num_state_ops(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instruction::StateSet { .. } | Instruction::StateAdd { .. }
+                ) || matches!(i, Instruction::Branch { test: Test::State { .. }, .. })
+            })
+            .count()
+    }
+
+    /// Lower an indexed xFDD to instructions.
+    ///
+    /// Every xFDD branch becomes a [`Instruction::Branch`]; every leaf becomes
+    /// one straight-line block per action sequence, ending in `Emit` or
+    /// `Drop`. The whole program executes atomically per packet, mirroring
+    /// NetASM's atomic table updates.
+    pub fn lower(program: &IndexedXfdd) -> NetAsmProgram {
+        let mut out = NetAsmProgram::default();
+        // First pass: lay out placeholders for each xFDD node, recording the
+        // instruction offset where each node starts.
+        let mut node_offsets = vec![0usize; program.len()];
+        // Emit nodes in id order; branches get patched afterwards.
+        for (idx, node) in program.iter() {
+            node_offsets[idx] = out.instructions.len();
+            match node {
+                IndexedNode::Branch { test, .. } => {
+                    out.instructions.push(Instruction::Branch {
+                        test: test.clone(),
+                        on_true: usize::MAX,
+                        on_false: usize::MAX,
+                    });
+                }
+                IndexedNode::Leaf(leaf) => {
+                    if leaf.0.is_empty() {
+                        out.instructions.push(Instruction::Drop);
+                    } else {
+                        for (i, seq) in leaf.0.iter().enumerate() {
+                            if i > 0 {
+                                // Each parallel sequence starts from the
+                                // packet as it reached the leaf.
+                                out.instructions.push(Instruction::Restore);
+                            }
+                            lower_seq(seq, &mut out.instructions);
+                        }
+                    }
+                    out.instructions.push(Instruction::Halt);
+                }
+            }
+        }
+        // Patch branch targets to the recorded node offsets.
+        let mut patched = Vec::with_capacity(out.instructions.len());
+        let mut branch_iter: Vec<(usize, usize)> = Vec::new();
+        for (idx, node) in program.iter() {
+            if let IndexedNode::Branch { tru, fls, .. } = node {
+                branch_iter.push((node_offsets[*tru], node_offsets[*fls]));
+                let _ = idx;
+            }
+        }
+        let mut b = 0;
+        for ins in out.instructions.into_iter() {
+            match ins {
+                Instruction::Branch { test, .. } => {
+                    let (t, f) = branch_iter[b];
+                    b += 1;
+                    patched.push(Instruction::Branch {
+                        test,
+                        on_true: t,
+                        on_false: f,
+                    });
+                }
+                other => patched.push(other),
+            }
+        }
+        NetAsmProgram {
+            instructions: patched,
+        }
+    }
+
+    /// Execute the program on one packet against a store, returning the set
+    /// of emitted packets and the updated store.
+    pub fn execute(
+        &self,
+        pkt: &Packet,
+        store: &Store,
+    ) -> Result<(BTreeSet<Packet>, Store), EvalError> {
+        let mut outputs = BTreeSet::new();
+        let mut store = store.clone();
+        let original = pkt.clone();
+        let mut pkt = pkt.clone();
+        let mut pc = 0usize;
+        let mut steps = 0usize;
+        while pc < self.instructions.len() {
+            steps += 1;
+            assert!(
+                steps <= self.instructions.len() * 4 + 16,
+                "runaway data-plane program"
+            );
+            match &self.instructions[pc] {
+                Instruction::Branch {
+                    test,
+                    on_true,
+                    on_false,
+                } => {
+                    pc = if Xfdd::eval_test(test, &pkt, &store)? {
+                        *on_true
+                    } else {
+                        *on_false
+                    };
+                }
+                Instruction::SetField(f, v) => {
+                    pkt.set(f.clone(), v.clone());
+                    pc += 1;
+                }
+                Instruction::StateSet { var, index, value } => {
+                    let idx = snap_lang::eval_index(index, &pkt)?;
+                    let val = snap_lang::eval_expr(value, &pkt)?;
+                    store.set(var, idx, val);
+                    pc += 1;
+                }
+                Instruction::StateAdd { var, index, delta } => {
+                    let idx = snap_lang::eval_index(index, &pkt)?;
+                    let cur = store.get(var, &idx);
+                    let next = cur.as_int().ok_or(EvalError::NotAnInteger {
+                        var: var.clone(),
+                        value: cur.clone(),
+                    })?;
+                    store.set(var, idx, Value::Int(next + delta));
+                    pc += 1;
+                }
+                Instruction::Emit => {
+                    outputs.insert(pkt.clone());
+                    pc += 1;
+                }
+                Instruction::Drop => {
+                    pc += 1;
+                }
+                Instruction::Restore => {
+                    pkt = original.clone();
+                    pc += 1;
+                }
+                Instruction::Jump(t) => pc = *t,
+                Instruction::Halt => break,
+            }
+        }
+        Ok((outputs, store))
+    }
+}
+
+/// Lower one action sequence. Each sequence runs on its own copy of the
+/// packet header, which the interpreter models by resetting fields: since
+/// sequences of a leaf come from parallel branches, they may set different
+/// fields, so we snapshot/restore by re-emitting SetField instructions per
+/// sequence. The interpreter executes sequences back to back on the same
+/// packet; to keep them independent we rely on the compiler invariant that
+/// parallel sequences write disjoint state variables and that field
+/// modifications only matter for the copy being emitted — hence each sequence
+/// ends with `Emit` (or `Drop`) before the next begins, and field changes are
+/// re-applied per sequence.
+fn lower_seq(seq: &ActionSeq, out: &mut Vec<Instruction>) {
+    for a in &seq.actions {
+        match a {
+            snap_xfdd::Action::Modify(f, v) => out.push(Instruction::SetField(f.clone(), v.clone())),
+            snap_xfdd::Action::StateSet { var, index, value } => out.push(Instruction::StateSet {
+                var: var.clone(),
+                index: index.clone(),
+                value: value.clone(),
+            }),
+            snap_xfdd::Action::StateIncr { var, index } => out.push(Instruction::StateAdd {
+                var: var.clone(),
+                index: index.clone(),
+                delta: 1,
+            }),
+            snap_xfdd::Action::StateDecr { var, index } => out.push(Instruction::StateAdd {
+                var: var.clone(),
+                index: index.clone(),
+                delta: -1,
+            }),
+        }
+    }
+    if seq.drops {
+        out.push(Instruction::Drop);
+    } else {
+        out.push(Instruction::Emit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_lang::builder::*;
+    use snap_lang::Policy;
+    use snap_xfdd::{to_xfdd, StateDependencies};
+
+    fn compile(p: &Policy) -> (IndexedXfdd, NetAsmProgram) {
+        let deps = StateDependencies::analyze(p);
+        let d = to_xfdd(p, &deps.var_order()).unwrap();
+        let ix = IndexedXfdd::from_xfdd(&d);
+        let asm = NetAsmProgram::lower(&ix);
+        (ix, asm)
+    }
+
+    #[test]
+    fn lowering_simple_forwarding() {
+        let p = ite(
+            test(Field::DstIp, Value::prefix(10, 0, 1, 0, 24)),
+            modify(Field::OutPort, Value::Int(1)),
+            drop(),
+        );
+        let (_, asm) = compile(&p);
+        assert!(asm.num_branches() >= 1);
+        assert!(!asm.is_empty());
+        let inside = Packet::new().with(Field::DstIp, Value::ip(10, 0, 1, 5));
+        let outside = Packet::new().with(Field::DstIp, Value::ip(10, 0, 2, 5));
+        let (out, _) = asm.execute(&inside, &Store::new()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out.iter().next().unwrap().get(&Field::OutPort),
+            Some(&Value::Int(1))
+        );
+        let (out, _) = asm.execute(&outside, &Store::new()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn netasm_execution_matches_xfdd_on_stateful_program() {
+        let p = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            state_incr("dns", vec![field(Field::DstIp)]).seq(modify(Field::OutPort, Value::Int(6))),
+            ite(
+                state_test("dns", vec![field(Field::SrcIp)], int(2)),
+                drop(),
+                modify(Field::OutPort, Value::Int(1)),
+            ),
+        );
+        let (ix, asm) = compile(&p);
+        let mut store_a = Store::new();
+        let mut store_b = Store::new();
+        for i in 0..6i64 {
+            let pkt = Packet::new()
+                .with(Field::SrcPort, if i % 2 == 0 { 53 } else { 80 })
+                .with(Field::SrcIp, Value::ip(10, 0, 0, (i % 3) as u8))
+                .with(Field::DstIp, Value::ip(10, 0, 0, (i % 3) as u8));
+            let (pa, sa) = ix.evaluate(&pkt, &store_a).unwrap();
+            let (pb, sb) = asm.execute(&pkt, &store_b).unwrap();
+            assert_eq!(pa, pb, "packet {i}");
+            assert_eq!(sa, sb, "store {i}");
+            store_a = sa;
+            store_b = sb;
+        }
+    }
+
+    #[test]
+    fn state_op_counting() {
+        let p = state_incr("c", vec![field(Field::InPort)]).seq(ite(
+            state_test("c", vec![field(Field::InPort)], int(3)),
+            drop(),
+            id(),
+        ));
+        let (_, asm) = compile(&p);
+        assert!(asm.num_state_ops() >= 2);
+        assert!(asm.len() > 2);
+    }
+
+    #[test]
+    fn multi_sequence_leaf_emits_each_copy() {
+        // Parallel composition duplicates the packet with different outports.
+        let p = modify(Field::OutPort, Value::Int(1)).par(modify(Field::OutPort, Value::Int(2)));
+        let (ix, asm) = compile(&p);
+        let pkt = Packet::new().with(Field::InPort, 4);
+        let (a, _) = ix.evaluate(&pkt, &Store::new()).unwrap();
+        let (b, _) = asm.execute(&pkt, &Store::new()).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,601 @@
+//! A network simulator that executes a *distributed* SNAP program: per-switch
+//! xFDD fragments, per-switch state tables and hop-by-hop forwarding with a
+//! SNAP header that records how far into the diagram a packet has progressed
+//! (§4.5).
+//!
+//! The simulator is used by integration tests to check the key end-to-end
+//! property of the compiler: running the distributed program over the
+//! physical topology produces the same output packets and the same aggregate
+//! state as running the original one-big-switch program.
+
+use crate::program::{IndexedNode, IndexedXfdd, NodeIdx};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use snap_lang::{EvalError, Field, Packet, StateVar, Store, Value};
+use snap_xfdd::{Action, Xfdd};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use snap_topology::{NodeId, PortId, Topology};
+
+/// Per-switch configuration produced by rule generation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SwitchConfig {
+    /// The switch this configuration belongs to.
+    pub node: NodeId,
+    /// The state variables stored on this switch.
+    pub local_vars: BTreeSet<StateVar>,
+    /// The (indexed) program. Every switch carries the full diagram but only
+    /// executes the parts whose state it owns; the SNAP header records where
+    /// processing stopped.
+    pub program: IndexedXfdd,
+    /// OBS external ports attached to this switch.
+    pub ports: BTreeSet<PortId>,
+}
+
+/// Errors surfaced by the simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The ingress port is not attached to any switch.
+    UnknownPort(PortId),
+    /// A packet was forwarded more than the hop budget allows (routing loop
+    /// or unreachable state/egress switch).
+    HopBudgetExceeded,
+    /// The program's outport is not an external port of the topology.
+    BadOutPort(Value),
+    /// Evaluation failed (missing field, bad increment, ...).
+    Eval(EvalError),
+}
+
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> Self {
+        SimError::Eval(e)
+    }
+}
+
+/// Processing status carried in the SNAP header of an in-flight packet.
+#[derive(Clone, Debug, PartialEq)]
+enum Progress {
+    /// Still walking the diagram, next node to process.
+    AtNode(NodeIdx),
+    /// Executing a specific action sequence of a leaf, from an action offset.
+    InLeaf {
+        node: NodeIdx,
+        seq: usize,
+        offset: usize,
+    },
+    /// Processing finished; the packet just needs to reach its egress.
+    Done,
+}
+
+/// An in-flight packet: payload plus SNAP header.
+#[derive(Clone, Debug)]
+struct InFlight {
+    pkt: Packet,
+    inport: PortId,
+    at: NodeId,
+    progress: Progress,
+    hops: usize,
+}
+
+/// The distributed network: topology, per-switch configurations and
+/// per-switch state tables.
+pub struct Network {
+    topology: Topology,
+    configs: BTreeMap<NodeId, SwitchConfig>,
+    /// Which switch holds each state variable (derived from the configs).
+    placement: BTreeMap<StateVar, NodeId>,
+    /// Per-switch state, behind a lock so statistics can be gathered from
+    /// other threads in long-running simulations.
+    stores: BTreeMap<NodeId, Arc<Mutex<Store>>>,
+    /// Maximum number of hops a packet may take before the simulator reports
+    /// a routing loop.
+    pub hop_budget: usize,
+}
+
+impl Network {
+    /// Build a network from per-switch configurations.
+    pub fn new(topology: Topology, configs: Vec<SwitchConfig>) -> Self {
+        let mut placement = BTreeMap::new();
+        let mut map = BTreeMap::new();
+        let mut stores = BTreeMap::new();
+        for c in configs {
+            for v in &c.local_vars {
+                placement.insert(v.clone(), c.node);
+            }
+            stores.insert(c.node, Arc::new(Mutex::new(Store::new())));
+            map.insert(c.node, c);
+        }
+        Network {
+            topology,
+            configs: map,
+            placement,
+            stores,
+            hop_budget: 256,
+        }
+    }
+
+    /// The switch a state variable lives on.
+    pub fn owner(&self, var: &StateVar) -> Option<NodeId> {
+        self.placement.get(var).copied()
+    }
+
+    /// Merge the per-switch state tables into a single OBS-level store
+    /// (each variable lives on exactly one switch, so this is a disjoint
+    /// union).
+    pub fn aggregate_store(&self) -> Store {
+        let mut out = Store::new();
+        for (node, store) in &self.stores {
+            let guard = store.lock();
+            for var in guard.variables() {
+                if self
+                    .configs
+                    .get(node)
+                    .map(|c| c.local_vars.contains(var))
+                    .unwrap_or(false)
+                {
+                    if let Some(table) = guard.table(var) {
+                        out.insert_table(var.clone(), table.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inject a packet at an OBS external port and run it to completion.
+    /// Returns the set of `(egress port, packet)` pairs that leave the
+    /// network.
+    pub fn inject(
+        &mut self,
+        port: PortId,
+        packet: &Packet,
+    ) -> Result<BTreeSet<(PortId, Packet)>, SimError> {
+        let ingress = self
+            .topology
+            .port_switch(port)
+            .ok_or(SimError::UnknownPort(port))?;
+        let mut outputs = BTreeSet::new();
+        let mut work = vec![InFlight {
+            pkt: packet.clone(),
+            inport: port,
+            at: ingress,
+            progress: Progress::AtNode(0),
+            hops: 0,
+        }];
+
+        while let Some(mut flight) = work.pop() {
+            if flight.hops > self.hop_budget {
+                return Err(SimError::HopBudgetExceeded);
+            }
+            let config = match self.configs.get(&flight.at) {
+                Some(c) => c.clone(),
+                None => {
+                    // A switch without a config only forwards.
+                    self.forward(&mut flight)?;
+                    work.push(flight);
+                    continue;
+                }
+            };
+            match self.process_at_switch(&config, &mut flight)? {
+                StepOutcome::Emit(pkt, outport) => {
+                    // Deliver: if the egress port is attached to this switch
+                    // the packet leaves; otherwise keep forwarding.
+                    if config.ports.contains(&outport) {
+                        let mut clean = pkt;
+                        strip_snap_header(&mut clean);
+                        outputs.insert((outport, clean));
+                    } else {
+                        flight.pkt = pkt;
+                        flight.progress = Progress::Done;
+                        self.forward_towards_port(&mut flight, outport)?;
+                        work.push(flight);
+                    }
+                }
+                StepOutcome::Dropped => {}
+                StepOutcome::NeedState(var) => {
+                    // Forward one hop towards the owner of the variable.
+                    let owner = self.owner(&var).ok_or_else(|| {
+                        SimError::Eval(EvalError::MissingField(Field::Custom(format!(
+                            "no placement for state variable {var}"
+                        ))))
+                    })?;
+                    self.forward_towards_node(&mut flight, owner)?;
+                    work.push(flight);
+                }
+                StepOutcome::Fork(children) => {
+                    for child in children {
+                        work.push(child);
+                    }
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Inject a sequence of packets (a trace) and collect every egress event.
+    pub fn inject_trace(
+        &mut self,
+        trace: &[(PortId, Packet)],
+    ) -> Result<Vec<BTreeSet<(PortId, Packet)>>, SimError> {
+        trace
+            .iter()
+            .map(|(port, pkt)| self.inject(*port, pkt))
+            .collect()
+    }
+
+    fn process_at_switch(
+        &self,
+        config: &SwitchConfig,
+        flight: &mut InFlight,
+    ) -> Result<StepOutcome, SimError> {
+        let store_arc = self.stores.get(&config.node).cloned();
+        let program = &config.program;
+        loop {
+            match flight.progress.clone() {
+                Progress::Done => {
+                    // Processing already finished elsewhere; figure the
+                    // outport out of the packet and keep delivering.
+                    let outport = read_outport(&flight.pkt)?;
+                    return Ok(StepOutcome::Emit(flight.pkt.clone(), outport));
+                }
+                Progress::AtNode(idx) => match program.node(idx) {
+                    IndexedNode::Branch { test, tru, fls } => {
+                        let passed = match test.state_var() {
+                            Some(var) if !config.local_vars.contains(var) => {
+                                return Ok(StepOutcome::NeedState(var.clone()))
+                            }
+                            _ => {
+                                let store = store_arc
+                                    .as_ref()
+                                    .map(|s| s.lock().clone())
+                                    .unwrap_or_default();
+                                Xfdd::eval_test(test, &flight.pkt, &store)?
+                            }
+                        };
+                        flight.progress = Progress::AtNode(if passed { *tru } else { *fls });
+                    }
+                    IndexedNode::Leaf(leaf) => {
+                        if leaf.0.is_empty() {
+                            return Ok(StepOutcome::Dropped);
+                        }
+                        if leaf.0.len() == 1 {
+                            flight.progress = Progress::InLeaf {
+                                node: idx,
+                                seq: 0,
+                                offset: 0,
+                            };
+                        } else {
+                            // Fork one in-flight copy per parallel sequence.
+                            let children = (0..leaf.0.len())
+                                .map(|s| InFlight {
+                                    pkt: flight.pkt.clone(),
+                                    inport: flight.inport,
+                                    at: flight.at,
+                                    progress: Progress::InLeaf {
+                                        node: idx,
+                                        seq: s,
+                                        offset: 0,
+                                    },
+                                    hops: flight.hops,
+                                })
+                                .collect();
+                            return Ok(StepOutcome::Fork(children));
+                        }
+                    }
+                },
+                Progress::InLeaf { node, seq, offset } => {
+                    let leaf = match program.node(node) {
+                        IndexedNode::Leaf(l) => l,
+                        _ => unreachable!("InLeaf progress always points at a leaf"),
+                    };
+                    let sequence: Vec<&Action> = leaf
+                        .0
+                        .iter()
+                        .nth(seq)
+                        .map(|s| s.actions.iter().collect())
+                        .unwrap_or_default();
+                    let drops = leaf.0.iter().nth(seq).map(|s| s.drops).unwrap_or(true);
+                    let mut off = offset;
+                    while off < sequence.len() {
+                        let action = sequence[off];
+                        match action {
+                            Action::Modify(f, v) => {
+                                flight.pkt.set(f.clone(), v.clone());
+                            }
+                            Action::StateSet { var, .. }
+                            | Action::StateIncr { var, .. }
+                            | Action::StateDecr { var, .. } => {
+                                if !config.local_vars.contains(var) {
+                                    flight.progress = Progress::InLeaf {
+                                        node,
+                                        seq,
+                                        offset: off,
+                                    };
+                                    return Ok(StepOutcome::NeedState(var.clone()));
+                                }
+                                let store = store_arc.as_ref().expect("switch with state has a store");
+                                let mut guard = store.lock();
+                                apply_state_action(action, &flight.pkt, &mut guard)?;
+                            }
+                        }
+                        off += 1;
+                    }
+                    if drops {
+                        return Ok(StepOutcome::Dropped);
+                    }
+                    let outport = read_outport(&flight.pkt)?;
+                    return Ok(StepOutcome::Emit(flight.pkt.clone(), outport));
+                }
+            }
+        }
+    }
+
+    fn forward(&self, flight: &mut InFlight) -> Result<(), SimError> {
+        // A config-less switch should not normally be reached; forward toward
+        // the packet's egress if known, otherwise report a loop.
+        let outport = read_outport(&flight.pkt)?;
+        self.forward_towards_port(flight, outport)
+    }
+
+    fn forward_towards_port(&self, flight: &mut InFlight, port: PortId) -> Result<(), SimError> {
+        let target = self
+            .topology
+            .port_switch(port)
+            .ok_or(SimError::BadOutPort(Value::Int(port.0 as i64)))?;
+        self.forward_towards_node(flight, target)
+    }
+
+    fn forward_towards_node(&self, flight: &mut InFlight, target: NodeId) -> Result<(), SimError> {
+        if flight.at == target {
+            return Ok(());
+        }
+        let path = self
+            .topology
+            .shortest_path(flight.at, target)
+            .ok_or(SimError::HopBudgetExceeded)?;
+        flight.at = path[1];
+        flight.hops += 1;
+        Ok(())
+    }
+}
+
+enum StepOutcome {
+    Emit(Packet, PortId),
+    Dropped,
+    NeedState(StateVar),
+    Fork(Vec<InFlight>),
+}
+
+fn read_outport(pkt: &Packet) -> Result<PortId, SimError> {
+    match pkt.get(&Field::OutPort) {
+        Some(Value::Int(p)) if *p >= 0 => Ok(PortId(*p as usize)),
+        Some(other) => Err(SimError::BadOutPort(other.clone())),
+        None => Err(SimError::BadOutPort(Value::Int(-1))),
+    }
+}
+
+fn apply_state_action(action: &Action, pkt: &Packet, store: &mut Store) -> Result<(), EvalError> {
+    match action {
+        Action::Modify(_, _) => Ok(()),
+        Action::StateSet { var, index, value } => {
+            let idx = snap_lang::eval_index(index, pkt)?;
+            let val = snap_lang::eval_expr(value, pkt)?;
+            store.set(var, idx, val);
+            Ok(())
+        }
+        Action::StateIncr { var, index } | Action::StateDecr { var, index } => {
+            let delta = if matches!(action, Action::StateIncr { .. }) {
+                1
+            } else {
+                -1
+            };
+            let idx = snap_lang::eval_index(index, pkt)?;
+            let cur = store.get(var, &idx);
+            let next = cur.as_int().ok_or(EvalError::NotAnInteger {
+                var: var.clone(),
+                value: cur.clone(),
+            })?;
+            store.set(var, idx, Value::Int(next + delta));
+            Ok(())
+        }
+    }
+}
+
+fn strip_snap_header(pkt: &mut Packet) {
+    // The simulator keeps its bookkeeping outside the packet, so the only
+    // header field added by the pipeline itself is the OBS outport; keep it,
+    // since the OBS program set it explicitly. Custom `snap.*` fields, if a
+    // rule generator added any, are removed here.
+    let custom: Vec<Field> = pkt
+        .iter()
+        .filter_map(|(f, _)| match f {
+            Field::Custom(name) if name.starts_with("snap.") => Some(f.clone()),
+            _ => None,
+        })
+        .collect();
+    for f in custom {
+        pkt.remove(&f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_lang::builder::*;
+    use snap_lang::Policy;
+    use snap_topology::generators::campus;
+    use snap_xfdd::{to_xfdd, StateDependencies};
+
+    /// Build a network for `policy` on the campus topology with all state on
+    /// the named switch.
+    fn campus_network(policy: &Policy, state_switch: &str) -> Network {
+        let topo = campus();
+        let deps = StateDependencies::analyze(policy);
+        let d = to_xfdd(policy, &deps.var_order()).unwrap();
+        let program = IndexedXfdd::from_xfdd(&d);
+        let owner = topo.node_by_name(state_switch).unwrap();
+        let all_vars = policy.state_vars();
+        let configs = topo
+            .nodes()
+            .map(|n| SwitchConfig {
+                node: n,
+                local_vars: if n == owner {
+                    all_vars.clone()
+                } else {
+                    BTreeSet::new()
+                },
+                program: program.clone(),
+                ports: topo
+                    .external_ports()
+                    .filter(|(_, sw)| *sw == n)
+                    .map(|(p, _)| p)
+                    .collect(),
+            })
+            .collect();
+        Network::new(topo, configs)
+    }
+
+    fn assign_egress_stateless() -> Policy {
+        // Forward to port 6 when dstip is in 10.0.6.0/24, else to port 1.
+        ite(
+            test_prefix(Field::DstIp, 10, 0, 6, 0, 24),
+            modify(Field::OutPort, Value::Int(6)),
+            modify(Field::OutPort, Value::Int(1)),
+        )
+    }
+
+    #[test]
+    fn stateless_forwarding_reaches_the_right_port() {
+        let policy = assign_egress_stateless();
+        let mut net = campus_network(&policy, "D4");
+        let pkt = Packet::new()
+            .with(Field::SrcIp, Value::ip(10, 0, 1, 9))
+            .with(Field::DstIp, Value::ip(10, 0, 6, 9));
+        let out = net.inject(PortId(1), &pkt).unwrap();
+        assert_eq!(out.len(), 1);
+        let (port, delivered) = out.into_iter().next().unwrap();
+        assert_eq!(port, PortId(6));
+        assert_eq!(delivered.get(&Field::OutPort), Some(&Value::Int(6)));
+    }
+
+    #[test]
+    fn stateful_counting_happens_on_the_state_switch() {
+        // Count per inport, then forward to port 6.
+        let policy = state_incr("count", vec![field(Field::InPort)])
+            .seq(modify(Field::OutPort, Value::Int(6)));
+        let mut net = campus_network(&policy, "C6");
+        let pkt = Packet::new().with(Field::InPort, 1).with(Field::DstIp, Value::ip(10, 0, 6, 1));
+        for _ in 0..3 {
+            let out = net.inject(PortId(1), &pkt).unwrap();
+            assert_eq!(out.len(), 1);
+        }
+        let store = net.aggregate_store();
+        assert_eq!(
+            store.get(&"count".into(), &[Value::Int(1)]),
+            Value::Int(3)
+        );
+        // The state lives only on C6.
+        let owner = net.owner(&"count".into()).unwrap();
+        assert_eq!(net.topology.node_name(owner), "C6");
+    }
+
+    #[test]
+    fn distributed_execution_matches_obs_eval() {
+        // A stateful firewall-ish program plus egress assignment, compared
+        // against the one-big-switch semantics packet by packet.
+        let policy = ite(
+            test_prefix(Field::SrcIp, 10, 0, 6, 0, 24),
+            state_set(
+                "established",
+                vec![field(Field::SrcIp), field(Field::DstIp)],
+                Value::Bool(true),
+            ),
+            ite(
+                state_truthy(
+                    "established",
+                    vec![field(Field::DstIp), field(Field::SrcIp)],
+                ),
+                id(),
+                drop(),
+            ),
+        )
+        .seq(ite(
+            test_prefix(Field::DstIp, 10, 0, 6, 0, 24),
+            modify(Field::OutPort, Value::Int(6)),
+            modify(Field::OutPort, Value::Int(1)),
+        ));
+
+        let mut net = campus_network(&policy, "D4");
+        let inside = Value::ip(10, 0, 6, 10);
+        let outside = Value::ip(10, 0, 1, 20);
+        let trace = vec![
+            // Outside host tries to reach inside: dropped (no established state).
+            (
+                PortId(1),
+                Packet::new()
+                    .with(Field::SrcIp, outside.clone())
+                    .with(Field::DstIp, inside.clone()),
+            ),
+            // Inside host opens a connection outward.
+            (
+                PortId(6),
+                Packet::new()
+                    .with(Field::SrcIp, inside.clone())
+                    .with(Field::DstIp, outside.clone()),
+            ),
+            // Now the reverse direction is allowed.
+            (
+                PortId(1),
+                Packet::new()
+                    .with(Field::SrcIp, outside)
+                    .with(Field::DstIp, inside),
+            ),
+        ];
+
+        // Reference: one-big-switch evaluation.
+        let mut obs_store = Store::new();
+        let mut obs_outputs = Vec::new();
+        for (_, pkt) in &trace {
+            let r = snap_lang::eval(&policy, &obs_store, pkt).unwrap();
+            obs_store = r.store;
+            obs_outputs.push(r.packets);
+        }
+
+        let dist_outputs = net.inject_trace(&trace).unwrap();
+        assert_eq!(dist_outputs.len(), obs_outputs.len());
+        for (dist, obs) in dist_outputs.iter().zip(obs_outputs.iter()) {
+            let dist_pkts: BTreeSet<Packet> = dist.iter().map(|(_, p)| p.clone()).collect();
+            assert_eq!(&dist_pkts, obs);
+        }
+        assert_eq!(net.aggregate_store(), obs_store);
+    }
+
+    #[test]
+    fn unknown_port_is_reported() {
+        let policy = assign_egress_stateless();
+        let mut net = campus_network(&policy, "D4");
+        let err = net.inject(PortId(99), &Packet::new()).unwrap_err();
+        assert_eq!(err, SimError::UnknownPort(PortId(99)));
+    }
+
+    #[test]
+    fn parallel_leaf_forks_and_both_copies_are_delivered() {
+        // Multicast to ports 1 and 6 simultaneously.
+        let policy = modify(Field::OutPort, Value::Int(1)).par(modify(Field::OutPort, Value::Int(6)));
+        let mut net = campus_network(&policy, "D4");
+        let out = net
+            .inject(PortId(2), &Packet::new().with(Field::SrcIp, Value::ip(1, 1, 1, 1)))
+            .unwrap();
+        let ports: BTreeSet<PortId> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, BTreeSet::from([PortId(1), PortId(6)]));
+    }
+
+    #[test]
+    fn packet_with_no_outport_is_an_error() {
+        let policy = Policy::id();
+        let mut net = campus_network(&policy, "D4");
+        let err = net.inject(PortId(1), &Packet::new()).unwrap_err();
+        assert!(matches!(err, SimError::BadOutPort(_)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Indexed (node-addressable) xFDDs.
+//!
+//! The rule-generation phase of the compiler (§4.5) tags packets with "the id
+//! of the last processed xFDD node" so that the next switch on the path can
+//! resume processing where the previous one stopped. That requires stable
+//! node identifiers, which this module provides by flattening an [`Xfdd`]
+//! into an array of nodes in preorder.
+
+use serde::{Deserialize, Serialize};
+use snap_lang::{Packet, StateVar, Store};
+use snap_xfdd::{Leaf, Test, Xfdd};
+use std::collections::BTreeSet;
+
+/// Identifier of a node inside an [`IndexedXfdd`].
+pub type NodeIdx = usize;
+
+/// A node of an indexed xFDD.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum IndexedNode {
+    /// A branch on a test.
+    Branch {
+        /// The test.
+        test: Test,
+        /// Node taken when the test passes.
+        tru: NodeIdx,
+        /// Node taken when the test fails.
+        fls: NodeIdx,
+    },
+    /// A leaf (set of action sequences).
+    Leaf(Leaf),
+}
+
+/// An xFDD flattened into an indexable array of nodes (preorder; the root is
+/// node 0).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IndexedXfdd {
+    nodes: Vec<IndexedNode>,
+}
+
+impl IndexedXfdd {
+    /// Flatten a diagram.
+    pub fn from_xfdd(d: &Xfdd) -> Self {
+        let mut nodes = Vec::new();
+        flatten(d, &mut nodes);
+        IndexedXfdd { nodes }
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeIdx {
+        0
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the program empty (cannot happen for programs built from an xFDD)?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    pub fn node(&self, idx: NodeIdx) -> &IndexedNode {
+        &self.nodes[idx]
+    }
+
+    /// Iterate over `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeIdx, &IndexedNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// The state variables referenced at or below each node id.
+    pub fn state_vars(&self) -> BTreeSet<StateVar> {
+        let mut out = BTreeSet::new();
+        for n in &self.nodes {
+            match n {
+                IndexedNode::Branch { test, .. } => {
+                    if let Some(v) = test.state_var() {
+                        out.insert(v.clone());
+                    }
+                }
+                IndexedNode::Leaf(l) => out.extend(l.written_vars()),
+            }
+        }
+        out
+    }
+
+    /// Evaluate the whole program on a packet and store (equivalent to
+    /// [`Xfdd::evaluate`]); used in tests to check the flattening.
+    pub fn evaluate(
+        &self,
+        pkt: &Packet,
+        store: &Store,
+    ) -> Result<(BTreeSet<Packet>, Store), snap_lang::EvalError> {
+        let mut idx = self.root();
+        loop {
+            match self.node(idx) {
+                IndexedNode::Branch { test, tru, fls } => {
+                    idx = if Xfdd::eval_test(test, pkt, store)? {
+                        *tru
+                    } else {
+                        *fls
+                    };
+                }
+                IndexedNode::Leaf(l) => return l.apply(pkt, store),
+            }
+        }
+    }
+}
+
+fn flatten(d: &Xfdd, nodes: &mut Vec<IndexedNode>) -> NodeIdx {
+    match d {
+        Xfdd::Leaf(l) => {
+            let idx = nodes.len();
+            nodes.push(IndexedNode::Leaf(l.clone()));
+            idx
+        }
+        Xfdd::Branch { test, tru, fls } => {
+            let idx = nodes.len();
+            // Reserve the slot so children ids come after the parent.
+            nodes.push(IndexedNode::Leaf(Leaf::drop()));
+            let t = flatten(tru, nodes);
+            let f = flatten(fls, nodes);
+            nodes[idx] = IndexedNode::Branch {
+                test: test.clone(),
+                tru: t,
+                fls: f,
+            };
+            idx
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_lang::builder::*;
+    use snap_lang::{Field, Value};
+    use snap_xfdd::{to_xfdd, StateDependencies};
+
+    fn build(p: &snap_lang::Policy) -> IndexedXfdd {
+        let deps = StateDependencies::analyze(p);
+        let d = to_xfdd(p, &deps.var_order()).unwrap();
+        IndexedXfdd::from_xfdd(&d)
+    }
+
+    #[test]
+    fn flattening_preserves_node_count() {
+        let p = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            state_incr("c", vec![field(Field::DstIp)]),
+            id(),
+        );
+        let deps = StateDependencies::analyze(&p);
+        let d = to_xfdd(&p, &deps.var_order()).unwrap();
+        let ix = IndexedXfdd::from_xfdd(&d);
+        assert_eq!(ix.len(), d.size());
+        assert_eq!(ix.root(), 0);
+        assert!(!ix.is_empty());
+        assert!(matches!(ix.node(0), IndexedNode::Branch { .. }));
+    }
+
+    #[test]
+    fn indexed_evaluation_matches_xfdd() {
+        let p = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            state_incr("c", vec![field(Field::DstIp)]).seq(modify(Field::OutPort, Value::Int(6))),
+            modify(Field::OutPort, Value::Int(1)),
+        );
+        let deps = StateDependencies::analyze(&p);
+        let d = to_xfdd(&p, &deps.var_order()).unwrap();
+        let ix = IndexedXfdd::from_xfdd(&d);
+        for srcport in [53i64, 80] {
+            let pkt = Packet::new()
+                .with(Field::SrcPort, srcport)
+                .with(Field::DstIp, Value::ip(1, 2, 3, 4));
+            let a = d.evaluate(&pkt, &Store::new()).unwrap();
+            let b = ix.evaluate(&pkt, &Store::new()).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn state_vars_are_collected() {
+        let p = ite(
+            state_truthy("blacklist", vec![field(Field::SrcIp)]),
+            drop(),
+            state_incr("count", vec![field(Field::InPort)]),
+        );
+        let ix = build(&p);
+        let vars = ix.state_vars();
+        assert!(vars.contains(&"blacklist".into()));
+        assert!(vars.contains(&"count".into()));
+    }
+
+    #[test]
+    fn children_come_after_parents() {
+        let p = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            ite(test(Field::DstPort, Value::Int(80)), id(), drop()),
+            drop(),
+        );
+        let ix = build(&p);
+        for (idx, node) in ix.iter() {
+            if let IndexedNode::Branch { tru, fls, .. } = node {
+                assert!(*tru > idx);
+                assert!(*fls > idx);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Ergonomic constructors for building SNAP programs in Rust.
+//!
+//! These mirror the surface syntax closely so that the Appendix F policies
+//! can be transcribed almost line-for-line:
+//!
+//! ```
+//! use snap_lang::builder::*;
+//! use snap_lang::{Field, Value};
+//!
+//! // if dstip = 10.0.6.0/24 & srcport = 53 then susp-client[dstip]++ else id
+//! let p = ite(
+//!     test(Field::DstIp, Value::prefix(10, 0, 6, 0, 24))
+//!         .and(test(Field::SrcPort, Value::Int(53))),
+//!     state_incr("susp-client", vec![field(Field::DstIp)]),
+//!     id(),
+//! );
+//! assert_eq!(p.state_vars().len(), 1);
+//! ```
+
+use crate::ast::{Expr, Policy, Pred, StateVar};
+use crate::value::{Field, Value};
+
+/// The `id` policy (pass everything unchanged).
+pub fn id() -> Policy {
+    Policy::id()
+}
+
+/// The `drop` policy.
+pub fn drop() -> Policy {
+    Policy::drop()
+}
+
+/// The field test predicate `f = v`.
+pub fn test(f: Field, v: impl Into<Value>) -> Pred {
+    Pred::Test(f, v.into())
+}
+
+/// Predicate testing that an IP field matches a prefix, e.g.
+/// `test_prefix(Field::DstIp, 10, 0, 6, 0, 24)`.
+pub fn test_prefix(f: Field, a: u8, b: u8, c: u8, d: u8, len: u8) -> Pred {
+    Pred::Test(f, Value::prefix(a, b, c, d, len))
+}
+
+/// The state test predicate `s[index] = value`.
+pub fn state_test(var: impl Into<StateVar>, index: Vec<Expr>, value: impl Into<Expr>) -> Pred {
+    Pred::StateTest {
+        var: var.into(),
+        index,
+        value: value.into(),
+    }
+}
+
+/// A bare state test `s[index]`, sugar for `s[index] = True` (used all over
+/// Appendix F, e.g. `orphan[srcip][dstip]`).
+pub fn state_truthy(var: impl Into<StateVar>, index: Vec<Expr>) -> Pred {
+    state_test(var, index, Value::Bool(true))
+}
+
+/// Field modification `f ← v`.
+pub fn modify(f: Field, v: impl Into<Value>) -> Policy {
+    Policy::Modify(f, v.into())
+}
+
+/// State modification `s[index] ← value`.
+pub fn state_set(var: impl Into<StateVar>, index: Vec<Expr>, value: impl Into<Expr>) -> Policy {
+    Policy::StateSet {
+        var: var.into(),
+        index,
+        value: value.into(),
+    }
+}
+
+/// Increment `s[index]++`.
+pub fn state_incr(var: impl Into<StateVar>, index: Vec<Expr>) -> Policy {
+    Policy::StateIncr {
+        var: var.into(),
+        index,
+    }
+}
+
+/// Decrement `s[index]--`.
+pub fn state_decr(var: impl Into<StateVar>, index: Vec<Expr>) -> Policy {
+    Policy::StateDecr {
+        var: var.into(),
+        index,
+    }
+}
+
+/// Conditional `if a then p else q`.
+pub fn ite(a: Pred, p: Policy, q: Policy) -> Policy {
+    Policy::If(a, Box::new(p), Box::new(q))
+}
+
+/// `atomic(p)` — network transaction.
+pub fn atomic(p: Policy) -> Policy {
+    Policy::Atomic(Box::new(p))
+}
+
+/// A field expression.
+pub fn field(f: Field) -> Expr {
+    Expr::Field(f)
+}
+
+/// A literal value expression.
+pub fn val(v: impl Into<Value>) -> Expr {
+    Expr::Value(v.into())
+}
+
+/// An integer literal expression.
+pub fn int(i: i64) -> Expr {
+    Expr::Value(Value::Int(i))
+}
+
+/// A symbolic-constant expression (e.g. `sym("ESTABLISHED")`).
+pub fn sym(s: &str) -> Expr {
+    Expr::Value(Value::sym(s))
+}
+
+/// Filter on a predicate (turn a predicate into a policy explicitly).
+pub fn filter(p: Pred) -> Policy {
+    Policy::Filter(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dns_tunnel_fragment_builds() {
+        // Lines 1-6 of Figure 1.
+        let detect = ite(
+            test_prefix(Field::DstIp, 10, 0, 6, 0, 24).and(test(Field::SrcPort, Value::Int(53))),
+            Policy::seq_all(vec![
+                state_set(
+                    "orphan",
+                    vec![field(Field::DstIp), field(Field::DnsRdata)],
+                    Value::Bool(true),
+                ),
+                state_incr("susp-client", vec![field(Field::DstIp)]),
+                ite(
+                    state_test("susp-client", vec![field(Field::DstIp)], sym("threshold")),
+                    state_set("blacklist", vec![field(Field::DstIp)], Value::Bool(true)),
+                    id(),
+                ),
+            ]),
+            id(),
+        );
+        let vars = detect.state_vars();
+        assert_eq!(vars.len(), 3);
+        assert!(vars.contains(&StateVar::new("orphan")));
+        assert!(vars.contains(&StateVar::new("blacklist")));
+    }
+
+    #[test]
+    fn truthy_state_test_is_sugar_for_true() {
+        let p = state_truthy("established", vec![field(Field::SrcIp)]);
+        match p {
+            Pred::StateTest { value, .. } => assert_eq!(value, Expr::Value(Value::Bool(true))),
+            _ => panic!("expected state test"),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types shared by the SNAP language front end.
+
+use crate::ast::StateVar;
+use crate::value::{Field, Value};
+use std::fmt;
+
+/// Errors raised while evaluating a program with the formal semantics
+/// (appendix A). The `⊥` cases of the paper's `eval` become `Err` values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// An expression read a field the packet does not carry.
+    MissingField(Field),
+    /// A read/write or write/write conflict between the two sides of a
+    /// parallel composition (`p + q`).
+    ParallelConflict(StateVar),
+    /// Inconsistent runs of the right-hand side of a sequential composition
+    /// (`p ; q`) over the multiple packets produced by `p`.
+    SequentialConflict(StateVar),
+    /// `s[e]++` or `s[e]--` applied to a non-integer value.
+    NotAnInteger {
+        /// The state variable being incremented or decremented.
+        var: StateVar,
+        /// The offending current value.
+        value: Value,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingField(field) => {
+                write!(f, "packet does not carry field `{field}`")
+            }
+            EvalError::ParallelConflict(var) => write!(
+                f,
+                "read/write or write/write conflict on state variable `{var}` in a parallel composition"
+            ),
+            EvalError::SequentialConflict(var) => write!(
+                f,
+                "inconsistent updates to state variable `{var}` across the packets produced by the left side of a sequential composition"
+            ),
+            EvalError::NotAnInteger { var, value } => write!(
+                f,
+                "increment/decrement of state variable `{var}` whose current value `{value}` is not an integer"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Errors raised while parsing SNAP surface syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,168 @@
+//! Packets as partial maps from header fields to values.
+//!
+//! A SNAP program is "a function that takes in a packet plus the current
+//! state of the network and produces a set of transformed packets as well as
+//! updated state" (§2.1). Packets here are symbolic header records; payload
+//! bytes are represented by the `content` field when a policy needs them.
+
+use crate::value::{Field, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A packet: an ordered map from fields to values.
+///
+/// The map is ordered so that packets have a canonical form, can be placed in
+/// sets (the output of `eval` is a set of packets) and compared structurally.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Packet {
+    fields: BTreeMap<Field, Value>,
+}
+
+impl Packet {
+    /// An empty packet with no fields set.
+    pub fn new() -> Self {
+        Packet::default()
+    }
+
+    /// Builder-style field assignment.
+    pub fn with(mut self, field: Field, value: impl Into<Value>) -> Self {
+        self.fields.insert(field, value.into());
+        self
+    }
+
+    /// Read a field.
+    pub fn get(&self, field: &Field) -> Option<&Value> {
+        self.fields.get(field)
+    }
+
+    /// Write a field in place.
+    pub fn set(&mut self, field: Field, value: impl Into<Value>) {
+        self.fields.insert(field, value.into());
+    }
+
+    /// Remove a field (used by the data plane when stripping the SNAP header).
+    pub fn remove(&mut self, field: &Field) -> Option<Value> {
+        self.fields.remove(field)
+    }
+
+    /// Does the packet carry this field?
+    pub fn has(&self, field: &Field) -> bool {
+        self.fields.contains_key(field)
+    }
+
+    /// Iterate over `(field, value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Field, &Value)> {
+        self.fields.iter()
+    }
+
+    /// Number of populated fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Is the packet empty (no fields)?
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Functional update: a copy of the packet with `field` set to `value`
+    /// (the paper's `pkt[f ↦ v]`).
+    pub fn updated(&self, field: Field, value: impl Into<Value>) -> Self {
+        let mut p = self.clone();
+        p.set(field, value);
+        p
+    }
+
+    /// A convenience constructor for a typical TCP/UDP 5-tuple packet.
+    pub fn five_tuple(
+        srcip: impl Into<Value>,
+        dstip: impl Into<Value>,
+        srcport: i64,
+        dstport: i64,
+        proto: i64,
+    ) -> Self {
+        Packet::new()
+            .with(Field::SrcIp, srcip)
+            .with(Field::DstIp, dstip)
+            .with(Field::SrcPort, srcport)
+            .with(Field::DstPort, dstport)
+            .with(Field::Proto, proto)
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (field, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}={value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Field, Value)> for Packet {
+    fn from_iter<T: IntoIterator<Item = (Field, Value)>>(iter: T) -> Self {
+        Packet {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Ipv4;
+
+    #[test]
+    fn build_and_read() {
+        let p = Packet::new()
+            .with(Field::SrcIp, Value::ip(10, 0, 1, 1))
+            .with(Field::DstPort, 53);
+        assert_eq!(p.get(&Field::DstPort), Some(&Value::Int(53)));
+        assert_eq!(p.get(&Field::SrcIp), Some(&Value::Ip(Ipv4::new(10, 0, 1, 1))));
+        assert_eq!(p.get(&Field::DstIp), None);
+        assert!(p.has(&Field::SrcIp));
+        assert!(!p.has(&Field::DstIp));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn functional_update_leaves_original_alone() {
+        let p = Packet::new().with(Field::OutPort, 1);
+        let q = p.updated(Field::OutPort, 6);
+        assert_eq!(p.get(&Field::OutPort), Some(&Value::Int(1)));
+        assert_eq!(q.get(&Field::OutPort), Some(&Value::Int(6)));
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn packets_are_canonical_and_comparable() {
+        let a = Packet::new().with(Field::SrcPort, 1).with(Field::DstPort, 2);
+        let b = Packet::new().with(Field::DstPort, 2).with(Field::SrcPort, 1);
+        assert_eq!(a, b);
+        let mut set = std::collections::BTreeSet::new();
+        set.insert(a);
+        set.insert(b);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn five_tuple_constructor() {
+        let p = Packet::five_tuple(Value::ip(1, 1, 1, 1), Value::ip(2, 2, 2, 2), 1000, 80, 6);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.get(&Field::Proto), Some(&Value::Int(6)));
+    }
+
+    #[test]
+    fn remove_field() {
+        let mut p = Packet::new().with(Field::Content, "payload");
+        assert_eq!(p.remove(&Field::Content), Some(Value::str("payload")));
+        assert!(p.is_empty());
+        assert_eq!(p.remove(&Field::Content), None);
+    }
+}

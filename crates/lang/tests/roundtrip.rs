@@ -1,0 +1,96 @@
+//! Property-based round-trip test: pretty-printing a policy and re-parsing it
+//! recovers the same AST.
+
+use proptest::prelude::*;
+use snap_lang::pretty::policy_to_string;
+use snap_lang::{parse_policy, Expr, Field, Policy, Pred, StateVar, Value};
+
+const FIELDS: [Field; 6] = [
+    Field::SrcIp,
+    Field::DstIp,
+    Field::SrcPort,
+    Field::DstPort,
+    Field::InPort,
+    Field::OutPort,
+];
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    (0usize..FIELDS.len()).prop_map(|i| FIELDS[i].clone())
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..1000).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Value::ip(10, a, b, 1)),
+        (any::<u8>(), 8u8..30).prop_map(|(a, len)| Value::prefix(10, a, 0, 0, len)),
+    ]
+}
+
+fn arb_state_var() -> impl Strategy<Value = StateVar> {
+    prop_oneof![
+        Just(StateVar::new("orphan")),
+        Just(StateVar::new("susp-client")),
+        Just(StateVar::new("flow-size")),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        arb_field().prop_map(Expr::Field),
+        arb_value().prop_map(Expr::Value),
+    ]
+}
+
+fn arb_index() -> impl Strategy<Value = Vec<Expr>> {
+    proptest::collection::vec(arb_expr(), 1..=3)
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let leaf = prop_oneof![
+        Just(Pred::Id),
+        Just(Pred::Drop),
+        (arb_field(), arb_value()).prop_map(|(f, v)| Pred::Test(f, v)),
+        (arb_state_var(), arb_index(), arb_expr())
+            .prop_map(|(var, index, value)| Pred::StateTest { var, index, value }),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|x| Pred::Not(Box::new(x))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Pred::And(Box::new(x), Box::new(y))),
+            (inner.clone(), inner).prop_map(|(x, y)| Pred::Or(Box::new(x), Box::new(y))),
+        ]
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    let leaf = prop_oneof![
+        arb_pred().prop_map(Policy::Filter),
+        (arb_field(), arb_value()).prop_map(|(f, v)| Policy::Modify(f, v)),
+        (arb_state_var(), arb_index(), arb_expr())
+            .prop_map(|(var, index, value)| Policy::StateSet { var, index, value }),
+        (arb_state_var(), arb_index()).prop_map(|(var, index)| Policy::StateIncr { var, index }),
+        (arb_state_var(), arb_index()).prop_map(|(var, index)| Policy::StateDecr { var, index }),
+    ];
+    leaf.prop_recursive(4, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.seq(q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.par(q)),
+            (arb_pred(), inner.clone(), inner.clone())
+                .prop_map(|(a, p, q)| Policy::If(a, Box::new(p), Box::new(q))),
+            inner.prop_map(|p| p.atomic()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_then_parse_is_identity(policy in arb_policy()) {
+        let text = policy_to_string(&policy);
+        let reparsed = parse_policy(&text)
+            .unwrap_or_else(|e| panic!("failed to parse pretty-printed policy `{text}`: {e}"));
+        prop_assert_eq!(policy, reparsed, "round trip failed for `{}`", text);
+    }
+}

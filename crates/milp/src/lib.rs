@@ -1,0 +1,36 @@
+//! # snap-milp
+//!
+//! A small, dependency-free linear-programming and mixed-integer
+//! linear-programming solver: a two-phase primal simplex method plus branch
+//! and bound over binary variables.
+//!
+//! The SNAP paper solves its joint state-placement / routing optimization
+//! (§4.4) with Gurobi; Gurobi is closed source and unavailable here, so this
+//! crate provides the solver the compiler needs. It is tuned for the sizes
+//! the exact formulation is actually used at (small and medium topologies,
+//! aggregated demands); larger instances are handled by the heuristic placer
+//! in `snap-core`.
+//!
+//! ```
+//! use snap_milp::{LinExpr, Model, Sense, solve_milp};
+//!
+//! // Choose at most one of two facilities, maximizing profit 3a + 2b.
+//! let mut m = Model::new();
+//! let a = m.add_binary("a");
+//! let b = m.add_binary("b");
+//! m.set_objective(a, -3.0);
+//! m.set_objective(b, -2.0);
+//! m.add_constraint("one", LinExpr::new().with(a, 1.0).with(b, 1.0), Sense::Le, 1.0);
+//! let solution = solve_milp(&m).expect_optimal("solvable");
+//! assert!(solution.is_set(a) && !solution.is_set(b));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod model;
+pub mod simplex;
+
+pub use branch_bound::{solve_milp, solve_milp_with, BranchBoundOptions, BranchBoundStats};
+pub use model::{Constraint, LinExpr, Model, Sense, SolveResult, Solution, VarId, VarKind};
+pub use simplex::{solve_lp, solve_lp_with_bounds};

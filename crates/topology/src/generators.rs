@@ -1,0 +1,346 @@
+//! Topology generators.
+//!
+//! The paper evaluates on three campus networks, four RocketFuel-inferred ISP
+//! topologies (Table 5) and IGen-synthesized topologies of 10–180 switches
+//! (Figure 10). Those datasets are not redistributable, so this module
+//! generates *synthetic equivalents*: random connected graphs with the same
+//! switch/edge counts, the same rule for choosing edge switches (the 70% of
+//! switches with the lowest degree) and one external port per edge switch
+//! (optionally more, to match the demand counts of Table 5).
+
+use crate::graph::{NodeId, PortId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default capacity assigned to generated links.
+pub const DEFAULT_CAPACITY: f64 = 1_000.0;
+
+/// The fraction of switches (lowest degree first) designated as edge
+/// switches, as in §6.2 of the paper.
+pub const EDGE_SWITCH_FRACTION: f64 = 0.7;
+
+/// The campus topology of Figure 2: two Internet gateways (I1, I2), four
+/// department edge switches (D1–D4, with D4 the CS department) and six core
+/// routers (C1–C6). External ports 1–6 attach to I1, I2, D1, D2, D3, D4 and
+/// IP subnet `10.0.i.0/24` sits behind port `i`.
+pub fn campus() -> Topology {
+    let mut t = Topology::new("campus-fig2");
+    let i1 = t.add_node("I1");
+    let i2 = t.add_node("I2");
+    let d1 = t.add_node("D1");
+    let d2 = t.add_node("D2");
+    let d3 = t.add_node("D3");
+    let d4 = t.add_node("D4");
+    let c1 = t.add_node("C1");
+    let c2 = t.add_node("C2");
+    let c3 = t.add_node("C3");
+    let c4 = t.add_node("C4");
+    let c5 = t.add_node("C5");
+    let c6 = t.add_node("C6");
+
+    // Edge switches attach to two core routers each; the core is a ring with
+    // cross links, loosely following Figure 2.
+    let cap = DEFAULT_CAPACITY;
+    t.add_bidi_link(i1, c1, cap);
+    t.add_bidi_link(i1, c3, cap);
+    t.add_bidi_link(i2, c2, cap);
+    t.add_bidi_link(i2, c4, cap);
+    t.add_bidi_link(d1, c1, cap);
+    t.add_bidi_link(d1, c3, cap);
+    t.add_bidi_link(d2, c2, cap);
+    t.add_bidi_link(d2, c4, cap);
+    t.add_bidi_link(d3, c3, cap);
+    t.add_bidi_link(d3, c5, cap);
+    t.add_bidi_link(d4, c5, cap);
+    t.add_bidi_link(d4, c6, cap);
+    t.add_bidi_link(c1, c2, cap);
+    t.add_bidi_link(c1, c5, cap);
+    t.add_bidi_link(c2, c6, cap);
+    t.add_bidi_link(c3, c4, cap);
+    t.add_bidi_link(c3, c5, cap);
+    t.add_bidi_link(c4, c6, cap);
+    t.add_bidi_link(c5, c6, cap);
+
+    for (i, node) in [i1, i2, d1, d2, d3, d4].into_iter().enumerate() {
+        t.add_external_port(PortId(i + 1), node);
+    }
+    t
+}
+
+/// Parameters for the random (enterprise / ISP-like) generator.
+#[derive(Clone, Debug)]
+pub struct RandomTopologySpec {
+    /// Topology name.
+    pub name: String,
+    /// Number of switches.
+    pub switches: usize,
+    /// Target number of *directed* links (the generator adds bidirectional
+    /// links until this count is reached or the graph is complete).
+    pub directed_links: usize,
+    /// Number of external ports to spread across the edge switches; `None`
+    /// means one port per edge switch.
+    pub external_ports: Option<usize>,
+    /// RNG seed (generation is deterministic given the spec).
+    pub seed: u64,
+}
+
+/// Generate a random connected topology: a random spanning tree for
+/// connectivity plus random extra links (preferring distinct pairs), then the
+/// `EDGE_SWITCH_FRACTION` of switches with the lowest degree become edge
+/// switches carrying the external ports.
+pub fn random_topology(spec: &RandomTopologySpec) -> Topology {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut t = Topology::new(spec.name.clone());
+    let n = spec.switches.max(2);
+    for i in 0..n {
+        t.add_node(format!("s{i}"));
+    }
+    let nodes: Vec<NodeId> = t.nodes().collect();
+
+    // Random spanning tree: connect each node to a random earlier node.
+    let mut have_link = std::collections::BTreeSet::new();
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        t.add_bidi_link(nodes[i], nodes[j], DEFAULT_CAPACITY);
+        have_link.insert((i.min(j), i.max(j)));
+    }
+
+    // Extra links until the requested directed-link count is reached.
+    let max_undirected = n * (n - 1) / 2;
+    let target_undirected = (spec.directed_links / 2).clamp(n - 1, max_undirected);
+    let mut guard = 0;
+    while have_link.len() < target_undirected && guard < 100 * target_undirected {
+        guard += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if have_link.insert(key) {
+            t.add_bidi_link(nodes[a], nodes[b], DEFAULT_CAPACITY);
+        }
+    }
+
+    attach_external_ports(&mut t, spec.external_ports, &mut rng);
+    t
+}
+
+/// An IGen-like generator (used for the Figure 10 scaling experiment):
+/// switches are placed uniformly at random in the unit square and connected
+/// to their `k` nearest neighbors (plus a spanning tree for connectivity),
+/// which yields the locality-driven meshes IGen produces with its network
+/// design heuristics.
+pub fn igen_topology(switches: usize, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = switches.max(2);
+    let mut t = Topology::new(format!("igen-{n}"));
+    let mut coords = Vec::with_capacity(n);
+    for i in 0..n {
+        t.add_node(format!("s{i}"));
+        coords.push((rng.gen::<f64>(), rng.gen::<f64>()));
+    }
+    let nodes: Vec<NodeId> = t.nodes().collect();
+    let dist = |a: usize, b: usize| -> f64 {
+        let dx = coords[a].0 - coords[b].0;
+        let dy = coords[a].1 - coords[b].1;
+        (dx * dx + dy * dy).sqrt()
+    };
+
+    let mut have_link = std::collections::BTreeSet::new();
+    // k-nearest-neighbor links (k = 3, as a small-degree design heuristic).
+    let k = 3.min(n - 1);
+    for a in 0..n {
+        let mut others: Vec<usize> = (0..n).filter(|&b| b != a).collect();
+        others.sort_by(|&x, &y| dist(a, x).partial_cmp(&dist(a, y)).unwrap());
+        for &b in others.iter().take(k) {
+            let key = (a.min(b), a.max(b));
+            if have_link.insert(key) {
+                t.add_bidi_link(nodes[a], nodes[b], DEFAULT_CAPACITY);
+            }
+        }
+    }
+    // Spanning-tree pass to guarantee connectivity (connect each node to the
+    // nearest node with a lower index).
+    for a in 1..n {
+        let b = (0..a)
+            .min_by(|&x, &y| dist(a, x).partial_cmp(&dist(a, y)).unwrap())
+            .unwrap();
+        let key = (a.min(b), a.max(b));
+        if have_link.insert(key) {
+            t.add_bidi_link(nodes[a], nodes[b], DEFAULT_CAPACITY);
+        }
+    }
+
+    attach_external_ports(&mut t, None, &mut rng);
+    t
+}
+
+/// Choose the lowest-degree 70% of switches as edge switches and spread the
+/// requested number of external ports over them round-robin.
+fn attach_external_ports(t: &mut Topology, ports: Option<usize>, _rng: &mut StdRng) {
+    let mut by_degree: Vec<NodeId> = t.nodes().collect();
+    by_degree.sort_by_key(|&n| (t.degree(n), n.0));
+    let edge_count = ((t.num_nodes() as f64) * EDGE_SWITCH_FRACTION).round() as usize;
+    let edge_count = edge_count.clamp(1, t.num_nodes());
+    let edges: Vec<NodeId> = by_degree.into_iter().take(edge_count).collect();
+    let total_ports = ports.unwrap_or(edges.len());
+    for p in 0..total_ports {
+        t.add_external_port(PortId(p + 1), edges[p % edges.len()]);
+    }
+}
+
+/// Named presets mirroring Table 5 of the paper (switch and edge counts; the
+/// demand counts of the table correspond to `external_ports²`).
+pub mod presets {
+    use super::*;
+
+    fn preset(name: &str, switches: usize, directed_links: usize, demands: usize, seed: u64) -> RandomTopologySpec {
+        let ports = (demands as f64).sqrt().round() as usize;
+        RandomTopologySpec {
+            name: name.to_string(),
+            switches,
+            directed_links,
+            external_ports: Some(ports),
+            seed,
+        }
+    }
+
+    /// Stanford-like campus backbone (26 switches, 92 edges, 20736 demands).
+    pub fn stanford() -> RandomTopologySpec {
+        preset("stanford-like", 26, 92, 20_736, 11)
+    }
+    /// Berkeley-like campus (25 switches, 96 edges, 34225 demands).
+    pub fn berkeley() -> RandomTopologySpec {
+        preset("berkeley-like", 25, 96, 34_225, 12)
+    }
+    /// Purdue-like campus (98 switches, 232 edges, 24336 demands).
+    pub fn purdue() -> RandomTopologySpec {
+        preset("purdue-like", 98, 232, 24_336, 13)
+    }
+    /// RocketFuel AS 1755-like ISP (87 switches, 322 edges, 3600 demands).
+    pub fn as1755() -> RandomTopologySpec {
+        preset("AS1755-like", 87, 322, 3_600, 14)
+    }
+    /// RocketFuel AS 1221-like ISP (104 switches, 302 edges, 5184 demands).
+    pub fn as1221() -> RandomTopologySpec {
+        preset("AS1221-like", 104, 302, 5_184, 15)
+    }
+    /// RocketFuel AS 6461-like ISP (138 switches, 744 edges, 9216 demands).
+    pub fn as6461() -> RandomTopologySpec {
+        preset("AS6461-like", 138, 744, 9_216, 16)
+    }
+    /// RocketFuel AS 3257-like ISP (161 switches, 656 edges, 12544 demands).
+    pub fn as3257() -> RandomTopologySpec {
+        preset("AS3257-like", 161, 656, 12_544, 17)
+    }
+
+    /// All Table 5 presets in the order of the table.
+    pub fn table5() -> Vec<RandomTopologySpec> {
+        vec![
+            stanford(),
+            berkeley(),
+            purdue(),
+            as1755(),
+            as1221(),
+            as6461(),
+            as3257(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campus_matches_figure_2() {
+        let t = campus();
+        assert_eq!(t.num_nodes(), 12);
+        assert_eq!(t.num_external_ports(), 6);
+        assert!(t.is_connected());
+        // Port 6 is the CS department behind D4.
+        let d4 = t.node_by_name("D4").unwrap();
+        assert_eq!(t.port_switch(PortId(6)), Some(d4));
+        // All traffic from port 1 to port 6 can be routed.
+        let i1 = t.node_by_name("I1").unwrap();
+        assert!(t.shortest_path(i1, d4).is_some());
+    }
+
+    #[test]
+    fn random_topology_respects_spec() {
+        let spec = RandomTopologySpec {
+            name: "test".into(),
+            switches: 30,
+            directed_links: 120,
+            external_ports: None,
+            seed: 42,
+        };
+        let t = random_topology(&spec);
+        assert_eq!(t.num_nodes(), 30);
+        assert!(t.is_connected());
+        // Directed link count is close to the target (exactly, unless clamped).
+        assert_eq!(t.num_links(), 120);
+        // 70% of switches are edge switches, one port each.
+        assert_eq!(t.num_external_ports(), 21);
+    }
+
+    #[test]
+    fn random_topology_is_deterministic() {
+        let spec = RandomTopologySpec {
+            name: "det".into(),
+            switches: 20,
+            directed_links: 80,
+            external_ports: Some(5),
+            seed: 7,
+        };
+        let a = random_topology(&spec);
+        let b = random_topology(&spec);
+        assert_eq!(a.num_links(), b.num_links());
+        let la: Vec<_> = a.links().iter().map(|l| (l.from, l.to)).collect();
+        let lb: Vec<_> = b.links().iter().map(|l| (l.from, l.to)).collect();
+        assert_eq!(la, lb);
+        assert_eq!(a.num_external_ports(), 5);
+    }
+
+    #[test]
+    fn igen_topologies_scale_and_stay_connected() {
+        for n in [10, 50, 120] {
+            let t = igen_topology(n, 3);
+            assert_eq!(t.num_nodes(), n);
+            assert!(t.is_connected(), "igen-{n} must be connected");
+            assert!(t.num_external_ports() >= 1);
+            // Edge switches are 70% of nodes.
+            assert_eq!(t.num_external_ports(), ((n as f64) * 0.7).round() as usize);
+        }
+    }
+
+    #[test]
+    fn presets_match_table_5_counts() {
+        let specs = presets::table5();
+        assert_eq!(specs.len(), 7);
+        let stanford = random_topology(&specs[0]);
+        assert_eq!(stanford.num_nodes(), 26);
+        assert_eq!(stanford.num_links(), 92);
+        assert_eq!(stanford.num_external_ports(), 144); // 144² = 20736 demands
+        let as3257 = random_topology(&specs[6]);
+        assert_eq!(as3257.num_nodes(), 161);
+        assert_eq!(as3257.num_links(), 656);
+        assert!(as3257.is_connected());
+    }
+
+    #[test]
+    fn tiny_topologies_do_not_panic() {
+        let spec = RandomTopologySpec {
+            name: "tiny".into(),
+            switches: 2,
+            directed_links: 2,
+            external_ports: None,
+            seed: 1,
+        };
+        let t = random_topology(&spec);
+        assert!(t.is_connected());
+        let t = igen_topology(2, 1);
+        assert!(t.is_connected());
+    }
+}

@@ -1,0 +1,912 @@
+//! xFDD composition operators: union (`⊕`), negation (`⊖`), restriction
+//! (`·|t`) and sequential composition (`⊙`), following Figures 7–8 and
+//! Appendices B/E of the paper.
+//!
+//! The delicate part is composing an *action sequence* with a *branch*: the
+//! actions happen "before" the test, so the test must be re-expressed over
+//! the original packet header and the pre-existing state. That is where the
+//! field-field tests and the context machinery come in.
+
+use crate::action::{Action, ActionSeq, Leaf};
+use crate::context::Context;
+use crate::diagram::Xfdd;
+use crate::error::CompileError;
+use crate::test::{Test, VarOrder};
+use snap_lang::{Expr, Field, StateVar, Value};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Union, negation, restriction
+// ---------------------------------------------------------------------------
+
+/// `d1 ⊕ d2` — parallel composition of diagrams.
+pub fn union(d1: &Xfdd, d2: &Xfdd, order: &VarOrder) -> Xfdd {
+    union_ctx(d1, d2, order, &Context::new())
+}
+
+fn union_ctx(d1: &Xfdd, d2: &Xfdd, order: &VarOrder, ctx: &Context) -> Xfdd {
+    let d1 = refine(d1, ctx);
+    let d2 = refine(d2, ctx);
+    match (d1, d2) {
+        (Xfdd::Leaf(a), Xfdd::Leaf(b)) => Xfdd::Leaf(a.union(b)),
+        (Xfdd::Branch { test, tru, fls }, leaf @ Xfdd::Leaf(_)) => Xfdd::branch(
+            test.clone(),
+            union_ctx(tru, leaf, order, &ctx.with(test.clone(), true)),
+            union_ctx(fls, leaf, order, &ctx.with(test.clone(), false)),
+        ),
+        (leaf @ Xfdd::Leaf(_), Xfdd::Branch { test, tru, fls }) => Xfdd::branch(
+            test.clone(),
+            union_ctx(leaf, tru, order, &ctx.with(test.clone(), true)),
+            union_ctx(leaf, fls, order, &ctx.with(test.clone(), false)),
+        ),
+        (
+            b1 @ Xfdd::Branch {
+                test: t1,
+                tru: d11,
+                fls: d12,
+            },
+            b2 @ Xfdd::Branch {
+                test: t2,
+                tru: d21,
+                fls: d22,
+            },
+        ) => match t1.cmp_in(t2, order) {
+            Ordering::Equal => Xfdd::branch(
+                t1.clone(),
+                union_ctx(d11, d21, order, &ctx.with(t1.clone(), true)),
+                union_ctx(d12, d22, order, &ctx.with(t1.clone(), false)),
+            ),
+            Ordering::Less => Xfdd::branch(
+                t1.clone(),
+                union_ctx(d11, b2, order, &ctx.with(t1.clone(), true)),
+                union_ctx(d12, b2, order, &ctx.with(t1.clone(), false)),
+            ),
+            Ordering::Greater => Xfdd::branch(
+                t2.clone(),
+                union_ctx(b1, d21, order, &ctx.with(t2.clone(), true)),
+                union_ctx(b1, d22, order, &ctx.with(t2.clone(), false)),
+            ),
+        },
+    }
+}
+
+/// The paper's `refine`: strip redundant or contradicting tests from the top
+/// of a diagram given what the context already implies.
+fn refine<'a>(d: &'a Xfdd, ctx: &Context) -> &'a Xfdd {
+    let mut cur = d;
+    loop {
+        match cur {
+            Xfdd::Branch { test, tru, fls } => match ctx.implies(test) {
+                Some(true) => cur = tru,
+                Some(false) => cur = fls,
+                None => return cur,
+            },
+            Xfdd::Leaf(_) => return cur,
+        }
+    }
+}
+
+/// `⊖d` — negation. Only meaningful for predicate diagrams (leaves `{id}` /
+/// `{drop}`); a leaf with real actions is treated as "passes" and therefore
+/// negates to `drop`.
+pub fn negate(d: &Xfdd) -> Xfdd {
+    match d {
+        Xfdd::Leaf(l) => {
+            if l.is_drop() {
+                Xfdd::id()
+            } else {
+                Xfdd::drop()
+            }
+        }
+        Xfdd::Branch { test, tru, fls } => Xfdd::branch(test.clone(), negate(tru), negate(fls)),
+    }
+}
+
+/// `d|t` (when `positive`) or `d|¬t` (otherwise): keep `d`'s behaviour only
+/// where the test has the given outcome; drop elsewhere.
+pub fn restrict(d: &Xfdd, test: &Test, positive: bool, order: &VarOrder) -> Xfdd {
+    match d {
+        Xfdd::Leaf(l) => {
+            if l.is_drop() {
+                Xfdd::drop()
+            } else if positive {
+                Xfdd::branch(test.clone(), d.clone(), Xfdd::drop())
+            } else {
+                Xfdd::branch(test.clone(), Xfdd::drop(), d.clone())
+            }
+        }
+        Xfdd::Branch {
+            test: t1,
+            tru,
+            fls,
+        } => match t1.cmp_in(test, order) {
+            Ordering::Equal => {
+                if positive {
+                    Xfdd::branch(t1.clone(), (**tru).clone(), Xfdd::drop())
+                } else {
+                    Xfdd::branch(t1.clone(), Xfdd::drop(), (**fls).clone())
+                }
+            }
+            Ordering::Greater => {
+                // `test` comes first in the order: hoist it above `d`.
+                if positive {
+                    Xfdd::branch(test.clone(), d.clone(), Xfdd::drop())
+                } else {
+                    Xfdd::branch(test.clone(), Xfdd::drop(), d.clone())
+                }
+            }
+            Ordering::Less => Xfdd::branch(
+                t1.clone(),
+                restrict(tru, test, positive, order),
+                restrict(fls, test, positive, order),
+            ),
+        },
+    }
+}
+
+/// Build a semantically correct, well-formed `test ? dt : df` even when `dt`
+/// or `df` contain tests that precede `test` in the global order.
+pub fn make_branch(test: Test, dt: Xfdd, df: Xfdd, order: &VarOrder) -> Xfdd {
+    union(
+        &restrict(&dt, &test, true, order),
+        &restrict(&df, &test, false, order),
+        order,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Sequential composition
+// ---------------------------------------------------------------------------
+
+/// `d1 ⊙ d2` — sequential composition of diagrams.
+pub fn seq(d1: &Xfdd, d2: &Xfdd, order: &VarOrder) -> Result<Xfdd, CompileError> {
+    match d1 {
+        Xfdd::Leaf(l) => {
+            if l.is_drop() {
+                return Ok(Xfdd::drop());
+            }
+            let mut acc = Xfdd::drop();
+            for a in &l.0 {
+                let part = seq_action(a, d2, &Context::new(), order)?;
+                acc = union(&acc, &part, order);
+            }
+            Ok(acc)
+        }
+        Xfdd::Branch { test, tru, fls } => {
+            let a = seq(tru, d2, order)?;
+            let b = seq(fls, d2, order)?;
+            Ok(make_branch(test.clone(), a, b, order))
+        }
+    }
+}
+
+/// The outcome of a static equality comparison.
+enum EqResult {
+    Eq,
+    Neq,
+    Unknown(Test),
+}
+
+/// Compose a single action sequence with a diagram (`as ⊙ d`), threading a
+/// context of decided tests — Appendix E's `seq(a, d, T)`.
+fn seq_action(
+    actions: &ActionSeq,
+    d: &Xfdd,
+    ctx: &Context,
+    order: &VarOrder,
+) -> Result<Xfdd, CompileError> {
+    // A sequence that already dropped the packet never reaches the rest of
+    // the program, but its state updates still take effect.
+    if actions.drops {
+        return Ok(Xfdd::Leaf(Leaf::from_seq(actions.clone())));
+    }
+    let (test, tru, fls) = match d {
+        Xfdd::Leaf(l) => {
+            if l.is_drop() {
+                // `as ⊙ {drop}`: the actions run, then the packet is dropped.
+                return Ok(Xfdd::Leaf(Leaf::from_seq(actions.clone().with_drop())));
+            }
+            let mut out = Leaf::drop();
+            for suffix in &l.0 {
+                out.insert(actions.concat(suffix));
+            }
+            return Ok(Xfdd::Leaf(out));
+        }
+        Xfdd::Branch { test, tru, fls } => (test, tru.as_ref(), fls.as_ref()),
+    };
+
+    let fmap = field_map(actions);
+    match test {
+        Test::FieldValue(f, v) => {
+            if let Some(assigned) = fmap.get(f) {
+                // The sequence overwrote the field: the test is decided.
+                return if v.matches(assigned) {
+                    seq_action(actions, tru, ctx, order)
+                } else {
+                    seq_action(actions, fls, ctx, order)
+                };
+            }
+            decide_or_branch(test.clone(), actions, tru, fls, ctx, order)
+        }
+        Test::FieldField(f, g) => {
+            let rf = resolve_field(f, &fmap, ctx);
+            let rg = resolve_field(g, &fmap, ctx);
+            match (rf, rg) {
+                (Resolved::Val(a), Resolved::Val(b)) => {
+                    if a == b {
+                        seq_action(actions, tru, ctx, order)
+                    } else {
+                        seq_action(actions, fls, ctx, order)
+                    }
+                }
+                (Resolved::Val(a), Resolved::Fld(g2)) => {
+                    decide_or_branch(Test::FieldValue(g2, a), actions, tru, fls, ctx, order)
+                }
+                (Resolved::Fld(f2), Resolved::Val(b)) => {
+                    decide_or_branch(Test::FieldValue(f2, b), actions, tru, fls, ctx, order)
+                }
+                (Resolved::Fld(f2), Resolved::Fld(g2)) => {
+                    if f2 == g2 {
+                        seq_action(actions, tru, ctx, order)
+                    } else {
+                        decide_or_branch(Test::FieldField(f2, g2), actions, tru, fls, ctx, order)
+                    }
+                }
+            }
+        }
+        Test::State { var, index, value } => {
+            seq_action_state(actions, d, tru, fls, var, index, value, &fmap, ctx, order)
+        }
+    }
+}
+
+/// Check the context for the (already re-expressed) test; recurse into the
+/// decided branch or build a well-formed branch over it.
+fn decide_or_branch(
+    test: Test,
+    actions: &ActionSeq,
+    tru: &Xfdd,
+    fls: &Xfdd,
+    ctx: &Context,
+    order: &VarOrder,
+) -> Result<Xfdd, CompileError> {
+    match ctx.implies(&test) {
+        Some(true) => seq_action(actions, tru, ctx, order),
+        Some(false) => seq_action(actions, fls, ctx, order),
+        None => {
+            let dt = seq_action(actions, tru, &ctx.with(test.clone(), true), order)?;
+            let df = seq_action(actions, fls, &ctx.with(test.clone(), false), order)?;
+            Ok(make_branch(test, dt, df, order))
+        }
+    }
+}
+
+/// The hardest case: `as ⊙ (s[e1] = e2 ? d1 : d2)`.
+///
+/// The writes to `s` inside `as` may determine the test: scanning from the
+/// latest write backwards, a write to the same entry with a known value
+/// decides the test (possibly shifted by intervening increments/decrements),
+/// and a write to a *possibly* equal entry forces a disambiguating
+/// field-field / field-value test to be inserted (the `(test ? d : d)` trick
+/// of Appendix E). If no write is relevant, the test reads pre-existing state
+/// and is emitted, re-expressed over the original packet header.
+#[allow(clippy::too_many_arguments)]
+fn seq_action_state(
+    actions: &ActionSeq,
+    whole: &Xfdd,
+    tru: &Xfdd,
+    fls: &Xfdd,
+    var: &StateVar,
+    index: &[Expr],
+    value: &Expr,
+    fmap: &BTreeMap<Field, Value>,
+    ctx: &Context,
+    order: &VarOrder,
+) -> Result<Xfdd, CompileError> {
+    // Test expressions re-expressed over the original header: fields that the
+    // sequence modified become the constants it assigned.
+    let t_idx: Vec<Expr> = index.iter().map(|e| resolve_expr(e, fmap, ctx)).collect();
+    let t_val: Expr = resolve_expr(value, fmap, ctx);
+
+    // Writes to `var` inside the sequence, each re-expressed over the
+    // original header using only the field modifications that *precede* it.
+    let writes = collect_writes(actions, var, ctx);
+
+    let mut offset: i64 = 0;
+    for w in writes.iter().rev() {
+        match exprs_equal(&t_idx, &w.index, ctx) {
+            EqResult::Neq => continue,
+            EqResult::Unknown(test) => {
+                // Emit the disambiguating test (it is expressed over the
+                // *original* header) and redo this node on both sides with
+                // the outcome recorded in the context, which then decides
+                // the equality.
+                return disambiguate(test, actions, whole, ctx, order);
+            }
+            EqResult::Eq => match &w.kind {
+                WriteKind::Set(wval) => {
+                    if offset == 0 {
+                        match exprs_equal(
+                            std::slice::from_ref(&t_val),
+                            std::slice::from_ref(wval),
+                            ctx,
+                        ) {
+                            EqResult::Eq => return seq_action(actions, tru, ctx, order),
+                            EqResult::Neq => return seq_action(actions, fls, ctx, order),
+                            EqResult::Unknown(test) => {
+                                return disambiguate(test, actions, whole, ctx, order);
+                            }
+                        }
+                    }
+                    // An increment/decrement sits between this write and the
+                    // test: only constant integers can be compared statically.
+                    return match (const_int(&t_val), const_int(wval)) {
+                        (Some(tv), Some(wv)) => {
+                            if tv == wv + offset {
+                                seq_action(actions, tru, ctx, order)
+                            } else {
+                                seq_action(actions, fls, ctx, order)
+                            }
+                        }
+                        _ => Err(CompileError::UnsupportedStateArithmetic { var: var.clone() }),
+                    };
+                }
+                WriteKind::Bump(delta) => {
+                    offset += delta;
+                    continue;
+                }
+            },
+        }
+    }
+
+    // No write in the sequence decided the test: it reads pre-existing state,
+    // possibly shifted by increments of the same entry.
+    let final_value = if offset == 0 {
+        t_val.clone()
+    } else {
+        match const_int(&t_val) {
+            Some(tv) => Expr::Value(Value::Int(tv - offset)),
+            None => return Err(CompileError::UnsupportedStateArithmetic { var: var.clone() }),
+        }
+    };
+    let resolved = Test::State {
+        var: var.clone(),
+        index: t_idx,
+        value: final_value,
+    };
+    decide_or_branch(resolved, actions, tru, fls, ctx, order)
+}
+
+/// Emit a disambiguating test over the original header and re-process the
+/// state-test node on both sides with the outcome recorded in the context
+/// (Appendix E's `(test ? d : d)` expansion, done without re-interpreting the
+/// new test as a post-action test).
+fn disambiguate(
+    test: Test,
+    actions: &ActionSeq,
+    whole: &Xfdd,
+    ctx: &Context,
+    order: &VarOrder,
+) -> Result<Xfdd, CompileError> {
+    let dt = seq_action(actions, whole, &ctx.with(test.clone(), true), order)?;
+    let df = seq_action(actions, whole, &ctx.with(test.clone(), false), order)?;
+    Ok(make_branch(test, dt, df, order))
+}
+
+// ---------------------------------------------------------------------------
+// Static analysis of action sequences
+// ---------------------------------------------------------------------------
+
+enum Resolved {
+    Val(Value),
+    Fld(Field),
+}
+
+fn resolve_field(f: &Field, fmap: &BTreeMap<Field, Value>, ctx: &Context) -> Resolved {
+    if let Some(v) = fmap.get(f) {
+        return Resolved::Val(v.clone());
+    }
+    if let Some(v) = ctx.definite_value(f) {
+        return Resolved::Val(v);
+    }
+    Resolved::Fld(f.clone())
+}
+
+/// Re-express an expression over the original packet header, substituting
+/// fields the sequence assigned (or the context pins down) with constants.
+fn resolve_expr(e: &Expr, fmap: &BTreeMap<Field, Value>, ctx: &Context) -> Expr {
+    match e {
+        Expr::Value(v) => Expr::Value(v.clone()),
+        Expr::Field(f) => match resolve_field(f, fmap, ctx) {
+            Resolved::Val(v) => Expr::Value(v),
+            Resolved::Fld(f) => Expr::Field(f),
+        },
+        Expr::Tuple(es) => Expr::Tuple(es.iter().map(|e| resolve_expr(e, fmap, ctx)).collect()),
+    }
+}
+
+/// The net field assignments performed by a sequence (last write wins).
+fn field_map(actions: &ActionSeq) -> BTreeMap<Field, Value> {
+    let mut fmap = BTreeMap::new();
+    for a in &actions.actions {
+        if let Action::Modify(f, v) = a {
+            fmap.insert(f.clone(), v.clone());
+        }
+    }
+    fmap
+}
+
+enum WriteKind {
+    /// `s[idx] ← value`
+    Set(Expr),
+    /// `s[idx]++` / `s[idx]--`
+    Bump(i64),
+}
+
+struct StateWrite {
+    index: Vec<Expr>,
+    kind: WriteKind,
+}
+
+/// Collect the writes to `var` in sequence order, each with its index/value
+/// expressions re-expressed over the original header using only the field
+/// modifications that precede the write (Appendix E's `filter`).
+fn collect_writes(actions: &ActionSeq, var: &StateVar, ctx: &Context) -> Vec<StateWrite> {
+    let mut running: BTreeMap<Field, Value> = BTreeMap::new();
+    let mut out = Vec::new();
+    for a in &actions.actions {
+        match a {
+            Action::Modify(f, v) => {
+                running.insert(f.clone(), v.clone());
+            }
+            Action::StateSet {
+                var: w,
+                index,
+                value,
+            } if w == var => out.push(StateWrite {
+                index: index.iter().map(|e| resolve_expr(e, &running, ctx)).collect(),
+                kind: WriteKind::Set(resolve_expr(value, &running, ctx)),
+            }),
+            Action::StateIncr { var: w, index } if w == var => out.push(StateWrite {
+                index: index.iter().map(|e| resolve_expr(e, &running, ctx)).collect(),
+                kind: WriteKind::Bump(1),
+            }),
+            Action::StateDecr { var: w, index } if w == var => out.push(StateWrite {
+                index: index.iter().map(|e| resolve_expr(e, &running, ctx)).collect(),
+                kind: WriteKind::Bump(-1),
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn const_int(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Value(Value::Int(i)) => Some(*i),
+        _ => None,
+    }
+}
+
+fn flatten_exprs(es: &[Expr], out: &mut Vec<Expr>) {
+    for e in es {
+        match e {
+            Expr::Tuple(inner) => flatten_exprs(inner, out),
+            other => out.push(other.clone()),
+        }
+    }
+}
+
+/// Are two (re-expressed) expression vectors equal for every packet, unequal
+/// for every packet, or dependent on a header test we can emit?
+fn exprs_equal(a: &[Expr], b: &[Expr], ctx: &Context) -> EqResult {
+    let mut fa = Vec::new();
+    let mut fb = Vec::new();
+    flatten_exprs(a, &mut fa);
+    flatten_exprs(b, &mut fb);
+    if fa.len() != fb.len() {
+        return EqResult::Neq;
+    }
+    for (x, y) in fa.iter().zip(fb.iter()) {
+        match (x, y) {
+            (Expr::Value(u), Expr::Value(v)) => {
+                if u != v {
+                    return EqResult::Neq;
+                }
+            }
+            (Expr::Field(f), Expr::Field(g)) => {
+                if f == g {
+                    continue;
+                }
+                let t = Test::FieldField(f.clone(), g.clone());
+                match ctx.implies(&t) {
+                    Some(true) => continue,
+                    Some(false) => return EqResult::Neq,
+                    None => return EqResult::Unknown(t),
+                }
+            }
+            (Expr::Field(f), Expr::Value(v)) | (Expr::Value(v), Expr::Field(f)) => {
+                let t = Test::FieldValue(f.clone(), v.clone());
+                match ctx.implies(&t) {
+                    Some(true) => continue,
+                    Some(false) => return EqResult::Neq,
+                    None => return EqResult::Unknown(t),
+                }
+            }
+            _ => return EqResult::Neq,
+        }
+    }
+    EqResult::Eq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_lang::builder::field;
+    use snap_lang::{Packet, Store};
+
+    fn sv(s: &str) -> StateVar {
+        StateVar::new(s)
+    }
+
+    fn order() -> VarOrder {
+        VarOrder::empty()
+    }
+
+    fn leaf_action(a: Action) -> Xfdd {
+        Xfdd::Leaf(Leaf::single(a))
+    }
+
+    fn test_branch(t: Test) -> Xfdd {
+        Xfdd::branch(t, Xfdd::id(), Xfdd::drop())
+    }
+
+    #[test]
+    fn union_of_predicates_is_disjunction() {
+        let a = test_branch(Test::FieldValue(Field::SrcPort, Value::Int(53)));
+        let b = test_branch(Test::FieldValue(Field::DstPort, Value::Int(53)));
+        let d = union(&a, &b, &order());
+        assert!(d.is_well_formed(&order()));
+        let store = Store::new();
+        let p1 = Packet::new().with(Field::SrcPort, 53).with(Field::DstPort, 80);
+        let p2 = Packet::new().with(Field::SrcPort, 80).with(Field::DstPort, 53);
+        let p3 = Packet::new().with(Field::SrcPort, 80).with(Field::DstPort, 80);
+        assert_eq!(d.evaluate(&p1, &store).unwrap().0.len(), 1);
+        assert_eq!(d.evaluate(&p2, &store).unwrap().0.len(), 1);
+        assert_eq!(d.evaluate(&p3, &store).unwrap().0.len(), 0);
+    }
+
+    #[test]
+    fn union_refines_contradicting_subtrees() {
+        // (srcport = 53 ? id : drop) ⊕ (srcport = 80 ? id : drop): on the true
+        // branch of srcport=53, the srcport=80 test must be refined away.
+        let a = test_branch(Test::FieldValue(Field::SrcPort, Value::Int(53)));
+        let b = test_branch(Test::FieldValue(Field::SrcPort, Value::Int(80)));
+        let d = union(&a, &b, &order());
+        assert!(d.is_well_formed(&order()));
+        // No path should test srcport twice.
+        for (path, _) in d.paths() {
+            let fields: Vec<_> = path
+                .iter()
+                .filter(|(t, _)| matches!(t, Test::FieldValue(Field::SrcPort, _)))
+                .collect();
+            assert!(fields.len() <= 2);
+        }
+        let store = Store::new();
+        let p = Packet::new().with(Field::SrcPort, 80);
+        assert_eq!(d.evaluate(&p, &store).unwrap().0.len(), 1);
+    }
+
+    #[test]
+    fn negate_flips_pass_and_drop() {
+        let a = test_branch(Test::FieldValue(Field::SrcPort, Value::Int(53)));
+        let n = negate(&a);
+        let store = Store::new();
+        let dns = Packet::new().with(Field::SrcPort, 53);
+        let web = Packet::new().with(Field::SrcPort, 80);
+        assert!(n.evaluate(&dns, &store).unwrap().0.is_empty());
+        assert_eq!(n.evaluate(&web, &store).unwrap().0.len(), 1);
+        assert_eq!(negate(&Xfdd::id()), Xfdd::drop());
+        assert_eq!(negate(&Xfdd::drop()), Xfdd::id());
+    }
+
+    #[test]
+    fn restrict_keeps_only_matching_side() {
+        let t = Test::FieldValue(Field::SrcPort, Value::Int(53));
+        let d = leaf_action(Action::Modify(Field::OutPort, Value::Int(1)));
+        let pos = restrict(&d, &t, true, &order());
+        let neg = restrict(&d, &t, false, &order());
+        let store = Store::new();
+        let dns = Packet::new().with(Field::SrcPort, 53);
+        let web = Packet::new().with(Field::SrcPort, 80);
+        assert_eq!(pos.evaluate(&dns, &store).unwrap().0.len(), 1);
+        assert!(pos.evaluate(&web, &store).unwrap().0.is_empty());
+        assert!(neg.evaluate(&dns, &store).unwrap().0.is_empty());
+        assert_eq!(neg.evaluate(&web, &store).unwrap().0.len(), 1);
+    }
+
+    #[test]
+    fn make_branch_handles_out_of_order_tests() {
+        // The branches contain a test that precedes the branch test in the
+        // global order; make_branch must still build a well-formed diagram.
+        let early = Test::FieldValue(Field::DstIp, Value::ip(1, 1, 1, 1));
+        let late = Test::FieldValue(Field::SrcPort, Value::Int(53));
+        let dt = test_branch(early.clone());
+        let d = make_branch(late.clone(), dt, Xfdd::drop(), &order());
+        assert!(d.is_well_formed(&order()));
+        let store = Store::new();
+        let yes = Packet::new()
+            .with(Field::SrcPort, 53)
+            .with(Field::DstIp, Value::ip(1, 1, 1, 1));
+        let no = Packet::new()
+            .with(Field::SrcPort, 80)
+            .with(Field::DstIp, Value::ip(1, 1, 1, 1));
+        assert_eq!(d.evaluate(&yes, &store).unwrap().0.len(), 1);
+        assert!(d.evaluate(&no, &store).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn seq_modification_then_test_is_resolved_statically() {
+        // (outport <- 6) ; (outport = 6 ? id : drop)  ≡  outport <- 6
+        let set = leaf_action(Action::Modify(Field::OutPort, Value::Int(6)));
+        let check = test_branch(Test::FieldValue(Field::OutPort, Value::Int(6)));
+        let d = seq(&set, &check, &order()).unwrap();
+        assert!(d.is_well_formed(&order()));
+        let store = Store::new();
+        let pkt = Packet::new().with(Field::InPort, 1);
+        let (pkts, _) = d.evaluate(&pkt, &store).unwrap();
+        assert_eq!(pkts.len(), 1);
+        // And against a different constant the packet is dropped.
+        let check5 = test_branch(Test::FieldValue(Field::OutPort, Value::Int(5)));
+        let d = seq(&set, &check5, &order()).unwrap();
+        assert!(d.evaluate(&pkt, &store).unwrap().0.is_empty());
+        // No residual test on outport should remain in either diagram.
+        assert_eq!(d.num_tests(), 0);
+    }
+
+    #[test]
+    fn seq_state_write_then_same_entry_test() {
+        // s[srcip] <- 1 ; (s[srcip] = 1 ? id : drop) ≡ s[srcip] <- 1
+        let w = leaf_action(Action::StateSet {
+            var: sv("s"),
+            index: vec![field(Field::SrcIp)],
+            value: Expr::Value(Value::Int(1)),
+        });
+        let t = test_branch(Test::State {
+            var: sv("s"),
+            index: vec![field(Field::SrcIp)],
+            value: Expr::Value(Value::Int(1)),
+        });
+        let d = seq(&w, &t, &order()).unwrap();
+        // The state test must have been eliminated: the write decides it.
+        assert_eq!(d.num_tests(), 0);
+        let pkt = Packet::new().with(Field::SrcIp, Value::ip(9, 9, 9, 9));
+        let (pkts, store) = d.evaluate(&pkt, &Store::new()).unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(store.get(&sv("s"), &[Value::ip(9, 9, 9, 9)]), Value::Int(1));
+    }
+
+    #[test]
+    fn seq_state_write_different_field_needs_field_field_test() {
+        // s[srcip] <- e ; (s[dstip] = e ? d1 : d2): whether the write decides
+        // the test depends on srcip = dstip, so a field-field test appears.
+        let w = leaf_action(Action::StateSet {
+            var: sv("s"),
+            index: vec![field(Field::SrcIp)],
+            value: Expr::Value(Value::Int(1)),
+        });
+        let t = test_branch(Test::State {
+            var: sv("s"),
+            index: vec![field(Field::DstIp)],
+            value: Expr::Value(Value::Int(1)),
+        });
+        let d = seq(&w, &t, &order()).unwrap();
+        assert!(d.is_well_formed(&order()));
+        let has_ff = d.paths().iter().any(|(path, _)| {
+            path.iter()
+                .any(|(t, _)| matches!(t, Test::FieldField(_, _)))
+        });
+        assert!(has_ff, "expected a field-field test in {d:?}");
+
+        // Behaviour check against the obvious semantics.
+        let store = Store::new();
+        let same = Packet::new()
+            .with(Field::SrcIp, Value::ip(1, 1, 1, 1))
+            .with(Field::DstIp, Value::ip(1, 1, 1, 1));
+        let diff = Packet::new()
+            .with(Field::SrcIp, Value::ip(1, 1, 1, 1))
+            .with(Field::DstIp, Value::ip(2, 2, 2, 2));
+        // srcip = dstip: the write makes the test true -> pass.
+        assert_eq!(d.evaluate(&same, &store).unwrap().0.len(), 1);
+        // different: the test reads pre-existing state (0 ≠ 1) -> drop.
+        assert!(d.evaluate(&diff, &store).unwrap().0.is_empty());
+        // ... unless the pre-existing state already holds 1 at dstip.
+        let mut seeded = Store::new();
+        seeded.set(&sv("s"), vec![Value::ip(2, 2, 2, 2)], Value::Int(1));
+        assert_eq!(d.evaluate(&diff, &seeded).unwrap().0.len(), 1);
+    }
+
+    #[test]
+    fn seq_increment_then_constant_test_shifts_the_constant() {
+        // c[srcip]++ ; (c[srcip] = 3 ? id : drop): equivalent to testing the
+        // *pre*-increment value against 2.
+        let inc = leaf_action(Action::StateIncr {
+            var: sv("c"),
+            index: vec![field(Field::SrcIp)],
+        });
+        let t = test_branch(Test::State {
+            var: sv("c"),
+            index: vec![field(Field::SrcIp)],
+            value: Expr::Value(Value::Int(3)),
+        });
+        let d = seq(&inc, &t, &order()).unwrap();
+        let pkt = Packet::new().with(Field::SrcIp, Value::ip(7, 7, 7, 7));
+        let mut store = Store::new();
+        store.set(&sv("c"), vec![Value::ip(7, 7, 7, 7)], Value::Int(2));
+        let (pkts, new_store) = d.evaluate(&pkt, &store).unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(
+            new_store.get(&sv("c"), &[Value::ip(7, 7, 7, 7)]),
+            Value::Int(3)
+        );
+        // With a pre-state of 0 the packet is dropped (post-value 1 ≠ 3).
+        let (pkts, _) = d.evaluate(&pkt, &Store::new()).unwrap();
+        assert!(pkts.is_empty());
+    }
+
+    #[test]
+    fn seq_increment_then_non_constant_test_is_rejected() {
+        let inc = leaf_action(Action::StateIncr {
+            var: sv("c"),
+            index: vec![field(Field::SrcIp)],
+        });
+        let t = test_branch(Test::State {
+            var: sv("c"),
+            index: vec![field(Field::SrcIp)],
+            value: Expr::Field(Field::DstPort),
+        });
+        let err = seq(&inc, &t, &order()).unwrap_err();
+        assert!(matches!(err, CompileError::UnsupportedStateArithmetic { .. }));
+    }
+
+    #[test]
+    fn seq_set_then_set_last_write_wins() {
+        // s[0] <- 1; s[0] <- 2 ; (s[0] = 2 ? id : drop) keeps packets.
+        let w = Xfdd::Leaf(Leaf::from_seq(ActionSeq::from_actions(vec![
+            Action::StateSet {
+                var: sv("s"),
+                index: vec![Expr::Value(Value::Int(0))],
+                value: Expr::Value(Value::Int(1)),
+            },
+            Action::StateSet {
+                var: sv("s"),
+                index: vec![Expr::Value(Value::Int(0))],
+                value: Expr::Value(Value::Int(2)),
+            },
+        ])));
+        let t = test_branch(Test::State {
+            var: sv("s"),
+            index: vec![Expr::Value(Value::Int(0))],
+            value: Expr::Value(Value::Int(2)),
+        });
+        let d = seq(&w, &t, &order()).unwrap();
+        assert_eq!(d.num_tests(), 0);
+        let (pkts, _) = d.evaluate(&Packet::new(), &Store::new()).unwrap();
+        assert_eq!(pkts.len(), 1);
+    }
+
+    #[test]
+    fn seq_modified_field_in_write_index_uses_preceding_value() {
+        // outport <- 6; s[outport] <- 1; (s[outport] = 1 ? id : drop):
+        // the write and the test both see outport = 6, so the test is decided.
+        let w = Xfdd::Leaf(Leaf::from_seq(ActionSeq::from_actions(vec![
+            Action::Modify(Field::OutPort, Value::Int(6)),
+            Action::StateSet {
+                var: sv("s"),
+                index: vec![field(Field::OutPort)],
+                value: Expr::Value(Value::Int(1)),
+            },
+        ])));
+        let t = test_branch(Test::State {
+            var: sv("s"),
+            index: vec![field(Field::OutPort)],
+            value: Expr::Value(Value::Int(1)),
+        });
+        let d = seq(&w, &t, &order()).unwrap();
+        assert_eq!(d.num_tests(), 0);
+        let (pkts, _) = d.evaluate(&Packet::new(), &Store::new()).unwrap();
+        assert_eq!(pkts.len(), 1);
+    }
+
+    #[test]
+    fn seq_write_after_field_change_does_not_decide_pre_change_index() {
+        // s[srcip] <- 1; srcip <- 9.9.9.9 ; (s[srcip] = 1 ? id : drop):
+        // the test reads s at the *new* srcip (9.9.9.9), which the write (at
+        // the old srcip) only decides if the old srcip was already 9.9.9.9.
+        let w = Xfdd::Leaf(Leaf::from_seq(ActionSeq::from_actions(vec![
+            Action::StateSet {
+                var: sv("s"),
+                index: vec![field(Field::SrcIp)],
+                value: Expr::Value(Value::Int(1)),
+            },
+            Action::Modify(Field::SrcIp, Value::ip(9, 9, 9, 9)),
+        ])));
+        let t = test_branch(Test::State {
+            var: sv("s"),
+            index: vec![field(Field::SrcIp)],
+            value: Expr::Value(Value::Int(1)),
+        });
+        let d = seq(&w, &t, &order()).unwrap();
+        assert!(d.is_well_formed(&order()));
+        let store = Store::new();
+        // Old srcip is different from 9.9.9.9: write does not alias the read,
+        // pre-state is 0, packet dropped.
+        let other = Packet::new().with(Field::SrcIp, Value::ip(1, 1, 1, 1));
+        assert!(d.evaluate(&other, &store).unwrap().0.is_empty());
+        // Old srcip *is* 9.9.9.9: the write decides the test -> pass.
+        let aliased = Packet::new().with(Field::SrcIp, Value::ip(9, 9, 9, 9));
+        assert_eq!(d.evaluate(&aliased, &store).unwrap().0.len(), 1);
+    }
+
+    #[test]
+    fn seq_through_branches_distributes() {
+        // (srcport = 53 ? outport <- 1 : outport <- 2) ; (outport = 1 ? id : drop)
+        let first = Xfdd::branch(
+            Test::FieldValue(Field::SrcPort, Value::Int(53)),
+            leaf_action(Action::Modify(Field::OutPort, Value::Int(1))),
+            leaf_action(Action::Modify(Field::OutPort, Value::Int(2))),
+        );
+        let second = test_branch(Test::FieldValue(Field::OutPort, Value::Int(1)));
+        let d = seq(&first, &second, &order()).unwrap();
+        assert!(d.is_well_formed(&order()));
+        let store = Store::new();
+        let dns = Packet::new().with(Field::SrcPort, 53);
+        let web = Packet::new().with(Field::SrcPort, 80);
+        assert_eq!(d.evaluate(&dns, &store).unwrap().0.len(), 1);
+        assert!(d.evaluate(&web, &store).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn exprs_equal_basics() {
+        let ctx = Context::new();
+        assert!(matches!(
+            exprs_equal(
+                &[Expr::Value(Value::Int(1))],
+                &[Expr::Value(Value::Int(1))],
+                &ctx
+            ),
+            EqResult::Eq
+        ));
+        assert!(matches!(
+            exprs_equal(
+                &[Expr::Value(Value::Int(1))],
+                &[Expr::Value(Value::Int(2))],
+                &ctx
+            ),
+            EqResult::Neq
+        ));
+        assert!(matches!(
+            exprs_equal(&[field(Field::SrcIp)], &[field(Field::SrcIp)], &ctx),
+            EqResult::Eq
+        ));
+        assert!(matches!(
+            exprs_equal(&[field(Field::SrcIp)], &[field(Field::DstIp)], &ctx),
+            EqResult::Unknown(Test::FieldField(_, _))
+        ));
+        // Different lengths can never be equal.
+        assert!(matches!(
+            exprs_equal(&[field(Field::SrcIp)], &[], &ctx),
+            EqResult::Neq
+        ));
+        // Tuples are flattened before comparison.
+        assert!(matches!(
+            exprs_equal(
+                &[Expr::Tuple(vec![field(Field::SrcIp), Expr::Value(Value::Int(1))])],
+                &[field(Field::SrcIp), Expr::Value(Value::Int(1))],
+                &ctx
+            ),
+            EqResult::Eq
+        ));
+    }
+}

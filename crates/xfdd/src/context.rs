@@ -1,0 +1,249 @@
+//! Contexts: the facts accumulated along a path while composing xFDDs.
+//!
+//! The composition algorithms of the paper (Figure 8 and Appendix E) thread a
+//! `context` — the set of tests already decided on the current path, with
+//! their outcomes — through their recursion. The context is used to
+//! (1) `refine` away redundant or contradicting tests and (2) answer the
+//! field/field and field/value equality questions that arise when an action
+//! sequence is composed with a state test.
+
+use crate::test::Test;
+use snap_lang::{Field, Value};
+
+/// A set of decided tests along the current composition path.
+#[derive(Clone, Debug, Default)]
+pub struct Context {
+    facts: Vec<(Test, bool)>,
+}
+
+impl Context {
+    /// The empty context.
+    pub fn new() -> Self {
+        Context::default()
+    }
+
+    /// Extend the context with the outcome of a test.
+    pub fn with(&self, test: Test, outcome: bool) -> Context {
+        let mut c = self.clone();
+        c.facts.push((test, outcome));
+        c
+    }
+
+    /// How many facts the context holds (used only by tests).
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Is the context empty?
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The constant value of field `f` implied by the context, if any.
+    /// Prefix facts do not pin down a single value and are ignored here.
+    pub fn definite_value(&self, f: &Field) -> Option<Value> {
+        for (t, outcome) in &self.facts {
+            if let Test::FieldValue(tf, v) = t {
+                if *outcome && tf == f && !matches!(v, Value::Prefix(_)) {
+                    return Some(v.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Does the context determine the outcome of `test`?
+    ///
+    /// Returns `Some(true)` / `Some(false)` when the recorded facts imply the
+    /// test must pass / fail, and `None` when it cannot be decided.
+    pub fn implies(&self, test: &Test) -> Option<bool> {
+        // Exact (or symmetric, for field-field) matches first.
+        for (t, outcome) in &self.facts {
+            if t == test {
+                return Some(*outcome);
+            }
+            if let (Test::FieldField(a1, b1), Test::FieldField(a2, b2)) = (t, test) {
+                if a1 == b2 && b1 == a2 {
+                    return Some(*outcome);
+                }
+            }
+        }
+        match test {
+            Test::FieldValue(f, v) => self.implies_field_value(f, v),
+            Test::FieldField(f, g) => {
+                if f == g {
+                    return Some(true);
+                }
+                match (self.definite_value(f), self.definite_value(g)) {
+                    (Some(a), Some(b)) => Some(a == b),
+                    _ => None,
+                }
+            }
+            Test::State { .. } => None,
+        }
+    }
+
+    fn implies_field_value(&self, f: &Field, v: &Value) -> Option<bool> {
+        for (t, outcome) in &self.facts {
+            let (tf, tv) = match t {
+                Test::FieldValue(tf, tv) => (tf, tv),
+                _ => continue,
+            };
+            if tf != f {
+                continue;
+            }
+            if *outcome {
+                // We know the field matches `tv`.
+                match (tv, v) {
+                    // Exact known value: decide anything.
+                    (a, b) if a == b => return Some(true),
+                    (Value::Ip(ip), Value::Prefix(p)) => return Some(p.contains(*ip)),
+                    (Value::Ip(_), Value::Ip(_)) => return Some(false),
+                    (Value::Prefix(known), Value::Prefix(q)) => {
+                        if q.contains_prefix(known) {
+                            return Some(true);
+                        }
+                        if !q.overlaps(known) {
+                            return Some(false);
+                        }
+                        // Overlapping but not containing: undecided; keep looking.
+                    }
+                    (Value::Prefix(known), Value::Ip(ip)) => {
+                        if !known.contains(*ip) {
+                            return Some(false);
+                        }
+                        // The field is somewhere inside `known`: undecided.
+                    }
+                    // Two distinct non-IP constants cannot both match.
+                    (a, b) if !matches!(a, Value::Prefix(_)) && !matches!(b, Value::Prefix(_)) => {
+                        return Some(false)
+                    }
+                    _ => {}
+                }
+            } else {
+                // We know the field does *not* match `tv`.
+                match (tv, v) {
+                    (a, b) if a == b => return Some(false),
+                    (Value::Prefix(known), Value::Ip(ip)) => {
+                        if known.contains(*ip) {
+                            return Some(false);
+                        }
+                    }
+                    (Value::Prefix(known), Value::Prefix(q)) => {
+                        if known.contains_prefix(q) {
+                            return Some(false);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(f: Field, v: Value) -> Test {
+        Test::FieldValue(f, v)
+    }
+
+    #[test]
+    fn exact_fact_is_implied() {
+        let t = fv(Field::SrcPort, Value::Int(53));
+        let ctx = Context::new().with(t.clone(), true);
+        assert_eq!(ctx.implies(&t), Some(true));
+        let ctx = Context::new().with(t.clone(), false);
+        assert_eq!(ctx.implies(&t), Some(false));
+        assert!(Context::new().implies(&t).is_none());
+    }
+
+    #[test]
+    fn distinct_constants_exclude_each_other() {
+        let ctx = Context::new().with(fv(Field::SrcPort, Value::Int(53)), true);
+        assert_eq!(ctx.implies(&fv(Field::SrcPort, Value::Int(80))), Some(false));
+        assert_eq!(ctx.implies(&fv(Field::DstPort, Value::Int(80))), None);
+    }
+
+    #[test]
+    fn ip_inside_prefix_is_implied() {
+        let ctx = Context::new().with(fv(Field::DstIp, Value::ip(10, 0, 6, 9)), true);
+        assert_eq!(
+            ctx.implies(&fv(Field::DstIp, Value::prefix(10, 0, 6, 0, 24))),
+            Some(true)
+        );
+        assert_eq!(
+            ctx.implies(&fv(Field::DstIp, Value::prefix(10, 0, 5, 0, 24))),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn prefix_knowledge_decides_sub_and_disjoint_prefixes() {
+        let ctx = Context::new().with(fv(Field::DstIp, Value::prefix(10, 0, 6, 0, 25)), true);
+        // 10.0.6.0/25 is inside 10.0.6.0/24.
+        assert_eq!(
+            ctx.implies(&fv(Field::DstIp, Value::prefix(10, 0, 6, 0, 24))),
+            Some(true)
+        );
+        // Disjoint prefix.
+        assert_eq!(
+            ctx.implies(&fv(Field::DstIp, Value::prefix(10, 0, 7, 0, 24))),
+            Some(false)
+        );
+        // A narrower sub-prefix cannot be decided.
+        assert_eq!(
+            ctx.implies(&fv(Field::DstIp, Value::prefix(10, 0, 6, 0, 26))),
+            None
+        );
+        // A specific address inside the known prefix cannot be decided.
+        assert_eq!(ctx.implies(&fv(Field::DstIp, Value::ip(10, 0, 6, 3))), None);
+    }
+
+    #[test]
+    fn negative_prefix_fact_excludes_contained_addresses() {
+        let ctx = Context::new().with(fv(Field::DstIp, Value::prefix(10, 0, 6, 0, 24)), false);
+        assert_eq!(
+            ctx.implies(&fv(Field::DstIp, Value::ip(10, 0, 6, 3))),
+            Some(false)
+        );
+        assert_eq!(ctx.implies(&fv(Field::DstIp, Value::ip(10, 0, 7, 3))), None);
+        // Sub-prefix is also excluded.
+        assert_eq!(
+            ctx.implies(&fv(Field::DstIp, Value::prefix(10, 0, 6, 128, 25))),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn field_field_implication() {
+        let same = Test::FieldField(Field::SrcIp, Field::SrcIp);
+        assert_eq!(Context::new().implies(&same), Some(true));
+        let ff = Test::FieldField(Field::SrcIp, Field::DstIp);
+        let sym = Test::FieldField(Field::DstIp, Field::SrcIp);
+        let ctx = Context::new().with(ff.clone(), true);
+        assert_eq!(ctx.implies(&sym), Some(true));
+        // Known constant values decide field-field tests.
+        let ctx = Context::new()
+            .with(fv(Field::SrcIp, Value::ip(1, 1, 1, 1)), true)
+            .with(fv(Field::DstIp, Value::ip(1, 1, 1, 1)), true);
+        assert_eq!(ctx.implies(&ff), Some(true));
+        let ctx = Context::new()
+            .with(fv(Field::SrcIp, Value::ip(1, 1, 1, 1)), true)
+            .with(fv(Field::DstIp, Value::ip(2, 2, 2, 2)), true);
+        assert_eq!(ctx.implies(&ff), Some(false));
+    }
+
+    #[test]
+    fn definite_value_ignores_prefixes() {
+        let ctx = Context::new()
+            .with(fv(Field::DstIp, Value::prefix(10, 0, 6, 0, 24)), true)
+            .with(fv(Field::SrcPort, Value::Int(53)), true);
+        assert_eq!(ctx.definite_value(&Field::DstIp), None);
+        assert_eq!(ctx.definite_value(&Field::SrcPort), Some(Value::Int(53)));
+        assert!(!ctx.is_empty());
+        assert_eq!(ctx.len(), 2);
+    }
+}

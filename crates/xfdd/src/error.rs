@@ -1,0 +1,40 @@
+//! Compile errors raised while building xFDDs.
+
+use snap_lang::StateVar;
+use std::fmt;
+
+/// Errors detected during translation to (or composition of) xFDDs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A leaf of the final diagram contains two parallel action sequences
+    /// that write the same state variable: the program has a race condition
+    /// and is rejected (§4.2).
+    StateRace {
+        /// The variable written in parallel.
+        var: StateVar,
+    },
+    /// An increment/decrement of a state variable is sequentially followed by
+    /// a test of the same entry against a non-constant value; the resulting
+    /// condition cannot be expressed as an xFDD test.
+    UnsupportedStateArithmetic {
+        /// The variable involved.
+        var: StateVar,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::StateRace { var } => write!(
+                f,
+                "race condition: parallel updates to state variable `{var}` reach the same xFDD leaf"
+            ),
+            CompileError::UnsupportedStateArithmetic { var } => write!(
+                f,
+                "cannot compile a test of `{var}` against a non-constant value after an increment/decrement of the same entry"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,64 @@
+//! # snap-xfdd
+//!
+//! Extended forwarding decision diagrams (xFDDs), the intermediate
+//! representation of the SNAP compiler (§4.2 of the paper).
+//!
+//! An xFDD is a binary-decision-diagram-like structure whose interior nodes
+//! are tests over packet fields (`f = v`), pairs of fields (`f1 = f2`) or
+//! state variables (`s[e] = e`), and whose leaves are sets of action
+//! sequences. Compared to the FDDs of stateless NetKAT compilers, the
+//! field-field and state tests (and the state-variable ordering coming from
+//! dependency analysis) are the extensions that make stateful compilation
+//! possible.
+//!
+//! The crate provides:
+//!
+//! * the diagram type ([`Xfdd`]), tests ([`Test`]) and leaf actions
+//!   ([`Action`], [`ActionSeq`], [`Leaf`]),
+//! * the composition operators `⊕` ([`union`]), `⊖` ([`negate`]) and `⊙`
+//!   ([`seq`]) with the context-based refinement of Appendix B/E,
+//! * translation from SNAP policies ([`to_xfdd`]) including race detection,
+//! * state dependency analysis ([`StateDependencies`]) and the derived
+//!   state-variable order ([`VarOrder`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use snap_lang::prelude::*;
+//! use snap_xfdd::{to_xfdd, StateDependencies};
+//!
+//! let program = ite(
+//!     test(Field::SrcPort, Value::Int(53)),
+//!     state_incr("dns-count", vec![field(Field::DstIp)]),
+//!     id(),
+//! );
+//! let deps = StateDependencies::analyze(&program);
+//! let xfdd = to_xfdd(&program, &deps.var_order()).unwrap();
+//! assert!(xfdd.is_well_formed(&deps.var_order()));
+//!
+//! // The diagram behaves exactly like the program.
+//! let pkt = Packet::new().with(Field::SrcPort, 53).with(Field::DstIp, Value::ip(10, 0, 0, 1));
+//! let (packets, store) = xfdd.evaluate(&pkt, &Store::new()).unwrap();
+//! assert_eq!(packets.len(), 1);
+//! assert_eq!(store.get(&StateVar::new("dns-count"), &[Value::ip(10, 0, 0, 1)]), Value::Int(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod compose;
+pub mod context;
+pub mod deps;
+pub mod diagram;
+pub mod error;
+pub mod test;
+pub mod translate;
+
+pub use action::{Action, ActionSeq, Leaf};
+pub use compose::{make_branch, negate, restrict, seq, union};
+pub use context::Context;
+pub use deps::StateDependencies;
+pub use diagram::Xfdd;
+pub use error::CompileError;
+pub use test::{Test, VarOrder};
+pub use translate::{pred_to_xfdd, to_xfdd};

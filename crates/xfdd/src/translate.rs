@@ -1,0 +1,308 @@
+//! Translation from SNAP policies to xFDDs (Figure 6's `to-xfdd`).
+
+use crate::action::{Action, Leaf};
+use crate::compose::{negate, seq, union};
+use crate::diagram::Xfdd;
+use crate::error::CompileError;
+use crate::test::{Test, VarOrder};
+use snap_lang::{Policy, Pred};
+
+/// Translate a policy to an xFDD and reject programs whose diagram contains a
+/// leaf with parallel writes to the same state variable (a race).
+pub fn to_xfdd(policy: &Policy, order: &VarOrder) -> Result<Xfdd, CompileError> {
+    let d = build_policy(policy, order)?;
+    if let Some(var) = d.find_race() {
+        return Err(CompileError::StateRace { var });
+    }
+    Ok(d)
+}
+
+/// Translate a predicate to a (pass/drop) xFDD.
+pub fn pred_to_xfdd(pred: &Pred, order: &VarOrder) -> Result<Xfdd, CompileError> {
+    build_pred(pred, order)
+}
+
+fn build_policy(policy: &Policy, order: &VarOrder) -> Result<Xfdd, CompileError> {
+    match policy {
+        Policy::Filter(x) => build_pred(x, order),
+        Policy::Modify(f, v) => Ok(Xfdd::Leaf(Leaf::single(Action::Modify(
+            f.clone(),
+            v.clone(),
+        )))),
+        Policy::StateSet { var, index, value } => Ok(Xfdd::Leaf(Leaf::single(Action::StateSet {
+            var: var.clone(),
+            index: index.clone(),
+            value: value.clone(),
+        }))),
+        Policy::StateIncr { var, index } => Ok(Xfdd::Leaf(Leaf::single(Action::StateIncr {
+            var: var.clone(),
+            index: index.clone(),
+        }))),
+        Policy::StateDecr { var, index } => Ok(Xfdd::Leaf(Leaf::single(Action::StateDecr {
+            var: var.clone(),
+            index: index.clone(),
+        }))),
+        Policy::Par(p, q) => {
+            let dp = build_policy(p, order)?;
+            let dq = build_policy(q, order)?;
+            Ok(union(&dp, &dq, order))
+        }
+        Policy::Seq(p, q) => {
+            let dp = build_policy(p, order)?;
+            let dq = build_policy(q, order)?;
+            seq(&dp, &dq, order)
+        }
+        Policy::If(a, p, q) => {
+            let da = build_pred(a, order)?;
+            let dp = build_policy(p, order)?;
+            let dq = build_policy(q, order)?;
+            let then_side = seq(&da, &dp, order)?;
+            let else_side = seq(&negate(&da), &dq, order)?;
+            Ok(union(&then_side, &else_side, order))
+        }
+        Policy::Atomic(p) => build_policy(p, order),
+    }
+}
+
+fn build_pred(pred: &Pred, order: &VarOrder) -> Result<Xfdd, CompileError> {
+    match pred {
+        Pred::Id => Ok(Xfdd::id()),
+        Pred::Drop => Ok(Xfdd::drop()),
+        Pred::Test(f, v) => Ok(Xfdd::branch(
+            Test::FieldValue(f.clone(), v.clone()),
+            Xfdd::id(),
+            Xfdd::drop(),
+        )),
+        Pred::StateTest { var, index, value } => Ok(Xfdd::branch(
+            Test::State {
+                var: var.clone(),
+                index: index.clone(),
+                value: value.clone(),
+            },
+            Xfdd::id(),
+            Xfdd::drop(),
+        )),
+        Pred::Not(x) => Ok(negate(&build_pred(x, order)?)),
+        Pred::Or(x, y) => {
+            let dx = build_pred(x, order)?;
+            let dy = build_pred(y, order)?;
+            Ok(union(&dx, &dy, order))
+        }
+        Pred::And(x, y) => {
+            let dx = build_pred(x, order)?;
+            let dy = build_pred(y, order)?;
+            seq(&dx, &dy, order)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_lang::builder::*;
+    use snap_lang::eval::eval;
+    use snap_lang::{Field, Packet, StateVar, Store, Value};
+
+    fn order() -> VarOrder {
+        VarOrder::empty()
+    }
+
+    fn sv(s: &str) -> StateVar {
+        StateVar::new(s)
+    }
+
+    #[test]
+    fn translate_primitives() {
+        assert_eq!(to_xfdd(&id(), &order()).unwrap(), Xfdd::id());
+        assert_eq!(to_xfdd(&drop(), &order()).unwrap(), Xfdd::drop());
+        let m = to_xfdd(&modify(Field::OutPort, Value::Int(3)), &order()).unwrap();
+        assert_eq!(m.num_tests(), 0);
+        assert!(m.as_leaf().is_some());
+    }
+
+    #[test]
+    fn translate_conjunction_and_disjunction() {
+        let p = filter(
+            test(Field::SrcPort, Value::Int(53)).and(test_prefix(Field::DstIp, 10, 0, 6, 0, 24)),
+        );
+        let d = to_xfdd(&p, &order()).unwrap();
+        assert!(d.is_well_formed(&order()));
+        let store = Store::new();
+        let hit = Packet::new()
+            .with(Field::SrcPort, 53)
+            .with(Field::DstIp, Value::ip(10, 0, 6, 1));
+        let miss = Packet::new()
+            .with(Field::SrcPort, 53)
+            .with(Field::DstIp, Value::ip(10, 0, 7, 1));
+        assert_eq!(d.evaluate(&hit, &store).unwrap().0.len(), 1);
+        assert!(d.evaluate(&miss, &store).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn translate_conditional_matches_eval() {
+        let p = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            state_incr("dns", vec![field(Field::DstIp)]),
+            state_incr("other", vec![field(Field::DstIp)]),
+        );
+        let d = to_xfdd(&p, &order()).unwrap();
+        let store = Store::new();
+        for srcport in [53i64, 80] {
+            let pkt = Packet::new()
+                .with(Field::SrcPort, srcport)
+                .with(Field::DstIp, Value::ip(10, 0, 0, 1));
+            let (pkts_d, store_d) = d.evaluate(&pkt, &store).unwrap();
+            let r = eval(&p, &store, &pkt).unwrap();
+            assert_eq!(pkts_d, r.packets);
+            assert_eq!(store_d, r.store);
+        }
+    }
+
+    #[test]
+    fn race_condition_is_rejected() {
+        // Parallel writes to the same variable reach the same leaf.
+        let p = state_set("s", vec![int(0)], int(1)).par(state_set("s", vec![int(0)], int(2)));
+        let err = to_xfdd(&p, &order()).unwrap_err();
+        assert!(matches!(err, CompileError::StateRace { var } if var == sv("s")));
+        // Guarded by disjoint conditions there is no shared leaf, hence no race.
+        let guarded = ite(
+            test(Field::SrcPort, Value::Int(1)),
+            state_set("s", vec![int(0)], int(1)),
+            id(),
+        )
+        .par(ite(
+            test(Field::SrcPort, Value::Int(2)),
+            state_set("s", vec![int(0)], int(2)),
+            id(),
+        ));
+        assert!(to_xfdd(&guarded, &order()).is_ok());
+    }
+
+    #[test]
+    fn figure_1_dns_tunnel_translates() {
+        let threshold = 3;
+        let detect = ite(
+            test_prefix(Field::DstIp, 10, 0, 6, 0, 24).and(test(Field::SrcPort, Value::Int(53))),
+            Policy::seq_all(vec![
+                state_set(
+                    "orphan",
+                    vec![field(Field::DstIp), field(Field::DnsRdata)],
+                    Value::Bool(true),
+                ),
+                state_incr("susp-client", vec![field(Field::DstIp)]),
+                ite(
+                    state_test("susp-client", vec![field(Field::DstIp)], int(threshold)),
+                    state_set("blacklist", vec![field(Field::DstIp)], Value::Bool(true)),
+                    id(),
+                ),
+            ]),
+            ite(
+                test_prefix(Field::SrcIp, 10, 0, 6, 0, 24).and(state_truthy(
+                    "orphan",
+                    vec![field(Field::SrcIp), field(Field::DstIp)],
+                )),
+                state_set(
+                    "orphan",
+                    vec![field(Field::SrcIp), field(Field::DstIp)],
+                    Value::Bool(false),
+                )
+                .seq(state_decr("susp-client", vec![field(Field::SrcIp)])),
+                id(),
+            ),
+        );
+        let order = VarOrder::new(vec![sv("orphan"), sv("susp-client"), sv("blacklist")]);
+        let d = to_xfdd(&detect, &order).unwrap();
+        assert!(d.is_well_formed(&order));
+        let vars = d.state_vars();
+        assert_eq!(vars.len(), 3);
+
+        // Behavioural spot-check against eval on a short trace.
+        let client = Value::ip(10, 0, 6, 9);
+        let dns = Packet::new()
+            .with(Field::SrcIp, Value::ip(8, 8, 8, 8))
+            .with(Field::DstIp, client.clone())
+            .with(Field::SrcPort, 53)
+            .with(Field::DnsRdata, Value::ip(5, 5, 5, 5));
+        let mut store_e = Store::new();
+        let mut store_d = Store::new();
+        for _ in 0..4 {
+            let r = eval(&detect, &store_e, &dns).unwrap();
+            store_e = r.store;
+            let (pk, sd) = d.evaluate(&dns, &store_d).unwrap();
+            store_d = sd;
+            assert_eq!(pk, r.packets);
+        }
+        assert_eq!(store_e, store_d);
+        assert_eq!(store_e.get(&sv("blacklist"), &[client]), Value::Bool(true));
+    }
+
+    #[test]
+    fn honeypot_atomic_example_translates() {
+        let p = ite(
+            test_prefix(Field::DstIp, 10, 0, 3, 0, 25),
+            atomic(
+                state_set("hon-ip", vec![field(Field::InPort)], field(Field::SrcIp)).seq(state_set(
+                    "hon-dstport",
+                    vec![field(Field::InPort)],
+                    field(Field::DstPort),
+                )),
+            ),
+            id(),
+        );
+        let d = to_xfdd(&p, &order()).unwrap();
+        assert!(d.is_well_formed(&order()));
+        let pkt = Packet::new()
+            .with(Field::SrcIp, Value::ip(1, 2, 3, 4))
+            .with(Field::DstIp, Value::ip(10, 0, 3, 7))
+            .with(Field::DstPort, 8080)
+            .with(Field::InPort, 1);
+        let (pkts, store) = d.evaluate(&pkt, &Store::new()).unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(
+            store.get(&sv("hon-ip"), &[Value::Int(1)]),
+            Value::ip(1, 2, 3, 4)
+        );
+        assert_eq!(
+            store.get(&sv("hon-dstport"), &[Value::Int(1)]),
+            Value::Int(8080)
+        );
+    }
+
+    #[test]
+    fn monitoring_parallel_composition_matches_eval() {
+        // (DNS-filtering + count[inport]++) ; outport <- 6
+        let p = filter(test(Field::SrcPort, Value::Int(53)))
+            .par(state_incr("count", vec![field(Field::InPort)]))
+            .seq(modify(Field::OutPort, Value::Int(6)));
+        let d = to_xfdd(&p, &order()).unwrap();
+        let store = Store::new();
+        for srcport in [53i64, 80] {
+            let pkt = Packet::new()
+                .with(Field::SrcPort, srcport)
+                .with(Field::InPort, 2);
+            let r = eval(&p, &store, &pkt).unwrap();
+            let (pkts, st) = d.evaluate(&pkt, &store).unwrap();
+            assert_eq!(pkts, r.packets);
+            assert_eq!(st, r.store);
+        }
+    }
+
+    #[test]
+    fn negation_of_state_test() {
+        let p = ite(
+            state_truthy("blacklist", vec![field(Field::SrcIp)]).not(),
+            id(),
+            drop(),
+        );
+        let d = to_xfdd(&p, &order()).unwrap();
+        let pkt = Packet::new().with(Field::SrcIp, Value::ip(9, 9, 9, 9));
+        assert_eq!(d.evaluate(&pkt, &Store::new()).unwrap().0.len(), 1);
+        let mut bad = Store::new();
+        bad.set(
+            &sv("blacklist"),
+            vec![Value::ip(9, 9, 9, 9)],
+            Value::Bool(true),
+        );
+        assert!(d.evaluate(&pkt, &bad).unwrap().0.is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based equivalence of the xFDD translation with the formal
+//! semantics: for random programs, stores and packets,
+//! `eval(p, store, pkt)` and `to_xfdd(p).evaluate(pkt, store)` produce the
+//! same output packets and the same final state.
+//!
+//! Programs that the compiler rejects (races, unsupported state arithmetic)
+//! or whose evaluation is undefined (conflicting compositions) are skipped —
+//! they have no semantics to compare.
+
+use proptest::prelude::*;
+use snap_lang::eval::eval;
+use snap_lang::{Expr, Field, Packet, Policy, Pred, StateVar, Store, Value};
+use snap_xfdd::{to_xfdd, StateDependencies};
+
+const FIELDS: [Field; 5] = [
+    Field::SrcIp,
+    Field::DstIp,
+    Field::SrcPort,
+    Field::DstPort,
+    Field::InPort,
+];
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..4).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        (0u8..3).prop_map(|d| Value::ip(10, 0, 0, d)),
+    ]
+}
+
+fn arb_int_value() -> impl Strategy<Value = Value> {
+    (0i64..4).prop_map(Value::Int)
+}
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    (0usize..FIELDS.len()).prop_map(|i| FIELDS[i].clone())
+}
+
+fn arb_state_var() -> impl Strategy<Value = StateVar> {
+    prop_oneof![Just(StateVar::new("s")), Just(StateVar::new("t")), Just(StateVar::new("u"))]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        arb_field().prop_map(Expr::Field),
+        arb_value().prop_map(Expr::Value),
+    ]
+}
+
+fn arb_index() -> impl Strategy<Value = Vec<Expr>> {
+    proptest::collection::vec(arb_expr(), 1..=2)
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let leaf = prop_oneof![
+        Just(Pred::Id),
+        Just(Pred::Drop),
+        (arb_field(), arb_value()).prop_map(|(f, v)| Pred::Test(f, v)),
+        (arb_state_var(), arb_index(), arb_expr()).prop_map(|(var, index, value)| {
+            Pred::StateTest { var, index, value }
+        }),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|x| Pred::Not(Box::new(x))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Pred::And(Box::new(x), Box::new(y))),
+            (inner.clone(), inner).prop_map(|(x, y)| Pred::Or(Box::new(x), Box::new(y))),
+        ]
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    let leaf = prop_oneof![
+        arb_pred().prop_map(Policy::Filter),
+        (arb_field(), arb_value()).prop_map(|(f, v)| Policy::Modify(f, v)),
+        (arb_state_var(), arb_index(), arb_expr()).prop_map(|(var, index, value)| {
+            Policy::StateSet { var, index, value }
+        }),
+        (arb_state_var(), arb_index()).prop_map(|(var, index)| Policy::StateIncr { var, index }),
+        (arb_state_var(), arb_index()).prop_map(|(var, index)| Policy::StateDecr { var, index }),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.seq(q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.par(q)),
+            (arb_pred(), inner.clone(), inner.clone())
+                .prop_map(|(a, p, q)| Policy::If(a, Box::new(p), Box::new(q))),
+            inner.prop_map(|p| p.atomic()),
+        ]
+    })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    proptest::collection::vec(arb_value(), FIELDS.len()).prop_map(|vals| {
+        FIELDS
+            .iter()
+            .cloned()
+            .zip(vals)
+            .collect::<Packet>()
+    })
+}
+
+fn arb_store() -> impl Strategy<Value = Store> {
+    proptest::collection::vec(
+        (arb_state_var(), proptest::collection::vec(arb_value(), 1..=2), arb_int_value()),
+        0..4,
+    )
+    .prop_map(|entries| {
+        let mut store = Store::new();
+        for (var, idx, val) in entries {
+            store.set(&var, idx, val);
+        }
+        store
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn xfdd_translation_preserves_semantics(
+        policy in arb_policy(),
+        packet in arb_packet(),
+        store in arb_store(),
+    ) {
+        let deps = StateDependencies::analyze(&policy);
+        let order = deps.var_order();
+        let diagram = match to_xfdd(&policy, &order) {
+            Ok(d) => d,
+            Err(_) => return Ok(()), // rejected programs have no semantics to compare
+        };
+        prop_assert!(diagram.is_well_formed(&order), "ill-formed diagram: {diagram:?}");
+
+        let reference = match eval(&policy, &store, &packet) {
+            Ok(r) => r,
+            Err(_) => return Ok(()), // undefined by the language semantics
+        };
+        let (pkts, new_store) = diagram
+            .evaluate(&packet, &store)
+            .expect("xFDD evaluation failed where eval succeeded");
+        prop_assert_eq!(&pkts, &reference.packets, "packet sets differ for {:?}", policy);
+        prop_assert_eq!(&new_store, &reference.store, "stores differ for {:?}", policy);
+    }
+
+    #[test]
+    fn diagrams_are_always_well_formed(policy in arb_policy()) {
+        let deps = StateDependencies::analyze(&policy);
+        let order = deps.var_order();
+        if let Ok(d) = to_xfdd(&policy, &order) {
+            prop_assert!(d.is_well_formed(&order));
+            prop_assert!(d.find_race().is_none());
+        }
+    }
+
+    #[test]
+    fn var_order_respects_dependencies(policy in arb_policy()) {
+        let deps = StateDependencies::analyze(&policy);
+        let order = deps.var_order();
+        for (s, t) in &deps.dep {
+            prop_assert!(order.rank(s) < order.rank(t), "{s} should precede {t}");
+        }
+        for v in &deps.variables {
+            prop_assert!(order.contains(v));
+        }
+    }
+}

@@ -1,0 +1,2 @@
+//! Shared nothing: the example binaries are standalone; this library target
+//! exists only so the package has a stable build unit for `cargo doc`.

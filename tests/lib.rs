@@ -1,0 +1,2 @@
+//! Cross-crate integration tests for snap-rs live in `tests/`; this library
+//! target is intentionally empty.

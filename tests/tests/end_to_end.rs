@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: the full pipeline — language front end,
+//! xFDD translation, placement/routing, rule generation and distributed
+//! execution — exercised together on the campus topology.
+
+use snap_apps as apps;
+use snap_core::{Compiler, SolverChoice};
+use snap_dataplane::{IndexedXfdd, NetAsmProgram};
+use snap_lang::prelude::*;
+use snap_topology::{generators, PortId, TrafficMatrix};
+use snap_xfdd::{to_xfdd, StateDependencies};
+use std::collections::BTreeSet;
+
+fn campus_compiler() -> Compiler {
+    let topo = generators::campus();
+    let tm = TrafficMatrix::gravity(&topo, 600.0, 11);
+    Compiler::new(topo, tm).with_solver(SolverChoice::Heuristic)
+}
+
+#[test]
+fn all_catalogue_applications_compile_on_the_campus_topology() {
+    let compiler = campus_compiler();
+    for (name, policy) in apps::catalogue() {
+        let program = policy.seq(apps::assign_egress(6));
+        let compiled = compiler
+            .compile(&program)
+            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        // Every state variable got exactly one location.
+        assert_eq!(
+            compiled.placement.placement.len(),
+            compiled.deps.variables.len(),
+            "{name}: every variable must be placed"
+        );
+        // Paths visit the needed variables in dependency order.
+        let order = compiled.deps.var_order();
+        for (u, v, vars) in compiled.mapping.iter() {
+            if compiler.traffic.get(u, v) <= 0.0 {
+                continue;
+            }
+            let mut sorted: Vec<_> = vars.iter().cloned().collect();
+            sorted.sort_by_key(|s| order.rank(s));
+            assert!(
+                compiled.placement.path_respects_order(u, v, &sorted),
+                "{name}: path {u:?}->{v:?} must visit {sorted:?} in order"
+            );
+        }
+    }
+}
+
+#[test]
+fn parsed_program_compiles_and_runs_like_the_built_one() {
+    let src = r#"
+        // A stateful firewall for the CS department, in surface syntax.
+        if srcip = 10.0.6.0/24 then
+            established[srcip][dstip] <- True
+        else
+            if dstip = 10.0.6.0/24 then
+                (if established[dstip][srcip] then id else drop)
+            else id
+    "#;
+    let parsed = parse_policy(src).expect("parses");
+    let built = apps::stateful_firewall();
+    // Structurally different formulations, semantically the same on a trace.
+    let inside = Value::ip(10, 0, 6, 1);
+    let outside = Value::ip(1, 2, 3, 4);
+    let trace = vec![
+        Packet::new().with(Field::SrcIp, outside.clone()).with(Field::DstIp, inside.clone()),
+        Packet::new().with(Field::SrcIp, inside.clone()).with(Field::DstIp, outside.clone()),
+        Packet::new().with(Field::SrcIp, outside).with(Field::DstIp, inside),
+    ];
+    let (s1, o1) = snap_lang::eval_trace(&parsed, &Store::new(), &trace).unwrap();
+    let (s2, o2) = snap_lang::eval_trace(&built, &Store::new(), &trace).unwrap();
+    assert_eq!(o1, o2);
+    assert_eq!(s1, s2);
+
+    // And the parsed program goes through the whole compiler.
+    let compiler = campus_compiler();
+    let compiled = compiler
+        .compile(&parsed.seq(apps::assign_egress(6)))
+        .expect("parsed program compiles");
+    assert_eq!(compiled.placement.placement.len(), 1);
+}
+
+#[test]
+fn distributed_execution_equals_obs_for_the_stateful_firewall() {
+    let compiler = campus_compiler();
+    let program = apps::stateful_firewall().seq(apps::assign_egress(6));
+    let compiled = compiler.compile(&program).unwrap();
+    let mut network = compiler.build_network(&compiled);
+
+    let inside = Value::ip(10, 0, 6, 10);
+    let outside = Value::ip(10, 0, 2, 20);
+    let trace = vec![
+        (PortId(2), Packet::new().with(Field::SrcIp, outside.clone()).with(Field::DstIp, inside.clone())),
+        (PortId(6), Packet::new().with(Field::SrcIp, inside.clone()).with(Field::DstIp, outside.clone())),
+        (PortId(2), Packet::new().with(Field::SrcIp, outside).with(Field::DstIp, inside)),
+    ];
+
+    let mut store = Store::new();
+    let mut obs = Vec::new();
+    for (_, pkt) in &trace {
+        let r = snap_lang::eval(&program, &store, pkt).unwrap();
+        store = r.store;
+        obs.push(r.packets);
+    }
+    let dist = network.inject_trace(&trace).unwrap();
+    for (d, o) in dist.iter().zip(obs.iter()) {
+        let pkts: BTreeSet<Packet> = d.iter().map(|(_, p)| p.clone()).collect();
+        assert_eq!(&pkts, o);
+    }
+    assert_eq!(network.aggregate_store(), store);
+}
+
+#[test]
+fn netasm_lowering_matches_xfdd_for_several_applications() {
+    let sample_packets = vec![
+        Packet::new()
+            .with(Field::SrcIp, Value::ip(10, 0, 6, 1))
+            .with(Field::DstIp, Value::ip(10, 0, 2, 2))
+            .with(Field::SrcPort, 53)
+            .with(Field::DstPort, 9000)
+            .with(Field::Proto, 17)
+            .with(Field::InPort, 6)
+            .with(Field::TcpFlags, Value::sym("SYN"))
+            .with(Field::DnsRdata, Value::ip(9, 9, 9, 9))
+            .with(Field::DnsQname, Value::str("example.com"))
+            .with(Field::DnsTtl, 300),
+        Packet::new()
+            .with(Field::SrcIp, Value::ip(10, 0, 1, 7))
+            .with(Field::DstIp, Value::ip(10, 0, 6, 3))
+            .with(Field::SrcPort, 5000)
+            .with(Field::DstPort, 53)
+            .with(Field::Proto, 6)
+            .with(Field::InPort, 1)
+            .with(Field::TcpFlags, Value::sym("ACK"))
+            .with(Field::DnsRdata, Value::ip(8, 8, 8, 8))
+            .with(Field::DnsQname, Value::str("tunnel.evil"))
+            .with(Field::DnsTtl, 60),
+    ];
+    for (name, policy) in apps::catalogue().into_iter().take(8) {
+        let deps = StateDependencies::analyze(&policy);
+        let xfdd = to_xfdd(&policy, &deps.var_order()).unwrap();
+        let indexed = IndexedXfdd::from_xfdd(&xfdd);
+        let asm = NetAsmProgram::lower(&indexed);
+        let mut store_a = Store::new();
+        let mut store_b = Store::new();
+        for pkt in &sample_packets {
+            let a = xfdd.evaluate(pkt, &store_a);
+            let b = asm.execute(pkt, &store_b);
+            match (a, b) {
+                (Ok((pa, sa)), Ok((pb, sb))) => {
+                    assert_eq!(pa, pb, "{name}: packets differ");
+                    assert_eq!(sa, sb, "{name}: stores differ");
+                    store_a = sa;
+                    store_b = sb;
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("{name}: one representation failed: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn te_reroute_after_traffic_shift_preserves_state_traversal() {
+    let compiler = campus_compiler();
+    let program = apps::dns_tunnel_detect(4).seq(apps::assign_egress(6));
+    let compiled = compiler.compile(&program).unwrap();
+    let shifted = TrafficMatrix::gravity(&compiler.topology, 2_000.0, 77);
+    let (updated, _) = compiler.reroute(&compiled, &shifted);
+    let order = compiled.deps.var_order();
+    for (u, v, vars) in compiled.mapping.iter() {
+        if shifted.get(u, v) <= 0.0 {
+            continue;
+        }
+        let mut sorted: Vec<_> = vars.iter().cloned().collect();
+        sorted.sort_by_key(|s| order.rank(s));
+        assert!(updated.placement.path_respects_order(u, v, &sorted));
+    }
+}
