@@ -145,8 +145,16 @@ pub fn many_ip_domains(threshold: i64) -> Policy {
                     Value::Bool(true),
                 ),
                 ite(
-                    state_test("num-of-domains", vec![field(Field::DnsRdata)], int(threshold)),
-                    state_set("mal-ip-list", vec![field(Field::DnsRdata)], Value::Bool(true)),
+                    state_test(
+                        "num-of-domains",
+                        vec![field(Field::DnsRdata)],
+                        int(threshold),
+                    ),
+                    state_set(
+                        "mal-ip-list",
+                        vec![field(Field::DnsRdata)],
+                        Value::Bool(true),
+                    ),
                     id(),
                 ),
             ]),
@@ -197,14 +205,26 @@ pub fn dns_ttl_change() -> Policy {
             state_truthy("seen", vec![field(Field::DnsRdata)]).not(),
             Policy::seq_all(vec![
                 state_set("seen", vec![field(Field::DnsRdata)], Value::Bool(true)),
-                state_set("last-ttl", vec![field(Field::DnsRdata)], field(Field::DnsTtl)),
+                state_set(
+                    "last-ttl",
+                    vec![field(Field::DnsRdata)],
+                    field(Field::DnsTtl),
+                ),
                 state_set("ttl-change", vec![field(Field::DnsRdata)], int(0)),
             ]),
             ite(
-                state_test("last-ttl", vec![field(Field::DnsRdata)], field(Field::DnsTtl)),
+                state_test(
+                    "last-ttl",
+                    vec![field(Field::DnsRdata)],
+                    field(Field::DnsTtl),
+                ),
                 id(),
-                state_set("last-ttl", vec![field(Field::DnsRdata)], field(Field::DnsTtl))
-                    .seq(state_incr("ttl-change", vec![field(Field::DnsRdata)])),
+                state_set(
+                    "last-ttl",
+                    vec![field(Field::DnsRdata)],
+                    field(Field::DnsTtl),
+                )
+                .seq(state_incr("ttl-change", vec![field(Field::DnsRdata)])),
             ),
         ),
         id(),
@@ -230,7 +250,11 @@ pub fn sidejack_detection(server: Value) -> Policy {
                 drop(),
             ),
             atomic(Policy::seq_all(vec![
-                state_set("active-session", vec![field(Field::SessionId)], Value::Bool(true)),
+                state_set(
+                    "active-session",
+                    vec![field(Field::SessionId)],
+                    Value::Bool(true),
+                ),
                 state_set("sid2ip", vec![field(Field::SessionId)], field(Field::SrcIp)),
                 state_set(
                     "sid2agent",
@@ -248,8 +272,11 @@ pub fn sidejack_detection(server: Value) -> Policy {
 pub fn spam_detection(threshold: i64) -> Policy {
     ite(
         state_test("MTA-dir", vec![field(Field::SmtpMta)], sym("Unknown")),
-        state_set("MTA-dir", vec![field(Field::SmtpMta)], sym("Tracked"))
-            .seq(state_set("mail-counter", vec![field(Field::SmtpMta)], int(0))),
+        state_set("MTA-dir", vec![field(Field::SmtpMta)], sym("Tracked")).seq(state_set(
+            "mail-counter",
+            vec![field(Field::SmtpMta)],
+            int(0),
+        )),
         id(),
     )
     .seq(ite(
@@ -299,7 +326,11 @@ pub fn ftp_monitoring() -> Policy {
         test(Field::DstPort, Value::Int(21)),
         state_set(
             "ftp-data-chan",
-            vec![field(Field::SrcIp), field(Field::DstIp), field(Field::FtpPort)],
+            vec![
+                field(Field::SrcIp),
+                field(Field::DstIp),
+                field(Field::FtpPort),
+            ],
             Value::Bool(true),
         ),
         ite(
@@ -307,7 +338,11 @@ pub fn ftp_monitoring() -> Policy {
             ite(
                 state_truthy(
                     "ftp-data-chan",
-                    vec![field(Field::DstIp), field(Field::SrcIp), field(Field::FtpPort)],
+                    vec![
+                        field(Field::DstIp),
+                        field(Field::SrcIp),
+                        field(Field::FtpPort),
+                    ],
                 ),
                 id(),
                 drop(),
@@ -346,7 +381,11 @@ pub fn super_spreader_detection(threshold: i64) -> Policy {
         test(Field::TcpFlags, Value::sym("SYN")),
         state_incr("spreader", vec![field(Field::SrcIp)]).seq(ite(
             state_test("spreader", vec![field(Field::SrcIp)], int(threshold)),
-            state_set("super-spreader", vec![field(Field::SrcIp)], Value::Bool(true)),
+            state_set(
+                "super-spreader",
+                vec![field(Field::SrcIp)],
+                Value::Bool(true),
+            ),
             id(),
         )),
         ite(
@@ -489,10 +528,8 @@ pub fn udp_flood_mitigation(threshold: i64) -> Policy {
             id(),
         )),
         ite(
-            test(Field::Proto, Value::Int(17)).and(state_truthy(
-                "udp-flooder",
-                vec![field(Field::SrcIp)],
-            )),
+            test(Field::Proto, Value::Int(17))
+                .and(state_truthy("udp-flooder", vec![field(Field::SrcIp)])),
             drop(),
             id(),
         ),
@@ -569,7 +606,10 @@ pub fn catalogue() -> Vec<(&'static str, Policy)> {
         ("many-domain-ips", many_domain_ips(10)),
         ("dns-ttl-change", dns_ttl_change()),
         ("dns-tunnel-detect", dns_tunnel_detect(10)),
-        ("sidejack-detection", sidejack_detection(Value::ip(10, 0, 6, 80))),
+        (
+            "sidejack-detection",
+            sidejack_detection(Value::ip(10, 0, 6, 80)),
+        ),
         ("spam-detection", spam_detection(20)),
         ("stateful-firewall", stateful_firewall()),
         ("ftp-monitoring", ftp_monitoring()),
@@ -582,7 +622,10 @@ pub fn catalogue() -> Vec<(&'static str, Policy)> {
             connection_affinity(modify(Field::OutPort, Value::Int(1))),
         ),
         ("syn-flood-detection", syn_flood_detection(10)),
-        ("dns-amplification-mitigation", dns_amplification_mitigation()),
+        (
+            "dns-amplification-mitigation",
+            dns_amplification_mitigation(),
+        ),
         ("udp-flood-mitigation", udp_flood_mitigation(10)),
         ("elephant-flow-detection", elephant_flow_detection()),
         ("port-monitoring", port_monitoring()),
@@ -596,18 +639,16 @@ mod tests {
     use super::*;
     use snap_lang::eval::eval_trace;
     use snap_lang::{Packet, StateVar, Store};
-    use snap_xfdd::{to_xfdd, StateDependencies};
 
     #[test]
     fn catalogue_has_twenty_applications_and_all_compile_to_xfdds() {
         let apps = catalogue();
         assert_eq!(apps.len(), 20);
         for (name, policy) in &apps {
-            let deps = StateDependencies::analyze(policy);
-            let xfdd = to_xfdd(policy, &deps.var_order())
+            let xfdd = snap_xfdd::compile(policy)
                 .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
             assert!(
-                xfdd.is_well_formed(&deps.var_order()),
+                xfdd.is_well_formed(),
                 "{name} produced an ill-formed diagram"
             );
         }
@@ -617,11 +658,11 @@ mod tests {
     fn catalogue_uses_thirty_plus_state_variables_in_total() {
         // The paper reports 35 state variables across the 20 policies; our
         // transcription is in the same ballpark.
-        let total: usize = catalogue()
-            .iter()
-            .map(|(_, p)| p.state_vars().len())
-            .sum();
-        assert!(total >= 30, "expected at least 30 state variables, got {total}");
+        let total: usize = catalogue().iter().map(|(_, p)| p.state_vars().len()).sum();
+        assert!(
+            total >= 30,
+            "expected at least 30 state variables, got {total}"
+        );
     }
 
     #[test]
@@ -637,7 +678,10 @@ mod tests {
             .with(Field::DstIp, outside);
         let (_, outs) =
             eval_trace(&p, &Store::new(), &[inbound.clone(), outbound, inbound]).unwrap();
-        assert!(outs[0].is_empty(), "unsolicited inbound packet must be dropped");
+        assert!(
+            outs[0].is_empty(),
+            "unsolicited inbound packet must be dropped"
+        );
         assert_eq!(outs[1].len(), 1, "outbound packet passes");
         assert_eq!(outs[2].len(), 1, "return traffic is now allowed");
     }
@@ -682,8 +726,7 @@ mod tests {
             .with(Field::DstIp, victim)
             .with(Field::SrcPort, 53)
             .with(Field::DstPort, 9999);
-        let (_, outs) =
-            eval_trace(&p, &Store::new(), &[unsolicited, request, response]).unwrap();
+        let (_, outs) = eval_trace(&p, &Store::new(), &[unsolicited, request, response]).unwrap();
         assert!(outs[0].is_empty());
         assert_eq!(outs[1].len(), 1);
         assert_eq!(outs[2].len(), 1);
@@ -700,7 +743,10 @@ mod tests {
             store.get(&StateVar::new("udp-flooder"), &[Value::ip(6, 6, 6, 6)]),
             Value::Bool(true)
         );
-        assert!(outs[2].is_empty(), "the packet crossing the threshold is dropped");
+        assert!(
+            outs[2].is_empty(),
+            "the packet crossing the threshold is dropped"
+        );
         assert!(outs[3].is_empty(), "flagged sources stay blocked");
         assert!(outs[4].is_empty());
     }
@@ -771,8 +817,17 @@ mod tests {
         let bad = Packet::new()
             .with(Field::SrcIp, Value::ip(10, 0, 3, 1))
             .with(Field::InPort, 5);
-        assert_eq!(snap_lang::eval(&assume, &Store::new(), &good).unwrap().packets.len(), 1);
-        assert!(snap_lang::eval(&assume, &Store::new(), &bad).unwrap().packets.is_empty());
+        assert_eq!(
+            snap_lang::eval(&assume, &Store::new(), &good)
+                .unwrap()
+                .packets
+                .len(),
+            1
+        );
+        assert!(snap_lang::eval(&assume, &Store::new(), &bad)
+            .unwrap()
+            .packets
+            .is_empty());
     }
 
     #[test]
@@ -793,7 +848,7 @@ mod tests {
             Value::Int(2222)
         );
         // Dependency analysis must tie the two variables together.
-        let deps = StateDependencies::analyze(&p);
+        let deps = snap_xfdd::StateDependencies::analyze(&p);
         assert!(deps.co_located(&StateVar::new("hon-ip"), &StateVar::new("hon-dstport")));
     }
 
@@ -814,11 +869,20 @@ mod tests {
             Value::Int(6),
         ];
         let (store, _) = eval_trace(&p, &Store::new(), &vec![pkt.clone(); 1]).unwrap();
-        assert_eq!(store.get(&StateVar::new("flow-type"), &key), Value::sym("SMALL"));
+        assert_eq!(
+            store.get(&StateVar::new("flow-type"), &key),
+            Value::sym("SMALL")
+        );
         let (store, _) = eval_trace(&p, &Store::new(), &vec![pkt.clone(); 3]).unwrap();
-        assert_eq!(store.get(&StateVar::new("flow-type"), &key), Value::sym("MEDIUM"));
+        assert_eq!(
+            store.get(&StateVar::new("flow-type"), &key),
+            Value::sym("MEDIUM")
+        );
         let (store, _) = eval_trace(&p, &Store::new(), &vec![pkt; 5]).unwrap();
-        assert_eq!(store.get(&StateVar::new("flow-type"), &key), Value::sym("LARGE"));
+        assert_eq!(
+            store.get(&StateVar::new("flow-type"), &key),
+            Value::sym("LARGE")
+        );
     }
 
     #[test]

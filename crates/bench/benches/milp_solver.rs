@@ -51,7 +51,9 @@ fn bench_milp(c: &mut Criterion) {
     let lp = flow_lp(30);
     group.bench_function("simplex_flow_lp_30_demands", |b| b.iter(|| solve_lp(&lp)));
     let milp = placement_milp(4, 8);
-    group.bench_function("branch_bound_placement_4x8", |b| b.iter(|| solve_milp(&milp)));
+    group.bench_function("branch_bound_placement_4x8", |b| {
+        b.iter(|| solve_milp(&milp))
+    });
     group.finish();
 }
 

@@ -1,9 +1,10 @@
 //! Criterion micro-benchmarks for the xFDD algebra: translation of the
-//! running example and composition of Table 3 policies.
+//! running example, composition of Table 3 policies, and the effect of the
+//! pool's memo tables on repeated composition.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use snap_apps as apps;
-use snap_xfdd::{seq, to_xfdd, StateDependencies};
+use snap_xfdd::{to_xfdd, Pool, StateDependencies};
 
 fn bench_xfdd(c: &mut Criterion) {
     let mut group = c.benchmark_group("xfdd");
@@ -11,29 +12,52 @@ fn bench_xfdd(c: &mut Criterion) {
 
     let dns = apps::dns_tunnel_detect(10).seq(apps::assign_egress(6));
     group.bench_function("translate_dns_tunnel_with_routing", |b| {
-        b.iter(|| {
-            let deps = StateDependencies::analyze(&dns);
-            to_xfdd(&dns, &deps.var_order()).unwrap()
-        })
+        b.iter(|| snap_xfdd::compile(&dns).unwrap())
     });
 
     let firewall = apps::stateful_firewall();
     let monitor = apps::port_monitoring();
-    let composed = firewall.clone().par(monitor.clone()).seq(apps::assign_egress(6));
+    let composed = firewall
+        .clone()
+        .par(monitor.clone())
+        .seq(apps::assign_egress(6));
     group.bench_function("translate_parallel_composition", |b| {
+        b.iter(|| snap_xfdd::compile(&composed).unwrap())
+    });
+
+    // Sequential composition of two already-built diagrams. The operands
+    // live in a base pool whose memo table has *not* seen this top-level
+    // pair; the cold case clones that pool per iteration so only the `seq`
+    // itself (plus the clone) is timed, never the policy translation.
+    let deps = StateDependencies::analyze(&dns);
+    let mut base_pool = Pool::new(deps.var_order());
+    let d1 = to_xfdd(&apps::dns_tunnel_detect(10), &mut base_pool).unwrap();
+    let d2 = to_xfdd(&apps::assign_egress(6), &mut base_pool).unwrap();
+    group.bench_function("seq_compose_diagrams_cold", |b| {
         b.iter(|| {
-            let deps = StateDependencies::analyze(&composed);
-            to_xfdd(&composed, &deps.var_order()).unwrap()
+            let mut pool = base_pool.clone();
+            pool.seq(d1, d2).unwrap()
         })
     });
 
-    // Sequential composition of two already-built diagrams.
-    let deps = StateDependencies::analyze(&dns);
-    let order = deps.var_order();
-    let d1 = to_xfdd(&apps::dns_tunnel_detect(10), &order).unwrap();
-    let d2 = to_xfdd(&apps::assign_egress(6), &order).unwrap();
-    group.bench_function("seq_compose_diagrams", |b| {
-        b.iter(|| seq(&d1, &d2, &order).unwrap())
+    // The same composition with a warm memo table: one long-lived pool, so
+    // after the first call every `seq` of this pair is a hash lookup. This
+    // is the repeat-composition pattern of incremental policy updates.
+    let mut warm_pool = base_pool.clone();
+    warm_pool.seq(d1, d2).unwrap();
+    group.bench_function("seq_compose_diagrams_warm_memo", |b| {
+        b.iter(|| warm_pool.seq(d1, d2).unwrap())
+    });
+
+    // End-to-end translation cost for the same composition, for scale: a
+    // fresh pool plus both policy translations plus the composition.
+    group.bench_function("translate_and_seq_fresh_pool", |b| {
+        b.iter(|| {
+            let mut pool = Pool::new(deps.var_order());
+            let a = to_xfdd(&apps::dns_tunnel_detect(10), &mut pool).unwrap();
+            let e = to_xfdd(&apps::assign_egress(6), &mut pool).unwrap();
+            pool.seq(a, e).unwrap()
+        })
     });
 
     group.finish();

@@ -2,14 +2,20 @@
 //! campus network.
 
 use snap_apps as apps;
-use snap_xfdd::{to_xfdd, StateDependencies};
+use snap_xfdd::StateDependencies;
 
 fn main() {
     let policy = apps::dns_tunnel_detect(10).seq(apps::assign_egress(6));
     let deps = StateDependencies::analyze(&policy);
-    let xfdd = to_xfdd(&policy, &deps.var_order()).expect("running example compiles");
+    let xfdd = snap_xfdd::compile(&policy).expect("running example compiles");
     println!("Figure 3: xFDD of DNS-tunnel-detect; assign-egress");
     println!("state variable order: {:?}", deps.var_order().variables());
-    println!("nodes: {}  tests: {}  depth: {}", xfdd.size(), xfdd.num_tests(), xfdd.depth());
+    println!(
+        "interned nodes: {}  (tree baseline: {})  tests: {}  depth: {}",
+        xfdd.size(),
+        xfdd.tree_size(),
+        xfdd.num_tests(),
+        xfdd.depth()
+    );
     println!("{}", xfdd.render());
 }

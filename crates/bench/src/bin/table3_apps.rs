@@ -13,7 +13,10 @@ fn main() {
     let tm = TrafficMatrix::gravity(&topo, 600.0, 3);
     let compiler = Compiler::new(topo, tm).with_solver(SolverChoice::Heuristic);
     println!("Table 3: applications written in SNAP (compiled on the campus topology)");
-    println!("{:<30} {:>10} {:>12} {:>12} {:>12}", "application", "xFDD nodes", "state vars", "instrs", "compile (s)");
+    println!(
+        "{:<30} {:>10} {:>12} {:>12} {:>12}",
+        "application", "xFDD nodes", "state vars", "instrs", "compile (s)"
+    );
     for (name, policy) in apps::catalogue() {
         let program = policy.seq(apps::assign_egress(6));
         let start = Instant::now();

@@ -5,7 +5,10 @@ use snap_topology::generators::{presets, random_topology};
 
 fn main() {
     println!("Table 5: enterprise/ISP topologies (synthetic equivalents)");
-    println!("{:<16} {:>10} {:>8} {:>10}", "topology", "switches", "edges", "demands");
+    println!(
+        "{:<16} {:>10} {:>8} {:>10}",
+        "topology", "switches", "edges", "demands"
+    );
     for spec in presets::table5() {
         let topo = random_topology(&spec);
         let ports = topo.num_external_ports();

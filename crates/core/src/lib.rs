@@ -41,10 +41,10 @@ pub mod rulegen;
 
 pub use mapping::PacketStateMap;
 pub use optimize::{
-    place_and_route, place_and_route_timed, reroute, reroute_timed, OptimizeInput,
-    OptimizeTimings, PlacementResult, SolverChoice,
+    place_and_route, place_and_route_timed, reroute, reroute_timed, OptimizeInput, OptimizeTimings,
+    PlacementResult, SolverChoice,
 };
-pub use pipeline::{Compiled, CompileOptions, Compiler, PhaseTimings};
+pub use pipeline::{CompileOptions, Compiled, Compiler, PhaseTimings};
 pub use rulegen::{generate_rules, RuleGenOutput};
 
 // Re-export the analysis passes that live with the xFDD crate so that users

@@ -152,15 +152,13 @@ mod tests {
     use super::*;
     use snap_lang::builder::*;
     use snap_lang::Policy;
-    use snap_xfdd::{to_xfdd, StateDependencies};
 
     fn ports(n: usize) -> Vec<PortId> {
         (1..=n).map(PortId).collect()
     }
 
     fn analyze(p: &Policy, nports: usize) -> PacketStateMap {
-        let deps = StateDependencies::analyze(p);
-        let d = to_xfdd(p, &deps.var_order()).unwrap();
+        let d = snap_xfdd::compile(p).unwrap();
         PacketStateMap::analyze(&d, &ports(nports))
     }
 
@@ -250,7 +248,10 @@ mod tests {
         let m = analyze(&p, 3);
         assert!(m.vars_for(PortId(2), PortId(1)).contains(&"count".into()));
         assert!(m.vars_for(PortId(3), PortId(1)).is_empty());
-        assert_eq!(m.flows_needing(&"count".into()), vec![(PortId(2), PortId(1))]);
+        assert_eq!(
+            m.flows_needing(&"count".into()),
+            vec![(PortId(2), PortId(1))]
+        );
     }
 
     #[test]

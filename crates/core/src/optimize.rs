@@ -67,12 +67,7 @@ pub struct PlacementResult {
 impl PlacementResult {
     /// Does the path chosen for `(u, v)` visit the switches holding all the
     /// variables in `vars`, in the given order?
-    pub fn path_respects_order(
-        &self,
-        u: PortId,
-        v: PortId,
-        vars: &[StateVar],
-    ) -> bool {
+    pub fn path_respects_order(&self, u: PortId, v: PortId, vars: &[StateVar]) -> bool {
         let Some(path) = self.paths.get(&(u, v)) else {
             return vars.is_empty();
         };
@@ -187,7 +182,11 @@ pub fn place_and_route(input: &OptimizeInput<'_>, choice: SolverChoice) -> Place
 
 /// Re-optimize routing only, keeping an existing placement (the paper's "TE"
 /// variant, run on topology or traffic-matrix changes).
-pub fn reroute(input: &OptimizeInput<'_>, placement: &BTreeMap<StateVar, NodeId>, choice: SolverChoice) -> PlacementResult {
+pub fn reroute(
+    input: &OptimizeInput<'_>,
+    placement: &BTreeMap<StateVar, NodeId>,
+    choice: SolverChoice,
+) -> PlacementResult {
     match choice {
         SolverChoice::Heuristic => heuristic_place_and_route(input, Some(placement.clone())),
         SolverChoice::Exact => exact_route_fixed_placement(input, placement)
@@ -377,7 +376,11 @@ fn utilization(
     let mut max = 0.0f64;
     for (&(a, b), &l) in &load {
         let cap = topo.link_capacity(a, b).unwrap_or(f64::INFINITY);
-        let u = if cap.is_finite() && cap > 0.0 { l / cap } else { 0.0 };
+        let u = if cap.is_finite() && cap > 0.0 {
+            l / cap
+        } else {
+            0.0
+        };
         total += u;
         max = max.max(u);
     }
@@ -467,11 +470,7 @@ fn build_model(
     for (di, &(u, v, _, _, _)) in demands.iter().enumerate() {
         for s in input.mapping.vars_for(u, v) {
             for li in 0..links.len() {
-                let ps = model.add_var(
-                    format!("PS_{s}_{di}_{li}"),
-                    0.0,
-                    f64::INFINITY,
-                );
+                let ps = model.add_var(format!("PS_{s}_{di}_{li}"), 0.0, f64::INFINITY);
                 vars.passed.insert((s.clone(), di, li), ps);
             }
         }
@@ -784,7 +783,6 @@ mod tests {
     use snap_lang::builder::*;
     use snap_lang::{Field, Policy, Value};
     use snap_topology::generators::campus;
-    use snap_xfdd::to_xfdd;
 
     /// A small program: count DNS responses heading to port 6.
     fn small_policy() -> Policy {
@@ -804,11 +802,18 @@ mod tests {
         ))
     }
 
-    fn setup(policy: &Policy) -> (snap_topology::Topology, TrafficMatrix, PacketStateMap, StateDependencies) {
+    fn setup(
+        policy: &Policy,
+    ) -> (
+        snap_topology::Topology,
+        TrafficMatrix,
+        PacketStateMap,
+        StateDependencies,
+    ) {
         let topo = campus();
         let tm = TrafficMatrix::uniform(&topo, 10.0);
         let deps = StateDependencies::analyze(policy);
-        let d = to_xfdd(policy, &deps.var_order()).unwrap();
+        let d = snap_xfdd::compile(policy).unwrap();
         let ports: Vec<PortId> = topo.external_ports().map(|(p, _)| p).collect();
         let psm = PacketStateMap::analyze(&d, &ports);
         (topo, tm, psm, deps)
@@ -831,7 +836,10 @@ mod tests {
         for (u, v, vars) in psm.iter() {
             if vars.contains(&"dns-count".into()) && tm.get(u, v) > 0.0 {
                 let path = result.paths.get(&(u, v)).expect("path exists");
-                assert!(path.contains(&node), "flow {u:?}->{v:?} must pass the state switch");
+                assert!(
+                    path.contains(&node),
+                    "flow {u:?}->{v:?} must pass the state switch"
+                );
             }
         }
         assert!(result.total_utilization > 0.0);
@@ -877,7 +885,7 @@ mod tests {
             modify(Field::OutPort, Value::Int(1)),
         ));
         let deps = StateDependencies::analyze(&policy);
-        let d = to_xfdd(&policy, &deps.var_order()).unwrap();
+        let d = snap_xfdd::compile(&policy).unwrap();
         let psm = PacketStateMap::analyze(&d, &[PortId(1), PortId(2)]);
         let mut tm = TrafficMatrix::new();
         tm.set(PortId(1), PortId(2), 5.0);
@@ -917,7 +925,7 @@ mod tests {
         tm.set(PortId(1), PortId(6), 3.0);
         tm.set(PortId(2), PortId(6), 3.0);
         let deps = StateDependencies::analyze(&policy);
-        let d = to_xfdd(&policy, &deps.var_order()).unwrap();
+        let d = snap_xfdd::compile(&policy).unwrap();
         let ports: Vec<PortId> = topo.external_ports().map(|(p, _)| p).collect();
         let psm = PacketStateMap::analyze(&d, &ports);
         let input = OptimizeInput {
@@ -963,9 +971,7 @@ mod tests {
     #[test]
     fn path_respects_order_helper() {
         let mut result = PlacementResult::default();
-        result
-            .placement
-            .insert(StateVar::new("a"), NodeId(1));
+        result.placement.insert(StateVar::new("a"), NodeId(1));
         result.placement.insert(StateVar::new("b"), NodeId(3));
         result.paths.insert(
             (PortId(1), PortId(2)),

@@ -8,10 +8,10 @@ use crate::optimize::{
 };
 use crate::rulegen::{generate_rules, RuleGenOutput};
 use serde::{Deserialize, Serialize};
+use snap_dataplane::Network;
 use snap_lang::Policy;
 use snap_topology::{PortId, Topology, TrafficMatrix};
-use snap_xfdd::{to_xfdd, CompileError, StateDependencies, Xfdd};
-use snap_dataplane::Network;
+use snap_xfdd::{to_xfdd, CompileError, Pool, StateDependencies, Xfdd};
 use std::time::{Duration, Instant};
 
 /// Options controlling compilation.
@@ -122,9 +122,12 @@ impl Compiler {
         let deps = StateDependencies::analyze(policy);
         let dependency_analysis = t.elapsed();
 
-        // P2 — xFDD generation.
+        // P2 — xFDD generation, into a fresh hash-consed pool that is frozen
+        // into a shareable handle once translation finishes.
         let t = Instant::now();
-        let xfdd = to_xfdd(policy, &deps.var_order())?;
+        let mut pool = Pool::new(deps.var_order());
+        let root = to_xfdd(policy, &mut pool)?;
+        let xfdd = Xfdd::new(pool, root);
         let xfdd_generation = t.elapsed();
 
         // P3 — packet-state mapping.
@@ -288,7 +291,8 @@ mod tests {
         let d4 = compiler.topology.node_by_name("D4").unwrap();
         for var in ["orphan", "susp-client", "blacklist"] {
             assert_eq!(
-                compiled.placement.placement[&StateVar::new(var)], d4,
+                compiled.placement.placement[&StateVar::new(var)],
+                d4,
                 "{var} should be placed on D4"
             );
         }
@@ -320,7 +324,10 @@ mod tests {
             .with(Field::DnsRdata, Value::ip(1, 2, 3, 4));
         let trace = vec![
             (PortId(1), attacker_dns.clone()),
-            (PortId(1), attacker_dns.updated(Field::DnsRdata, Value::ip(1, 2, 3, 5))),
+            (
+                PortId(1),
+                attacker_dns.updated(Field::DnsRdata, Value::ip(1, 2, 3, 5)),
+            ),
         ];
 
         // Reference OBS execution.

@@ -1,18 +1,20 @@
 //! Rule generation (§4.5): per-switch configurations and data-plane programs.
 //!
 //! Rule generation combines the xFDD with the placement/routing decision:
-//! every switch receives (i) the program in node-addressable form, so that it
-//! can resume processing from the node recorded in the SNAP header, (ii) the
-//! set of state variables it owns, and (iii) the forwarding paths chosen for
-//! each OBS port pair. Each switch's program is also lowered to the
-//! NetASM-like instruction set for rule-count statistics.
+//! every switch receives (i) a handle on the interned program — the arena's
+//! stable node ids are the SNAP-header tags, so resuming processing needs no
+//! separate node-addressable flattening, and distributing the "full diagram"
+//! to every switch is an `Arc` clone — (ii) the set of state variables it
+//! owns, and (iii) the forwarding paths chosen for each OBS port pair. The
+//! program is also lowered once to the NetASM-like instruction set for
+//! rule-count statistics.
 
 use crate::optimize::PlacementResult;
 use serde::{Deserialize, Serialize};
+use snap_dataplane::{NetAsmProgram, SwitchConfig};
 use snap_lang::StateVar;
 use snap_topology::{NodeId, PortId, Topology};
 use snap_xfdd::Xfdd;
-use snap_dataplane::{IndexedXfdd, NetAsmProgram, SwitchConfig};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The output of rule generation.
@@ -37,12 +39,17 @@ pub fn generate_rules(
     xfdd: &Xfdd,
     placement: &PlacementResult,
 ) -> RuleGenOutput {
-    let program = IndexedXfdd::from_xfdd(xfdd);
+    // The lowered instruction program is identical on every switch; lower
+    // once and clone.
+    let lowered = NetAsmProgram::lower(xfdd);
 
     // Which variables live on which switch.
     let mut vars_per_switch: BTreeMap<NodeId, BTreeSet<StateVar>> = BTreeMap::new();
     for (var, node) in &placement.placement {
-        vars_per_switch.entry(*node).or_default().insert(var.clone());
+        vars_per_switch
+            .entry(*node)
+            .or_default()
+            .insert(var.clone());
     }
     // Which external ports attach to which switch.
     let mut ports_per_switch: BTreeMap<NodeId, BTreeSet<PortId>> = BTreeMap::new();
@@ -62,15 +69,14 @@ pub fn generate_rules(
         // re-route) but are not counted towards the rule statistics.
         let relevant = !local_vars.is_empty() || !ports.is_empty();
         if relevant {
-            let lowered = NetAsmProgram::lower(&program);
             total_instructions += lowered.len();
             total_state_ops += lowered.num_state_ops();
-            programs.insert(node, lowered);
+            programs.insert(node, lowered.clone());
         }
         configs.push(SwitchConfig {
             node,
             local_vars,
-            program: program.clone(),
+            program: xfdd.clone(),
             ports,
         });
     }
@@ -92,7 +98,7 @@ mod tests {
     use snap_lang::builder::*;
     use snap_lang::{Field, Policy, Value};
     use snap_topology::{generators::campus, TrafficMatrix};
-    use snap_xfdd::{to_xfdd, StateDependencies};
+    use snap_xfdd::StateDependencies;
 
     fn compile_small() -> (snap_topology::Topology, Xfdd, PlacementResult) {
         let policy: Policy = state_incr("count", vec![field(Field::InPort)]).seq(ite(
@@ -103,7 +109,7 @@ mod tests {
         let topo = campus();
         let tm = TrafficMatrix::uniform(&topo, 1.0);
         let deps = StateDependencies::analyze(&policy);
-        let d = to_xfdd(&policy, &deps.var_order()).unwrap();
+        let d = snap_xfdd::compile(&policy).unwrap();
         let ports: Vec<PortId> = topo.external_ports().map(|(p, _)| p).collect();
         let psm = PacketStateMap::analyze(&d, &ports);
         let input = OptimizeInput {

@@ -1,27 +1,28 @@
 //! # snap-dataplane
 //!
-//! A stateful software data plane for SNAP: a NetASM-like instruction set, a
-//! node-addressable (indexed) form of xFDDs and a network simulator that
-//! executes *distributed* SNAP programs hop by hop over a physical topology.
+//! A stateful software data plane for SNAP: a NetASM-like instruction set
+//! lowered from hash-consed xFDDs, and a network simulator that executes
+//! *distributed* SNAP programs hop by hop over a physical topology.
 //!
 //! The paper's prototype emits NetASM and runs it on the NetASM software
 //! switch; that artifact is not available, so this crate implements an
 //! equivalent substrate:
 //!
-//! * [`IndexedXfdd`] — xFDDs with stable node identifiers, which the
-//!   SNAP header uses to record how far a packet has progressed (§4.5);
 //! * [`NetAsmProgram`] — branch / table / store instructions lowered from an
-//!   indexed xFDD, plus an interpreter (§5);
+//!   interned xFDD (one block per *distinct* node — sharing in the arena is
+//!   sharing in the instruction stream), plus an interpreter (§5);
 //! * [`Network`] / [`SwitchConfig`] — per-switch programs and state tables,
 //!   packet injection at OBS ports and hop-by-hop forwarding, used to verify
 //!   that distributed execution matches the one-big-switch semantics.
+//!
+//! Diagrams are executed directly via their interned `NodeId`s, which double
+//! as the §4.5 packet-tag node identifiers; there is no separate indexed or
+//! flattened representation.
 
 #![warn(missing_docs)]
 
 pub mod netasm;
 pub mod network;
-pub mod program;
 
 pub use netasm::{Instruction, NetAsmProgram};
 pub use network::{Network, SimError, SwitchConfig};
-pub use program::{IndexedNode, IndexedXfdd, NodeIdx};

@@ -5,14 +5,17 @@
 //! branch instruction per xFDD test node, table lookups for state variables
 //! and store instructions for leaf actions, with atomic execution of the
 //! stateful portions. NetASM itself is an external research artifact, so this
-//! module provides an equivalent instruction set, a lowering from indexed
+//! module provides an equivalent instruction set, a lowering from hash-consed
 //! xFDDs, and an interpreter with the same observable behaviour.
+//!
+//! Lowering walks the interned diagram directly: every *distinct* node emits
+//! exactly one block, so subdiagrams shared in the arena are shared in the
+//! instruction stream too (branches jump to the single copy).
 
-use crate::program::{IndexedNode, IndexedXfdd};
 use serde::{Deserialize, Serialize};
 use snap_lang::{EvalError, Expr, Field, Packet, StateVar, Store, Value};
-use snap_xfdd::{ActionSeq, Test, Xfdd};
-use std::collections::BTreeSet;
+use snap_xfdd::{eval_test, ActionSeq, Node, NodeId, Test, Xfdd};
+use std::collections::{BTreeSet, HashMap};
 
 /// One instruction of the data-plane program. Jump targets are instruction
 /// indices within the same program.
@@ -94,34 +97,42 @@ impl NetAsmProgram {
                 matches!(
                     i,
                     Instruction::StateSet { .. } | Instruction::StateAdd { .. }
-                ) || matches!(i, Instruction::Branch { test: Test::State { .. }, .. })
+                ) || matches!(
+                    i,
+                    Instruction::Branch {
+                        test: Test::State { .. },
+                        ..
+                    }
+                )
             })
             .count()
     }
 
-    /// Lower an indexed xFDD to instructions.
+    /// Lower an xFDD to instructions.
     ///
-    /// Every xFDD branch becomes a [`Instruction::Branch`]; every leaf becomes
-    /// one straight-line block per action sequence, ending in `Emit` or
-    /// `Drop`. The whole program executes atomically per packet, mirroring
-    /// NetASM's atomic table updates.
-    pub fn lower(program: &IndexedXfdd) -> NetAsmProgram {
+    /// Every distinct xFDD branch node becomes one [`Instruction::Branch`];
+    /// every distinct leaf becomes one straight-line block per action
+    /// sequence, ending in `Emit` or `Drop`. Shared subdiagrams are emitted
+    /// once and jumped to. The whole program executes atomically per packet,
+    /// mirroring NetASM's atomic table updates.
+    pub fn lower(program: &Xfdd) -> NetAsmProgram {
+        let nodes = program.reachable();
         let mut out = NetAsmProgram::default();
-        // First pass: lay out placeholders for each xFDD node, recording the
-        // instruction offset where each node starts.
-        let mut node_offsets = vec![0usize; program.len()];
-        // Emit nodes in id order; branches get patched afterwards.
-        for (idx, node) in program.iter() {
-            node_offsets[idx] = out.instructions.len();
-            match node {
-                IndexedNode::Branch { test, .. } => {
+        // First pass: emit each node's block (branch targets still
+        // placeholders), recording the instruction offset where each node id
+        // starts.
+        let mut node_offsets: HashMap<NodeId, usize> = HashMap::new();
+        for &id in &nodes {
+            node_offsets.insert(id, out.instructions.len());
+            match program.node(id) {
+                Node::Branch { test, .. } => {
                     out.instructions.push(Instruction::Branch {
                         test: test.clone(),
                         on_true: usize::MAX,
                         on_false: usize::MAX,
                     });
                 }
-                IndexedNode::Leaf(leaf) => {
+                Node::Leaf(leaf) => {
                     if leaf.0.is_empty() {
                         out.instructions.push(Instruction::Drop);
                     } else {
@@ -138,33 +149,27 @@ impl NetAsmProgram {
                 }
             }
         }
-        // Patch branch targets to the recorded node offsets.
-        let mut patched = Vec::with_capacity(out.instructions.len());
-        let mut branch_iter: Vec<(usize, usize)> = Vec::new();
-        for (idx, node) in program.iter() {
-            if let IndexedNode::Branch { tru, fls, .. } = node {
-                branch_iter.push((node_offsets[*tru], node_offsets[*fls]));
-                let _ = idx;
+        // Second pass: patch branch targets to the recorded node offsets, in
+        // the same node order as the first pass.
+        let mut targets: Vec<(usize, usize)> = Vec::new();
+        for &id in &nodes {
+            if let Node::Branch { tru, fls, .. } = program.node(id) {
+                targets.push((node_offsets[tru], node_offsets[fls]));
             }
         }
         let mut b = 0;
-        for ins in out.instructions.into_iter() {
-            match ins {
-                Instruction::Branch { test, .. } => {
-                    let (t, f) = branch_iter[b];
-                    b += 1;
-                    patched.push(Instruction::Branch {
-                        test,
-                        on_true: t,
-                        on_false: f,
-                    });
-                }
-                other => patched.push(other),
+        for ins in &mut out.instructions {
+            if let Instruction::Branch {
+                on_true, on_false, ..
+            } = ins
+            {
+                let (t, f) = targets[b];
+                b += 1;
+                *on_true = t;
+                *on_false = f;
             }
         }
-        NetAsmProgram {
-            instructions: patched,
-        }
+        out
     }
 
     /// Execute the program on one packet against a store, returning the set
@@ -192,7 +197,7 @@ impl NetAsmProgram {
                     on_true,
                     on_false,
                 } => {
-                    pc = if Xfdd::eval_test(test, &pkt, &store)? {
+                    pc = if eval_test(test, &pkt, &store)? {
                         *on_true
                     } else {
                         *on_false
@@ -250,7 +255,9 @@ impl NetAsmProgram {
 fn lower_seq(seq: &ActionSeq, out: &mut Vec<Instruction>) {
     for a in &seq.actions {
         match a {
-            snap_xfdd::Action::Modify(f, v) => out.push(Instruction::SetField(f.clone(), v.clone())),
+            snap_xfdd::Action::Modify(f, v) => {
+                out.push(Instruction::SetField(f.clone(), v.clone()))
+            }
             snap_xfdd::Action::StateSet { var, index, value } => out.push(Instruction::StateSet {
                 var: var.clone(),
                 index: index.clone(),
@@ -280,14 +287,11 @@ mod tests {
     use super::*;
     use snap_lang::builder::*;
     use snap_lang::Policy;
-    use snap_xfdd::{to_xfdd, StateDependencies};
 
-    fn compile(p: &Policy) -> (IndexedXfdd, NetAsmProgram) {
-        let deps = StateDependencies::analyze(p);
-        let d = to_xfdd(p, &deps.var_order()).unwrap();
-        let ix = IndexedXfdd::from_xfdd(&d);
-        let asm = NetAsmProgram::lower(&ix);
-        (ix, asm)
+    fn compile(p: &Policy) -> (Xfdd, NetAsmProgram) {
+        let xfdd = snap_xfdd::compile(p).unwrap();
+        let asm = NetAsmProgram::lower(&xfdd);
+        (xfdd, asm)
     }
 
     #[test]
@@ -323,7 +327,7 @@ mod tests {
                 modify(Field::OutPort, Value::Int(1)),
             ),
         );
-        let (ix, asm) = compile(&p);
+        let (xfdd, asm) = compile(&p);
         let mut store_a = Store::new();
         let mut store_b = Store::new();
         for i in 0..6i64 {
@@ -331,7 +335,7 @@ mod tests {
                 .with(Field::SrcPort, if i % 2 == 0 { 53 } else { 80 })
                 .with(Field::SrcIp, Value::ip(10, 0, 0, (i % 3) as u8))
                 .with(Field::DstIp, Value::ip(10, 0, 0, (i % 3) as u8));
-            let (pa, sa) = ix.evaluate(&pkt, &store_a).unwrap();
+            let (pa, sa) = xfdd.evaluate(&pkt, &store_a).unwrap();
             let (pb, sb) = asm.execute(&pkt, &store_b).unwrap();
             assert_eq!(pa, pb, "packet {i}");
             assert_eq!(sa, sb, "store {i}");
@@ -356,11 +360,33 @@ mod tests {
     fn multi_sequence_leaf_emits_each_copy() {
         // Parallel composition duplicates the packet with different outports.
         let p = modify(Field::OutPort, Value::Int(1)).par(modify(Field::OutPort, Value::Int(2)));
-        let (ix, asm) = compile(&p);
+        let (xfdd, asm) = compile(&p);
         let pkt = Packet::new().with(Field::InPort, 4);
-        let (a, _) = ix.evaluate(&pkt, &Store::new()).unwrap();
+        let (a, _) = xfdd.evaluate(&pkt, &Store::new()).unwrap();
         let (b, _) = asm.execute(&pkt, &Store::new()).unwrap();
         assert_eq!(a.len(), 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_subdiagrams_are_lowered_once() {
+        // Two outer branches funnel into the same egress subdiagram: the
+        // arena shares it, and the lowering must too — one block per distinct
+        // node, so the instruction count tracks the arena size, not the tree
+        // size.
+        let egress = ite(
+            test(Field::DstPort, Value::Int(80)),
+            modify(Field::OutPort, Value::Int(1)),
+            modify(Field::OutPort, Value::Int(2)),
+        );
+        let p = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            egress.clone(),
+            ite(test(Field::SrcPort, Value::Int(123)), egress, drop()),
+        );
+        let (xfdd, asm) = compile(&p);
+        assert!((xfdd.size() as u64) < xfdd.tree_size());
+        // Each distinct branch node lowers to exactly one Branch instruction.
+        assert_eq!(asm.num_branches(), xfdd.num_tests());
     }
 }

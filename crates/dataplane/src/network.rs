@@ -3,32 +3,36 @@
 //! SNAP header that records how far into the diagram a packet has progressed
 //! (§4.5).
 //!
+//! Since the xFDD is hash-consed, its interned [`NodeId`]s *are* the packet
+//! tag: a switch resumes processing at the recorded node id directly, and the
+//! "every switch carries the full diagram" requirement costs one `Arc` clone
+//! per switch instead of a deep copy.
+//!
 //! The simulator is used by integration tests to check the key end-to-end
 //! property of the compiler: running the distributed program over the
 //! physical topology produces the same output packets and the same aggregate
 //! state as running the original one-big-switch program.
 
-use crate::program::{IndexedNode, IndexedXfdd, NodeIdx};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use snap_lang::{EvalError, Field, Packet, StateVar, Store, Value};
-use snap_xfdd::{Action, Xfdd};
+use snap_xfdd::{eval_test, Action, Node, NodeId, Xfdd};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use snap_topology::{NodeId, PortId, Topology};
+use snap_topology::{NodeId as SwitchId, PortId, Topology};
 
 /// Per-switch configuration produced by rule generation.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SwitchConfig {
     /// The switch this configuration belongs to.
-    pub node: NodeId,
+    pub node: SwitchId,
     /// The state variables stored on this switch.
     pub local_vars: BTreeSet<StateVar>,
-    /// The (indexed) program. Every switch carries the full diagram but only
-    /// executes the parts whose state it owns; the SNAP header records where
-    /// processing stopped.
-    pub program: IndexedXfdd,
+    /// The program. Every switch carries the full (shared, interned) diagram
+    /// but only executes the parts whose state it owns; the SNAP header
+    /// records where processing stopped.
+    pub program: Xfdd,
     /// OBS external ports attached to this switch.
     pub ports: BTreeSet<PortId>,
 }
@@ -56,11 +60,12 @@ impl From<EvalError> for SimError {
 /// Processing status carried in the SNAP header of an in-flight packet.
 #[derive(Clone, Debug, PartialEq)]
 enum Progress {
-    /// Still walking the diagram, next node to process.
-    AtNode(NodeIdx),
+    /// Still walking the diagram; the interned id of the next node to
+    /// process (the §4.5 packet tag).
+    AtNode(NodeId),
     /// Executing a specific action sequence of a leaf, from an action offset.
     InLeaf {
-        node: NodeIdx,
+        node: NodeId,
         seq: usize,
         offset: usize,
     },
@@ -73,7 +78,7 @@ enum Progress {
 struct InFlight {
     pkt: Packet,
     inport: PortId,
-    at: NodeId,
+    at: SwitchId,
     progress: Progress,
     hops: usize,
 }
@@ -82,12 +87,15 @@ struct InFlight {
 /// per-switch state tables.
 pub struct Network {
     topology: Topology,
-    configs: BTreeMap<NodeId, SwitchConfig>,
+    configs: BTreeMap<SwitchId, SwitchConfig>,
+    /// The shared program's root node (identical across configs, which all
+    /// hold handles on the same interned pool).
+    root: Option<NodeId>,
     /// Which switch holds each state variable (derived from the configs).
-    placement: BTreeMap<StateVar, NodeId>,
+    placement: BTreeMap<StateVar, SwitchId>,
     /// Per-switch state, behind a lock so statistics can be gathered from
     /// other threads in long-running simulations.
-    stores: BTreeMap<NodeId, Arc<Mutex<Store>>>,
+    stores: BTreeMap<SwitchId, Arc<Mutex<Store>>>,
     /// Maximum number of hops a packet may take before the simulator reports
     /// a routing loop.
     pub hop_budget: usize,
@@ -99,7 +107,24 @@ impl Network {
         let mut placement = BTreeMap::new();
         let mut map = BTreeMap::new();
         let mut stores = BTreeMap::new();
+        let mut root = None;
+        let mut pool: Option<*const snap_xfdd::Pool> = None;
         for c in configs {
+            // NodeIds are only meaningful within their own arena: every
+            // config must hold a handle on the same interned pool (rule
+            // generation guarantees this), otherwise the packet tag of one
+            // switch would dereference another switch's arena.
+            let c_pool = c.program.pool() as *const _;
+            assert!(
+                *pool.get_or_insert(c_pool) == c_pool,
+                "switch {:?} carries a program from a different xFDD pool",
+                c.node
+            );
+            assert!(
+                *root.get_or_insert(c.program.root()) == c.program.root(),
+                "switch {:?} carries a program with a different root",
+                c.node
+            );
             for v in &c.local_vars {
                 placement.insert(v.clone(), c.node);
             }
@@ -109,6 +134,7 @@ impl Network {
         Network {
             topology,
             configs: map,
+            root,
             placement,
             stores,
             hop_budget: 256,
@@ -116,7 +142,7 @@ impl Network {
     }
 
     /// The switch a state variable lives on.
-    pub fn owner(&self, var: &StateVar) -> Option<NodeId> {
+    pub fn owner(&self, var: &StateVar) -> Option<SwitchId> {
         self.placement.get(var).copied()
     }
 
@@ -155,12 +181,16 @@ impl Network {
             .topology
             .port_switch(port)
             .ok_or(SimError::UnknownPort(port))?;
+        let root = match self.root {
+            Some(r) => r,
+            None => return Ok(BTreeSet::new()), // no programs installed
+        };
         let mut outputs = BTreeSet::new();
         let mut work = vec![InFlight {
             pkt: packet.clone(),
             inport: port,
             at: ingress,
-            progress: Progress::AtNode(0),
+            progress: Progress::AtNode(root),
             hops: 0,
         }];
 
@@ -240,7 +270,7 @@ impl Network {
                     return Ok(StepOutcome::Emit(flight.pkt.clone(), outport));
                 }
                 Progress::AtNode(idx) => match program.node(idx) {
-                    IndexedNode::Branch { test, tru, fls } => {
+                    Node::Branch { test, tru, fls } => {
                         let passed = match test.state_var() {
                             Some(var) if !config.local_vars.contains(var) => {
                                 return Ok(StepOutcome::NeedState(var.clone()))
@@ -250,12 +280,12 @@ impl Network {
                                     .as_ref()
                                     .map(|s| s.lock().clone())
                                     .unwrap_or_default();
-                                Xfdd::eval_test(test, &flight.pkt, &store)?
+                                eval_test(test, &flight.pkt, &store)?
                             }
                         };
                         flight.progress = Progress::AtNode(if passed { *tru } else { *fls });
                     }
-                    IndexedNode::Leaf(leaf) => {
+                    Node::Leaf(leaf) => {
                         if leaf.0.is_empty() {
                             return Ok(StepOutcome::Dropped);
                         }
@@ -286,7 +316,7 @@ impl Network {
                 },
                 Progress::InLeaf { node, seq, offset } => {
                     let leaf = match program.node(node) {
-                        IndexedNode::Leaf(l) => l,
+                        Node::Leaf(l) => l,
                         _ => unreachable!("InLeaf progress always points at a leaf"),
                     };
                     let sequence: Vec<&Action> = leaf
@@ -314,7 +344,8 @@ impl Network {
                                     };
                                     return Ok(StepOutcome::NeedState(var.clone()));
                                 }
-                                let store = store_arc.as_ref().expect("switch with state has a store");
+                                let store =
+                                    store_arc.as_ref().expect("switch with state has a store");
                                 let mut guard = store.lock();
                                 apply_state_action(action, &flight.pkt, &mut guard)?;
                             }
@@ -346,7 +377,11 @@ impl Network {
         self.forward_towards_node(flight, target)
     }
 
-    fn forward_towards_node(&self, flight: &mut InFlight, target: NodeId) -> Result<(), SimError> {
+    fn forward_towards_node(
+        &self,
+        flight: &mut InFlight,
+        target: SwitchId,
+    ) -> Result<(), SimError> {
         if flight.at == target {
             return Ok(());
         }
@@ -425,15 +460,12 @@ mod tests {
     use snap_lang::builder::*;
     use snap_lang::Policy;
     use snap_topology::generators::campus;
-    use snap_xfdd::{to_xfdd, StateDependencies};
 
     /// Build a network for `policy` on the campus topology with all state on
-    /// the named switch.
+    /// the named switch. All configs share one interned program.
     fn campus_network(policy: &Policy, state_switch: &str) -> Network {
         let topo = campus();
-        let deps = StateDependencies::analyze(policy);
-        let d = to_xfdd(policy, &deps.var_order()).unwrap();
-        let program = IndexedXfdd::from_xfdd(&d);
+        let program = snap_xfdd::compile(policy).unwrap();
         let owner = topo.node_by_name(state_switch).unwrap();
         let all_vars = policy.state_vars();
         let configs = topo
@@ -485,16 +517,15 @@ mod tests {
         let policy = state_incr("count", vec![field(Field::InPort)])
             .seq(modify(Field::OutPort, Value::Int(6)));
         let mut net = campus_network(&policy, "C6");
-        let pkt = Packet::new().with(Field::InPort, 1).with(Field::DstIp, Value::ip(10, 0, 6, 1));
+        let pkt = Packet::new()
+            .with(Field::InPort, 1)
+            .with(Field::DstIp, Value::ip(10, 0, 6, 1));
         for _ in 0..3 {
             let out = net.inject(PortId(1), &pkt).unwrap();
             assert_eq!(out.len(), 1);
         }
         let store = net.aggregate_store();
-        assert_eq!(
-            store.get(&"count".into(), &[Value::Int(1)]),
-            Value::Int(3)
-        );
+        assert_eq!(store.get(&"count".into(), &[Value::Int(1)]), Value::Int(3));
         // The state lives only on C6.
         let owner = net.owner(&"count".into()).unwrap();
         assert_eq!(net.topology.node_name(owner), "C6");
@@ -582,10 +613,14 @@ mod tests {
     #[test]
     fn parallel_leaf_forks_and_both_copies_are_delivered() {
         // Multicast to ports 1 and 6 simultaneously.
-        let policy = modify(Field::OutPort, Value::Int(1)).par(modify(Field::OutPort, Value::Int(6)));
+        let policy =
+            modify(Field::OutPort, Value::Int(1)).par(modify(Field::OutPort, Value::Int(6)));
         let mut net = campus_network(&policy, "D4");
         let out = net
-            .inject(PortId(2), &Packet::new().with(Field::SrcIp, Value::ip(1, 1, 1, 1)))
+            .inject(
+                PortId(2),
+                &Packet::new().with(Field::SrcIp, Value::ip(1, 1, 1, 1)),
+            )
             .unwrap();
         let ports: BTreeSet<PortId> = out.iter().map(|(p, _)| *p).collect();
         assert_eq!(ports, BTreeSet::from([PortId(1), PortId(6)]));

@@ -151,6 +151,7 @@ pub enum Pred {
 
 impl Pred {
     /// `¬self`
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Pred {
         Pred::Not(Box::new(self))
     }
@@ -452,7 +453,9 @@ mod tests {
         assert_eq!(p.reads(), [StateVar::new("s")].into_iter().collect());
         assert_eq!(
             p.writes(),
-            [StateVar::new("t"), StateVar::new("u")].into_iter().collect()
+            [StateVar::new("t"), StateVar::new("u")]
+                .into_iter()
+                .collect()
         );
         assert_eq!(p.state_vars().len(), 3);
     }
@@ -477,7 +480,9 @@ mod tests {
 
     #[test]
     fn policy_size() {
-        let p = Policy::id().seq(Policy::drop()).par(modify(Field::OutPort, Value::Int(1)));
+        let p = Policy::id()
+            .seq(Policy::drop())
+            .par(modify(Field::OutPort, Value::Int(1)));
         assert_eq!(p.size(), 1 + (1 + 1 + 1) + 1);
     }
 

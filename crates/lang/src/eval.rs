@@ -404,7 +404,8 @@ mod tests {
         // (s[0] <- 1) + (s[0] <- 2) conflicts; with distinct variables it is fine.
         let store = Store::new();
         let pkt = pkt_dns_response();
-        let conflict = state_set("s", vec![int(0)], int(1)).par(state_set("s", vec![int(0)], int(2)));
+        let conflict =
+            state_set("s", vec![int(0)], int(1)).par(state_set("s", vec![int(0)], int(2)));
         assert_eq!(
             eval(&conflict, &store, &pkt).unwrap_err(),
             EvalError::ParallelConflict(sv("s"))
@@ -419,8 +420,8 @@ mod tests {
     fn parallel_read_write_conflict_detected() {
         let store = Store::new();
         let pkt = pkt_dns_response();
-        let p = filter(state_test("s", vec![int(0)], int(0)))
-            .par(state_set("s", vec![int(0)], int(2)));
+        let p =
+            filter(state_test("s", vec![int(0)], int(0))).par(state_set("s", vec![int(0)], int(2)));
         assert_eq!(
             eval(&p, &store, &pkt).unwrap_err(),
             EvalError::ParallelConflict(sv("s"))
@@ -493,8 +494,11 @@ mod tests {
     fn atomic_is_transparent_to_eval() {
         let store = Store::new();
         let pkt = pkt_dns_response();
-        let body = state_set("hon-ip", vec![int(1)], field(Field::SrcIp))
-            .seq(state_set("hon-dstport", vec![int(1)], field(Field::DstPort)));
+        let body = state_set("hon-ip", vec![int(1)], field(Field::SrcIp)).seq(state_set(
+            "hon-dstport",
+            vec![int(1)],
+            field(Field::DstPort),
+        ));
         let r1 = eval(&atomic(body.clone()), &store, &pkt).unwrap();
         let r2 = eval(&body, &store, &pkt).unwrap();
         assert_eq!(r1.store, r2.store);
@@ -504,7 +508,9 @@ mod tests {
     #[test]
     fn eval_trace_threads_state_across_packets() {
         let p = state_incr("count", vec![field(Field::InPort)]);
-        let pkts: Vec<Packet> = (0..5).map(|_| Packet::new().with(Field::InPort, 1)).collect();
+        let pkts: Vec<Packet> = (0..5)
+            .map(|_| Packet::new().with(Field::InPort, 1))
+            .collect();
         let (store, outs) = eval_trace(&p, &Store::new(), &pkts).unwrap();
         assert_eq!(store.get(&sv("count"), &[Value::Int(1)]), Value::Int(5));
         assert!(outs.iter().all(|o| o.len() == 1));
@@ -561,7 +567,7 @@ mod tests {
 
         let (store, _) = eval_trace(&detect, &Store::new(), &[dns1.clone(), dns2]).unwrap();
         assert_eq!(
-            store.get(&sv("blacklist"), &[client.clone()]),
+            store.get(&sv("blacklist"), std::slice::from_ref(&client)),
             Value::Bool(true)
         );
 
@@ -572,7 +578,10 @@ mod tests {
             .with(Field::DstIp, resolved1)
             .with(Field::SrcPort, 5555);
         let (store, _) = eval_trace(&detect, &Store::new(), &[dns1, usage]).unwrap();
-        assert_eq!(store.get(&sv("susp-client"), &[client.clone()]), Value::Int(0));
+        assert_eq!(
+            store.get(&sv("susp-client"), std::slice::from_ref(&client)),
+            Value::Int(0)
+        );
         assert_eq!(store.get(&sv("blacklist"), &[client]), Value::Int(0));
     }
 

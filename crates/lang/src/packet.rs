@@ -123,7 +123,10 @@ mod tests {
             .with(Field::SrcIp, Value::ip(10, 0, 1, 1))
             .with(Field::DstPort, 53);
         assert_eq!(p.get(&Field::DstPort), Some(&Value::Int(53)));
-        assert_eq!(p.get(&Field::SrcIp), Some(&Value::Ip(Ipv4::new(10, 0, 1, 1))));
+        assert_eq!(
+            p.get(&Field::SrcIp),
+            Some(&Value::Ip(Ipv4::new(10, 0, 1, 1)))
+        );
         assert_eq!(p.get(&Field::DstIp), None);
         assert!(p.has(&Field::SrcIp));
         assert!(!p.has(&Field::DstIp));
@@ -142,8 +145,12 @@ mod tests {
 
     #[test]
     fn packets_are_canonical_and_comparable() {
-        let a = Packet::new().with(Field::SrcPort, 1).with(Field::DstPort, 2);
-        let b = Packet::new().with(Field::DstPort, 2).with(Field::SrcPort, 1);
+        let a = Packet::new()
+            .with(Field::SrcPort, 1)
+            .with(Field::DstPort, 2);
+        let b = Packet::new()
+            .with(Field::DstPort, 2)
+            .with(Field::SrcPort, 1);
         assert_eq!(a, b);
         let mut set = std::collections::BTreeSet::new();
         set.insert(a);

@@ -251,15 +251,14 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         break;
                     }
                     let d = bytes[i];
-                    if is_ident_continue(d) {
-                        s.push(d);
-                        i += 1;
-                    } else if (d == '-' || d == '.')
+                    // An interior `-` / `.` continues the identifier only when
+                    // followed by another identifier character; `--` must stay
+                    // a decrement even after an identifier.
+                    let interior_punct = (d == '-' || d == '.')
                         && i + 1 < bytes.len()
                         && is_ident_continue(bytes[i + 1])
-                        // `--` must stay a decrement even after an identifier.
-                        && !(d == '-' && bytes[i + 1] == '-')
-                    {
+                        && !(d == '-' && bytes[i + 1] == '-');
+                    if is_ident_continue(d) || interior_punct {
                         s.push(d);
                         i += 1;
                     } else {
@@ -314,7 +313,10 @@ impl Parser {
     }
 
     fn peek_pos(&self) -> usize {
-        self.tokens.get(self.pos).map(|s| s.pos).unwrap_or(usize::MAX)
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.pos)
+            .unwrap_or(usize::MAX)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -375,12 +377,10 @@ impl Parser {
         while self.peek() == Some(&Tok::Pipe) {
             self.pos += 1;
             let rhs = self.parse_conj()?;
-            let l = policy_to_pred(acc).ok_or_else(|| {
-                self.error("left operand of `|` must be a predicate")
-            })?;
-            let r = policy_to_pred(rhs).ok_or_else(|| {
-                self.error("right operand of `|` must be a predicate")
-            })?;
+            let l = policy_to_pred(acc)
+                .ok_or_else(|| self.error("left operand of `|` must be a predicate"))?;
+            let r = policy_to_pred(rhs)
+                .ok_or_else(|| self.error("right operand of `|` must be a predicate"))?;
             acc = Policy::Filter(l.or(r));
         }
         Ok(acc)
@@ -391,12 +391,10 @@ impl Parser {
         while self.peek() == Some(&Tok::Amp) {
             self.pos += 1;
             let rhs = self.parse_unary()?;
-            let l = policy_to_pred(acc).ok_or_else(|| {
-                self.error("left operand of `&` must be a predicate")
-            })?;
-            let r = policy_to_pred(rhs).ok_or_else(|| {
-                self.error("right operand of `&` must be a predicate")
-            })?;
+            let l = policy_to_pred(acc)
+                .ok_or_else(|| self.error("left operand of `&` must be a predicate"))?;
+            let r = policy_to_pred(rhs)
+                .ok_or_else(|| self.error("right operand of `&` must be a predicate"))?;
             acc = Policy::Filter(l.and(r));
         }
         Ok(acc)
@@ -445,7 +443,11 @@ impl Parser {
                 let then_branch = self.parse_seq()?;
                 self.expect(&Tok::Else, "`else`")?;
                 let else_branch = self.parse_seq()?;
-                Ok(Policy::If(cond, Box::new(then_branch), Box::new(else_branch)))
+                Ok(Policy::If(
+                    cond,
+                    Box::new(then_branch),
+                    Box::new(else_branch),
+                ))
             }
             Some(Tok::Ident(name)) => {
                 self.pos += 1;
@@ -600,7 +602,11 @@ mod tests {
         );
         assert_eq!(
             parse_policy("blacklist[dstip] = True").unwrap(),
-            Policy::Filter(state_test("blacklist", vec![field(Field::DstIp)], Value::Bool(true)))
+            Policy::Filter(state_test(
+                "blacklist",
+                vec![field(Field::DstIp)],
+                Value::Bool(true)
+            ))
         );
         // Bare state reference sugar.
         assert_eq!(

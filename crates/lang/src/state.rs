@@ -196,12 +196,19 @@ mod tests {
     #[test]
     fn set_then_get() {
         let mut store = Store::new();
-        store.set(&sv("s"), vec![Value::Int(1), Value::Int(2)], Value::Bool(true));
+        store.set(
+            &sv("s"),
+            vec![Value::Int(1), Value::Int(2)],
+            Value::Bool(true),
+        );
         assert_eq!(
             store.get(&sv("s"), &[Value::Int(1), Value::Int(2)]),
             Value::Bool(true)
         );
-        assert_eq!(store.get(&sv("s"), &[Value::Int(1), Value::Int(3)]), Value::Int(0));
+        assert_eq!(
+            store.get(&sv("s"), &[Value::Int(1), Value::Int(3)]),
+            Value::Int(0)
+        );
     }
 
     #[test]

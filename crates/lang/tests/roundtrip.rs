@@ -76,8 +76,11 @@ fn arb_policy() -> impl Strategy<Value = Policy> {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(p, q)| p.seq(q)),
             (inner.clone(), inner.clone()).prop_map(|(p, q)| p.par(q)),
-            (arb_pred(), inner.clone(), inner.clone())
-                .prop_map(|(a, p, q)| Policy::If(a, Box::new(p), Box::new(q))),
+            (arb_pred(), inner.clone(), inner.clone()).prop_map(|(a, p, q)| Policy::If(
+                a,
+                Box::new(p),
+                Box::new(q)
+            )),
             inner.prop_map(|p| p.atomic()),
         ]
     })

@@ -5,7 +5,7 @@
 //! variables with the simplex LP relaxation as the bounding procedure solves
 //! it exactly on small and medium instances.
 
-use crate::model::{Model, SolveResult, Solution, VarId};
+use crate::model::{Model, Solution, SolveResult, VarId};
 use crate::simplex::{default_bounds, solve_lp_with_bounds};
 
 /// Options controlling the branch-and-bound search.
@@ -274,7 +274,12 @@ mod tests {
         let y = m.add_binary("y");
         m.set_objective(x, 1.0);
         m.set_objective(y, 1.0);
-        m.add_constraint("c", LinExpr::new().with(x, 1.0).with(y, 1.0), Sense::Eq, 1.5);
+        m.add_constraint(
+            "c",
+            LinExpr::new().with(x, 1.0).with(y, 1.0),
+            Sense::Eq,
+            1.5,
+        );
         assert_eq!(solve_milp(&m), SolveResult::Infeasible);
     }
 
@@ -308,7 +313,12 @@ mod tests {
         let y = m.add_binary("y");
         m.set_objective(x, -1.0);
         m.set_objective(y, -1.0);
-        m.add_constraint("c", LinExpr::new().with(x, 1.0).with(y, 1.0), Sense::Le, 1.0);
+        m.add_constraint(
+            "c",
+            LinExpr::new().with(x, 1.0).with(y, 1.0),
+            Sense::Le,
+            1.0,
+        );
         let (r, stats) = solve_milp_with(&m, &BranchBoundOptions::default());
         assert!(r.solution().is_some());
         assert!(stats.nodes_explored >= 1);

@@ -32,5 +32,5 @@ pub mod model;
 pub mod simplex;
 
 pub use branch_bound::{solve_milp, solve_milp_with, BranchBoundOptions, BranchBoundStats};
-pub use model::{Constraint, LinExpr, Model, Sense, SolveResult, Solution, VarId, VarKind};
+pub use model::{Constraint, LinExpr, Model, Sense, Solution, SolveResult, VarId, VarKind};
 pub use simplex::{solve_lp, solve_lp_with_bounds};

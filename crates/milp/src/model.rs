@@ -125,7 +125,10 @@ impl Model {
 
     /// Add a continuous variable in `[lb, ub]`.
     pub fn add_var(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
-        assert!(lb >= 0.0, "the solver works in standard form: lb must be ≥ 0");
+        assert!(
+            lb >= 0.0,
+            "the solver works in standard form: lb must be ≥ 0"
+        );
         assert!(ub >= lb, "upper bound must be at least the lower bound");
         let id = VarId(self.vars.len());
         self.vars.push(VarKind::Continuous { lb, ub });
@@ -303,7 +306,12 @@ mod tests {
         let y = m.add_binary("y");
         m.set_objective(x, 1.0);
         m.set_objective(y, -2.0);
-        m.add_constraint("c1", LinExpr::new().with(x, 1.0).with(y, 1.0), Sense::Le, 5.0);
+        m.add_constraint(
+            "c1",
+            LinExpr::new().with(x, 1.0).with(y, 1.0),
+            Sense::Le,
+            5.0,
+        );
         assert_eq!(m.num_vars(), 2);
         assert_eq!(m.num_constraints(), 1);
         assert_eq!(m.binary_vars(), vec![y]);
@@ -332,7 +340,12 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var("x", 0.0, 4.0);
         let y = m.add_binary("y");
-        m.add_constraint("c", LinExpr::new().with(x, 1.0).with(y, 2.0), Sense::Ge, 3.0);
+        m.add_constraint(
+            "c",
+            LinExpr::new().with(x, 1.0).with(y, 2.0),
+            Sense::Ge,
+            3.0,
+        );
         assert!(m.is_feasible(&[3.0, 0.0], 1e-9));
         assert!(m.is_feasible(&[1.0, 1.0], 1e-9));
         assert!(!m.is_feasible(&[1.0, 0.0], 1e-9)); // constraint violated

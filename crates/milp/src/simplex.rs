@@ -7,7 +7,7 @@
 //! problems solved exactly are small (tens of switches, aggregated demands);
 //! larger instances go through the heuristic placer in `snap-core`.
 
-use crate::model::{Model, Sense, SolveResult, Solution, VarKind};
+use crate::model::{Model, Sense, Solution, SolveResult, VarKind};
 
 const TOL: f64 = 1e-7;
 
@@ -140,8 +140,8 @@ pub fn solve_lp_with_bounds(model: &Model, bounds: &[(f64, f64)]) -> SolveResult
     // Phase 1: minimize the sum of artificial variables.
     if num_art > 0 {
         let mut cost = vec![0.0; total];
-        for j in art_start..total {
-            cost[j] = 1.0;
+        for c in cost.iter_mut().skip(art_start) {
+            *c = 1.0;
         }
         match run_simplex(&mut a, &mut b, &mut basis, &cost, total) {
             SimplexOutcome::Optimal => {}
@@ -171,8 +171,8 @@ pub fn solve_lp_with_bounds(model: &Model, bounds: &[(f64, f64)]) -> SolveResult
         cost[v.0] = coef;
     }
     // Forbid artificial columns from re-entering by pricing them prohibitively.
-    for j in art_start..total {
-        cost[j] = 1e12;
+    for c in cost.iter_mut().skip(art_start) {
+        *c = 1e12;
     }
     match run_simplex(&mut a, &mut b, &mut basis, &cost, art_start) {
         SimplexOutcome::Optimal => {}
@@ -275,18 +275,24 @@ fn run_simplex(
 
 fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], row: usize, col: usize) {
     let m = a.len();
-    let total = a[0].len();
     let p = a[row][col];
-    for j in 0..total {
-        a[row][j] /= p;
+    for v in a[row].iter_mut() {
+        *v /= p;
     }
     b[row] /= p;
     for i in 0..m {
         if i != row {
             let factor = a[i][col];
             if factor.abs() > 0.0 {
-                for j in 0..total {
-                    a[i][j] -= factor * a[row][j];
+                let (pivot_row, work_row) = if i < row {
+                    let (head, tail) = a.split_at_mut(row);
+                    (&tail[0], &mut head[i])
+                } else {
+                    let (head, tail) = a.split_at_mut(i);
+                    (&head[row], &mut tail[0])
+                };
+                for (w, pv) in work_row.iter_mut().zip(pivot_row.iter()) {
+                    *w -= factor * pv;
                 }
                 b[i] -= factor * b[row];
             }
@@ -315,7 +321,12 @@ mod tests {
         m.set_objective(y, -5.0);
         m.add_constraint("c1", LinExpr::new().with(x, 1.0), Sense::Le, 4.0);
         m.add_constraint("c2", LinExpr::new().with(y, 2.0), Sense::Le, 12.0);
-        m.add_constraint("c3", LinExpr::new().with(x, 3.0).with(y, 2.0), Sense::Le, 18.0);
+        m.add_constraint(
+            "c3",
+            LinExpr::new().with(x, 3.0).with(y, 2.0),
+            Sense::Le,
+            18.0,
+        );
         let s = solve_lp(&m).expect_optimal("should solve");
         assert_close(s.value(x), 2.0);
         assert_close(s.value(y), 6.0);
@@ -330,7 +341,12 @@ mod tests {
         let y = m.add_var("y", 2.0, f64::INFINITY);
         m.set_objective(x, 1.0);
         m.set_objective(y, 2.0);
-        m.add_constraint("sum", LinExpr::new().with(x, 1.0).with(y, 1.0), Sense::Eq, 10.0);
+        m.add_constraint(
+            "sum",
+            LinExpr::new().with(x, 1.0).with(y, 1.0),
+            Sense::Eq,
+            10.0,
+        );
         let s = solve_lp(&m).expect_optimal("should solve");
         assert_close(s.value(x), 8.0);
         assert_close(s.value(y), 2.0);
@@ -362,7 +378,12 @@ mod tests {
         let y = m.add_var("y", 0.0, 10.0);
         m.set_objective(x, 1.0);
         m.set_objective(y, 1.0);
-        m.add_constraint("c", LinExpr::new().with(x, 1.0).with(y, -1.0), Sense::Le, -2.0);
+        m.add_constraint(
+            "c",
+            LinExpr::new().with(x, 1.0).with(y, -1.0),
+            Sense::Le,
+            -2.0,
+        );
         let s = solve_lp(&m).expect_optimal("should solve");
         assert_close(s.value(x), 0.0);
         assert_close(s.value(y), 2.0);
@@ -376,7 +397,12 @@ mod tests {
         let y = m.add_binary("y");
         m.set_objective(x, -1.0);
         m.set_objective(y, -1.0);
-        m.add_constraint("c", LinExpr::new().with(x, 1.0).with(y, 2.0), Sense::Le, 2.0);
+        m.add_constraint(
+            "c",
+            LinExpr::new().with(x, 1.0).with(y, 2.0),
+            Sense::Le,
+            2.0,
+        );
         let s = solve_lp(&m).expect_optimal("should solve");
         assert_close(s.value(x), 1.0);
         assert_close(s.value(y), 0.5);
@@ -390,9 +416,24 @@ mod tests {
         let y = m.add_var("y", 0.0, f64::INFINITY);
         m.set_objective(x, -1.0);
         m.set_objective(y, -1.0);
-        m.add_constraint("c1", LinExpr::new().with(x, 1.0).with(y, 1.0), Sense::Le, 1.0);
-        m.add_constraint("c2", LinExpr::new().with(x, 1.0).with(y, 1.0), Sense::Le, 1.0);
-        m.add_constraint("c3", LinExpr::new().with(x, 2.0).with(y, 1.0), Sense::Le, 2.0);
+        m.add_constraint(
+            "c1",
+            LinExpr::new().with(x, 1.0).with(y, 1.0),
+            Sense::Le,
+            1.0,
+        );
+        m.add_constraint(
+            "c2",
+            LinExpr::new().with(x, 1.0).with(y, 1.0),
+            Sense::Le,
+            1.0,
+        );
+        m.add_constraint(
+            "c3",
+            LinExpr::new().with(x, 2.0).with(y, 1.0),
+            Sense::Le,
+            2.0,
+        );
         let s = solve_lp(&m).expect_optimal("should solve");
         assert_close(s.objective, -1.0);
     }
@@ -404,7 +445,12 @@ mod tests {
         let y = m.add_var("y", 1.0, 5.0);
         m.set_objective(x, 2.0);
         m.set_objective(y, 1.0);
-        m.add_constraint("c", LinExpr::new().with(x, 1.0).with(y, 1.0), Sense::Ge, 4.0);
+        m.add_constraint(
+            "c",
+            LinExpr::new().with(x, 1.0).with(y, 1.0),
+            Sense::Ge,
+            4.0,
+        );
         let s = solve_lp(&m).expect_optimal("should solve");
         assert!(m.is_feasible(&s.values, 1e-6));
         assert_close(s.objective, 4.0); // x=0, y=4
@@ -432,7 +478,12 @@ mod tests {
         let f2 = m.add_var("f2", 0.0, f64::INFINITY);
         m.set_objective(f1, 2.0); // 2 links each
         m.set_objective(f2, 2.0);
-        m.add_constraint("demand", LinExpr::new().with(f1, 1.0).with(f2, 1.0), Sense::Eq, 2.0);
+        m.add_constraint(
+            "demand",
+            LinExpr::new().with(f1, 1.0).with(f2, 1.0),
+            Sense::Eq,
+            2.0,
+        );
         m.add_constraint("cap1", LinExpr::new().with(f1, 1.0), Sense::Le, 1.0);
         m.add_constraint("cap2", LinExpr::new().with(f2, 1.0), Sense::Le, 1.0);
         let s = solve_lp(&m).expect_optimal("should solve");

@@ -1,0 +1,16 @@
+//! In-tree stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names plus the no-op derive
+//! macros from the sibling `serde_derive` shim, so that
+//! `use serde::{Deserialize, Serialize};` and
+//! `#[derive(Serialize, Deserialize)]` compile without registry access.
+//! Actual (de)serialization is not implemented; swap this shim for the real
+//! crates.io `serde` (a one-line change in the workspace manifest) to get it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

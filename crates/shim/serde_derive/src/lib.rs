@@ -1,0 +1,22 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derive macros.
+//!
+//! The build environment has no registry access, so this proc-macro crate
+//! accepts the derive attributes and emits nothing. The matching trait
+//! definitions live in the sibling `serde` shim crate; replacing both shims
+//! with the real crates.io packages requires no source changes elsewhere.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and any `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and any `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -195,7 +195,13 @@ fn attach_external_ports(t: &mut Topology, ports: Option<usize>, _rng: &mut StdR
 pub mod presets {
     use super::*;
 
-    fn preset(name: &str, switches: usize, directed_links: usize, demands: usize, seed: u64) -> RandomTopologySpec {
+    fn preset(
+        name: &str,
+        switches: usize,
+        directed_links: usize,
+        demands: usize,
+        seed: u64,
+    ) -> RandomTopologySpec {
         let ports = (demands as f64).sqrt().round() as usize;
         RandomTopologySpec {
             name: name.to_string(),

@@ -124,11 +124,7 @@ impl Topology {
     /// Total degree (in + out) of a switch.
     pub fn degree(&self, node: NodeId) -> usize {
         let out = self.adj[node.0].len();
-        let inc = self
-            .links
-            .iter()
-            .filter(|l| l.to == node)
-            .count();
+        let inc = self.links.iter().filter(|l| l.to == node).count();
         out + inc
     }
 

@@ -378,7 +378,10 @@ mod tests {
 
     #[test]
     fn pure_drop_sequences_are_normalized_away() {
-        let leaf = Leaf::from_seqs(vec![ActionSeq::identity().with_drop(), ActionSeq::identity()]);
+        let leaf = Leaf::from_seqs(vec![
+            ActionSeq::identity().with_drop(),
+            ActionSeq::identity(),
+        ]);
         assert!(leaf.is_id());
         let only_drop = Leaf::from_seq(ActionSeq::identity().with_drop());
         assert!(only_drop.is_drop());

@@ -1,6 +1,14 @@
 //! xFDD composition operators: union (`⊕`), negation (`⊖`), restriction
 //! (`·|t`) and sequential composition (`⊙`), following Figures 7–8 and
-//! Appendices B/E of the paper.
+//! Appendices B/E of the paper — implemented over the hash-consed [`Pool`]
+//! with memoization.
+//!
+//! Because nodes are interned, structural equality is id equality, and each
+//! operator keeps a memo table in the pool keyed on `(lhs, rhs)` (plus the
+//! interned context for the union recursion, whose refinement step depends on
+//! the facts accumulated along the composition path). Repeating a composition
+//! — the common case when policies are built incrementally or recompiled — is
+//! then a hash lookup instead of a diagram traversal.
 //!
 //! The delicate part is composing an *action sequence* with a *branch*: the
 //! actions happen "before" the test, so the test must be re-expressed over
@@ -9,175 +17,471 @@
 
 use crate::action::{Action, ActionSeq, Leaf};
 use crate::context::Context;
-use crate::diagram::Xfdd;
 use crate::error::CompileError;
-use crate::test::{Test, VarOrder};
+use crate::pool::{CtxId, Node, NodeId, Pool};
+use crate::test::Test;
 use snap_lang::{Expr, Field, StateVar, Value};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 
-// ---------------------------------------------------------------------------
-// Union, negation, restriction
-// ---------------------------------------------------------------------------
-
-/// `d1 ⊕ d2` — parallel composition of diagrams.
-pub fn union(d1: &Xfdd, d2: &Xfdd, order: &VarOrder) -> Xfdd {
-    union_ctx(d1, d2, order, &Context::new())
+/// A node, decomposed into owned parts for recursion while the pool is
+/// mutably borrowed.
+enum Shape {
+    Leaf,
+    Branch(Test, NodeId, NodeId),
 }
 
-fn union_ctx(d1: &Xfdd, d2: &Xfdd, order: &VarOrder, ctx: &Context) -> Xfdd {
-    let d1 = refine(d1, ctx);
-    let d2 = refine(d2, ctx);
-    match (d1, d2) {
-        (Xfdd::Leaf(a), Xfdd::Leaf(b)) => Xfdd::Leaf(a.union(b)),
-        (Xfdd::Branch { test, tru, fls }, leaf @ Xfdd::Leaf(_)) => Xfdd::branch(
-            test.clone(),
-            union_ctx(tru, leaf, order, &ctx.with(test.clone(), true)),
-            union_ctx(fls, leaf, order, &ctx.with(test.clone(), false)),
-        ),
-        (leaf @ Xfdd::Leaf(_), Xfdd::Branch { test, tru, fls }) => Xfdd::branch(
-            test.clone(),
-            union_ctx(leaf, tru, order, &ctx.with(test.clone(), true)),
-            union_ctx(leaf, fls, order, &ctx.with(test.clone(), false)),
-        ),
-        (
-            b1 @ Xfdd::Branch {
-                test: t1,
-                tru: d11,
-                fls: d12,
-            },
-            b2 @ Xfdd::Branch {
-                test: t2,
-                tru: d21,
-                fls: d22,
-            },
-        ) => match t1.cmp_in(t2, order) {
-            Ordering::Equal => Xfdd::branch(
-                t1.clone(),
-                union_ctx(d11, d21, order, &ctx.with(t1.clone(), true)),
-                union_ctx(d12, d22, order, &ctx.with(t1.clone(), false)),
-            ),
-            Ordering::Less => Xfdd::branch(
-                t1.clone(),
-                union_ctx(d11, b2, order, &ctx.with(t1.clone(), true)),
-                union_ctx(d12, b2, order, &ctx.with(t1.clone(), false)),
-            ),
-            Ordering::Greater => Xfdd::branch(
-                t2.clone(),
-                union_ctx(b1, d21, order, &ctx.with(t2.clone(), true)),
-                union_ctx(b1, d22, order, &ctx.with(t2.clone(), false)),
-            ),
-        },
-    }
-}
-
-/// The paper's `refine`: strip redundant or contradicting tests from the top
-/// of a diagram given what the context already implies.
-fn refine<'a>(d: &'a Xfdd, ctx: &Context) -> &'a Xfdd {
-    let mut cur = d;
-    loop {
-        match cur {
-            Xfdd::Branch { test, tru, fls } => match ctx.implies(test) {
-                Some(true) => cur = tru,
-                Some(false) => cur = fls,
-                None => return cur,
-            },
-            Xfdd::Leaf(_) => return cur,
+impl Pool {
+    fn shape(&self, n: NodeId) -> Shape {
+        match self.node(n) {
+            Node::Leaf(_) => Shape::Leaf,
+            Node::Branch { test, tru, fls } => Shape::Branch(test.clone(), *tru, *fls),
         }
     }
-}
 
-/// `⊖d` — negation. Only meaningful for predicate diagrams (leaves `{id}` /
-/// `{drop}`); a leaf with real actions is treated as "passes" and therefore
-/// negates to `drop`.
-pub fn negate(d: &Xfdd) -> Xfdd {
-    match d {
-        Xfdd::Leaf(l) => {
-            if l.is_drop() {
-                Xfdd::id()
-            } else {
-                Xfdd::drop()
+    fn leaf_of(&self, n: NodeId) -> &Leaf {
+        match self.node(n) {
+            Node::Leaf(l) => l,
+            Node::Branch { .. } => unreachable!("leaf_of called on a branch"),
+        }
+    }
+
+    fn is_drop_leaf(&self, n: NodeId) -> bool {
+        matches!(self.node(n), Node::Leaf(l) if l.is_drop())
+    }
+
+    // -----------------------------------------------------------------------
+    // Union, negation, restriction
+    // -----------------------------------------------------------------------
+
+    /// `d1 ⊕ d2` — parallel composition of diagrams.
+    pub fn union(&mut self, d1: NodeId, d2: NodeId) -> NodeId {
+        let ctx = self.empty_ctx();
+        self.union_ctx(d1, d2, ctx)
+    }
+
+    fn union_ctx(&mut self, d1: NodeId, d2: NodeId, ctx: CtxId) -> NodeId {
+        let d1 = self.refine(d1, ctx);
+        let d2 = self.refine(d2, ctx);
+        if d1 == d2 {
+            // Union is idempotent, and interning makes this check O(1).
+            return d1;
+        }
+        // `{drop}` is the unit of `⊕`: return the other side untouched.
+        // (Diagrams produced by this compiler are already path-refined, so
+        // the recursion would rebuild the identical diagram node by node —
+        // this matters because `seq` unions every leaf's result into a
+        // `{drop}` accumulator on the compiler's hottest path.)
+        if self.is_drop_leaf(d1) {
+            return d2;
+        }
+        if self.is_drop_leaf(d2) {
+            return d1;
+        }
+        // Union is commutative, so canonicalize the key order.
+        let key = (d1.min(d2), d1.max(d2), ctx);
+        if let Some(&r) = self.union_memo.get(&key) {
+            return r;
+        }
+        let result = match (self.shape(d1), self.shape(d2)) {
+            (Shape::Leaf, Shape::Leaf) => {
+                let merged = self.leaf_of(d1).union(self.leaf_of(d2));
+                self.leaf(merged)
             }
-        }
-        Xfdd::Branch { test, tru, fls } => Xfdd::branch(test.clone(), negate(tru), negate(fls)),
-    }
-}
-
-/// `d|t` (when `positive`) or `d|¬t` (otherwise): keep `d`'s behaviour only
-/// where the test has the given outcome; drop elsewhere.
-pub fn restrict(d: &Xfdd, test: &Test, positive: bool, order: &VarOrder) -> Xfdd {
-    match d {
-        Xfdd::Leaf(l) => {
-            if l.is_drop() {
-                Xfdd::drop()
-            } else if positive {
-                Xfdd::branch(test.clone(), d.clone(), Xfdd::drop())
-            } else {
-                Xfdd::branch(test.clone(), Xfdd::drop(), d.clone())
+            (Shape::Branch(test, tru, fls), Shape::Leaf) => {
+                let ct = self.ctx_with(ctx, test.clone(), true);
+                let cf = self.ctx_with(ctx, test.clone(), false);
+                let a = self.union_ctx(tru, d2, ct);
+                let b = self.union_ctx(fls, d2, cf);
+                self.branch(test, a, b)
             }
-        }
-        Xfdd::Branch {
-            test: t1,
-            tru,
-            fls,
-        } => match t1.cmp_in(test, order) {
-            Ordering::Equal => {
-                if positive {
-                    Xfdd::branch(t1.clone(), (**tru).clone(), Xfdd::drop())
-                } else {
-                    Xfdd::branch(t1.clone(), Xfdd::drop(), (**fls).clone())
+            (Shape::Leaf, Shape::Branch(test, tru, fls)) => {
+                let ct = self.ctx_with(ctx, test.clone(), true);
+                let cf = self.ctx_with(ctx, test.clone(), false);
+                let a = self.union_ctx(d1, tru, ct);
+                let b = self.union_ctx(d1, fls, cf);
+                self.branch(test, a, b)
+            }
+            (Shape::Branch(t1, d11, d12), Shape::Branch(t2, d21, d22)) => {
+                match t1.cmp_in(&t2, self.order()) {
+                    Ordering::Equal => {
+                        let ct = self.ctx_with(ctx, t1.clone(), true);
+                        let cf = self.ctx_with(ctx, t1.clone(), false);
+                        let a = self.union_ctx(d11, d21, ct);
+                        let b = self.union_ctx(d12, d22, cf);
+                        self.branch(t1, a, b)
+                    }
+                    Ordering::Less => {
+                        let ct = self.ctx_with(ctx, t1.clone(), true);
+                        let cf = self.ctx_with(ctx, t1.clone(), false);
+                        let a = self.union_ctx(d11, d2, ct);
+                        let b = self.union_ctx(d12, d2, cf);
+                        self.branch(t1, a, b)
+                    }
+                    Ordering::Greater => {
+                        let ct = self.ctx_with(ctx, t2.clone(), true);
+                        let cf = self.ctx_with(ctx, t2.clone(), false);
+                        let a = self.union_ctx(d1, d21, ct);
+                        let b = self.union_ctx(d1, d22, cf);
+                        self.branch(t2, a, b)
+                    }
                 }
             }
-            Ordering::Greater => {
-                // `test` comes first in the order: hoist it above `d`.
-                if positive {
-                    Xfdd::branch(test.clone(), d.clone(), Xfdd::drop())
+        };
+        self.union_memo.insert(key, result);
+        result
+    }
+
+    /// The paper's `refine`: strip redundant or contradicting tests from the
+    /// top of a diagram given what the context already implies.
+    fn refine(&self, d: NodeId, ctx: CtxId) -> NodeId {
+        let mut cur = d;
+        loop {
+            match self.node(cur) {
+                Node::Branch { test, tru, fls } => match self.ctx_implies(ctx, test) {
+                    Some(true) => cur = *tru,
+                    Some(false) => cur = *fls,
+                    None => return cur,
+                },
+                Node::Leaf(_) => return cur,
+            }
+        }
+    }
+
+    /// `⊖d` — negation. Only meaningful for predicate diagrams (leaves `{id}`
+    /// / `{drop}`); a leaf with real actions is treated as "passes" and
+    /// therefore negates to `drop`.
+    pub fn negate(&mut self, d: NodeId) -> NodeId {
+        if let Some(&r) = self.negate_memo.get(&d) {
+            return r;
+        }
+        let result = match self.shape(d) {
+            Shape::Leaf => {
+                if self.is_drop_leaf(d) {
+                    self.id()
                 } else {
-                    Xfdd::branch(test.clone(), Xfdd::drop(), d.clone())
+                    self.drop()
                 }
             }
-            Ordering::Less => Xfdd::branch(
-                t1.clone(),
-                restrict(tru, test, positive, order),
-                restrict(fls, test, positive, order),
-            ),
-        },
+            Shape::Branch(test, tru, fls) => {
+                let a = self.negate(tru);
+                let b = self.negate(fls);
+                self.branch(test, a, b)
+            }
+        };
+        self.negate_memo.insert(d, result);
+        result
     }
-}
 
-/// Build a semantically correct, well-formed `test ? dt : df` even when `dt`
-/// or `df` contain tests that precede `test` in the global order.
-pub fn make_branch(test: Test, dt: Xfdd, df: Xfdd, order: &VarOrder) -> Xfdd {
-    union(
-        &restrict(&dt, &test, true, order),
-        &restrict(&df, &test, false, order),
-        order,
-    )
-}
-
-// ---------------------------------------------------------------------------
-// Sequential composition
-// ---------------------------------------------------------------------------
-
-/// `d1 ⊙ d2` — sequential composition of diagrams.
-pub fn seq(d1: &Xfdd, d2: &Xfdd, order: &VarOrder) -> Result<Xfdd, CompileError> {
-    match d1 {
-        Xfdd::Leaf(l) => {
-            if l.is_drop() {
-                return Ok(Xfdd::drop());
-            }
-            let mut acc = Xfdd::drop();
-            for a in &l.0 {
-                let part = seq_action(a, d2, &Context::new(), order)?;
-                acc = union(&acc, &part, order);
-            }
-            Ok(acc)
+    /// `d|t` (when `positive`) or `d|¬t` (otherwise): keep `d`'s behaviour
+    /// only where the test has the given outcome; drop elsewhere.
+    pub fn restrict(&mut self, d: NodeId, test: &Test, positive: bool) -> NodeId {
+        let key = (d, test.clone(), positive);
+        if let Some(&r) = self.restrict_memo.get(&key) {
+            return r;
         }
-        Xfdd::Branch { test, tru, fls } => {
-            let a = seq(tru, d2, order)?;
-            let b = seq(fls, d2, order)?;
-            Ok(make_branch(test.clone(), a, b, order))
+        let result = match self.shape(d) {
+            Shape::Leaf => {
+                if self.is_drop_leaf(d) {
+                    self.drop()
+                } else if positive {
+                    let drop = self.drop();
+                    self.branch(test.clone(), d, drop)
+                } else {
+                    let drop = self.drop();
+                    self.branch(test.clone(), drop, d)
+                }
+            }
+            Shape::Branch(t1, tru, fls) => match t1.cmp_in(test, self.order()) {
+                Ordering::Equal => {
+                    let drop = self.drop();
+                    if positive {
+                        self.branch(t1, tru, drop)
+                    } else {
+                        self.branch(t1, drop, fls)
+                    }
+                }
+                Ordering::Greater => {
+                    // `test` comes first in the order: hoist it above `d`.
+                    let drop = self.drop();
+                    if positive {
+                        self.branch(test.clone(), d, drop)
+                    } else {
+                        self.branch(test.clone(), drop, d)
+                    }
+                }
+                Ordering::Less => {
+                    let a = self.restrict(tru, test, positive);
+                    let b = self.restrict(fls, test, positive);
+                    self.branch(t1, a, b)
+                }
+            },
+        };
+        self.restrict_memo.insert(key, result);
+        result
+    }
+
+    /// Build a semantically correct, well-formed `test ? dt : df` even when
+    /// `dt` or `df` contain tests that precede `test` in the global order.
+    pub fn make_branch(&mut self, test: Test, dt: NodeId, df: NodeId) -> NodeId {
+        let a = self.restrict(dt, &test, true);
+        let b = self.restrict(df, &test, false);
+        self.union(a, b)
+    }
+
+    // -----------------------------------------------------------------------
+    // Sequential composition
+    // -----------------------------------------------------------------------
+
+    /// `d1 ⊙ d2` — sequential composition of diagrams.
+    pub fn seq(&mut self, d1: NodeId, d2: NodeId) -> Result<NodeId, CompileError> {
+        if let Some(r) = self.seq_memo.get(&(d1, d2)) {
+            return r.clone();
         }
+        let result = self.seq_uncached(d1, d2);
+        self.seq_memo.insert((d1, d2), result.clone());
+        result
+    }
+
+    fn seq_uncached(&mut self, d1: NodeId, d2: NodeId) -> Result<NodeId, CompileError> {
+        match self.shape(d1) {
+            Shape::Leaf => {
+                if self.is_drop_leaf(d1) {
+                    return Ok(self.drop());
+                }
+                let seqs: Vec<ActionSeq> = self.leaf_of(d1).0.iter().cloned().collect();
+                let mut acc = self.drop();
+                let ctx = self.empty_ctx();
+                for a in &seqs {
+                    let part = self.seq_action(a, d2, ctx)?;
+                    acc = self.union(acc, part);
+                }
+                Ok(acc)
+            }
+            Shape::Branch(test, tru, fls) => {
+                let a = self.seq(tru, d2)?;
+                let b = self.seq(fls, d2)?;
+                Ok(self.make_branch(test, a, b))
+            }
+        }
+    }
+
+    /// Compose a single action sequence with a diagram (`as ⊙ d`), threading
+    /// a context of decided tests — Appendix E's `seq(a, d, T)`.
+    fn seq_action(
+        &mut self,
+        actions: &ActionSeq,
+        d: NodeId,
+        ctx: CtxId,
+    ) -> Result<NodeId, CompileError> {
+        // A sequence that already dropped the packet never reaches the rest
+        // of the program, but its state updates still take effect.
+        if actions.drops {
+            return Ok(self.leaf(Leaf::from_seq(actions.clone())));
+        }
+        let (test, tru, fls) = match self.shape(d) {
+            Shape::Leaf => {
+                if self.is_drop_leaf(d) {
+                    // `as ⊙ {drop}`: the actions run, then the packet drops.
+                    return Ok(self.leaf(Leaf::from_seq(actions.clone().with_drop())));
+                }
+                let suffixes: Vec<ActionSeq> = self.leaf_of(d).0.iter().cloned().collect();
+                let mut out = Leaf::drop();
+                for suffix in &suffixes {
+                    out.insert(actions.concat(suffix));
+                }
+                return Ok(self.leaf(out));
+            }
+            Shape::Branch(test, tru, fls) => (test, tru, fls),
+        };
+
+        let fmap = field_map(actions);
+        match &test {
+            Test::FieldValue(f, v) => {
+                if let Some(assigned) = fmap.get(f) {
+                    // The sequence overwrote the field: the test is decided.
+                    return if v.matches(assigned) {
+                        self.seq_action(actions, tru, ctx)
+                    } else {
+                        self.seq_action(actions, fls, ctx)
+                    };
+                }
+                self.decide_or_branch(test.clone(), actions, tru, fls, ctx)
+            }
+            Test::FieldField(f, g) => {
+                let rf = resolve_field(f, &fmap, self.ctx(ctx));
+                let rg = resolve_field(g, &fmap, self.ctx(ctx));
+                match (rf, rg) {
+                    (Resolved::Val(a), Resolved::Val(b)) => {
+                        if a == b {
+                            self.seq_action(actions, tru, ctx)
+                        } else {
+                            self.seq_action(actions, fls, ctx)
+                        }
+                    }
+                    (Resolved::Val(a), Resolved::Fld(g2)) => {
+                        self.decide_or_branch(Test::FieldValue(g2, a), actions, tru, fls, ctx)
+                    }
+                    (Resolved::Fld(f2), Resolved::Val(b)) => {
+                        self.decide_or_branch(Test::FieldValue(f2, b), actions, tru, fls, ctx)
+                    }
+                    (Resolved::Fld(f2), Resolved::Fld(g2)) => {
+                        if f2 == g2 {
+                            self.seq_action(actions, tru, ctx)
+                        } else {
+                            self.decide_or_branch(Test::FieldField(f2, g2), actions, tru, fls, ctx)
+                        }
+                    }
+                }
+            }
+            Test::State { var, index, value } => {
+                let (var, index, value) = (var.clone(), index.clone(), value.clone());
+                self.seq_action_state(actions, d, tru, fls, &var, &index, &value, &fmap, ctx)
+            }
+        }
+    }
+
+    /// Check the context for the (already re-expressed) test; recurse into
+    /// the decided branch or build a well-formed branch over it.
+    fn decide_or_branch(
+        &mut self,
+        test: Test,
+        actions: &ActionSeq,
+        tru: NodeId,
+        fls: NodeId,
+        ctx: CtxId,
+    ) -> Result<NodeId, CompileError> {
+        match self.ctx_implies(ctx, &test) {
+            Some(true) => self.seq_action(actions, tru, ctx),
+            Some(false) => self.seq_action(actions, fls, ctx),
+            None => {
+                let ct = self.ctx_with(ctx, test.clone(), true);
+                let cf = self.ctx_with(ctx, test.clone(), false);
+                let dt = self.seq_action(actions, tru, ct)?;
+                let df = self.seq_action(actions, fls, cf)?;
+                Ok(self.make_branch(test, dt, df))
+            }
+        }
+    }
+
+    /// The hardest case: `as ⊙ (s[e1] = e2 ? d1 : d2)`.
+    ///
+    /// The writes to `s` inside `as` may determine the test: scanning from
+    /// the latest write backwards, a write to the same entry with a known
+    /// value decides the test (possibly shifted by intervening
+    /// increments/decrements), and a write to a *possibly* equal entry forces
+    /// a disambiguating field-field / field-value test to be inserted (the
+    /// `(test ? d : d)` trick of Appendix E). If no write is relevant, the
+    /// test reads pre-existing state and is emitted, re-expressed over the
+    /// original packet header.
+    #[allow(clippy::too_many_arguments)]
+    fn seq_action_state(
+        &mut self,
+        actions: &ActionSeq,
+        whole: NodeId,
+        tru: NodeId,
+        fls: NodeId,
+        var: &StateVar,
+        index: &[Expr],
+        value: &Expr,
+        fmap: &BTreeMap<Field, Value>,
+        ctx: CtxId,
+    ) -> Result<NodeId, CompileError> {
+        // Test expressions re-expressed over the original header: fields that
+        // the sequence modified become the constants it assigned.
+        let t_idx: Vec<Expr> = index
+            .iter()
+            .map(|e| resolve_expr(e, fmap, self.ctx(ctx)))
+            .collect();
+        let t_val: Expr = resolve_expr(value, fmap, self.ctx(ctx));
+
+        // Writes to `var` inside the sequence, each re-expressed over the
+        // original header using only the field modifications that *precede*
+        // it.
+        let writes = collect_writes(actions, var, self.ctx(ctx));
+
+        let mut offset: i64 = 0;
+        for w in writes.iter().rev() {
+            match exprs_equal(&t_idx, &w.index, self.ctx(ctx)) {
+                EqResult::Neq => continue,
+                EqResult::Unknown(test) => {
+                    // Emit the disambiguating test (it is expressed over the
+                    // *original* header) and redo this node on both sides
+                    // with the outcome recorded in the context, which then
+                    // decides the equality.
+                    return self.disambiguate(test, actions, whole, ctx);
+                }
+                EqResult::Eq => match &w.kind {
+                    WriteKind::Set(wval) => {
+                        if offset == 0 {
+                            match exprs_equal(
+                                std::slice::from_ref(&t_val),
+                                std::slice::from_ref(wval),
+                                self.ctx(ctx),
+                            ) {
+                                EqResult::Eq => return self.seq_action(actions, tru, ctx),
+                                EqResult::Neq => return self.seq_action(actions, fls, ctx),
+                                EqResult::Unknown(test) => {
+                                    return self.disambiguate(test, actions, whole, ctx);
+                                }
+                            }
+                        }
+                        // An increment/decrement sits between this write and
+                        // the test: only constant integers can be compared
+                        // statically.
+                        return match (const_int(&t_val), const_int(wval)) {
+                            (Some(tv), Some(wv)) => {
+                                if tv == wv + offset {
+                                    self.seq_action(actions, tru, ctx)
+                                } else {
+                                    self.seq_action(actions, fls, ctx)
+                                }
+                            }
+                            _ => Err(CompileError::UnsupportedStateArithmetic { var: var.clone() }),
+                        };
+                    }
+                    WriteKind::Bump(delta) => {
+                        offset += delta;
+                        continue;
+                    }
+                },
+            }
+        }
+
+        // No write in the sequence decided the test: it reads pre-existing
+        // state, possibly shifted by increments of the same entry.
+        let final_value = if offset == 0 {
+            t_val.clone()
+        } else {
+            match const_int(&t_val) {
+                Some(tv) => Expr::Value(Value::Int(tv - offset)),
+                None => return Err(CompileError::UnsupportedStateArithmetic { var: var.clone() }),
+            }
+        };
+        let resolved = Test::State {
+            var: var.clone(),
+            index: t_idx,
+            value: final_value,
+        };
+        self.decide_or_branch(resolved, actions, tru, fls, ctx)
+    }
+
+    /// Emit a disambiguating test over the original header and re-process the
+    /// state-test node on both sides with the outcome recorded in the context
+    /// (Appendix E's `(test ? d : d)` expansion, done without re-interpreting
+    /// the new test as a post-action test).
+    fn disambiguate(
+        &mut self,
+        test: Test,
+        actions: &ActionSeq,
+        whole: NodeId,
+        ctx: CtxId,
+    ) -> Result<NodeId, CompileError> {
+        let ct = self.ctx_with(ctx, test.clone(), true);
+        let cf = self.ctx_with(ctx, test.clone(), false);
+        let dt = self.seq_action(actions, whole, ct)?;
+        let df = self.seq_action(actions, whole, cf)?;
+        Ok(self.make_branch(test, dt, df))
     }
 }
 
@@ -186,212 +490,6 @@ enum EqResult {
     Eq,
     Neq,
     Unknown(Test),
-}
-
-/// Compose a single action sequence with a diagram (`as ⊙ d`), threading a
-/// context of decided tests — Appendix E's `seq(a, d, T)`.
-fn seq_action(
-    actions: &ActionSeq,
-    d: &Xfdd,
-    ctx: &Context,
-    order: &VarOrder,
-) -> Result<Xfdd, CompileError> {
-    // A sequence that already dropped the packet never reaches the rest of
-    // the program, but its state updates still take effect.
-    if actions.drops {
-        return Ok(Xfdd::Leaf(Leaf::from_seq(actions.clone())));
-    }
-    let (test, tru, fls) = match d {
-        Xfdd::Leaf(l) => {
-            if l.is_drop() {
-                // `as ⊙ {drop}`: the actions run, then the packet is dropped.
-                return Ok(Xfdd::Leaf(Leaf::from_seq(actions.clone().with_drop())));
-            }
-            let mut out = Leaf::drop();
-            for suffix in &l.0 {
-                out.insert(actions.concat(suffix));
-            }
-            return Ok(Xfdd::Leaf(out));
-        }
-        Xfdd::Branch { test, tru, fls } => (test, tru.as_ref(), fls.as_ref()),
-    };
-
-    let fmap = field_map(actions);
-    match test {
-        Test::FieldValue(f, v) => {
-            if let Some(assigned) = fmap.get(f) {
-                // The sequence overwrote the field: the test is decided.
-                return if v.matches(assigned) {
-                    seq_action(actions, tru, ctx, order)
-                } else {
-                    seq_action(actions, fls, ctx, order)
-                };
-            }
-            decide_or_branch(test.clone(), actions, tru, fls, ctx, order)
-        }
-        Test::FieldField(f, g) => {
-            let rf = resolve_field(f, &fmap, ctx);
-            let rg = resolve_field(g, &fmap, ctx);
-            match (rf, rg) {
-                (Resolved::Val(a), Resolved::Val(b)) => {
-                    if a == b {
-                        seq_action(actions, tru, ctx, order)
-                    } else {
-                        seq_action(actions, fls, ctx, order)
-                    }
-                }
-                (Resolved::Val(a), Resolved::Fld(g2)) => {
-                    decide_or_branch(Test::FieldValue(g2, a), actions, tru, fls, ctx, order)
-                }
-                (Resolved::Fld(f2), Resolved::Val(b)) => {
-                    decide_or_branch(Test::FieldValue(f2, b), actions, tru, fls, ctx, order)
-                }
-                (Resolved::Fld(f2), Resolved::Fld(g2)) => {
-                    if f2 == g2 {
-                        seq_action(actions, tru, ctx, order)
-                    } else {
-                        decide_or_branch(Test::FieldField(f2, g2), actions, tru, fls, ctx, order)
-                    }
-                }
-            }
-        }
-        Test::State { var, index, value } => {
-            seq_action_state(actions, d, tru, fls, var, index, value, &fmap, ctx, order)
-        }
-    }
-}
-
-/// Check the context for the (already re-expressed) test; recurse into the
-/// decided branch or build a well-formed branch over it.
-fn decide_or_branch(
-    test: Test,
-    actions: &ActionSeq,
-    tru: &Xfdd,
-    fls: &Xfdd,
-    ctx: &Context,
-    order: &VarOrder,
-) -> Result<Xfdd, CompileError> {
-    match ctx.implies(&test) {
-        Some(true) => seq_action(actions, tru, ctx, order),
-        Some(false) => seq_action(actions, fls, ctx, order),
-        None => {
-            let dt = seq_action(actions, tru, &ctx.with(test.clone(), true), order)?;
-            let df = seq_action(actions, fls, &ctx.with(test.clone(), false), order)?;
-            Ok(make_branch(test, dt, df, order))
-        }
-    }
-}
-
-/// The hardest case: `as ⊙ (s[e1] = e2 ? d1 : d2)`.
-///
-/// The writes to `s` inside `as` may determine the test: scanning from the
-/// latest write backwards, a write to the same entry with a known value
-/// decides the test (possibly shifted by intervening increments/decrements),
-/// and a write to a *possibly* equal entry forces a disambiguating
-/// field-field / field-value test to be inserted (the `(test ? d : d)` trick
-/// of Appendix E). If no write is relevant, the test reads pre-existing state
-/// and is emitted, re-expressed over the original packet header.
-#[allow(clippy::too_many_arguments)]
-fn seq_action_state(
-    actions: &ActionSeq,
-    whole: &Xfdd,
-    tru: &Xfdd,
-    fls: &Xfdd,
-    var: &StateVar,
-    index: &[Expr],
-    value: &Expr,
-    fmap: &BTreeMap<Field, Value>,
-    ctx: &Context,
-    order: &VarOrder,
-) -> Result<Xfdd, CompileError> {
-    // Test expressions re-expressed over the original header: fields that the
-    // sequence modified become the constants it assigned.
-    let t_idx: Vec<Expr> = index.iter().map(|e| resolve_expr(e, fmap, ctx)).collect();
-    let t_val: Expr = resolve_expr(value, fmap, ctx);
-
-    // Writes to `var` inside the sequence, each re-expressed over the
-    // original header using only the field modifications that *precede* it.
-    let writes = collect_writes(actions, var, ctx);
-
-    let mut offset: i64 = 0;
-    for w in writes.iter().rev() {
-        match exprs_equal(&t_idx, &w.index, ctx) {
-            EqResult::Neq => continue,
-            EqResult::Unknown(test) => {
-                // Emit the disambiguating test (it is expressed over the
-                // *original* header) and redo this node on both sides with
-                // the outcome recorded in the context, which then decides
-                // the equality.
-                return disambiguate(test, actions, whole, ctx, order);
-            }
-            EqResult::Eq => match &w.kind {
-                WriteKind::Set(wval) => {
-                    if offset == 0 {
-                        match exprs_equal(
-                            std::slice::from_ref(&t_val),
-                            std::slice::from_ref(wval),
-                            ctx,
-                        ) {
-                            EqResult::Eq => return seq_action(actions, tru, ctx, order),
-                            EqResult::Neq => return seq_action(actions, fls, ctx, order),
-                            EqResult::Unknown(test) => {
-                                return disambiguate(test, actions, whole, ctx, order);
-                            }
-                        }
-                    }
-                    // An increment/decrement sits between this write and the
-                    // test: only constant integers can be compared statically.
-                    return match (const_int(&t_val), const_int(wval)) {
-                        (Some(tv), Some(wv)) => {
-                            if tv == wv + offset {
-                                seq_action(actions, tru, ctx, order)
-                            } else {
-                                seq_action(actions, fls, ctx, order)
-                            }
-                        }
-                        _ => Err(CompileError::UnsupportedStateArithmetic { var: var.clone() }),
-                    };
-                }
-                WriteKind::Bump(delta) => {
-                    offset += delta;
-                    continue;
-                }
-            },
-        }
-    }
-
-    // No write in the sequence decided the test: it reads pre-existing state,
-    // possibly shifted by increments of the same entry.
-    let final_value = if offset == 0 {
-        t_val.clone()
-    } else {
-        match const_int(&t_val) {
-            Some(tv) => Expr::Value(Value::Int(tv - offset)),
-            None => return Err(CompileError::UnsupportedStateArithmetic { var: var.clone() }),
-        }
-    };
-    let resolved = Test::State {
-        var: var.clone(),
-        index: t_idx,
-        value: final_value,
-    };
-    decide_or_branch(resolved, actions, tru, fls, ctx, order)
-}
-
-/// Emit a disambiguating test over the original header and re-process the
-/// state-test node on both sides with the outcome recorded in the context
-/// (Appendix E's `(test ? d : d)` expansion, done without re-interpreting the
-/// new test as a post-action test).
-fn disambiguate(
-    test: Test,
-    actions: &ActionSeq,
-    whole: &Xfdd,
-    ctx: &Context,
-    order: &VarOrder,
-) -> Result<Xfdd, CompileError> {
-    let dt = seq_action(actions, whole, &ctx.with(test.clone(), true), order)?;
-    let df = seq_action(actions, whole, &ctx.with(test.clone(), false), order)?;
-    Ok(make_branch(test, dt, df, order))
 }
 
 // ---------------------------------------------------------------------------
@@ -465,15 +563,24 @@ fn collect_writes(actions: &ActionSeq, var: &StateVar, ctx: &Context) -> Vec<Sta
                 index,
                 value,
             } if w == var => out.push(StateWrite {
-                index: index.iter().map(|e| resolve_expr(e, &running, ctx)).collect(),
+                index: index
+                    .iter()
+                    .map(|e| resolve_expr(e, &running, ctx))
+                    .collect(),
                 kind: WriteKind::Set(resolve_expr(value, &running, ctx)),
             }),
             Action::StateIncr { var: w, index } if w == var => out.push(StateWrite {
-                index: index.iter().map(|e| resolve_expr(e, &running, ctx)).collect(),
+                index: index
+                    .iter()
+                    .map(|e| resolve_expr(e, &running, ctx))
+                    .collect(),
                 kind: WriteKind::Bump(1),
             }),
             Action::StateDecr { var: w, index } if w == var => out.push(StateWrite {
-                index: index.iter().map(|e| resolve_expr(e, &running, ctx)).collect(),
+                index: index
+                    .iter()
+                    .map(|e| resolve_expr(e, &running, ctx))
+                    .collect(),
                 kind: WriteKind::Bump(-1),
             }),
             _ => {}
@@ -543,6 +650,7 @@ fn exprs_equal(a: &[Expr], b: &[Expr], ctx: &Context) -> EqResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test::VarOrder;
     use snap_lang::builder::field;
     use snap_lang::{Packet, Store};
 
@@ -550,43 +658,70 @@ mod tests {
         StateVar::new(s)
     }
 
-    fn order() -> VarOrder {
-        VarOrder::empty()
+    fn pool() -> Pool {
+        Pool::new(VarOrder::empty())
     }
 
-    fn leaf_action(a: Action) -> Xfdd {
-        Xfdd::Leaf(Leaf::single(a))
+    fn leaf_action(p: &mut Pool, a: Action) -> NodeId {
+        p.leaf(Leaf::single(a))
     }
 
-    fn test_branch(t: Test) -> Xfdd {
-        Xfdd::branch(t, Xfdd::id(), Xfdd::drop())
+    fn test_branch(p: &mut Pool, t: Test) -> NodeId {
+        let id = p.id();
+        let drop = p.drop();
+        p.branch(t, id, drop)
     }
 
     #[test]
     fn union_of_predicates_is_disjunction() {
-        let a = test_branch(Test::FieldValue(Field::SrcPort, Value::Int(53)));
-        let b = test_branch(Test::FieldValue(Field::DstPort, Value::Int(53)));
-        let d = union(&a, &b, &order());
-        assert!(d.is_well_formed(&order()));
+        let mut p = pool();
+        let a = test_branch(&mut p, Test::FieldValue(Field::SrcPort, Value::Int(53)));
+        let b = test_branch(&mut p, Test::FieldValue(Field::DstPort, Value::Int(53)));
+        let d = p.union(a, b);
+        assert!(p.is_well_formed(d));
         let store = Store::new();
-        let p1 = Packet::new().with(Field::SrcPort, 53).with(Field::DstPort, 80);
-        let p2 = Packet::new().with(Field::SrcPort, 80).with(Field::DstPort, 53);
-        let p3 = Packet::new().with(Field::SrcPort, 80).with(Field::DstPort, 80);
-        assert_eq!(d.evaluate(&p1, &store).unwrap().0.len(), 1);
-        assert_eq!(d.evaluate(&p2, &store).unwrap().0.len(), 1);
-        assert_eq!(d.evaluate(&p3, &store).unwrap().0.len(), 0);
+        let p1 = Packet::new()
+            .with(Field::SrcPort, 53)
+            .with(Field::DstPort, 80);
+        let p2 = Packet::new()
+            .with(Field::SrcPort, 80)
+            .with(Field::DstPort, 53);
+        let p3 = Packet::new()
+            .with(Field::SrcPort, 80)
+            .with(Field::DstPort, 80);
+        assert_eq!(p.evaluate(d, &p1, &store).unwrap().0.len(), 1);
+        assert_eq!(p.evaluate(d, &p2, &store).unwrap().0.len(), 1);
+        assert_eq!(p.evaluate(d, &p3, &store).unwrap().0.len(), 0);
+    }
+
+    #[test]
+    fn union_is_memoized() {
+        let mut p = pool();
+        let a = test_branch(&mut p, Test::FieldValue(Field::SrcPort, Value::Int(53)));
+        let b = test_branch(&mut p, Test::FieldValue(Field::DstPort, Value::Int(53)));
+        let d1 = p.union(a, b);
+        let nodes_after_first = p.len();
+        // Repeating the union (in either order — it is commutative) hits the
+        // memo and interns nothing new.
+        let d2 = p.union(a, b);
+        let d3 = p.union(b, a);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, d3);
+        assert_eq!(p.len(), nodes_after_first);
     }
 
     #[test]
     fn union_refines_contradicting_subtrees() {
-        // (srcport = 53 ? id : drop) ⊕ (srcport = 80 ? id : drop): on the true
-        // branch of srcport=53, the srcport=80 test must be refined away.
-        let a = test_branch(Test::FieldValue(Field::SrcPort, Value::Int(53)));
-        let b = test_branch(Test::FieldValue(Field::SrcPort, Value::Int(80)));
-        let d = union(&a, &b, &order());
-        assert!(d.is_well_formed(&order()));
+        // (srcport = 53 ? id : drop) ⊕ (srcport = 80 ? id : drop): on the
+        // true branch of srcport=53, the srcport=80 test must be refined
+        // away.
+        let mut p = pool();
+        let a = test_branch(&mut p, Test::FieldValue(Field::SrcPort, Value::Int(53)));
+        let b = test_branch(&mut p, Test::FieldValue(Field::SrcPort, Value::Int(80)));
+        let d = p.union(a, b);
+        assert!(p.is_well_formed(d));
         // No path should test srcport twice.
-        for (path, _) in d.paths() {
+        for (path, _) in p.paths(d) {
             let fields: Vec<_> = path
                 .iter()
                 .filter(|(t, _)| matches!(t, Test::FieldValue(Field::SrcPort, _)))
@@ -594,47 +729,55 @@ mod tests {
             assert!(fields.len() <= 2);
         }
         let store = Store::new();
-        let p = Packet::new().with(Field::SrcPort, 80);
-        assert_eq!(d.evaluate(&p, &store).unwrap().0.len(), 1);
+        let pkt = Packet::new().with(Field::SrcPort, 80);
+        assert_eq!(p.evaluate(d, &pkt, &store).unwrap().0.len(), 1);
     }
 
     #[test]
     fn negate_flips_pass_and_drop() {
-        let a = test_branch(Test::FieldValue(Field::SrcPort, Value::Int(53)));
-        let n = negate(&a);
+        let mut p = pool();
+        let a = test_branch(&mut p, Test::FieldValue(Field::SrcPort, Value::Int(53)));
+        let n = p.negate(a);
         let store = Store::new();
         let dns = Packet::new().with(Field::SrcPort, 53);
         let web = Packet::new().with(Field::SrcPort, 80);
-        assert!(n.evaluate(&dns, &store).unwrap().0.is_empty());
-        assert_eq!(n.evaluate(&web, &store).unwrap().0.len(), 1);
-        assert_eq!(negate(&Xfdd::id()), Xfdd::drop());
-        assert_eq!(negate(&Xfdd::drop()), Xfdd::id());
+        assert!(p.evaluate(n, &dns, &store).unwrap().0.is_empty());
+        assert_eq!(p.evaluate(n, &web, &store).unwrap().0.len(), 1);
+        let id = p.id();
+        let drop = p.drop();
+        assert_eq!(p.negate(id), drop);
+        assert_eq!(p.negate(drop), id);
+        // Memoized: same input, same output id.
+        assert_eq!(p.negate(a), n);
     }
 
     #[test]
     fn restrict_keeps_only_matching_side() {
+        let mut p = pool();
         let t = Test::FieldValue(Field::SrcPort, Value::Int(53));
-        let d = leaf_action(Action::Modify(Field::OutPort, Value::Int(1)));
-        let pos = restrict(&d, &t, true, &order());
-        let neg = restrict(&d, &t, false, &order());
+        let d = leaf_action(&mut p, Action::Modify(Field::OutPort, Value::Int(1)));
+        let pos = p.restrict(d, &t, true);
+        let neg = p.restrict(d, &t, false);
         let store = Store::new();
         let dns = Packet::new().with(Field::SrcPort, 53);
         let web = Packet::new().with(Field::SrcPort, 80);
-        assert_eq!(pos.evaluate(&dns, &store).unwrap().0.len(), 1);
-        assert!(pos.evaluate(&web, &store).unwrap().0.is_empty());
-        assert!(neg.evaluate(&dns, &store).unwrap().0.is_empty());
-        assert_eq!(neg.evaluate(&web, &store).unwrap().0.len(), 1);
+        assert_eq!(p.evaluate(pos, &dns, &store).unwrap().0.len(), 1);
+        assert!(p.evaluate(pos, &web, &store).unwrap().0.is_empty());
+        assert!(p.evaluate(neg, &dns, &store).unwrap().0.is_empty());
+        assert_eq!(p.evaluate(neg, &web, &store).unwrap().0.len(), 1);
     }
 
     #[test]
     fn make_branch_handles_out_of_order_tests() {
         // The branches contain a test that precedes the branch test in the
         // global order; make_branch must still build a well-formed diagram.
+        let mut p = pool();
         let early = Test::FieldValue(Field::DstIp, Value::ip(1, 1, 1, 1));
         let late = Test::FieldValue(Field::SrcPort, Value::Int(53));
-        let dt = test_branch(early.clone());
-        let d = make_branch(late.clone(), dt, Xfdd::drop(), &order());
-        assert!(d.is_well_formed(&order()));
+        let dt = test_branch(&mut p, early.clone());
+        let drop = p.drop();
+        let d = p.make_branch(late.clone(), dt, drop);
+        assert!(p.is_well_formed(d));
         let store = Store::new();
         let yes = Packet::new()
             .with(Field::SrcPort, 53)
@@ -642,47 +785,67 @@ mod tests {
         let no = Packet::new()
             .with(Field::SrcPort, 80)
             .with(Field::DstIp, Value::ip(1, 1, 1, 1));
-        assert_eq!(d.evaluate(&yes, &store).unwrap().0.len(), 1);
-        assert!(d.evaluate(&no, &store).unwrap().0.is_empty());
+        assert_eq!(p.evaluate(d, &yes, &store).unwrap().0.len(), 1);
+        assert!(p.evaluate(d, &no, &store).unwrap().0.is_empty());
     }
 
     #[test]
     fn seq_modification_then_test_is_resolved_statically() {
         // (outport <- 6) ; (outport = 6 ? id : drop)  ≡  outport <- 6
-        let set = leaf_action(Action::Modify(Field::OutPort, Value::Int(6)));
-        let check = test_branch(Test::FieldValue(Field::OutPort, Value::Int(6)));
-        let d = seq(&set, &check, &order()).unwrap();
-        assert!(d.is_well_formed(&order()));
+        let mut p = pool();
+        let set = leaf_action(&mut p, Action::Modify(Field::OutPort, Value::Int(6)));
+        let check = test_branch(&mut p, Test::FieldValue(Field::OutPort, Value::Int(6)));
+        let d = p.seq(set, check).unwrap();
+        assert!(p.is_well_formed(d));
         let store = Store::new();
         let pkt = Packet::new().with(Field::InPort, 1);
-        let (pkts, _) = d.evaluate(&pkt, &store).unwrap();
+        let (pkts, _) = p.evaluate(d, &pkt, &store).unwrap();
         assert_eq!(pkts.len(), 1);
         // And against a different constant the packet is dropped.
-        let check5 = test_branch(Test::FieldValue(Field::OutPort, Value::Int(5)));
-        let d = seq(&set, &check5, &order()).unwrap();
-        assert!(d.evaluate(&pkt, &store).unwrap().0.is_empty());
+        let check5 = test_branch(&mut p, Test::FieldValue(Field::OutPort, Value::Int(5)));
+        let d = p.seq(set, check5).unwrap();
+        assert!(p.evaluate(d, &pkt, &store).unwrap().0.is_empty());
         // No residual test on outport should remain in either diagram.
-        assert_eq!(d.num_tests(), 0);
+        assert_eq!(p.num_tests(d), 0);
+    }
+
+    #[test]
+    fn seq_is_memoized() {
+        let mut p = pool();
+        let set = leaf_action(&mut p, Action::Modify(Field::OutPort, Value::Int(6)));
+        let check = test_branch(&mut p, Test::FieldValue(Field::OutPort, Value::Int(6)));
+        let d1 = p.seq(set, check).unwrap();
+        let nodes_after_first = p.len();
+        let d2 = p.seq(set, check).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(p.len(), nodes_after_first);
     }
 
     #[test]
     fn seq_state_write_then_same_entry_test() {
         // s[srcip] <- 1 ; (s[srcip] = 1 ? id : drop) ≡ s[srcip] <- 1
-        let w = leaf_action(Action::StateSet {
-            var: sv("s"),
-            index: vec![field(Field::SrcIp)],
-            value: Expr::Value(Value::Int(1)),
-        });
-        let t = test_branch(Test::State {
-            var: sv("s"),
-            index: vec![field(Field::SrcIp)],
-            value: Expr::Value(Value::Int(1)),
-        });
-        let d = seq(&w, &t, &order()).unwrap();
+        let mut p = pool();
+        let w = leaf_action(
+            &mut p,
+            Action::StateSet {
+                var: sv("s"),
+                index: vec![field(Field::SrcIp)],
+                value: Expr::Value(Value::Int(1)),
+            },
+        );
+        let t = test_branch(
+            &mut p,
+            Test::State {
+                var: sv("s"),
+                index: vec![field(Field::SrcIp)],
+                value: Expr::Value(Value::Int(1)),
+            },
+        );
+        let d = p.seq(w, t).unwrap();
         // The state test must have been eliminated: the write decides it.
-        assert_eq!(d.num_tests(), 0);
+        assert_eq!(p.num_tests(d), 0);
         let pkt = Packet::new().with(Field::SrcIp, Value::ip(9, 9, 9, 9));
-        let (pkts, store) = d.evaluate(&pkt, &Store::new()).unwrap();
+        let (pkts, store) = p.evaluate(d, &pkt, &Store::new()).unwrap();
         assert_eq!(pkts.len(), 1);
         assert_eq!(store.get(&sv("s"), &[Value::ip(9, 9, 9, 9)]), Value::Int(1));
     }
@@ -691,23 +854,30 @@ mod tests {
     fn seq_state_write_different_field_needs_field_field_test() {
         // s[srcip] <- e ; (s[dstip] = e ? d1 : d2): whether the write decides
         // the test depends on srcip = dstip, so a field-field test appears.
-        let w = leaf_action(Action::StateSet {
-            var: sv("s"),
-            index: vec![field(Field::SrcIp)],
-            value: Expr::Value(Value::Int(1)),
-        });
-        let t = test_branch(Test::State {
-            var: sv("s"),
-            index: vec![field(Field::DstIp)],
-            value: Expr::Value(Value::Int(1)),
-        });
-        let d = seq(&w, &t, &order()).unwrap();
-        assert!(d.is_well_formed(&order()));
-        let has_ff = d.paths().iter().any(|(path, _)| {
+        let mut p = pool();
+        let w = leaf_action(
+            &mut p,
+            Action::StateSet {
+                var: sv("s"),
+                index: vec![field(Field::SrcIp)],
+                value: Expr::Value(Value::Int(1)),
+            },
+        );
+        let t = test_branch(
+            &mut p,
+            Test::State {
+                var: sv("s"),
+                index: vec![field(Field::DstIp)],
+                value: Expr::Value(Value::Int(1)),
+            },
+        );
+        let d = p.seq(w, t).unwrap();
+        assert!(p.is_well_formed(d));
+        let has_ff = p.paths(d).iter().any(|(path, _)| {
             path.iter()
                 .any(|(t, _)| matches!(t, Test::FieldField(_, _)))
         });
-        assert!(has_ff, "expected a field-field test in {d:?}");
+        assert!(has_ff, "expected a field-field test in {}", p.debug(d));
 
         // Behaviour check against the obvious semantics.
         let store = Store::new();
@@ -718,62 +888,83 @@ mod tests {
             .with(Field::SrcIp, Value::ip(1, 1, 1, 1))
             .with(Field::DstIp, Value::ip(2, 2, 2, 2));
         // srcip = dstip: the write makes the test true -> pass.
-        assert_eq!(d.evaluate(&same, &store).unwrap().0.len(), 1);
+        assert_eq!(p.evaluate(d, &same, &store).unwrap().0.len(), 1);
         // different: the test reads pre-existing state (0 ≠ 1) -> drop.
-        assert!(d.evaluate(&diff, &store).unwrap().0.is_empty());
+        assert!(p.evaluate(d, &diff, &store).unwrap().0.is_empty());
         // ... unless the pre-existing state already holds 1 at dstip.
         let mut seeded = Store::new();
         seeded.set(&sv("s"), vec![Value::ip(2, 2, 2, 2)], Value::Int(1));
-        assert_eq!(d.evaluate(&diff, &seeded).unwrap().0.len(), 1);
+        assert_eq!(p.evaluate(d, &diff, &seeded).unwrap().0.len(), 1);
     }
 
     #[test]
     fn seq_increment_then_constant_test_shifts_the_constant() {
         // c[srcip]++ ; (c[srcip] = 3 ? id : drop): equivalent to testing the
         // *pre*-increment value against 2.
-        let inc = leaf_action(Action::StateIncr {
-            var: sv("c"),
-            index: vec![field(Field::SrcIp)],
-        });
-        let t = test_branch(Test::State {
-            var: sv("c"),
-            index: vec![field(Field::SrcIp)],
-            value: Expr::Value(Value::Int(3)),
-        });
-        let d = seq(&inc, &t, &order()).unwrap();
+        let mut p = pool();
+        let inc = leaf_action(
+            &mut p,
+            Action::StateIncr {
+                var: sv("c"),
+                index: vec![field(Field::SrcIp)],
+            },
+        );
+        let t = test_branch(
+            &mut p,
+            Test::State {
+                var: sv("c"),
+                index: vec![field(Field::SrcIp)],
+                value: Expr::Value(Value::Int(3)),
+            },
+        );
+        let d = p.seq(inc, t).unwrap();
         let pkt = Packet::new().with(Field::SrcIp, Value::ip(7, 7, 7, 7));
         let mut store = Store::new();
         store.set(&sv("c"), vec![Value::ip(7, 7, 7, 7)], Value::Int(2));
-        let (pkts, new_store) = d.evaluate(&pkt, &store).unwrap();
+        let (pkts, new_store) = p.evaluate(d, &pkt, &store).unwrap();
         assert_eq!(pkts.len(), 1);
         assert_eq!(
             new_store.get(&sv("c"), &[Value::ip(7, 7, 7, 7)]),
             Value::Int(3)
         );
         // With a pre-state of 0 the packet is dropped (post-value 1 ≠ 3).
-        let (pkts, _) = d.evaluate(&pkt, &Store::new()).unwrap();
+        let (pkts, _) = p.evaluate(d, &pkt, &Store::new()).unwrap();
         assert!(pkts.is_empty());
     }
 
     #[test]
     fn seq_increment_then_non_constant_test_is_rejected() {
-        let inc = leaf_action(Action::StateIncr {
-            var: sv("c"),
-            index: vec![field(Field::SrcIp)],
-        });
-        let t = test_branch(Test::State {
-            var: sv("c"),
-            index: vec![field(Field::SrcIp)],
-            value: Expr::Field(Field::DstPort),
-        });
-        let err = seq(&inc, &t, &order()).unwrap_err();
-        assert!(matches!(err, CompileError::UnsupportedStateArithmetic { .. }));
+        let mut p = pool();
+        let inc = leaf_action(
+            &mut p,
+            Action::StateIncr {
+                var: sv("c"),
+                index: vec![field(Field::SrcIp)],
+            },
+        );
+        let t = test_branch(
+            &mut p,
+            Test::State {
+                var: sv("c"),
+                index: vec![field(Field::SrcIp)],
+                value: Expr::Field(Field::DstPort),
+            },
+        );
+        let err = p.seq(inc, t).unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::UnsupportedStateArithmetic { .. }
+        ));
+        // The error is memoized too.
+        let err2 = p.seq(inc, t).unwrap_err();
+        assert_eq!(err, err2);
     }
 
     #[test]
     fn seq_set_then_set_last_write_wins() {
         // s[0] <- 1; s[0] <- 2 ; (s[0] = 2 ? id : drop) keeps packets.
-        let w = Xfdd::Leaf(Leaf::from_seq(ActionSeq::from_actions(vec![
+        let mut p = pool();
+        let w = p.leaf(Leaf::from_seq(ActionSeq::from_actions(vec![
             Action::StateSet {
                 var: sv("s"),
                 index: vec![Expr::Value(Value::Int(0))],
@@ -785,22 +976,27 @@ mod tests {
                 value: Expr::Value(Value::Int(2)),
             },
         ])));
-        let t = test_branch(Test::State {
-            var: sv("s"),
-            index: vec![Expr::Value(Value::Int(0))],
-            value: Expr::Value(Value::Int(2)),
-        });
-        let d = seq(&w, &t, &order()).unwrap();
-        assert_eq!(d.num_tests(), 0);
-        let (pkts, _) = d.evaluate(&Packet::new(), &Store::new()).unwrap();
+        let t = test_branch(
+            &mut p,
+            Test::State {
+                var: sv("s"),
+                index: vec![Expr::Value(Value::Int(0))],
+                value: Expr::Value(Value::Int(2)),
+            },
+        );
+        let d = p.seq(w, t).unwrap();
+        assert_eq!(p.num_tests(d), 0);
+        let (pkts, _) = p.evaluate(d, &Packet::new(), &Store::new()).unwrap();
         assert_eq!(pkts.len(), 1);
     }
 
     #[test]
     fn seq_modified_field_in_write_index_uses_preceding_value() {
         // outport <- 6; s[outport] <- 1; (s[outport] = 1 ? id : drop):
-        // the write and the test both see outport = 6, so the test is decided.
-        let w = Xfdd::Leaf(Leaf::from_seq(ActionSeq::from_actions(vec![
+        // the write and the test both see outport = 6, so the test is
+        // decided.
+        let mut p = pool();
+        let w = p.leaf(Leaf::from_seq(ActionSeq::from_actions(vec![
             Action::Modify(Field::OutPort, Value::Int(6)),
             Action::StateSet {
                 var: sv("s"),
@@ -808,14 +1004,17 @@ mod tests {
                 value: Expr::Value(Value::Int(1)),
             },
         ])));
-        let t = test_branch(Test::State {
-            var: sv("s"),
-            index: vec![field(Field::OutPort)],
-            value: Expr::Value(Value::Int(1)),
-        });
-        let d = seq(&w, &t, &order()).unwrap();
-        assert_eq!(d.num_tests(), 0);
-        let (pkts, _) = d.evaluate(&Packet::new(), &Store::new()).unwrap();
+        let t = test_branch(
+            &mut p,
+            Test::State {
+                var: sv("s"),
+                index: vec![field(Field::OutPort)],
+                value: Expr::Value(Value::Int(1)),
+            },
+        );
+        let d = p.seq(w, t).unwrap();
+        assert_eq!(p.num_tests(d), 0);
+        let (pkts, _) = p.evaluate(d, &Packet::new(), &Store::new()).unwrap();
         assert_eq!(pkts.len(), 1);
     }
 
@@ -824,7 +1023,8 @@ mod tests {
         // s[srcip] <- 1; srcip <- 9.9.9.9 ; (s[srcip] = 1 ? id : drop):
         // the test reads s at the *new* srcip (9.9.9.9), which the write (at
         // the old srcip) only decides if the old srcip was already 9.9.9.9.
-        let w = Xfdd::Leaf(Leaf::from_seq(ActionSeq::from_actions(vec![
+        let mut p = pool();
+        let w = p.leaf(Leaf::from_seq(ActionSeq::from_actions(vec![
             Action::StateSet {
                 var: sv("s"),
                 index: vec![field(Field::SrcIp)],
@@ -832,39 +1032,45 @@ mod tests {
             },
             Action::Modify(Field::SrcIp, Value::ip(9, 9, 9, 9)),
         ])));
-        let t = test_branch(Test::State {
-            var: sv("s"),
-            index: vec![field(Field::SrcIp)],
-            value: Expr::Value(Value::Int(1)),
-        });
-        let d = seq(&w, &t, &order()).unwrap();
-        assert!(d.is_well_formed(&order()));
+        let t = test_branch(
+            &mut p,
+            Test::State {
+                var: sv("s"),
+                index: vec![field(Field::SrcIp)],
+                value: Expr::Value(Value::Int(1)),
+            },
+        );
+        let d = p.seq(w, t).unwrap();
+        assert!(p.is_well_formed(d));
         let store = Store::new();
-        // Old srcip is different from 9.9.9.9: write does not alias the read,
-        // pre-state is 0, packet dropped.
+        // Old srcip is different from 9.9.9.9: write does not alias the
+        // read, pre-state is 0, packet dropped.
         let other = Packet::new().with(Field::SrcIp, Value::ip(1, 1, 1, 1));
-        assert!(d.evaluate(&other, &store).unwrap().0.is_empty());
+        assert!(p.evaluate(d, &other, &store).unwrap().0.is_empty());
         // Old srcip *is* 9.9.9.9: the write decides the test -> pass.
         let aliased = Packet::new().with(Field::SrcIp, Value::ip(9, 9, 9, 9));
-        assert_eq!(d.evaluate(&aliased, &store).unwrap().0.len(), 1);
+        assert_eq!(p.evaluate(d, &aliased, &store).unwrap().0.len(), 1);
     }
 
     #[test]
     fn seq_through_branches_distributes() {
         // (srcport = 53 ? outport <- 1 : outport <- 2) ; (outport = 1 ? id : drop)
-        let first = Xfdd::branch(
+        let mut p = pool();
+        let then_leaf = leaf_action(&mut p, Action::Modify(Field::OutPort, Value::Int(1)));
+        let else_leaf = leaf_action(&mut p, Action::Modify(Field::OutPort, Value::Int(2)));
+        let first = p.branch(
             Test::FieldValue(Field::SrcPort, Value::Int(53)),
-            leaf_action(Action::Modify(Field::OutPort, Value::Int(1))),
-            leaf_action(Action::Modify(Field::OutPort, Value::Int(2))),
+            then_leaf,
+            else_leaf,
         );
-        let second = test_branch(Test::FieldValue(Field::OutPort, Value::Int(1)));
-        let d = seq(&first, &second, &order()).unwrap();
-        assert!(d.is_well_formed(&order()));
+        let second = test_branch(&mut p, Test::FieldValue(Field::OutPort, Value::Int(1)));
+        let d = p.seq(first, second).unwrap();
+        assert!(p.is_well_formed(d));
         let store = Store::new();
         let dns = Packet::new().with(Field::SrcPort, 53);
         let web = Packet::new().with(Field::SrcPort, 80);
-        assert_eq!(d.evaluate(&dns, &store).unwrap().0.len(), 1);
-        assert!(d.evaluate(&web, &store).unwrap().0.is_empty());
+        assert_eq!(p.evaluate(d, &dns, &store).unwrap().0.len(), 1);
+        assert!(p.evaluate(d, &web, &store).unwrap().0.is_empty());
     }
 
     #[test]
@@ -902,7 +1108,10 @@ mod tests {
         // Tuples are flattened before comparison.
         assert!(matches!(
             exprs_equal(
-                &[Expr::Tuple(vec![field(Field::SrcIp), Expr::Value(Value::Int(1))])],
+                &[Expr::Tuple(vec![
+                    field(Field::SrcIp),
+                    Expr::Value(Value::Int(1))
+                ])],
                 &[field(Field::SrcIp), Expr::Value(Value::Int(1))],
                 &ctx
             ),

@@ -108,11 +108,10 @@ impl Context {
                         }
                         // Overlapping but not containing: undecided; keep looking.
                     }
-                    (Value::Prefix(known), Value::Ip(ip)) => {
-                        if !known.contains(*ip) {
-                            return Some(false);
-                        }
-                        // The field is somewhere inside `known`: undecided.
+                    // The field may still be anywhere inside `known`:
+                    // undecided unless the address falls outside it.
+                    (Value::Prefix(known), Value::Ip(ip)) if !known.contains(*ip) => {
+                        return Some(false)
                     }
                     // Two distinct non-IP constants cannot both match.
                     (a, b) if !matches!(a, Value::Prefix(_)) && !matches!(b, Value::Prefix(_)) => {
@@ -124,15 +123,11 @@ impl Context {
                 // We know the field does *not* match `tv`.
                 match (tv, v) {
                     (a, b) if a == b => return Some(false),
-                    (Value::Prefix(known), Value::Ip(ip)) => {
-                        if known.contains(*ip) {
-                            return Some(false);
-                        }
+                    (Value::Prefix(known), Value::Ip(ip)) if known.contains(*ip) => {
+                        return Some(false)
                     }
-                    (Value::Prefix(known), Value::Prefix(q)) => {
-                        if known.contains_prefix(q) {
-                            return Some(false);
-                        }
+                    (Value::Prefix(known), Value::Prefix(q)) if known.contains_prefix(q) => {
+                        return Some(false)
                     }
                     _ => {}
                 }
@@ -163,7 +158,10 @@ mod tests {
     #[test]
     fn distinct_constants_exclude_each_other() {
         let ctx = Context::new().with(fv(Field::SrcPort, Value::Int(53)), true);
-        assert_eq!(ctx.implies(&fv(Field::SrcPort, Value::Int(80))), Some(false));
+        assert_eq!(
+            ctx.implies(&fv(Field::SrcPort, Value::Int(80))),
+            Some(false)
+        );
         assert_eq!(ctx.implies(&fv(Field::DstPort, Value::Int(80))), None);
     }
 

@@ -255,8 +255,12 @@ mod tests {
     #[test]
     fn sequential_read_then_write_creates_edge() {
         // if s[srcip] = 1 then id else id ; t[srcip] <- 2
-        let p = ite(state_test("s", vec![field(Field::SrcIp)], int(1)), id(), id())
-            .seq(state_set("t", vec![field(Field::SrcIp)], int(2)));
+        let p = ite(
+            state_test("s", vec![field(Field::SrcIp)], int(1)),
+            id(),
+            id(),
+        )
+        .seq(state_set("t", vec![field(Field::SrcIp)], int(2)));
         let deps = StateDependencies::analyze(&p);
         assert!(deps.edges.contains(&(sv("s"), sv("t"))));
         assert!(deps.must_precede(&sv("s"), &sv("t")));
@@ -267,8 +271,11 @@ mod tests {
 
     #[test]
     fn parallel_composition_creates_no_edges() {
-        let p = state_incr("a", vec![field(Field::SrcIp)])
-            .par(ite(state_test("b", vec![], int(0)), id(), id()));
+        let p = state_incr("a", vec![field(Field::SrcIp)]).par(ite(
+            state_test("b", vec![], int(0)),
+            id(),
+            id(),
+        ));
         let deps = StateDependencies::analyze(&p);
         assert!(deps.edges.is_empty());
         assert_eq!(deps.sccs.len(), 2);
@@ -345,7 +352,12 @@ mod tests {
     #[test]
     fn cycle_forms_a_single_scc_and_is_tied() {
         // (if a[..] then b[..]<-1 else id) ; (if b[..] then a[..]<-1 else id)
-        let p = ite(state_truthy("a", vec![]), state_set("b", vec![], int(1)), id()).seq(ite(
+        let p = ite(
+            state_truthy("a", vec![]),
+            state_set("b", vec![], int(1)),
+            id(),
+        )
+        .seq(ite(
             state_truthy("b", vec![]),
             state_set("a", vec![], int(1)),
             id(),
@@ -362,8 +374,16 @@ mod tests {
     fn var_order_is_topological_for_dag() {
         // chain a -> b -> c plus isolated d
         let p = Policy::seq_all(vec![
-            ite(state_truthy("a", vec![]), state_set("b", vec![], int(1)), id()),
-            ite(state_truthy("b", vec![]), state_set("c", vec![], int(1)), id()),
+            ite(
+                state_truthy("a", vec![]),
+                state_set("b", vec![], int(1)),
+                id(),
+            ),
+            ite(
+                state_truthy("b", vec![]),
+                state_set("c", vec![], int(1)),
+                id(),
+            ),
             state_incr("d", vec![]),
         ]);
         let deps = StateDependencies::analyze(&p);
@@ -378,7 +398,11 @@ mod tests {
     fn self_dependency_is_ignored_for_ordering() {
         // s is read and then written: a self-edge, which must not create a
         // bogus tied pair or break the order.
-        let p = ite(state_truthy("s", vec![]), state_set("s", vec![], int(1)), id());
+        let p = ite(
+            state_truthy("s", vec![]),
+            state_set("s", vec![], int(1)),
+            id(),
+        );
         let deps = StateDependencies::analyze(&p);
         assert!(deps.edges.is_empty());
         assert!(deps.tied.is_empty());

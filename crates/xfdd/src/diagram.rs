@@ -1,154 +1,112 @@
-//! The extended forwarding decision diagram itself.
+//! The finished, shareable xFDD: a root [`NodeId`] plus its [`Pool`].
+//!
+//! During compilation, diagrams are plain [`NodeId`]s into a mutable [`Pool`]
+//! (see [`crate::pool`]); once composition finishes, the pool is frozen into
+//! an [`Xfdd`] — an `Arc`-shared, immutable view. Cloning an [`Xfdd`] is an
+//! `Arc` bump, which is how every switch in the data plane can "carry the
+//! full diagram" (§4.5) without duplicating a single node: the interned ids
+//! *are* the packet-tag node identifiers, so distributed execution resumes
+//! processing at a [`NodeId`] directly.
 
 use crate::action::Leaf;
-use crate::test::{Test, VarOrder};
-use serde::{Deserialize, Serialize};
-use snap_lang::eval::{eval_expr, eval_index};
+use crate::pool::{Node, NodeId, Pool};
+use crate::test::Test;
 use snap_lang::{EvalError, Packet, StateVar, Store};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
-/// An extended forwarding decision diagram (Figure 6's `d`):
-/// either a leaf (a set of action sequences) or a branch on a test.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Xfdd {
-    /// A leaf.
-    Leaf(Leaf),
-    /// A branch: `test ? tru : fls`.
-    Branch {
-        /// The test at this node.
-        test: Test,
-        /// Sub-diagram for packets passing the test.
-        tru: Box<Xfdd>,
-        /// Sub-diagram for packets failing the test.
-        fls: Box<Xfdd>,
-    },
+pub use crate::pool::eval_test;
+
+/// A finished extended forwarding decision diagram: an immutable, cheaply
+/// clonable handle on a root node inside a frozen [`Pool`].
+#[derive(Clone)]
+pub struct Xfdd {
+    pool: Arc<Pool>,
+    root: NodeId,
 }
 
 impl Xfdd {
-    /// The `{id}` diagram.
-    pub fn id() -> Xfdd {
-        Xfdd::Leaf(Leaf::id())
-    }
-
-    /// The `{drop}` diagram.
-    pub fn drop() -> Xfdd {
-        Xfdd::Leaf(Leaf::drop())
-    }
-
-    /// A branch node. Collapses to a sub-diagram when both branches are
-    /// identical, which keeps diagrams small without changing semantics.
-    pub fn branch(test: Test, tru: Xfdd, fls: Xfdd) -> Xfdd {
-        if tru == fls {
-            return tru;
-        }
-        Xfdd::Branch {
-            test,
-            tru: Box::new(tru),
-            fls: Box::new(fls),
+    /// Freeze a pool around a root node.
+    pub fn new(pool: Pool, root: NodeId) -> Xfdd {
+        Xfdd {
+            pool: Arc::new(pool),
+            root,
         }
     }
 
-    /// Is this diagram a single leaf?
+    /// A handle on another root of the same (already frozen) pool.
+    pub fn with_root(&self, root: NodeId) -> Xfdd {
+        Xfdd {
+            pool: Arc::clone(&self.pool),
+            root,
+        }
+    }
+
+    /// The diagram's root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.pool.node(id)
+    }
+
+    /// The root node's leaf, if the whole diagram is a single leaf.
     pub fn as_leaf(&self) -> Option<&Leaf> {
-        match self {
-            Xfdd::Leaf(l) => Some(l),
-            Xfdd::Branch { .. } => None,
+        match self.node(self.root) {
+            Node::Leaf(l) => Some(l),
+            Node::Branch { .. } => None,
         }
     }
 
-    /// Number of nodes (branches plus leaves).
+    /// Number of distinct nodes reachable from the root (what sharing
+    /// actually stores).
     pub fn size(&self) -> usize {
-        match self {
-            Xfdd::Leaf(_) => 1,
-            Xfdd::Branch { tru, fls, .. } => 1 + tru.size() + fls.size(),
-        }
+        self.pool.size(self.root)
     }
 
-    /// Number of branch (test) nodes.
+    /// Number of nodes the diagram would occupy as an unshared tree — the
+    /// pre-hash-consing baseline (saturating).
+    pub fn tree_size(&self) -> u64 {
+        self.pool.tree_size(self.root)
+    }
+
+    /// Number of distinct branch (test) nodes.
     pub fn num_tests(&self) -> usize {
-        match self {
-            Xfdd::Leaf(_) => 0,
-            Xfdd::Branch { tru, fls, .. } => 1 + tru.num_tests() + fls.num_tests(),
-        }
+        self.pool.num_tests(self.root)
     }
 
     /// Depth of the diagram (a single leaf has depth 1).
     pub fn depth(&self) -> usize {
-        match self {
-            Xfdd::Leaf(_) => 1,
-            Xfdd::Branch { tru, fls, .. } => 1 + tru.depth().max(fls.depth()),
-        }
+        self.pool.depth(self.root)
+    }
+
+    /// The distinct nodes reachable from the root, in preorder.
+    pub fn reachable(&self) -> Vec<NodeId> {
+        self.pool.reachable(self.root)
     }
 
     /// All state variables referenced anywhere in the diagram (tests and
     /// leaf actions).
     pub fn state_vars(&self) -> BTreeSet<StateVar> {
-        let mut out = BTreeSet::new();
-        self.collect_state_vars(&mut out);
-        out
+        self.pool.state_vars(self.root)
     }
 
-    fn collect_state_vars(&self, out: &mut BTreeSet<StateVar>) {
-        match self {
-            Xfdd::Leaf(leaf) => {
-                out.extend(leaf.written_vars());
-            }
-            Xfdd::Branch { test, tru, fls } => {
-                if let Some(v) = test.state_var() {
-                    out.insert(v.clone());
-                }
-                tru.collect_state_vars(out);
-                fls.collect_state_vars(out);
-            }
-        }
+    /// Check the ordering invariant against the pool's variable order.
+    pub fn is_well_formed(&self) -> bool {
+        self.pool.is_well_formed(self.root)
     }
 
-    /// Check the ordering invariant: along every root-to-leaf path, tests are
-    /// strictly increasing under the given variable order.
-    pub fn is_well_formed(&self, order: &VarOrder) -> bool {
-        fn go(d: &Xfdd, prev: Option<&Test>, order: &VarOrder) -> bool {
-            match d {
-                Xfdd::Leaf(_) => true,
-                Xfdd::Branch { test, tru, fls } => {
-                    if let Some(p) = prev {
-                        if p.cmp_in(test, order) != std::cmp::Ordering::Less {
-                            return false;
-                        }
-                    }
-                    go(tru, Some(test), order) && go(fls, Some(test), order)
-                }
-            }
-        }
-        go(self, None, order)
-    }
-
-    /// If any leaf encodes a parallel race (two action sequences writing the
-    /// same state variable), return that variable.
+    /// If any leaf encodes a parallel race, return that variable.
     pub fn find_race(&self) -> Option<StateVar> {
-        match self {
-            Xfdd::Leaf(leaf) => leaf.parallel_race(),
-            Xfdd::Branch { tru, fls, .. } => tru.find_race().or_else(|| fls.find_race()),
-        }
-    }
-
-    /// Evaluate one test against a packet and store.
-    pub fn eval_test(test: &Test, pkt: &Packet, store: &Store) -> Result<bool, EvalError> {
-        match test {
-            Test::FieldValue(f, v) => Ok(match pkt.get(f) {
-                Some(actual) => v.matches(actual),
-                None => false,
-            }),
-            Test::FieldField(f, g) => Ok(match (pkt.get(f), pkt.get(g)) {
-                (Some(a), Some(b)) => a == b,
-                _ => false,
-            }),
-            Test::State { var, index, value } => {
-                let idx = eval_index(index, pkt)?;
-                let expected = eval_expr(value, pkt)?;
-                Ok(store.get(var, &idx) == expected)
-            }
-        }
+        self.pool.find_race(self.root)
     }
 
     /// Run the diagram on a packet and store: walk tests to a leaf, then
@@ -158,77 +116,24 @@ impl Xfdd {
         pkt: &Packet,
         store: &Store,
     ) -> Result<(BTreeSet<Packet>, Store), EvalError> {
-        match self {
-            Xfdd::Leaf(leaf) => leaf.apply(pkt, store),
-            Xfdd::Branch { test, tru, fls } => {
-                if Self::eval_test(test, pkt, store)? {
-                    tru.evaluate(pkt, store)
-                } else {
-                    fls.evaluate(pkt, store)
-                }
-            }
-        }
+        self.pool.evaluate(self.root, pkt, store)
     }
 
     /// Enumerate all root-to-leaf paths as `(tests-with-outcomes, leaf)`.
-    /// Used by packet-state mapping (§4.3) and by rule generation.
     pub fn paths(&self) -> Vec<(Vec<(Test, bool)>, &Leaf)> {
-        let mut out = Vec::new();
-        let mut prefix = Vec::new();
-        self.collect_paths(&mut prefix, &mut out);
-        out
-    }
-
-    fn collect_paths<'a>(
-        &'a self,
-        prefix: &mut Vec<(Test, bool)>,
-        out: &mut Vec<(Vec<(Test, bool)>, &'a Leaf)>,
-    ) {
-        match self {
-            Xfdd::Leaf(leaf) => out.push((prefix.clone(), leaf)),
-            Xfdd::Branch { test, tru, fls } => {
-                prefix.push((test.clone(), true));
-                tru.collect_paths(prefix, out);
-                prefix.pop();
-                prefix.push((test.clone(), false));
-                fls.collect_paths(prefix, out);
-                prefix.pop();
-            }
-        }
+        self.pool.paths(self.root)
     }
 
     /// Render the diagram as an indented tree (for debugging, examples and
     /// the Figure 3 reproduction binary).
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(0, &mut out);
-        out
-    }
-
-    fn render_into(&self, depth: usize, out: &mut String) {
-        let pad = "  ".repeat(depth);
-        match self {
-            Xfdd::Leaf(leaf) => {
-                out.push_str(&format!("{pad}{leaf:?}\n"));
-            }
-            Xfdd::Branch { test, tru, fls } => {
-                out.push_str(&format!("{pad}{test:?} ?\n"));
-                tru.render_into(depth + 1, out);
-                out.push_str(&format!("{pad}:\n"));
-                fls.render_into(depth + 1, out);
-            }
-        }
+        self.pool.render(self.root)
     }
 }
 
 impl fmt::Debug for Xfdd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Xfdd::Leaf(l) => write!(f, "{l:?}"),
-            Xfdd::Branch { test, tru, fls } => {
-                write!(f, "({test:?} ? {tru:?} : {fls:?})")
-            }
-        }
+        write!(f, "{}", self.pool.debug(self.root))
     }
 }
 
@@ -236,6 +141,7 @@ impl fmt::Debug for Xfdd {
 mod tests {
     use super::*;
     use crate::action::{Action, ActionSeq};
+    use crate::test::VarOrder;
     use snap_lang::builder::field;
     use snap_lang::{Field, Value};
 
@@ -244,31 +150,24 @@ mod tests {
     }
 
     fn simple_branch() -> Xfdd {
-        Xfdd::branch(
-            Test::FieldValue(Field::SrcPort, Value::Int(53)),
-            Xfdd::Leaf(Leaf::single(Action::Modify(Field::OutPort, Value::Int(6)))),
-            Xfdd::drop(),
-        )
-    }
-
-    #[test]
-    fn branch_collapses_equal_children() {
-        let d = Xfdd::branch(
-            Test::FieldValue(Field::SrcPort, Value::Int(53)),
-            Xfdd::id(),
-            Xfdd::id(),
-        );
-        assert_eq!(d, Xfdd::id());
-        assert_eq!(d.size(), 1);
+        let mut p = Pool::new(VarOrder::empty());
+        let out = p.leaf(Leaf::single(Action::Modify(Field::OutPort, Value::Int(6))));
+        let drop = p.drop();
+        let root = p.branch(Test::FieldValue(Field::SrcPort, Value::Int(53)), out, drop);
+        Xfdd::new(p, root)
     }
 
     #[test]
     fn size_depth_and_tests() {
         let d = simple_branch();
         assert_eq!(d.size(), 3);
+        assert_eq!(d.tree_size(), 3);
         assert_eq!(d.num_tests(), 1);
         assert_eq!(d.depth(), 2);
-        assert_eq!(Xfdd::id().depth(), 1);
+        assert!(d.as_leaf().is_none());
+        let id = d.with_root(d.pool().id());
+        assert_eq!(id.depth(), 1);
+        assert!(id.as_leaf().is_some());
     }
 
     #[test]
@@ -288,20 +187,28 @@ mod tests {
 
     #[test]
     fn evaluate_state_test() {
-        let d = Xfdd::branch(
+        let mut p = Pool::new(VarOrder::empty());
+        let id = p.id();
+        let drop = p.drop();
+        let root = p.branch(
             Test::State {
                 var: sv("blacklist"),
                 index: vec![field(Field::SrcIp)],
                 value: snap_lang::Expr::Value(Value::Bool(true)),
             },
-            Xfdd::drop(),
-            Xfdd::id(),
+            drop,
+            id,
         );
+        let d = Xfdd::new(p, root);
         let pkt = Packet::new().with(Field::SrcIp, Value::ip(10, 0, 6, 5));
         let (pkts, _) = d.evaluate(&pkt, &Store::new()).unwrap();
         assert_eq!(pkts.len(), 1);
         let mut store = Store::new();
-        store.set(&sv("blacklist"), vec![Value::ip(10, 0, 6, 5)], Value::Bool(true));
+        store.set(
+            &sv("blacklist"),
+            vec![Value::ip(10, 0, 6, 5)],
+            Value::Bool(true),
+        );
         let (pkts, _) = d.evaluate(&pkt, &store).unwrap();
         assert!(pkts.is_empty());
     }
@@ -317,45 +224,41 @@ mod tests {
             .with(Field::DstIp, Value::ip(2, 2, 2, 2));
         let missing = Packet::new().with(Field::SrcIp, Value::ip(1, 1, 1, 1));
         let store = Store::new();
-        assert!(Xfdd::eval_test(&t, &both_equal, &store).unwrap());
-        assert!(!Xfdd::eval_test(&t, &different, &store).unwrap());
-        assert!(!Xfdd::eval_test(&t, &missing, &store).unwrap());
+        assert!(eval_test(&t, &both_equal, &store).unwrap());
+        assert!(!eval_test(&t, &different, &store).unwrap());
+        assert!(!eval_test(&t, &missing, &store).unwrap());
     }
 
     #[test]
     fn well_formedness_checks_ordering() {
-        let order = VarOrder::empty();
-        let good = Xfdd::branch(
+        let mut p = Pool::new(VarOrder::empty());
+        let id = p.id();
+        let drop = p.drop();
+        let inner_good = p.branch(Test::FieldField(Field::SrcIp, Field::DstIp), id, drop);
+        let good = p.branch(
             Test::FieldValue(Field::DstIp, Value::ip(1, 1, 1, 1)),
-            Xfdd::branch(
-                Test::FieldField(Field::SrcIp, Field::DstIp),
-                Xfdd::id(),
-                Xfdd::drop(),
-            ),
-            Xfdd::drop(),
+            inner_good,
+            drop,
         );
-        assert!(good.is_well_formed(&order));
-        let bad = Xfdd::branch(
+        assert!(p.is_well_formed(good));
+        let inner_bad = p.branch(
+            Test::FieldValue(Field::DstIp, Value::ip(1, 1, 1, 1)),
+            id,
+            drop,
+        );
+        let bad = p.branch(
             Test::FieldField(Field::SrcIp, Field::DstIp),
-            Xfdd::branch(
-                Test::FieldValue(Field::DstIp, Value::ip(1, 1, 1, 1)),
-                Xfdd::id(),
-                Xfdd::drop(),
-            ),
-            Xfdd::drop(),
+            inner_bad,
+            drop,
         );
-        assert!(!bad.is_well_formed(&order));
+        assert!(!p.is_well_formed(bad));
         // A repeated test along a path is also ill-formed.
-        let dup = Xfdd::branch(
+        let dup = p.branch(
             Test::FieldValue(Field::DstIp, Value::ip(1, 1, 1, 1)),
-            Xfdd::branch(
-                Test::FieldValue(Field::DstIp, Value::ip(1, 1, 1, 1)),
-                Xfdd::id(),
-                Xfdd::drop(),
-            ),
-            Xfdd::drop(),
+            inner_bad,
+            drop,
         );
-        assert!(!dup.is_well_formed(&order));
+        assert!(!p.is_well_formed(dup));
     }
 
     #[test]
@@ -371,6 +274,7 @@ mod tests {
 
     #[test]
     fn race_detection_walks_all_leaves() {
+        let mut p = Pool::new(VarOrder::empty());
         let mut racy = Leaf::drop();
         racy.0.insert(ActionSeq::single(Action::StateSet {
             var: sv("s"),
@@ -382,11 +286,14 @@ mod tests {
             index: vec![],
             value: snap_lang::Expr::Value(Value::Int(2)),
         }));
-        let d = Xfdd::branch(
+        let racy_leaf = p.leaf(racy);
+        let id = p.id();
+        let root = p.branch(
             Test::FieldValue(Field::SrcPort, Value::Int(1)),
-            Xfdd::id(),
-            Xfdd::Leaf(racy),
+            id,
+            racy_leaf,
         );
+        let d = Xfdd::new(p, root);
         assert_eq!(d.find_race(), Some(sv("s")));
         assert_eq!(simple_branch().find_race(), None);
     }
@@ -401,21 +308,33 @@ mod tests {
 
     #[test]
     fn state_vars_collected_from_tests_and_leaves() {
-        let d = Xfdd::branch(
+        let mut p = Pool::new(VarOrder::empty());
+        let incr = p.leaf(Leaf::single(Action::StateIncr {
+            var: sv("write-me"),
+            index: vec![],
+        }));
+        let drop = p.drop();
+        let root = p.branch(
             Test::State {
                 var: sv("read-me"),
                 index: vec![],
                 value: snap_lang::Expr::Value(Value::Int(0)),
             },
-            Xfdd::Leaf(Leaf::single(Action::StateIncr {
-                var: sv("write-me"),
-                index: vec![],
-            })),
-            Xfdd::drop(),
+            incr,
+            drop,
         );
+        let d = Xfdd::new(p, root);
         let vars = d.state_vars();
         assert!(vars.contains(&sv("read-me")));
         assert!(vars.contains(&sv("write-me")));
         assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_pool() {
+        let d = simple_branch();
+        let e = d.clone();
+        assert!(std::ptr::eq(d.pool(), e.pool()));
+        assert_eq!(d.root(), e.root());
     }
 }

@@ -1,7 +1,7 @@
 //! # snap-xfdd
 //!
 //! Extended forwarding decision diagrams (xFDDs), the intermediate
-//! representation of the SNAP compiler (§4.2 of the paper).
+//! representation of the SNAP compiler (§4.2 of the paper) — hash-consed.
 //!
 //! An xFDD is a binary-decision-diagram-like structure whose interior nodes
 //! are tests over packet fields (`f = v`), pairs of fields (`f1 = f2`) or
@@ -11,13 +11,22 @@
 //! dependency analysis) are the extensions that make stateful compilation
 //! possible.
 //!
+//! Diagrams live in a per-compilation arena, the [`Pool`]: structurally
+//! equal subdiagrams are interned to a single [`NodeId`], the composition
+//! operators are memoized, and the stable ids double as the §4.5 packet-tag
+//! node identifiers executed directly by the data plane. A finished diagram
+//! is frozen into a cheaply clonable [`Xfdd`] handle.
+//!
 //! The crate provides:
 //!
-//! * the diagram type ([`Xfdd`]), tests ([`Test`]) and leaf actions
-//!   ([`Action`], [`ActionSeq`], [`Leaf`]),
-//! * the composition operators `⊕` ([`union`]), `⊖` ([`negate`]) and `⊙`
-//!   ([`seq`]) with the context-based refinement of Appendix B/E,
-//! * translation from SNAP policies ([`to_xfdd`]) including race detection,
+//! * the arena ([`Pool`], [`Node`], [`NodeId`]) and the frozen diagram handle
+//!   ([`Xfdd`]), plus tests ([`Test`]) and leaf actions ([`Action`],
+//!   [`ActionSeq`], [`Leaf`]),
+//! * the composition operators `⊕` ([`Pool::union`]), `⊖` ([`Pool::negate`])
+//!   and `⊙` ([`Pool::seq`]) with the context-based refinement of
+//!   Appendix B/E, all memoized,
+//! * translation from SNAP policies ([`to_xfdd`], [`compile`]) including
+//!   race detection,
 //! * state dependency analysis ([`StateDependencies`]) and the derived
 //!   state-variable order ([`VarOrder`]).
 //!
@@ -25,16 +34,14 @@
 //!
 //! ```
 //! use snap_lang::prelude::*;
-//! use snap_xfdd::{to_xfdd, StateDependencies};
 //!
 //! let program = ite(
 //!     test(Field::SrcPort, Value::Int(53)),
 //!     state_incr("dns-count", vec![field(Field::DstIp)]),
 //!     id(),
 //! );
-//! let deps = StateDependencies::analyze(&program);
-//! let xfdd = to_xfdd(&program, &deps.var_order()).unwrap();
-//! assert!(xfdd.is_well_formed(&deps.var_order()));
+//! let xfdd = snap_xfdd::compile(&program).unwrap();
+//! assert!(xfdd.is_well_formed());
 //!
 //! // The diagram behaves exactly like the program.
 //! let pkt = Packet::new().with(Field::SrcPort, 53).with(Field::DstIp, Value::ip(10, 0, 0, 1));
@@ -51,14 +58,15 @@ pub mod context;
 pub mod deps;
 pub mod diagram;
 pub mod error;
+pub mod pool;
 pub mod test;
 pub mod translate;
 
 pub use action::{Action, ActionSeq, Leaf};
-pub use compose::{make_branch, negate, restrict, seq, union};
 pub use context::Context;
 pub use deps::StateDependencies;
-pub use diagram::Xfdd;
+pub use diagram::{eval_test, Xfdd};
 pub use error::CompileError;
+pub use pool::{CtxId, Node, NodeId, Pool};
 pub use test::{Test, VarOrder};
-pub use translate::{pred_to_xfdd, to_xfdd};
+pub use translate::{compile, pred_to_xfdd, to_xfdd};

@@ -1,0 +1,599 @@
+//! The hash-consed xFDD arena.
+//!
+//! Decision diagrams only scale through *structural sharing* (§4.2 builds
+//! xFDDs precisely because of it), so diagrams are not trees but nodes in a
+//! per-compilation [`Pool`]: an arena that owns every node, hands out
+//! copyable [`NodeId`]s, deduplicates structurally-equal branches and leaves
+//! at construction time, and memoizes the composition operators. Two
+//! consequences follow:
+//!
+//! * structural equality of subdiagrams is id equality — `O(1)` instead of a
+//!   deep tree walk — which is what makes the composition memo tables and the
+//!   `branch` collapse cheap, and
+//! * the ids are *stable*: they double as the paper's §4.5 packet-tag node
+//!   identifiers, so the data plane executes diagrams directly by [`NodeId`]
+//!   with no separate flattening pass.
+//!
+//! The pool is also where composition contexts (the decided-test sets of
+//! Appendix E) are interned, so the union memo can be keyed on
+//! `(lhs, rhs, ctx)` without hashing whole fact lists.
+
+use crate::action::Leaf;
+use crate::context::Context;
+use crate::test::{Test, VarOrder};
+use snap_lang::eval::{eval_expr, eval_index};
+use snap_lang::{EvalError, Packet, StateVar, Store};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of a node inside a [`Pool`]. Stable for the lifetime of the
+/// pool; these are the node ids carried in the SNAP packet tag (§4.5).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index into the pool's node arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an interned composition context (see [`Context`]).
+/// `CtxId::EMPTY` is the empty context.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CtxId(u32);
+
+impl CtxId {
+    /// The empty context.
+    pub const EMPTY: CtxId = CtxId(0);
+}
+
+/// One interned xFDD node: a leaf (set of action sequences) or a branch on a
+/// test. Child links are [`NodeId`]s into the same pool.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A leaf.
+    Leaf(Leaf),
+    /// A branch: `test ? tru : fls`.
+    Branch {
+        /// The test at this node.
+        test: Test,
+        /// Child taken when the test passes.
+        tru: NodeId,
+        /// Child taken when the test fails.
+        fls: NodeId,
+    },
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Leaf(l) => write!(f, "{l:?}"),
+            Node::Branch { test, tru, fls } => write!(f, "({test:?} ? {tru:?} : {fls:?})"),
+        }
+    }
+}
+
+/// The per-compilation interner: owns all nodes of all diagrams built during
+/// one compilation, plus the memo tables for the composition operators.
+///
+/// The pool is created with the state-variable order of the program being
+/// compiled ([`VarOrder`], from dependency analysis); every composition uses
+/// that order, which is what makes memoized results reusable.
+#[derive(Clone, Debug, Default)]
+pub struct Pool {
+    order: VarOrder,
+    nodes: Vec<Node>,
+    leaf_intern: HashMap<Leaf, NodeId>,
+    branch_intern: HashMap<(Test, NodeId, NodeId), NodeId>,
+    // Interned composition contexts: ctxs[i] holds the full fact list.
+    ctxs: Vec<Context>,
+    ctx_intern: HashMap<(CtxId, Test, bool), CtxId>,
+    // Memo tables for the composition operators.
+    pub(crate) union_memo: HashMap<(NodeId, NodeId, CtxId), NodeId>,
+    pub(crate) seq_memo: HashMap<(NodeId, NodeId), Result<NodeId, crate::CompileError>>,
+    pub(crate) negate_memo: HashMap<NodeId, NodeId>,
+    pub(crate) restrict_memo: HashMap<(NodeId, Test, bool), NodeId>,
+}
+
+impl Pool {
+    /// A fresh pool for diagrams composed under the given state-variable
+    /// order. The `{drop}` and `{id}` leaves are pre-interned.
+    pub fn new(order: VarOrder) -> Pool {
+        let mut pool = Pool {
+            order,
+            ..Pool::default()
+        };
+        let d = pool.leaf(Leaf::drop());
+        let i = pool.leaf(Leaf::id());
+        debug_assert_eq!(d, NodeId(0));
+        debug_assert_eq!(i, NodeId(1));
+        pool
+    }
+
+    /// The state-variable order this pool composes under.
+    pub fn order(&self) -> &VarOrder {
+        &self.order
+    }
+
+    /// The `{drop}` diagram.
+    #[allow(clippy::should_implement_trait)]
+    pub fn drop(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The `{id}` diagram.
+    pub fn id(&self) -> NodeId {
+        NodeId(1)
+    }
+
+    /// Total number of interned nodes (across all diagrams in the pool).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the pool empty? (Never true: `{drop}` and `{id}` are pre-interned.)
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Intern a leaf, returning the id of the canonical copy.
+    pub fn leaf(&mut self, leaf: Leaf) -> NodeId {
+        if let Some(&id) = self.leaf_intern.get(&leaf) {
+            return id;
+        }
+        let id = self.push(Node::Leaf(leaf.clone()));
+        self.leaf_intern.insert(leaf, id);
+        id
+    }
+
+    /// Intern a branch. Collapses to the child when both branches are the
+    /// same node (id equality, thanks to hash-consing) — the classic BDD
+    /// reduction rule.
+    pub fn branch(&mut self, test: Test, tru: NodeId, fls: NodeId) -> NodeId {
+        if tru == fls {
+            return tru;
+        }
+        if let Some(&id) = self.branch_intern.get(&(test.clone(), tru, fls)) {
+            return id;
+        }
+        let id = self.push(Node::Branch {
+            test: test.clone(),
+            tru,
+            fls,
+        });
+        self.branch_intern.insert((test, tru, fls), id);
+        id
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = u32::try_from(self.nodes.len()).expect("xFDD pool node count overflow");
+        self.nodes.push(node);
+        NodeId(id)
+    }
+
+    // -----------------------------------------------------------------------
+    // Interned composition contexts
+    // -----------------------------------------------------------------------
+
+    /// The facts of an interned context.
+    pub fn ctx(&self, id: CtxId) -> &Context {
+        &self.ctxs[id.0 as usize]
+    }
+
+    /// Extend a context with the outcome of a test (interned: extending the
+    /// same context with the same fact yields the same id).
+    pub fn ctx_with(&mut self, ctx: CtxId, test: Test, outcome: bool) -> CtxId {
+        if self.ctxs.is_empty() {
+            self.ctxs.push(Context::new());
+        }
+        if let Some(&id) = self.ctx_intern.get(&(ctx, test.clone(), outcome)) {
+            return id;
+        }
+        let extended = self.ctx(ctx).with(test.clone(), outcome);
+        let id = CtxId(u32::try_from(self.ctxs.len()).expect("xFDD pool context overflow"));
+        self.ctxs.push(extended);
+        self.ctx_intern.insert((ctx, test, outcome), id);
+        id
+    }
+
+    /// Does the context decide this test?
+    pub(crate) fn ctx_implies(&self, ctx: CtxId, test: &Test) -> Option<bool> {
+        if self.ctxs.is_empty() {
+            return Context::new().implies(test);
+        }
+        self.ctx(ctx).implies(test)
+    }
+
+    /// Lazily materialize the empty context (pools start with no contexts
+    /// until a composition first needs one).
+    pub(crate) fn empty_ctx(&mut self) -> CtxId {
+        if self.ctxs.is_empty() {
+            self.ctxs.push(Context::new());
+        }
+        CtxId::EMPTY
+    }
+
+    // -----------------------------------------------------------------------
+    // Structural queries
+    // -----------------------------------------------------------------------
+
+    /// Number of *distinct* nodes reachable from `root` (the arena size of
+    /// the diagram — what sharing actually stores).
+    pub fn size(&self, root: NodeId) -> usize {
+        self.reachable(root).len()
+    }
+
+    /// Number of nodes the diagram would occupy as an unshared tree (every
+    /// occurrence counted with multiplicity, saturating at `u64::MAX`). The
+    /// baseline against which sharing is measured.
+    pub fn tree_size(&self, root: NodeId) -> u64 {
+        let mut memo: HashMap<NodeId, u64> = HashMap::new();
+        self.tree_size_memo(root, &mut memo)
+    }
+
+    fn tree_size_memo(&self, n: NodeId, memo: &mut HashMap<NodeId, u64>) -> u64 {
+        if let Some(&s) = memo.get(&n) {
+            return s;
+        }
+        let s = match self.node(n) {
+            Node::Leaf(_) => 1,
+            Node::Branch { tru, fls, .. } => {
+                let (t, f) = (*tru, *fls);
+                1u64.saturating_add(self.tree_size_memo(t, memo))
+                    .saturating_add(self.tree_size_memo(f, memo))
+            }
+        };
+        memo.insert(n, s);
+        s
+    }
+
+    /// Number of distinct branch (test) nodes reachable from `root`.
+    pub fn num_tests(&self, root: NodeId) -> usize {
+        self.reachable(root)
+            .iter()
+            .filter(|id| matches!(self.node(**id), Node::Branch { .. }))
+            .count()
+    }
+
+    /// Depth of the diagram (a single leaf has depth 1).
+    pub fn depth(&self, root: NodeId) -> usize {
+        let mut memo = HashMap::new();
+        self.depth_memo(root, &mut memo)
+    }
+
+    fn depth_memo(&self, n: NodeId, memo: &mut HashMap<NodeId, usize>) -> usize {
+        if let Some(&d) = memo.get(&n) {
+            return d;
+        }
+        let d = match self.node(n) {
+            Node::Leaf(_) => 1,
+            Node::Branch { tru, fls, .. } => {
+                let (t, f) = (*tru, *fls);
+                1 + self.depth_memo(t, memo).max(self.depth_memo(f, memo))
+            }
+        };
+        memo.insert(n, d);
+        d
+    }
+
+    /// The distinct nodes reachable from `root`, in preorder.
+    pub fn reachable(&self, root: NodeId) -> Vec<NodeId> {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut order = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            order.push(n);
+            if let Node::Branch { tru, fls, .. } = self.node(n) {
+                // Push false first so the true child is visited first.
+                stack.push(*fls);
+                stack.push(*tru);
+            }
+        }
+        order
+    }
+
+    /// All state variables referenced anywhere in the diagram (tests and
+    /// leaf actions).
+    pub fn state_vars(&self, root: NodeId) -> BTreeSet<StateVar> {
+        let mut out = BTreeSet::new();
+        for id in self.reachable(root) {
+            match self.node(id) {
+                Node::Leaf(leaf) => out.extend(leaf.written_vars()),
+                Node::Branch { test, .. } => {
+                    if let Some(v) = test.state_var() {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Check the ordering invariant: along every root-to-leaf path, tests are
+    /// strictly increasing under the pool's variable order.
+    pub fn is_well_formed(&self, root: NodeId) -> bool {
+        // A node's validity depends only on the nearest preceding test, so
+        // (node, prev) pairs can be memoized; the DAG is then checked without
+        // enumerating its (possibly exponential) path set.
+        let mut ok: HashSet<(NodeId, Option<Test>)> = HashSet::new();
+        self.well_formed_from(root, None, &mut ok)
+    }
+
+    fn well_formed_from(
+        &self,
+        n: NodeId,
+        prev: Option<&Test>,
+        ok: &mut HashSet<(NodeId, Option<Test>)>,
+    ) -> bool {
+        let key = (n, prev.cloned());
+        if ok.contains(&key) {
+            return true;
+        }
+        let valid = match self.node(n) {
+            Node::Leaf(_) => true,
+            Node::Branch { test, tru, fls } => {
+                if let Some(p) = prev {
+                    if p.cmp_in(test, &self.order) != std::cmp::Ordering::Less {
+                        return false;
+                    }
+                }
+                let (test, tru, fls) = (test.clone(), *tru, *fls);
+                self.well_formed_from(tru, Some(&test), ok)
+                    && self.well_formed_from(fls, Some(&test), ok)
+            }
+        };
+        if valid {
+            ok.insert(key);
+        }
+        valid
+    }
+
+    /// If any leaf encodes a parallel race (two action sequences writing the
+    /// same state variable), return that variable.
+    pub fn find_race(&self, root: NodeId) -> Option<StateVar> {
+        for id in self.reachable(root) {
+            if let Node::Leaf(leaf) = self.node(id) {
+                if let Some(var) = leaf.parallel_race() {
+                    return Some(var);
+                }
+            }
+        }
+        None
+    }
+
+    // -----------------------------------------------------------------------
+    // Evaluation and path enumeration
+    // -----------------------------------------------------------------------
+
+    /// Run the diagram on a packet and store: walk tests to a leaf, then
+    /// apply the leaf's action sequences.
+    pub fn evaluate(
+        &self,
+        root: NodeId,
+        pkt: &Packet,
+        store: &Store,
+    ) -> Result<(BTreeSet<Packet>, Store), EvalError> {
+        let mut cur = root;
+        loop {
+            match self.node(cur) {
+                Node::Leaf(leaf) => return leaf.apply(pkt, store),
+                Node::Branch { test, tru, fls } => {
+                    cur = if eval_test(test, pkt, store)? {
+                        *tru
+                    } else {
+                        *fls
+                    };
+                }
+            }
+        }
+    }
+
+    /// Enumerate all root-to-leaf paths as `(tests-with-outcomes, leaf)`.
+    /// Used by packet-state mapping (§4.3). Note this expands sharing: the
+    /// number of paths can be exponential in the number of *nodes*.
+    pub fn paths(&self, root: NodeId) -> Vec<(Vec<(Test, bool)>, &Leaf)> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.collect_paths(root, &mut prefix, &mut out);
+        out
+    }
+
+    fn collect_paths<'a>(
+        &'a self,
+        n: NodeId,
+        prefix: &mut Vec<(Test, bool)>,
+        out: &mut Vec<(Vec<(Test, bool)>, &'a Leaf)>,
+    ) {
+        match self.node(n) {
+            Node::Leaf(leaf) => out.push((prefix.clone(), leaf)),
+            Node::Branch { test, tru, fls } => {
+                prefix.push((test.clone(), true));
+                self.collect_paths(*tru, prefix, out);
+                prefix.pop();
+                prefix.push((test.clone(), false));
+                self.collect_paths(*fls, prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+
+    /// Render the diagram rooted at `root` as an indented tree (for
+    /// debugging, examples and the Figure 3 reproduction binary).
+    pub fn render(&self, root: NodeId) -> String {
+        let mut out = String::new();
+        self.render_into(root, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, n: NodeId, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self.node(n) {
+            Node::Leaf(leaf) => {
+                out.push_str(&format!("{pad}{leaf:?}\n"));
+            }
+            Node::Branch { test, tru, fls } => {
+                out.push_str(&format!("{pad}{test:?} ?\n"));
+                self.render_into(*tru, depth + 1, out);
+                out.push_str(&format!("{pad}:\n"));
+                self.render_into(*fls, depth + 1, out);
+            }
+        }
+    }
+
+    /// Render a node as a debug string (expands sharing; test helper).
+    pub fn debug(&self, n: NodeId) -> String {
+        match self.node(n) {
+            Node::Leaf(l) => format!("{l:?}"),
+            Node::Branch { test, tru, fls } => {
+                format!("({test:?} ? {} : {})", self.debug(*tru), self.debug(*fls))
+            }
+        }
+    }
+}
+
+/// Evaluate one test against a packet and store.
+pub fn eval_test(test: &Test, pkt: &Packet, store: &Store) -> Result<bool, EvalError> {
+    match test {
+        Test::FieldValue(f, v) => Ok(match pkt.get(f) {
+            Some(actual) => v.matches(actual),
+            None => false,
+        }),
+        Test::FieldField(f, g) => Ok(match (pkt.get(f), pkt.get(g)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }),
+        Test::State { var, index, value } => {
+            let idx = eval_index(index, pkt)?;
+            let expected = eval_expr(value, pkt)?;
+            Ok(store.get(var, &idx) == expected)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use snap_lang::{Field, Value};
+
+    fn pool() -> Pool {
+        Pool::new(VarOrder::empty())
+    }
+
+    #[test]
+    fn leaves_and_branches_are_interned() {
+        let mut p = pool();
+        let a = p.leaf(Leaf::single(Action::Modify(Field::OutPort, Value::Int(1))));
+        let b = p.leaf(Leaf::single(Action::Modify(Field::OutPort, Value::Int(1))));
+        assert_eq!(a, b);
+        let t = Test::FieldValue(Field::SrcPort, Value::Int(53));
+        let x = p.branch(t.clone(), a, p.drop());
+        let y = p.branch(t, a, p.drop());
+        assert_eq!(x, y);
+        // Interning means the second build added no nodes.
+        assert_eq!(p.size(x), 3);
+    }
+
+    #[test]
+    fn branch_collapses_equal_children() {
+        let mut p = pool();
+        let id = p.id();
+        let d = p.branch(Test::FieldValue(Field::SrcPort, Value::Int(53)), id, id);
+        assert_eq!(d, id);
+        assert_eq!(p.size(d), 1);
+    }
+
+    #[test]
+    fn shared_subdiagrams_store_fewer_nodes_than_the_tree() {
+        let mut p = pool();
+        // (dstport = 80 ? out : drop), referenced from both sides of an outer
+        // branch: 4 distinct nodes, 7 as a tree.
+        let out = p.leaf(Leaf::single(Action::Modify(Field::OutPort, Value::Int(1))));
+        let drop = p.drop();
+        let shared = p.branch(Test::FieldValue(Field::DstPort, Value::Int(80)), out, drop);
+        let top = p.branch(
+            Test::FieldValue(Field::SrcPort, Value::Int(53)),
+            shared,
+            shared,
+        );
+        // Equal children collapse entirely...
+        assert_eq!(top, shared);
+        // ...so force distinct children that still share `out` and `drop`.
+        let alt = p.branch(Test::FieldValue(Field::DstPort, Value::Int(443)), out, drop);
+        let top = p.branch(
+            Test::FieldValue(Field::SrcPort, Value::Int(53)),
+            shared,
+            alt,
+        );
+        assert_eq!(p.size(top), 5);
+        assert_eq!(p.tree_size(top), 7);
+        assert!(p.size(top) < p.tree_size(top) as usize);
+    }
+
+    #[test]
+    fn contexts_are_interned() {
+        let mut p = pool();
+        let t = Test::FieldValue(Field::SrcPort, Value::Int(53));
+        let base = p.empty_ctx();
+        let a = p.ctx_with(base, t.clone(), true);
+        let b = p.ctx_with(base, t.clone(), true);
+        assert_eq!(a, b);
+        let c = p.ctx_with(base, t.clone(), false);
+        assert_ne!(a, c);
+        assert_eq!(p.ctx_implies(a, &t), Some(true));
+        assert_eq!(p.ctx_implies(c, &t), Some(false));
+        assert_eq!(p.ctx_implies(base, &t), None);
+    }
+
+    #[test]
+    fn reachable_is_preorder_from_root() {
+        let mut p = pool();
+        let id = p.id();
+        let drop = p.drop();
+        let inner = p.branch(Test::FieldValue(Field::DstPort, Value::Int(80)), id, drop);
+        let root = p.branch(
+            Test::FieldValue(Field::SrcPort, Value::Int(53)),
+            inner,
+            drop,
+        );
+        let order = p.reachable(root);
+        assert_eq!(order[0], root);
+        assert_eq!(order.len(), 4);
+        // Every child id appears after its parent id in the order.
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(inner) > pos(root));
+        assert!(pos(id) > pos(inner));
+    }
+
+    #[test]
+    fn depth_and_num_tests() {
+        let mut p = pool();
+        let id = p.id();
+        let drop = p.drop();
+        let inner = p.branch(Test::FieldValue(Field::DstPort, Value::Int(80)), id, drop);
+        let root = p.branch(
+            Test::FieldValue(Field::SrcPort, Value::Int(53)),
+            inner,
+            drop,
+        );
+        assert_eq!(p.depth(root), 3);
+        assert_eq!(p.num_tests(root), 2);
+        assert_eq!(p.depth(p.id()), 1);
+        assert_eq!(p.num_tests(p.id()), 0);
+    }
+}

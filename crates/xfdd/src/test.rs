@@ -57,9 +57,7 @@ impl Test {
             o => return o,
         }
         match (self, other) {
-            (Test::FieldValue(f1, v1), Test::FieldValue(f2, v2)) => {
-                (f1, v1).cmp(&(f2, v2))
-            }
+            (Test::FieldValue(f1, v1), Test::FieldValue(f2, v2)) => (f1, v1).cmp(&(f2, v2)),
             (Test::FieldField(a1, b1), Test::FieldField(a2, b2)) => (a1, b1).cmp(&(a2, b2)),
             (
                 Test::State {

@@ -1,97 +1,114 @@
-//! Translation from SNAP policies to xFDDs (Figure 6's `to-xfdd`).
+//! Translation from SNAP policies to xFDDs (Figure 6's `to-xfdd`), building
+//! into a hash-consed [`Pool`].
 
 use crate::action::{Action, Leaf};
-use crate::compose::{negate, seq, union};
+use crate::deps::StateDependencies;
 use crate::diagram::Xfdd;
 use crate::error::CompileError;
-use crate::test::{Test, VarOrder};
+use crate::pool::{NodeId, Pool};
+use crate::test::Test;
 use snap_lang::{Policy, Pred};
 
-/// Translate a policy to an xFDD and reject programs whose diagram contains a
-/// leaf with parallel writes to the same state variable (a race).
-pub fn to_xfdd(policy: &Policy, order: &VarOrder) -> Result<Xfdd, CompileError> {
-    let d = build_policy(policy, order)?;
-    if let Some(var) = d.find_race() {
+/// Translate a policy into the pool and reject programs whose diagram
+/// contains a leaf with parallel writes to the same state variable (a race).
+pub fn to_xfdd(policy: &Policy, pool: &mut Pool) -> Result<NodeId, CompileError> {
+    let d = build_policy(policy, pool)?;
+    if let Some(var) = pool.find_race(d) {
         return Err(CompileError::StateRace { var });
     }
     Ok(d)
 }
 
-/// Translate a predicate to a (pass/drop) xFDD.
-pub fn pred_to_xfdd(pred: &Pred, order: &VarOrder) -> Result<Xfdd, CompileError> {
-    build_pred(pred, order)
+/// Translate a predicate to a (pass/drop) diagram in the pool.
+pub fn pred_to_xfdd(pred: &Pred, pool: &mut Pool) -> Result<NodeId, CompileError> {
+    build_pred(pred, pool)
 }
 
-fn build_policy(policy: &Policy, order: &VarOrder) -> Result<Xfdd, CompileError> {
+/// Convenience entry point: analyze state dependencies, build a fresh pool
+/// under the derived variable order, translate the policy and freeze the
+/// result into a shareable [`Xfdd`].
+pub fn compile(policy: &Policy) -> Result<Xfdd, CompileError> {
+    let deps = StateDependencies::analyze(policy);
+    let mut pool = Pool::new(deps.var_order());
+    let root = to_xfdd(policy, &mut pool)?;
+    Ok(Xfdd::new(pool, root))
+}
+
+fn build_policy(policy: &Policy, pool: &mut Pool) -> Result<NodeId, CompileError> {
     match policy {
-        Policy::Filter(x) => build_pred(x, order),
-        Policy::Modify(f, v) => Ok(Xfdd::Leaf(Leaf::single(Action::Modify(
-            f.clone(),
-            v.clone(),
-        )))),
-        Policy::StateSet { var, index, value } => Ok(Xfdd::Leaf(Leaf::single(Action::StateSet {
+        Policy::Filter(x) => build_pred(x, pool),
+        Policy::Modify(f, v) => Ok(pool.leaf(Leaf::single(Action::Modify(f.clone(), v.clone())))),
+        Policy::StateSet { var, index, value } => Ok(pool.leaf(Leaf::single(Action::StateSet {
             var: var.clone(),
             index: index.clone(),
             value: value.clone(),
         }))),
-        Policy::StateIncr { var, index } => Ok(Xfdd::Leaf(Leaf::single(Action::StateIncr {
+        Policy::StateIncr { var, index } => Ok(pool.leaf(Leaf::single(Action::StateIncr {
             var: var.clone(),
             index: index.clone(),
         }))),
-        Policy::StateDecr { var, index } => Ok(Xfdd::Leaf(Leaf::single(Action::StateDecr {
+        Policy::StateDecr { var, index } => Ok(pool.leaf(Leaf::single(Action::StateDecr {
             var: var.clone(),
             index: index.clone(),
         }))),
         Policy::Par(p, q) => {
-            let dp = build_policy(p, order)?;
-            let dq = build_policy(q, order)?;
-            Ok(union(&dp, &dq, order))
+            let dp = build_policy(p, pool)?;
+            let dq = build_policy(q, pool)?;
+            Ok(pool.union(dp, dq))
         }
         Policy::Seq(p, q) => {
-            let dp = build_policy(p, order)?;
-            let dq = build_policy(q, order)?;
-            seq(&dp, &dq, order)
+            let dp = build_policy(p, pool)?;
+            let dq = build_policy(q, pool)?;
+            pool.seq(dp, dq)
         }
         Policy::If(a, p, q) => {
-            let da = build_pred(a, order)?;
-            let dp = build_policy(p, order)?;
-            let dq = build_policy(q, order)?;
-            let then_side = seq(&da, &dp, order)?;
-            let else_side = seq(&negate(&da), &dq, order)?;
-            Ok(union(&then_side, &else_side, order))
+            let da = build_pred(a, pool)?;
+            let dp = build_policy(p, pool)?;
+            let dq = build_policy(q, pool)?;
+            let then_side = pool.seq(da, dp)?;
+            let not_a = pool.negate(da);
+            let else_side = pool.seq(not_a, dq)?;
+            Ok(pool.union(then_side, else_side))
         }
-        Policy::Atomic(p) => build_policy(p, order),
+        Policy::Atomic(p) => build_policy(p, pool),
     }
 }
 
-fn build_pred(pred: &Pred, order: &VarOrder) -> Result<Xfdd, CompileError> {
+fn build_pred(pred: &Pred, pool: &mut Pool) -> Result<NodeId, CompileError> {
     match pred {
-        Pred::Id => Ok(Xfdd::id()),
-        Pred::Drop => Ok(Xfdd::drop()),
-        Pred::Test(f, v) => Ok(Xfdd::branch(
-            Test::FieldValue(f.clone(), v.clone()),
-            Xfdd::id(),
-            Xfdd::drop(),
-        )),
-        Pred::StateTest { var, index, value } => Ok(Xfdd::branch(
-            Test::State {
-                var: var.clone(),
-                index: index.clone(),
-                value: value.clone(),
-            },
-            Xfdd::id(),
-            Xfdd::drop(),
-        )),
-        Pred::Not(x) => Ok(negate(&build_pred(x, order)?)),
+        Pred::Id => Ok(pool.id()),
+        Pred::Drop => Ok(pool.drop()),
+        Pred::Test(f, v) => {
+            let id = pool.id();
+            let drop = pool.drop();
+            Ok(pool.branch(Test::FieldValue(f.clone(), v.clone()), id, drop))
+        }
+        Pred::StateTest { var, index, value } => {
+            let id = pool.id();
+            let drop = pool.drop();
+            Ok(pool.branch(
+                Test::State {
+                    var: var.clone(),
+                    index: index.clone(),
+                    value: value.clone(),
+                },
+                id,
+                drop,
+            ))
+        }
+        Pred::Not(x) => {
+            let dx = build_pred(x, pool)?;
+            Ok(pool.negate(dx))
+        }
         Pred::Or(x, y) => {
-            let dx = build_pred(x, order)?;
-            let dy = build_pred(y, order)?;
-            Ok(union(&dx, &dy, order))
+            let dx = build_pred(x, pool)?;
+            let dy = build_pred(y, pool)?;
+            Ok(pool.union(dx, dy))
         }
         Pred::And(x, y) => {
-            let dx = build_pred(x, order)?;
-            let dy = build_pred(y, order)?;
-            seq(&dx, &dy, order)
+            let dx = build_pred(x, pool)?;
+            let dy = build_pred(y, pool)?;
+            pool.seq(dx, dy)
         }
     }
 }
@@ -99,13 +116,10 @@ fn build_pred(pred: &Pred, order: &VarOrder) -> Result<Xfdd, CompileError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test::VarOrder;
     use snap_lang::builder::*;
     use snap_lang::eval::eval;
     use snap_lang::{Field, Packet, StateVar, Store, Value};
-
-    fn order() -> VarOrder {
-        VarOrder::empty()
-    }
 
     fn sv(s: &str) -> StateVar {
         StateVar::new(s)
@@ -113,20 +127,26 @@ mod tests {
 
     #[test]
     fn translate_primitives() {
-        assert_eq!(to_xfdd(&id(), &order()).unwrap(), Xfdd::id());
-        assert_eq!(to_xfdd(&drop(), &order()).unwrap(), Xfdd::drop());
-        let m = to_xfdd(&modify(Field::OutPort, Value::Int(3)), &order()).unwrap();
-        assert_eq!(m.num_tests(), 0);
-        assert!(m.as_leaf().is_some());
+        let mut p = Pool::new(VarOrder::empty());
+        assert_eq!(to_xfdd(&id(), &mut p).unwrap(), p.id());
+        assert_eq!(to_xfdd(&drop(), &mut p).unwrap(), p.drop());
+        let m = to_xfdd(&modify(Field::OutPort, Value::Int(3)), &mut p).unwrap();
+        assert_eq!(p.num_tests(m), 0);
+        assert!(matches!(p.node(m), crate::pool::Node::Leaf(_)));
     }
 
     #[test]
     fn translate_conjunction_and_disjunction() {
-        let p = filter(
-            test(Field::SrcPort, Value::Int(53)).and(test_prefix(Field::DstIp, 10, 0, 6, 0, 24)),
-        );
-        let d = to_xfdd(&p, &order()).unwrap();
-        assert!(d.is_well_formed(&order()));
+        let policy = filter(test(Field::SrcPort, Value::Int(53)).and(test_prefix(
+            Field::DstIp,
+            10,
+            0,
+            6,
+            0,
+            24,
+        )));
+        let d = compile(&policy).unwrap();
+        assert!(d.is_well_formed());
         let store = Store::new();
         let hit = Packet::new()
             .with(Field::SrcPort, 53)
@@ -140,19 +160,19 @@ mod tests {
 
     #[test]
     fn translate_conditional_matches_eval() {
-        let p = ite(
+        let policy = ite(
             test(Field::SrcPort, Value::Int(53)),
             state_incr("dns", vec![field(Field::DstIp)]),
             state_incr("other", vec![field(Field::DstIp)]),
         );
-        let d = to_xfdd(&p, &order()).unwrap();
+        let d = compile(&policy).unwrap();
         let store = Store::new();
         for srcport in [53i64, 80] {
             let pkt = Packet::new()
                 .with(Field::SrcPort, srcport)
                 .with(Field::DstIp, Value::ip(10, 0, 0, 1));
             let (pkts_d, store_d) = d.evaluate(&pkt, &store).unwrap();
-            let r = eval(&p, &store, &pkt).unwrap();
+            let r = eval(&policy, &store, &pkt).unwrap();
             assert_eq!(pkts_d, r.packets);
             assert_eq!(store_d, r.store);
         }
@@ -162,9 +182,10 @@ mod tests {
     fn race_condition_is_rejected() {
         // Parallel writes to the same variable reach the same leaf.
         let p = state_set("s", vec![int(0)], int(1)).par(state_set("s", vec![int(0)], int(2)));
-        let err = to_xfdd(&p, &order()).unwrap_err();
+        let err = compile(&p).unwrap_err();
         assert!(matches!(err, CompileError::StateRace { var } if var == sv("s")));
-        // Guarded by disjoint conditions there is no shared leaf, hence no race.
+        // Guarded by disjoint conditions there is no shared leaf, hence no
+        // race.
         let guarded = ite(
             test(Field::SrcPort, Value::Int(1)),
             state_set("s", vec![int(0)], int(1)),
@@ -175,7 +196,7 @@ mod tests {
             state_set("s", vec![int(0)], int(2)),
             id(),
         ));
-        assert!(to_xfdd(&guarded, &order()).is_ok());
+        assert!(compile(&guarded).is_ok());
     }
 
     #[test]
@@ -211,10 +232,20 @@ mod tests {
             ),
         );
         let order = VarOrder::new(vec![sv("orphan"), sv("susp-client"), sv("blacklist")]);
-        let d = to_xfdd(&detect, &order).unwrap();
-        assert!(d.is_well_formed(&order));
+        let mut pool = Pool::new(order);
+        let root = to_xfdd(&detect, &mut pool).unwrap();
+        let d = Xfdd::new(pool, root);
+        assert!(d.is_well_formed());
         let vars = d.state_vars();
         assert_eq!(vars.len(), 3);
+        // Hash-consing shares subdiagrams: the arena stores strictly fewer
+        // nodes than the unshared tree would.
+        assert!(
+            (d.size() as u64) < d.tree_size(),
+            "expected sharing: {} arena nodes vs {} tree nodes",
+            d.size(),
+            d.tree_size()
+        );
 
         // Behavioural spot-check against eval on a short trace.
         let client = Value::ip(10, 0, 6, 9);
@@ -241,16 +272,18 @@ mod tests {
         let p = ite(
             test_prefix(Field::DstIp, 10, 0, 3, 0, 25),
             atomic(
-                state_set("hon-ip", vec![field(Field::InPort)], field(Field::SrcIp)).seq(state_set(
-                    "hon-dstport",
-                    vec![field(Field::InPort)],
-                    field(Field::DstPort),
-                )),
+                state_set("hon-ip", vec![field(Field::InPort)], field(Field::SrcIp)).seq(
+                    state_set(
+                        "hon-dstport",
+                        vec![field(Field::InPort)],
+                        field(Field::DstPort),
+                    ),
+                ),
             ),
             id(),
         );
-        let d = to_xfdd(&p, &order()).unwrap();
-        assert!(d.is_well_formed(&order()));
+        let d = compile(&p).unwrap();
+        assert!(d.is_well_formed());
         let pkt = Packet::new()
             .with(Field::SrcIp, Value::ip(1, 2, 3, 4))
             .with(Field::DstIp, Value::ip(10, 0, 3, 7))
@@ -274,7 +307,7 @@ mod tests {
         let p = filter(test(Field::SrcPort, Value::Int(53)))
             .par(state_incr("count", vec![field(Field::InPort)]))
             .seq(modify(Field::OutPort, Value::Int(6)));
-        let d = to_xfdd(&p, &order()).unwrap();
+        let d = compile(&p).unwrap();
         let store = Store::new();
         for srcport in [53i64, 80] {
             let pkt = Packet::new()
@@ -294,7 +327,7 @@ mod tests {
             id(),
             drop(),
         );
-        let d = to_xfdd(&p, &order()).unwrap();
+        let d = compile(&p).unwrap();
         let pkt = Packet::new().with(Field::SrcIp, Value::ip(9, 9, 9, 9));
         assert_eq!(d.evaluate(&pkt, &Store::new()).unwrap().0.len(), 1);
         let mut bad = Store::new();

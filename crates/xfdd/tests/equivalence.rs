@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 use snap_lang::eval::eval;
 use snap_lang::{Expr, Field, Packet, Policy, Pred, StateVar, Store, Value};
-use snap_xfdd::{to_xfdd, StateDependencies};
+use snap_xfdd::StateDependencies;
 
 const FIELDS: [Field; 5] = [
     Field::SrcIp,
@@ -37,7 +37,11 @@ fn arb_field() -> impl Strategy<Value = Field> {
 }
 
 fn arb_state_var() -> impl Strategy<Value = StateVar> {
-    prop_oneof![Just(StateVar::new("s")), Just(StateVar::new("t")), Just(StateVar::new("u"))]
+    prop_oneof![
+        Just(StateVar::new("s")),
+        Just(StateVar::new("t")),
+        Just(StateVar::new("u"))
+    ]
 }
 
 fn arb_expr() -> impl Strategy<Value = Expr> {
@@ -56,9 +60,8 @@ fn arb_pred() -> impl Strategy<Value = Pred> {
         Just(Pred::Id),
         Just(Pred::Drop),
         (arb_field(), arb_value()).prop_map(|(f, v)| Pred::Test(f, v)),
-        (arb_state_var(), arb_index(), arb_expr()).prop_map(|(var, index, value)| {
-            Pred::StateTest { var, index, value }
-        }),
+        (arb_state_var(), arb_index(), arb_expr())
+            .prop_map(|(var, index, value)| { Pred::StateTest { var, index, value } }),
     ];
     leaf.prop_recursive(3, 16, 4, |inner| {
         prop_oneof![
@@ -73,9 +76,8 @@ fn arb_policy() -> impl Strategy<Value = Policy> {
     let leaf = prop_oneof![
         arb_pred().prop_map(Policy::Filter),
         (arb_field(), arb_value()).prop_map(|(f, v)| Policy::Modify(f, v)),
-        (arb_state_var(), arb_index(), arb_expr()).prop_map(|(var, index, value)| {
-            Policy::StateSet { var, index, value }
-        }),
+        (arb_state_var(), arb_index(), arb_expr())
+            .prop_map(|(var, index, value)| { Policy::StateSet { var, index, value } }),
         (arb_state_var(), arb_index()).prop_map(|(var, index)| Policy::StateIncr { var, index }),
         (arb_state_var(), arb_index()).prop_map(|(var, index)| Policy::StateDecr { var, index }),
     ];
@@ -83,26 +85,28 @@ fn arb_policy() -> impl Strategy<Value = Policy> {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(p, q)| p.seq(q)),
             (inner.clone(), inner.clone()).prop_map(|(p, q)| p.par(q)),
-            (arb_pred(), inner.clone(), inner.clone())
-                .prop_map(|(a, p, q)| Policy::If(a, Box::new(p), Box::new(q))),
+            (arb_pred(), inner.clone(), inner.clone()).prop_map(|(a, p, q)| Policy::If(
+                a,
+                Box::new(p),
+                Box::new(q)
+            )),
             inner.prop_map(|p| p.atomic()),
         ]
     })
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
-    proptest::collection::vec(arb_value(), FIELDS.len()).prop_map(|vals| {
-        FIELDS
-            .iter()
-            .cloned()
-            .zip(vals)
-            .collect::<Packet>()
-    })
+    proptest::collection::vec(arb_value(), FIELDS.len())
+        .prop_map(|vals| FIELDS.iter().cloned().zip(vals).collect::<Packet>())
 }
 
 fn arb_store() -> impl Strategy<Value = Store> {
     proptest::collection::vec(
-        (arb_state_var(), proptest::collection::vec(arb_value(), 1..=2), arb_int_value()),
+        (
+            arb_state_var(),
+            proptest::collection::vec(arb_value(), 1..=2),
+            arb_int_value(),
+        ),
         0..4,
     )
     .prop_map(|entries| {
@@ -123,13 +127,11 @@ proptest! {
         packet in arb_packet(),
         store in arb_store(),
     ) {
-        let deps = StateDependencies::analyze(&policy);
-        let order = deps.var_order();
-        let diagram = match to_xfdd(&policy, &order) {
+        let diagram = match snap_xfdd::compile(&policy) {
             Ok(d) => d,
             Err(_) => return Ok(()), // rejected programs have no semantics to compare
         };
-        prop_assert!(diagram.is_well_formed(&order), "ill-formed diagram: {diagram:?}");
+        prop_assert!(diagram.is_well_formed(), "ill-formed diagram: {diagram:?}");
 
         let reference = match eval(&policy, &store, &packet) {
             Ok(r) => r,
@@ -144,12 +146,42 @@ proptest! {
 
     #[test]
     fn diagrams_are_always_well_formed(policy in arb_policy()) {
-        let deps = StateDependencies::analyze(&policy);
-        let order = deps.var_order();
-        if let Ok(d) = to_xfdd(&policy, &order) {
-            prop_assert!(d.is_well_formed(&order));
+        if let Ok(d) = snap_xfdd::compile(&policy) {
+            prop_assert!(d.is_well_formed());
             prop_assert!(d.find_race().is_none());
         }
+    }
+
+    #[test]
+    fn interning_never_stores_more_nodes_than_the_tree(policy in arb_policy()) {
+        // The arena representation must never be larger than the unshared
+        // tree the old representation materialized.
+        if let Ok(d) = snap_xfdd::compile(&policy) {
+            prop_assert!(
+                (d.size() as u64) <= d.tree_size(),
+                "arena {} nodes > tree {} nodes for {:?}",
+                d.size(),
+                d.tree_size(),
+                policy
+            );
+        }
+    }
+
+    #[test]
+    fn recompiling_into_one_pool_is_deterministic(policy in arb_policy()) {
+        // Translating the same policy twice into the same pool must hit the
+        // interner/memo tables and return the same root without growing the
+        // arena.
+        let deps = StateDependencies::analyze(&policy);
+        let mut pool = snap_xfdd::Pool::new(deps.var_order());
+        let first = match snap_xfdd::to_xfdd(&policy, &mut pool) {
+            Ok(d) => d,
+            Err(_) => return Ok(()),
+        };
+        let nodes_after_first = pool.len();
+        let second = snap_xfdd::to_xfdd(&policy, &mut pool).expect("second translation");
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(pool.len(), nodes_after_first, "re-translation grew the arena");
     }
 
     #[test]

@@ -16,7 +16,9 @@ fn main() {
     let topo = generators::campus();
     let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
     let compiler = Compiler::new(topo.clone(), tm).with_solver(SolverChoice::Heuristic);
-    let compiled = compiler.compile(&program).expect("running example compiles");
+    let compiled = compiler
+        .compile(&program)
+        .expect("running example compiles");
 
     println!("== placement ==");
     for (var, node) in &compiled.placement.placement {
@@ -36,7 +38,9 @@ fn main() {
             .with(Field::DstIp, victim.clone())
             .with(Field::SrcPort, 53)
             .with(Field::DnsRdata, Value::ip(93, 184, 216, (34 + i) as u8));
-        let out = network.inject(PortId(1), &dns).expect("simulation succeeds");
+        let out = network
+            .inject(PortId(1), &dns)
+            .expect("simulation succeeds");
         println!("  response {}: {} packet(s) delivered", i + 1, out.len());
     }
     let store = network.aggregate_store();

@@ -28,7 +28,10 @@ fn main() {
     let hon_ip = compiled.placement.placement[&StateVar::new("hon-ip")];
     let hon_port = compiled.placement.placement[&StateVar::new("hon-dstport")];
     assert_eq!(hon_ip, hon_port, "atomic variables must be co-located");
-    println!("honeypot transaction variables are co-located on {}", topo.node_name(hon_ip));
+    println!(
+        "honeypot transaction variables are co-located on {}",
+        topo.node_name(hon_ip)
+    );
 
     // Send one packet towards the honeypot and one ordinary packet.
     let mut network = compiler.build_network(&compiled);

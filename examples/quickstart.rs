@@ -13,10 +13,9 @@ fn main() {
     //    Policies can be written with the builder API...
     let counting = state_incr("count", vec![field(Field::InPort)]);
     // ...or parsed from the paper's surface syntax.
-    let routing = parse_policy(
-        "if dstip = 10.0.6.0/24 & srcport = 53 then outport <- 6 else outport <- 1",
-    )
-    .expect("valid SNAP syntax");
+    let routing =
+        parse_policy("if dstip = 10.0.6.0/24 & srcport = 53 then outport <- 6 else outport <- 1")
+            .expect("valid SNAP syntax");
     let policy = counting.seq(routing);
     println!("policy:\n{}", policy_to_pretty_lines(&policy));
 

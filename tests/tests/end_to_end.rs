@@ -4,10 +4,9 @@
 
 use snap_apps as apps;
 use snap_core::{Compiler, SolverChoice};
-use snap_dataplane::{IndexedXfdd, NetAsmProgram};
+use snap_dataplane::NetAsmProgram;
 use snap_lang::prelude::*;
 use snap_topology::{generators, PortId, TrafficMatrix};
-use snap_xfdd::{to_xfdd, StateDependencies};
 use std::collections::BTreeSet;
 
 fn campus_compiler() -> Compiler {
@@ -63,9 +62,15 @@ fn parsed_program_compiles_and_runs_like_the_built_one() {
     let inside = Value::ip(10, 0, 6, 1);
     let outside = Value::ip(1, 2, 3, 4);
     let trace = vec![
-        Packet::new().with(Field::SrcIp, outside.clone()).with(Field::DstIp, inside.clone()),
-        Packet::new().with(Field::SrcIp, inside.clone()).with(Field::DstIp, outside.clone()),
-        Packet::new().with(Field::SrcIp, outside).with(Field::DstIp, inside),
+        Packet::new()
+            .with(Field::SrcIp, outside.clone())
+            .with(Field::DstIp, inside.clone()),
+        Packet::new()
+            .with(Field::SrcIp, inside.clone())
+            .with(Field::DstIp, outside.clone()),
+        Packet::new()
+            .with(Field::SrcIp, outside)
+            .with(Field::DstIp, inside),
     ];
     let (s1, o1) = snap_lang::eval_trace(&parsed, &Store::new(), &trace).unwrap();
     let (s2, o2) = snap_lang::eval_trace(&built, &Store::new(), &trace).unwrap();
@@ -90,9 +95,24 @@ fn distributed_execution_equals_obs_for_the_stateful_firewall() {
     let inside = Value::ip(10, 0, 6, 10);
     let outside = Value::ip(10, 0, 2, 20);
     let trace = vec![
-        (PortId(2), Packet::new().with(Field::SrcIp, outside.clone()).with(Field::DstIp, inside.clone())),
-        (PortId(6), Packet::new().with(Field::SrcIp, inside.clone()).with(Field::DstIp, outside.clone())),
-        (PortId(2), Packet::new().with(Field::SrcIp, outside).with(Field::DstIp, inside)),
+        (
+            PortId(2),
+            Packet::new()
+                .with(Field::SrcIp, outside.clone())
+                .with(Field::DstIp, inside.clone()),
+        ),
+        (
+            PortId(6),
+            Packet::new()
+                .with(Field::SrcIp, inside.clone())
+                .with(Field::DstIp, outside.clone()),
+        ),
+        (
+            PortId(2),
+            Packet::new()
+                .with(Field::SrcIp, outside)
+                .with(Field::DstIp, inside),
+        ),
     ];
 
     let mut store = Store::new();
@@ -137,10 +157,8 @@ fn netasm_lowering_matches_xfdd_for_several_applications() {
             .with(Field::DnsTtl, 60),
     ];
     for (name, policy) in apps::catalogue().into_iter().take(8) {
-        let deps = StateDependencies::analyze(&policy);
-        let xfdd = to_xfdd(&policy, &deps.var_order()).unwrap();
-        let indexed = IndexedXfdd::from_xfdd(&xfdd);
-        let asm = NetAsmProgram::lower(&indexed);
+        let xfdd = snap_xfdd::compile(&policy).unwrap();
+        let asm = NetAsmProgram::lower(&xfdd);
         let mut store_a = Store::new();
         let mut store_b = Store::new();
         for pkt in &sample_packets {
