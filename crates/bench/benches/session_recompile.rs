@@ -1,0 +1,203 @@
+//! Benchmarks for the long-lived compiler session: cold full compiles vs
+//! incremental recompiles of single-subtree policy edits vs parallel
+//! per-policy translation, all on the campus topology.
+//!
+//! The workload is a parallel composition of four Table 3 applications
+//! followed by egress assignment; the "edit" bumps the detection threshold
+//! of one operand, leaving the other three subtrees (and all compositions
+//! over them) warm in the session's caches. Two edit regimes matter:
+//!
+//! * **working-set edits** — the controller toggles between policy versions
+//!   it has seen before (attack/calm thresholds, rollbacks). The session
+//!   answers these from its version cache without running any phase.
+//! * **novel edits** — every recompile carries a brand-new threshold. The
+//!   edited subtree is re-translated and recomposed against cached
+//!   neighbours; mapping and rule generation still run.
+//!
+//! A final report prints the measured cold/incremental speedups for both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snap_apps as apps;
+use snap_core::{Compiler, SolverChoice};
+use snap_lang::Policy;
+use snap_session::{CompilerSession, SessionOptions};
+use snap_topology::{generators::campus, TrafficMatrix};
+use std::time::{Duration, Instant};
+
+/// The benchmark policy; `threshold` parameterizes exactly one parallel
+/// operand, so changing it is a single-subtree edit.
+fn policy(threshold: i64) -> Policy {
+    Policy::par_all(vec![
+        apps::dns_tunnel_detect(10),
+        apps::stateful_firewall(),
+        apps::port_monitoring(),
+        apps::heavy_hitter_detection(threshold),
+    ])
+    .seq(apps::assign_egress(6))
+}
+
+/// The calm/attack pair the working-set scenario flips between.
+const CALM: i64 = 1000;
+const ATTACK: i64 = 50;
+
+fn compiler() -> Compiler {
+    let topo = campus();
+    let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+    Compiler::new(topo, tm).with_solver(SolverChoice::Heuristic)
+}
+
+fn session(parallel: bool) -> CompilerSession {
+    let topo = campus();
+    let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+    CompilerSession::new(topo, tm).with_options(SessionOptions {
+        solver: SolverChoice::Heuristic,
+        parallel,
+        ..SessionOptions::default()
+    })
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_recompile");
+    group.sample_size(10);
+
+    // Cold: a fresh `Compiler::compile` per policy version — what a
+    // controller without sessions pays on every change.
+    let cold_compiler = compiler();
+    let mut v = 0i64;
+    group.bench_function("cold_full_compile", |b| {
+        b.iter(|| {
+            v += 1;
+            cold_compiler.compile(&policy(10_000 + v)).unwrap()
+        })
+    });
+
+    // Working-set edit: flip between two known versions; served from the
+    // version cache. (The controller holds both policy objects, so AST
+    // construction is not part of the flip.)
+    let mut live = session(false);
+    let calm = policy(CALM);
+    let attack = policy(ATTACK);
+    live.compile(&calm).unwrap();
+    live.update_policy(&attack).unwrap();
+    let mut flips = 0u64;
+    group.bench_function("session_working_set_edit", |b| {
+        b.iter(|| {
+            flips += 1;
+            live.update_policy(if flips.is_multiple_of(2) {
+                &calm
+            } else {
+                &attack
+            })
+            .unwrap()
+        })
+    });
+
+    // Novel edit: a brand-new threshold every iteration; the edited subtree
+    // re-translates, its neighbours come from the fingerprint cache, the
+    // unchanged mapping lets the session skip placement.
+    let mut t = 0i64;
+    group.bench_function("session_novel_edit", |b| {
+        b.iter(|| {
+            t += 1;
+            live.update_policy(&policy(t)).unwrap()
+        })
+    });
+
+    // Traffic-matrix update on the session (the paper's TE scenario).
+    let topo = live.topology().clone();
+    let mut seed = 0u64;
+    group.bench_function("session_update_traffic", |b| {
+        b.iter(|| {
+            seed += 1;
+            live.update_traffic(TrafficMatrix::gravity(&topo, 700.0, seed))
+                .unwrap()
+        })
+    });
+
+    // Cold compiles through a fresh session, sequential vs parallel
+    // translation of the four-way parallel composition.
+    let mut w = 0i64;
+    group.bench_function("session_cold_sequential", |b| {
+        b.iter(|| {
+            w += 1;
+            session(false).compile(&policy(20_000 + w)).unwrap()
+        })
+    });
+    group.bench_function("session_cold_parallel_translate", |b| {
+        b.iter(|| {
+            w += 1;
+            session(true).compile(&policy(20_000 + w)).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+fn median_secs(samples: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Measure and print the headline ratios: incremental recompiles of a
+/// single-subtree edit vs a cold `Compiler::compile` of the same version.
+fn report_speedup(_c: &mut Criterion) {
+    let cold_compiler = compiler();
+    let mut v = 0i64;
+    let cold = median_secs(15, || {
+        v += 1;
+        cold_compiler.compile(&policy(10_000 + v)).unwrap();
+    });
+
+    let mut live = session(false);
+    let calm = policy(CALM);
+    let attack = policy(ATTACK);
+    live.compile(&calm).unwrap();
+    live.update_policy(&attack).unwrap();
+    let mut flips = 0u64;
+    let working_set = median_secs(15, || {
+        flips += 1;
+        live.update_policy(if flips.is_multiple_of(2) {
+            &calm
+        } else {
+            &attack
+        })
+        .unwrap();
+    });
+
+    let mut t = 0i64;
+    let novel = median_secs(15, || {
+        t += 1;
+        live.update_policy(&policy(t)).unwrap();
+    });
+
+    let stats = *live.stats();
+    println!(
+        "\nsession_recompile summary (campus, {} pool nodes, {} cached subtrees):",
+        live.pool_len(),
+        live.cache_len(),
+    );
+    println!("  cold Compiler::compile          median {cold:?}");
+    println!(
+        "  session working-set edit        median {working_set:?}  ({:.1}x faster than cold)",
+        cold.as_secs_f64() / working_set.as_secs_f64()
+    );
+    println!(
+        "  session novel edit              median {novel:?}  ({:.1}x faster than cold)",
+        cold.as_secs_f64() / novel.as_secs_f64()
+    );
+    println!(
+        "  session counters: subtree hits {}, misses {}, version hits {}, placement reuses {}",
+        stats.subtree_hits, stats.subtree_misses, stats.version_hits, stats.placement_reuses,
+    );
+}
+
+criterion_group!(benches, bench_session);
+criterion_group!(report, report_speedup);
+criterion_main!(benches, report);

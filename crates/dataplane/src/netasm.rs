@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use snap_lang::{EvalError, Expr, Field, Packet, StateVar, Store, Value};
 use snap_xfdd::{eval_test, ActionSeq, Node, NodeId, Test, Xfdd};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// One instruction of the data-plane program. Jump targets are instruction
 /// indices within the same program.
@@ -64,13 +65,22 @@ pub enum Instruction {
 }
 
 /// A data-plane program: straight-line instructions with branches.
+///
+/// The instruction stream is shared between clones: rule generation hands
+/// the same lowered program to every switch, and a compiler session caches
+/// whole compiled versions, so cloning a program is an `Arc` bump rather
+/// than a copy of the instruction vector.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct NetAsmProgram {
-    /// The instructions.
-    pub instructions: Vec<Instruction>,
+    instructions: Arc<Vec<Instruction>>,
 }
 
 impl NetAsmProgram {
+    /// The instructions.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.instructions.len()
@@ -117,16 +127,16 @@ impl NetAsmProgram {
     /// mirroring NetASM's atomic table updates.
     pub fn lower(program: &Xfdd) -> NetAsmProgram {
         let nodes = program.reachable();
-        let mut out = NetAsmProgram::default();
+        let mut out = Vec::new();
         // First pass: emit each node's block (branch targets still
         // placeholders), recording the instruction offset where each node id
         // starts.
         let mut node_offsets: HashMap<NodeId, usize> = HashMap::new();
         for &id in &nodes {
-            node_offsets.insert(id, out.instructions.len());
+            node_offsets.insert(id, out.len());
             match program.node(id) {
                 Node::Branch { test, .. } => {
-                    out.instructions.push(Instruction::Branch {
+                    out.push(Instruction::Branch {
                         test: test.clone(),
                         on_true: usize::MAX,
                         on_false: usize::MAX,
@@ -134,18 +144,18 @@ impl NetAsmProgram {
                 }
                 Node::Leaf(leaf) => {
                     if leaf.0.is_empty() {
-                        out.instructions.push(Instruction::Drop);
+                        out.push(Instruction::Drop);
                     } else {
                         for (i, seq) in leaf.0.iter().enumerate() {
                             if i > 0 {
                                 // Each parallel sequence starts from the
                                 // packet as it reached the leaf.
-                                out.instructions.push(Instruction::Restore);
+                                out.push(Instruction::Restore);
                             }
-                            lower_seq(seq, &mut out.instructions);
+                            lower_seq(seq, &mut out);
                         }
                     }
-                    out.instructions.push(Instruction::Halt);
+                    out.push(Instruction::Halt);
                 }
             }
         }
@@ -158,7 +168,7 @@ impl NetAsmProgram {
             }
         }
         let mut b = 0;
-        for ins in &mut out.instructions {
+        for ins in &mut out {
             if let Instruction::Branch {
                 on_true, on_false, ..
             } = ins
@@ -169,7 +179,9 @@ impl NetAsmProgram {
                 *on_false = f;
             }
         }
-        out
+        NetAsmProgram {
+            instructions: Arc::new(out),
+        }
     }
 
     /// Execute the program on one packet against a store, returning the set

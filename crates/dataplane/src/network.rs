@@ -99,46 +99,128 @@ pub struct Network {
     /// Maximum number of hops a packet may take before the simulator reports
     /// a routing loop.
     pub hop_budget: usize,
+    /// Configuration epoch: 0 at construction, bumped by every
+    /// [`Network::swap_configs`].
+    epoch: u64,
+}
+
+/// Per-switch configurations, indexed and validated: every config must hold
+/// a handle on the *same* interned pool and root, since the packet tag of
+/// one switch dereferences another switch's arena.
+struct IndexedConfigs {
+    map: BTreeMap<SwitchId, SwitchConfig>,
+    root: Option<NodeId>,
+    placement: BTreeMap<StateVar, SwitchId>,
+}
+
+fn index_configs(configs: Vec<SwitchConfig>) -> IndexedConfigs {
+    let mut placement = BTreeMap::new();
+    let mut map = BTreeMap::new();
+    let mut root = None;
+    let mut pool: Option<*const snap_xfdd::Pool> = None;
+    for c in configs {
+        // NodeIds are only meaningful within their own arena: every
+        // config must hold a handle on the same interned pool (rule
+        // generation guarantees this), otherwise the packet tag of one
+        // switch would dereference another switch's arena.
+        let c_pool = c.program.pool() as *const _;
+        assert!(
+            *pool.get_or_insert(c_pool) == c_pool,
+            "switch {:?} carries a program from a different xFDD pool",
+            c.node
+        );
+        assert!(
+            *root.get_or_insert(c.program.root()) == c.program.root(),
+            "switch {:?} carries a program with a different root",
+            c.node
+        );
+        for v in &c.local_vars {
+            placement.insert(v.clone(), c.node);
+        }
+        map.insert(c.node, c);
+    }
+    IndexedConfigs {
+        map,
+        root,
+        placement,
+    }
 }
 
 impl Network {
     /// Build a network from per-switch configurations.
     pub fn new(topology: Topology, configs: Vec<SwitchConfig>) -> Self {
-        let mut placement = BTreeMap::new();
-        let mut map = BTreeMap::new();
-        let mut stores = BTreeMap::new();
-        let mut root = None;
-        let mut pool: Option<*const snap_xfdd::Pool> = None;
-        for c in configs {
-            // NodeIds are only meaningful within their own arena: every
-            // config must hold a handle on the same interned pool (rule
-            // generation guarantees this), otherwise the packet tag of one
-            // switch would dereference another switch's arena.
-            let c_pool = c.program.pool() as *const _;
-            assert!(
-                *pool.get_or_insert(c_pool) == c_pool,
-                "switch {:?} carries a program from a different xFDD pool",
-                c.node
-            );
-            assert!(
-                *root.get_or_insert(c.program.root()) == c.program.root(),
-                "switch {:?} carries a program with a different root",
-                c.node
-            );
-            for v in &c.local_vars {
-                placement.insert(v.clone(), c.node);
-            }
-            stores.insert(c.node, Arc::new(Mutex::new(Store::new())));
-            map.insert(c.node, c);
-        }
+        let indexed = index_configs(configs);
+        let stores = indexed
+            .map
+            .keys()
+            .map(|&n| (n, Arc::new(Mutex::new(Store::new()))))
+            .collect();
         Network {
             topology,
-            configs: map,
-            root,
-            placement,
+            configs: indexed.map,
+            root: indexed.root,
+            placement: indexed.placement,
             stores,
             hop_budget: 256,
+            epoch: 0,
         }
+    }
+
+    /// The current configuration epoch (how many times [`Self::swap_configs`]
+    /// replaced the running program).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Atomically replace every switch's configuration with a freshly
+    /// compiled set — the controller's recompile-and-push step — without
+    /// rebuilding the network or losing switch state. Variables whose owner
+    /// moved have their state tables migrated to the new owner; variables no
+    /// longer placed anywhere have their tables *dropped*, so re-placing the
+    /// same name later deterministically starts fresh wherever it lands
+    /// (rather than resurrecting stale state only when the optimizer happens
+    /// to pick the old switch). Returns the new epoch.
+    ///
+    /// The new configs may come from a different xFDD pool than the old ones
+    /// (they must still all share one pool among themselves): the swap
+    /// replaces program, root and placement together, so no packet ever
+    /// resolves an old node id against a new arena.
+    pub fn swap_configs(&mut self, configs: Vec<SwitchConfig>) -> u64 {
+        let indexed = index_configs(configs);
+        // Migrate state owned by a different switch under the new placement,
+        // and drop tables of variables the new program no longer places.
+        for (var, &old_owner) in &self.placement {
+            let take = |stores: &BTreeMap<SwitchId, Arc<Mutex<Store>>>| {
+                stores
+                    .get(&old_owner)
+                    .and_then(|s| s.lock().remove_table(var))
+            };
+            match indexed.placement.get(var) {
+                Some(&new_owner) if new_owner != old_owner => {
+                    if let Some(table) = take(&self.stores) {
+                        self.stores
+                            .entry(new_owner)
+                            .or_insert_with(|| Arc::new(Mutex::new(Store::new())))
+                            .lock()
+                            .insert_table(var.clone(), table);
+                    }
+                }
+                Some(_) => {} // same owner: table stays put
+                None => {
+                    take(&self.stores);
+                }
+            }
+        }
+        for &n in indexed.map.keys() {
+            self.stores
+                .entry(n)
+                .or_insert_with(|| Arc::new(Mutex::new(Store::new())));
+        }
+        self.configs = indexed.map;
+        self.root = indexed.root;
+        self.placement = indexed.placement;
+        self.epoch += 1;
+        self.epoch
     }
 
     /// The switch a state variable lives on.
@@ -632,5 +714,114 @@ mod tests {
         let mut net = campus_network(&policy, "D4");
         let err = net.inject(PortId(1), &Packet::new()).unwrap_err();
         assert!(matches!(err, SimError::BadOutPort(_)));
+    }
+
+    /// The configs a `campus_network` for `policy` would install, without
+    /// building a new network.
+    fn campus_configs(policy: &Policy, state_switch: &str) -> Vec<SwitchConfig> {
+        let topo = campus();
+        let program = snap_xfdd::compile(policy).unwrap();
+        let owner = topo.node_by_name(state_switch).unwrap();
+        let all_vars = policy.state_vars();
+        topo.nodes()
+            .map(|n| SwitchConfig {
+                node: n,
+                local_vars: if n == owner {
+                    all_vars.clone()
+                } else {
+                    BTreeSet::new()
+                },
+                program: program.clone(),
+                ports: topo
+                    .external_ports()
+                    .filter(|(_, sw)| *sw == n)
+                    .map(|(p, _)| p)
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn swap_configs_bumps_the_epoch_and_replaces_the_program() {
+        let count_then_6 = state_incr("count", vec![field(Field::InPort)])
+            .seq(modify(Field::OutPort, Value::Int(6)));
+        let mut net = campus_network(&count_then_6, "C6");
+        assert_eq!(net.epoch(), 0);
+        let pkt = Packet::new().with(Field::InPort, 1);
+        net.inject(PortId(1), &pkt).unwrap();
+
+        // Recompile with a different egress and swap it in.
+        let count_then_1 = state_incr("count", vec![field(Field::InPort)])
+            .seq(modify(Field::OutPort, Value::Int(1)));
+        let epoch = net.swap_configs(campus_configs(&count_then_1, "C6"));
+        assert_eq!(epoch, 1);
+        assert_eq!(net.epoch(), 1);
+
+        // The new program routes to port 1, and the old counter state
+        // survived the swap.
+        let out = net.inject(PortId(2), &pkt).unwrap();
+        assert_eq!(out.iter().next().unwrap().0, PortId(1));
+        assert_eq!(
+            net.aggregate_store().get(&"count".into(), &[Value::Int(1)]),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn unplaced_variables_are_dropped_not_resurrected() {
+        let counting = state_incr("count", vec![field(Field::InPort)])
+            .seq(modify(Field::OutPort, Value::Int(6)));
+        let stateless = assign_egress_stateless();
+        let mut net = campus_network(&counting, "C6");
+        let pkt = Packet::new().with(Field::InPort, 1);
+        for _ in 0..3 {
+            net.inject(PortId(1), &pkt).unwrap();
+        }
+
+        // Swap to a program that no longer places "count": its table is
+        // dropped, not stranded on C6.
+        net.swap_configs(campus_configs(&stateless, "C6"));
+        assert_eq!(net.owner(&"count".into()), None);
+
+        // Re-placing the variable — on the *same* switch as before — starts
+        // fresh rather than resurrecting the old table.
+        net.swap_configs(campus_configs(&counting, "C6"));
+        net.inject(PortId(1), &pkt).unwrap();
+        assert_eq!(
+            net.aggregate_store().get(&"count".into(), &[Value::Int(1)]),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn swap_configs_migrates_state_to_the_new_owner() {
+        let policy = state_incr("count", vec![field(Field::InPort)])
+            .seq(modify(Field::OutPort, Value::Int(6)));
+        let mut net = campus_network(&policy, "C6");
+        let pkt = Packet::new().with(Field::InPort, 1);
+        for _ in 0..3 {
+            net.inject(PortId(1), &pkt).unwrap();
+        }
+        assert_eq!(
+            net.topology.node_name(net.owner(&"count".into()).unwrap()),
+            "C6"
+        );
+
+        // Same program, state re-placed on D4: the table must move with it.
+        net.swap_configs(campus_configs(&policy, "D4"));
+        assert_eq!(
+            net.topology.node_name(net.owner(&"count".into()).unwrap()),
+            "D4"
+        );
+        assert_eq!(
+            net.aggregate_store().get(&"count".into(), &[Value::Int(1)]),
+            Value::Int(3)
+        );
+        // And the counter keeps counting on the new owner.
+        net.inject(PortId(1), &pkt).unwrap();
+        assert_eq!(
+            net.aggregate_store().get(&"count".into(), &[Value::Int(1)]),
+            Value::Int(4)
+        );
     }
 }

@@ -130,6 +130,12 @@ impl Store {
         self.tables.insert(var, table);
     }
 
+    /// Take the whole table for `var` out of the store (used when migrating
+    /// a variable to a different switch during a configuration swap).
+    pub fn remove_table(&mut self, var: &StateVar) -> Option<StateTable> {
+        self.tables.remove(var)
+    }
+
     /// Do two stores agree on variable `var`?
     pub fn var_eq(&self, other: &Store, var: &StateVar) -> bool {
         let empty = StateTable::default();

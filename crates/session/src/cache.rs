@@ -1,0 +1,196 @@
+//! The fingerprinted translation cache: policy subtree → interned diagram.
+//!
+//! A session survives many recompilations, and most of a policy is unchanged
+//! between consecutive versions. The cache maps *structural fingerprints* of
+//! policy subtrees to the `NodeId` their translation produced in the session
+//! pool, so an edit to one branch of `p + q` re-translates only that branch:
+//! every untouched subtree is a cache hit, and the compositions above it hit
+//! the pool's warm memo tables.
+//!
+//! Fingerprints are 64-bit structural hashes; because hashes can collide,
+//! each bucket stores the policies themselves and hits are confirmed by
+//! structural equality. Entries remember the last compile generation that
+//! used them, which is what the GC's eviction policy keys on.
+
+use snap_lang::Policy;
+use snap_xfdd::{NodeId, RemapTable};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// The structural fingerprint of a policy subtree.
+pub fn fingerprint(policy: &Policy) -> u64 {
+    let mut h = DefaultHasher::new();
+    policy.hash(&mut h);
+    h.finish()
+}
+
+struct CacheEntry {
+    policy: Policy,
+    root: NodeId,
+    last_used: u64,
+}
+
+/// Fingerprint → translated-diagram cache with generation-based eviction.
+#[derive(Default)]
+pub struct TranslationCache {
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    generation: u64,
+    len: usize,
+}
+
+impl TranslationCache {
+    /// The current compile generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Start a new compile generation (called once per policy compilation).
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Number of cached subtrees.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look a policy subtree up, marking the entry as used by the current
+    /// generation.
+    pub fn lookup(&mut self, policy: &Policy) -> Option<NodeId> {
+        let generation = self.generation;
+        let bucket = self.buckets.get_mut(&fingerprint(policy))?;
+        let entry = bucket.iter_mut().find(|e| &e.policy == policy)?;
+        entry.last_used = generation;
+        Some(entry.root)
+    }
+
+    /// Record a freshly translated subtree.
+    pub fn insert(&mut self, policy: &Policy, root: NodeId) {
+        let bucket = self.buckets.entry(fingerprint(policy)).or_default();
+        if let Some(entry) = bucket.iter_mut().find(|e| &e.policy == policy) {
+            entry.root = root;
+            entry.last_used = self.generation;
+            return;
+        }
+        bucket.push(CacheEntry {
+            policy: policy.clone(),
+            root,
+            last_used: self.generation,
+        });
+        self.len += 1;
+    }
+
+    /// Evict entries not used within the last `keep_generations` compiles
+    /// (an entry used by the current generation has age 0). Returns how many
+    /// entries were evicted.
+    pub fn evict_stale(&mut self, keep_generations: u64) -> usize {
+        let cutoff = self.generation.saturating_sub(keep_generations.max(1) - 1);
+        let mut evicted = 0;
+        self.buckets.retain(|_, bucket| {
+            bucket.retain(|e| {
+                let keep = e.last_used >= cutoff;
+                if !keep {
+                    evicted += 1;
+                }
+                keep
+            });
+            !bucket.is_empty()
+        });
+        self.len -= evicted;
+        evicted
+    }
+
+    /// The diagram roots of every cached subtree — the GC's live roots.
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.buckets
+            .values()
+            .flat_map(|b| b.iter().map(|e| e.root))
+            .collect()
+    }
+
+    /// Rewrite every cached root through a compaction remap table, dropping
+    /// entries whose diagram was collected. Returns how many were dropped.
+    pub fn remap(&mut self, table: &RemapTable) -> usize {
+        let mut dropped = 0;
+        self.buckets.retain(|_, bucket| {
+            bucket.retain_mut(|e| match table.node(e.root) {
+                Some(new) => {
+                    e.root = new;
+                    true
+                }
+                None => {
+                    dropped += 1;
+                    false
+                }
+            });
+            !bucket.is_empty()
+        });
+        self.len -= dropped;
+        dropped
+    }
+
+    /// Forget everything (used when the variable order changes and the pool
+    /// is rebuilt).
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_lang::builder::*;
+    use snap_lang::{Field, Value};
+
+    fn p1() -> Policy {
+        modify(Field::OutPort, Value::Int(1))
+    }
+
+    fn p2() -> Policy {
+        modify(Field::OutPort, Value::Int(2))
+    }
+
+    #[test]
+    fn lookup_confirms_structural_equality() {
+        let mut c = TranslationCache::default();
+        c.insert(&p1(), NodeId(7));
+        assert_eq!(c.lookup(&p1()), Some(NodeId(7)));
+        assert_eq!(c.lookup(&p2()), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_keeps_recently_used_entries() {
+        let mut c = TranslationCache::default();
+        c.bump_generation(); // gen 1
+        c.insert(&p1(), NodeId(7));
+        c.bump_generation(); // gen 2
+        c.insert(&p2(), NodeId(8));
+        c.lookup(&p2());
+        // Keep only entries used in the current generation.
+        let evicted = c.evict_stale(1);
+        assert_eq!(evicted, 1);
+        assert_eq!(c.lookup(&p1()), None);
+        assert_eq!(c.lookup(&p2()), Some(NodeId(8)));
+    }
+
+    #[test]
+    fn generation_refresh_on_hit_prevents_eviction() {
+        let mut c = TranslationCache::default();
+        c.bump_generation();
+        c.insert(&p1(), NodeId(7));
+        for _ in 0..5 {
+            c.bump_generation();
+            assert_eq!(c.lookup(&p1()), Some(NodeId(7)));
+        }
+        assert_eq!(c.evict_stale(2), 0);
+        assert_eq!(c.len(), 1);
+    }
+}

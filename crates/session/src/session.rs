@@ -1,0 +1,902 @@
+//! The long-lived compiler session.
+
+use crate::cache::TranslationCache;
+use snap_core::{
+    generate_rules, place_and_route_timed, reroute_timed, Compiled, OptimizeInput, OptimizeTimings,
+    PacketStateMap, PhaseTimings, SolverChoice,
+};
+use snap_dataplane::Network;
+use snap_lang::{Policy, Pred};
+use snap_topology::{PortId, Topology, TrafficMatrix};
+use snap_xfdd::{
+    pred_to_xfdd, to_xfdd, Action, CompileError, Leaf, NodeId, Pool, StateDependencies, VarOrder,
+    Xfdd,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Options controlling a [`CompilerSession`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionOptions {
+    /// Which placement/routing engine to use.
+    pub solver: SolverChoice,
+    /// Translate the operands of parallel compositions (`p + q + ...`) on
+    /// worker threads, each into a private pool, and merge the results via
+    /// pool-to-pool import. Off by default: it pays off for wide parallel
+    /// compositions of substantial policies, not for small programs.
+    pub parallel: bool,
+    /// Pool size (in nodes) above which a compilation triggers an automatic
+    /// [`CompilerSession::compact_now`]. Composition interns intermediates
+    /// well beyond the final diagram size, so this should sit comfortably
+    /// above one compilation's churn — compacting on every compile would
+    /// clear the warm memo entries the session exists to keep.
+    pub gc_threshold: usize,
+    /// How many compile generations a cached subtree survives without being
+    /// used before GC evicts it (minimum 1 = only subtrees of the current
+    /// compilation are kept).
+    pub cache_generations: u64,
+    /// How many fully compiled policy versions to keep. Recompiling a
+    /// version the session has already built — rollbacks, attack/calm
+    /// toggles, A/B flips — is then answered from the version cache without
+    /// re-running any phase. `0` disables the cache.
+    pub version_cache: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            solver: SolverChoice::Auto,
+            parallel: false,
+            gc_threshold: 500_000,
+            cache_generations: 2,
+            version_cache: 8,
+        }
+    }
+}
+
+/// Counters describing what a session has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Policy compilations (initial compile + policy updates).
+    pub compiles: u64,
+    /// Traffic-matrix updates (reroutes).
+    pub reroutes: u64,
+    /// Policy subtrees answered from the fingerprint cache.
+    pub subtree_hits: u64,
+    /// Policy subtrees that had to be translated.
+    pub subtree_misses: u64,
+    /// Subtrees translated on worker threads and merged by import.
+    pub parallel_translations: u64,
+    /// Compilations that reused the previous placement because mapping and
+    /// dependencies were unchanged.
+    pub placement_reuses: u64,
+    /// Compilations answered whole from the version cache (previously seen
+    /// policy, unchanged traffic).
+    pub version_hits: u64,
+    /// Automatic + explicit pool compactions.
+    pub gc_runs: u64,
+    /// Total nodes reclaimed by compaction.
+    pub nodes_reclaimed: u64,
+    /// Pool rebuilds forced by a changed state-variable order.
+    pub order_resets: u64,
+}
+
+/// What one pool compaction did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GcReport {
+    /// Pool size before compaction.
+    pub nodes_before: usize,
+    /// Pool size after compaction.
+    pub nodes_after: usize,
+    /// Stale cache entries evicted before marking.
+    pub entries_evicted: usize,
+}
+
+impl GcReport {
+    /// Nodes reclaimed by this compaction.
+    pub fn reclaimed(&self) -> usize {
+        self.nodes_before - self.nodes_after
+    }
+}
+
+/// A long-lived compilation session: the controller-facing layer that owns a
+/// persistent [`Pool`] across compilations.
+///
+/// Where [`snap_core::Compiler::compile`] builds a fresh arena per call and
+/// throws its memo tables away, a session keeps them warm: recompiling after
+/// an edit to one subtree of the policy re-translates only that subtree
+/// (fingerprint cache), re-derives every untouched composition from the memo
+/// tables, and — when the packet-state mapping and state dependencies are
+/// unchanged — reuses the previous placement instead of re-optimizing.
+/// Results are published to a running [`Network`] as an epoch-versioned
+/// configuration swap.
+pub struct CompilerSession {
+    topology: Topology,
+    traffic: TrafficMatrix,
+    options: SessionOptions,
+    pool: Pool,
+    cache: TranslationCache,
+    /// Fully compiled policy versions, newest-used last (a tiny LRU). The
+    /// entries are self-contained (their diagrams live in extracted pools),
+    /// so pool GC and order resets never invalidate them; traffic changes
+    /// do, because placement and routing were optimized for the old matrix.
+    versions: Vec<VersionEntry>,
+    current: Option<Arc<Compiled>>,
+    epoch: u64,
+    stats: SessionStats,
+}
+
+struct VersionEntry {
+    fingerprint: u64,
+    compiled: Arc<Compiled>,
+}
+
+impl CompilerSession {
+    /// A session for a topology and traffic matrix, with default options.
+    pub fn new(topology: Topology, traffic: TrafficMatrix) -> Self {
+        CompilerSession {
+            topology,
+            traffic,
+            options: SessionOptions::default(),
+            pool: Pool::new(VarOrder::empty()),
+            cache: TranslationCache::default(),
+            versions: Vec::new(),
+            current: None,
+            epoch: 0,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Use specific session options.
+    pub fn with_options(mut self, options: SessionOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Use a specific placement/routing engine.
+    pub fn with_solver(mut self, solver: SolverChoice) -> Self {
+        self.options.solver = solver;
+        self
+    }
+
+    /// The most recent compilation result, if any.
+    pub fn current(&self) -> Option<&Compiled> {
+        self.current.as_deref()
+    }
+
+    /// The session epoch: bumped by every successful compile, policy update
+    /// and traffic update.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of nodes currently interned in the session pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Number of policy subtrees in the fingerprint cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Session counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The session's target topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    // -----------------------------------------------------------------------
+    // Compilation
+    // -----------------------------------------------------------------------
+
+    /// Compile a policy, reusing everything the session has accumulated.
+    /// The first call behaves like a cold [`snap_core::Compiler::compile`];
+    /// subsequent calls are incremental.
+    pub fn compile(&mut self, policy: &Policy) -> Result<Compiled, CompileError> {
+        self.stats.compiles += 1;
+        self.cache.bump_generation();
+
+        // Version cache: a policy the session has already fully compiled
+        // (rollback, attack/calm toggle, A/B flip) under the current traffic
+        // matrix needs no phase to run at all.
+        if let Some(cached) = self.version_lookup(policy) {
+            self.stats.version_hits += 1;
+            self.epoch += 1;
+            self.current = Some(Arc::clone(&cached));
+            // One deep clone at the API boundary; zeroed timings record that
+            // no phase ran for *this* compile.
+            let mut compiled = (*cached).clone();
+            compiled.timings = PhaseTimings::default();
+            return Ok(compiled);
+        }
+
+        // P1 — state dependency analysis (always: it is cheap and decides
+        // whether the warm pool is still sound).
+        let t = Instant::now();
+        let deps = StateDependencies::analyze(policy);
+        let dependency_analysis = t.elapsed();
+        let order = deps.var_order();
+        if order != *self.pool.order() {
+            // Every interned diagram was composed under the old test order;
+            // reusing them would break the ordering invariant. Start over.
+            // (Adopting the order on the very first compile is not counted:
+            // there is nothing warm to lose yet.)
+            if !self.cache.is_empty() {
+                self.stats.order_resets += 1;
+            }
+            self.pool = Pool::new(order);
+            self.cache.clear();
+        }
+
+        // P2 — translation through the fingerprint cache (and, if enabled,
+        // worker threads for parallel compositions). Rejected policies have
+        // interned nodes and cache entries by the time they fail, so the GC
+        // threshold is enforced on the error paths too — a stream of racy
+        // policies must not grow the pool without bound.
+        let t = Instant::now();
+        let root = match self.translate(policy) {
+            Ok(root) => root,
+            Err(e) => {
+                self.maybe_gc();
+                return Err(e);
+            }
+        };
+        if let Some(var) = self.pool.find_race(root) {
+            self.maybe_gc();
+            return Err(CompileError::StateRace { var });
+        }
+        // Publish a minimal frozen copy — O(diagram), not O(arena) — so the
+        // session's accumulated garbage never leaks into configs.
+        let (frozen, frozen_root) = self.pool.extract(root);
+        let xfdd = Xfdd::new(frozen, frozen_root);
+        let xfdd_generation = t.elapsed();
+
+        // P3 — packet-state mapping (depends on the diagram, so it reruns;
+        // for a single-subtree edit it usually comes out *equal*, which is
+        // what unlocks placement reuse below).
+        let t = Instant::now();
+        let ports: Vec<PortId> = self.topology.external_ports().map(|(p, _)| p).collect();
+        let mapping = PacketStateMap::analyze(&xfdd, &ports);
+        let packet_state_mapping = t.elapsed();
+
+        // P4 + P5 — placement and routing, skipped entirely when its inputs
+        // (mapping, dependency relations, traffic) are unchanged.
+        let reusable = self.current.as_ref().and_then(|prev| {
+            (prev.mapping == mapping
+                && prev.deps.dep == deps.dep
+                && prev.deps.tied == deps.tied
+                && prev.deps.variables == deps.variables)
+                .then(|| prev.placement.clone())
+        });
+        let (placement, opt_timings) = match reusable {
+            Some(placement) => {
+                self.stats.placement_reuses += 1;
+                (placement, OptimizeTimings::default())
+            }
+            None => {
+                let input = OptimizeInput {
+                    topology: &self.topology,
+                    traffic: &self.traffic,
+                    mapping: &mapping,
+                    deps: &deps,
+                };
+                place_and_route_timed(&input, self.options.solver)
+            }
+        };
+
+        // P6 — rule generation.
+        let t = Instant::now();
+        let rules = generate_rules(&self.topology, &xfdd, &placement);
+        let rule_generation = t.elapsed();
+
+        let compiled = Arc::new(Compiled {
+            policy: policy.clone(),
+            deps,
+            xfdd,
+            mapping,
+            placement,
+            rules,
+            timings: PhaseTimings {
+                dependency_analysis,
+                xfdd_generation,
+                packet_state_mapping,
+                milp_creation: opt_timings.model_creation,
+                optimization: opt_timings.solving,
+                rule_generation,
+            },
+        });
+        self.epoch += 1;
+        self.current = Some(Arc::clone(&compiled));
+        self.version_insert(policy, Arc::clone(&compiled));
+        self.maybe_gc();
+        Ok((*compiled).clone())
+    }
+
+    fn maybe_gc(&mut self) {
+        if self.pool.len() > self.options.gc_threshold {
+            self.run_gc();
+        }
+    }
+
+    fn version_lookup(&mut self, policy: &Policy) -> Option<Arc<Compiled>> {
+        let fp = crate::cache::fingerprint(policy);
+        let at = self
+            .versions
+            .iter()
+            .position(|v| v.fingerprint == fp && &v.compiled.policy == policy)?;
+        // Move to the back: most recently used.
+        let entry = self.versions.remove(at);
+        let compiled = Arc::clone(&entry.compiled);
+        self.versions.push(entry);
+        Some(compiled)
+    }
+
+    fn version_insert(&mut self, policy: &Policy, compiled: Arc<Compiled>) {
+        if self.options.version_cache == 0 {
+            return;
+        }
+        let fingerprint = crate::cache::fingerprint(policy);
+        self.versions
+            .retain(|v| !(v.fingerprint == fingerprint && v.compiled.policy == compiled.policy));
+        self.versions.push(VersionEntry {
+            fingerprint,
+            compiled,
+        });
+        while self.versions.len() > self.options.version_cache {
+            self.versions.remove(0);
+        }
+    }
+
+    /// Recompile after a policy edit. Identical to [`Self::compile`]; the
+    /// separate name marks controller call sites that react to change
+    /// events.
+    pub fn update_policy(&mut self, policy: &Policy) -> Result<Compiled, CompileError> {
+        self.compile(policy)
+    }
+
+    /// React to a traffic-matrix change: keep program, mapping and
+    /// placement, re-optimize routing only and regenerate rules (the paper's
+    /// "TE" scenario). Returns `None` when nothing has been compiled yet
+    /// (the new matrix is still recorded for the next compile).
+    pub fn update_traffic(&mut self, traffic: TrafficMatrix) -> Option<Compiled> {
+        self.traffic = traffic;
+        // Cached versions embed placement/routing for the old matrix.
+        self.versions.clear();
+        let prev = Arc::clone(self.current.as_ref()?);
+        self.stats.reroutes += 1;
+        let input = OptimizeInput {
+            topology: &self.topology,
+            traffic: &self.traffic,
+            mapping: &prev.mapping,
+            deps: &prev.deps,
+        };
+        let (placement, opt_timings) =
+            reroute_timed(&input, &prev.placement.placement, self.options.solver);
+        let t = Instant::now();
+        let rules = generate_rules(&self.topology, &prev.xfdd, &placement);
+        let rule_generation = t.elapsed();
+        let updated = Arc::new(Compiled {
+            policy: prev.policy.clone(),
+            deps: prev.deps.clone(),
+            xfdd: prev.xfdd.clone(),
+            mapping: prev.mapping.clone(),
+            placement,
+            rules,
+            timings: PhaseTimings {
+                optimization: opt_timings.solving,
+                rule_generation,
+                ..PhaseTimings::default()
+            },
+        });
+        self.epoch += 1;
+        self.current = Some(Arc::clone(&updated));
+        Some((*updated).clone())
+    }
+
+    // -----------------------------------------------------------------------
+    // Publishing
+    // -----------------------------------------------------------------------
+
+    /// Instantiate a fresh data plane for the current compilation.
+    pub fn build_network(&self) -> Option<Network> {
+        self.current
+            .as_ref()
+            .map(|c| Network::new(self.topology.clone(), c.rules.configs.clone()))
+    }
+
+    /// Push the current compilation into a running network as an atomic,
+    /// epoch-versioned configuration swap (state tables migrate with their
+    /// variables). Returns the network's new epoch.
+    pub fn apply(&self, network: &mut Network) -> Option<u64> {
+        self.current
+            .as_ref()
+            .map(|c| network.swap_configs(c.rules.configs.clone()))
+    }
+
+    // -----------------------------------------------------------------------
+    // Garbage collection
+    // -----------------------------------------------------------------------
+
+    /// Compact the session pool now: evict stale cache entries, mark from
+    /// the surviving cached diagrams, drop everything else and clear stale
+    /// memo entries.
+    pub fn compact_now(&mut self) -> GcReport {
+        self.run_gc()
+    }
+
+    fn run_gc(&mut self) -> GcReport {
+        let entries_evicted = self.cache.evict_stale(self.options.cache_generations);
+        let roots = self.cache.roots();
+        let nodes_before = self.pool.len();
+        let remap = self.pool.compact(&roots);
+        let dropped = self.cache.remap(&remap);
+        debug_assert_eq!(dropped, 0, "a GC root was collected");
+        let nodes_after = self.pool.len();
+        self.stats.gc_runs += 1;
+        self.stats.nodes_reclaimed += (nodes_before - nodes_after) as u64;
+        GcReport {
+            nodes_before,
+            nodes_after,
+            entries_evicted,
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Translation
+    // -----------------------------------------------------------------------
+
+    fn lookup_counted(&mut self, policy: &Policy) -> Option<NodeId> {
+        match self.cache.lookup(policy) {
+            Some(id) => {
+                self.stats.subtree_hits += 1;
+                Some(id)
+            }
+            None => {
+                self.stats.subtree_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Translate a policy into the session pool, caching every subtree by
+    /// structural fingerprint. Mirrors `snap_xfdd::to_xfdd`'s recursion, but
+    /// bottoms out early at cached subtrees and can fan parallel
+    /// compositions out to worker threads.
+    fn translate(&mut self, policy: &Policy) -> Result<NodeId, CompileError> {
+        if let Some(id) = self.lookup_counted(policy) {
+            return Ok(id);
+        }
+        self.translate_uncached(policy)
+    }
+
+    /// [`Self::translate`] after a cache miss has already been established
+    /// (and counted) for `policy` — the parallel fan-out's sequential
+    /// fallback calls this directly so the miss is not counted twice.
+    fn translate_uncached(&mut self, policy: &Policy) -> Result<NodeId, CompileError> {
+        let id = match policy {
+            Policy::Filter(x) => self.translate_pred(x)?,
+            Policy::Modify(f, v) => self
+                .pool
+                .leaf(Leaf::single(Action::Modify(f.clone(), v.clone()))),
+            Policy::StateSet { var, index, value } => {
+                self.pool.leaf(Leaf::single(Action::StateSet {
+                    var: var.clone(),
+                    index: index.clone(),
+                    value: value.clone(),
+                }))
+            }
+            Policy::StateIncr { var, index } => self.pool.leaf(Leaf::single(Action::StateIncr {
+                var: var.clone(),
+                index: index.clone(),
+            })),
+            Policy::StateDecr { var, index } => self.pool.leaf(Leaf::single(Action::StateDecr {
+                var: var.clone(),
+                index: index.clone(),
+            })),
+            Policy::Par(_, _) if self.options.parallel => self.translate_par_spine(policy)?,
+            Policy::Par(p, q) => {
+                let dp = self.translate(p)?;
+                let dq = self.translate(q)?;
+                self.pool.union(dp, dq)
+            }
+            Policy::Seq(p, q) => {
+                let dp = self.translate(p)?;
+                let dq = self.translate(q)?;
+                self.pool.seq(dp, dq)?
+            }
+            Policy::If(a, p, q) => {
+                let da = self.translate_pred(a)?;
+                let dp = self.translate(p)?;
+                let dq = self.translate(q)?;
+                let then_side = self.pool.seq(da, dp)?;
+                let not_a = self.pool.negate(da);
+                let else_side = self.pool.seq(not_a, dq)?;
+                self.pool.union(then_side, else_side)
+            }
+            Policy::Atomic(p) => self.translate(p)?,
+        };
+        self.cache.insert(policy, id);
+        Ok(id)
+    }
+
+    fn translate_pred(&mut self, pred: &Pred) -> Result<NodeId, CompileError> {
+        pred_to_xfdd(pred, &mut self.pool)
+    }
+
+    /// Fan the operands of a (possibly nested) parallel composition out to
+    /// worker threads. Each uncached operand is translated into a *private*
+    /// pool — per-thread memo tables, no locking — then structurally
+    /// re-interned into the session pool and united left to right, exactly
+    /// as the sequential recursion would.
+    fn translate_par_spine(&mut self, policy: &Policy) -> Result<NodeId, CompileError> {
+        let ops = par_spine(policy);
+        let mut results: Vec<Option<NodeId>> = ops.iter().map(|q| self.lookup_counted(q)).collect();
+        let uncached: Vec<usize> = (0..ops.len()).filter(|i| results[*i].is_none()).collect();
+
+        if uncached.len() >= 2 {
+            let order = self.pool.order().clone();
+            // Bound concurrency at the machine's parallelism: a very wide
+            // composition is translated in waves rather than spawning one OS
+            // thread per operand.
+            let max_workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            for wave in uncached.chunks(max_workers) {
+                let translated: Vec<(usize, WorkerResult)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|&i| {
+                            let op = ops[i];
+                            let order = order.clone();
+                            let handle = scope.spawn(move || {
+                                let mut pool = Pool::new(order);
+                                let root = to_xfdd(op, &mut pool)?;
+                                Ok((pool, root))
+                            });
+                            (i, handle)
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(i, h)| (i, h.join().expect("translation worker panicked")))
+                        .collect()
+                });
+                for (i, result) in translated {
+                    let (worker_pool, worker_root) = result?;
+                    let imported = self.pool.import(&worker_pool, worker_root);
+                    self.cache.insert(ops[i], imported);
+                    results[i] = Some(imported);
+                    self.stats.parallel_translations += 1;
+                }
+            }
+        } else {
+            for i in uncached {
+                // The miss was already counted by the spine lookup above.
+                let id = self.translate_uncached(ops[i])?;
+                results[i] = Some(id);
+            }
+        }
+
+        let mut ids = results.into_iter().map(|r| r.expect("operand translated"));
+        let mut acc = ids.next().expect("parallel composition has operands");
+        for id in ids {
+            acc = self.pool.union(acc, id);
+        }
+        Ok(acc)
+    }
+}
+
+/// What a translation worker returns: its private pool and the root it
+/// translated, ready for import into the session pool.
+type WorkerResult = Result<(Pool, NodeId), CompileError>;
+
+/// The operands of a (possibly nested) parallel composition, left to right.
+fn par_spine(policy: &Policy) -> Vec<&Policy> {
+    fn walk<'a>(p: &'a Policy, out: &mut Vec<&'a Policy>) {
+        match p {
+            Policy::Par(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+    let mut out = Vec::new();
+    walk(policy, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_apps as apps;
+    use snap_core::Compiler;
+    use snap_lang::builder::*;
+    use snap_lang::{Field, Packet, Store, Value};
+    use snap_topology::generators::campus;
+
+    fn campus_session() -> CompilerSession {
+        let topo = campus();
+        let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+        CompilerSession::new(topo, tm).with_solver(SolverChoice::Heuristic)
+    }
+
+    fn campus_compiler() -> Compiler {
+        let topo = campus();
+        let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+        Compiler::new(topo, tm).with_solver(SolverChoice::Heuristic)
+    }
+
+    /// The running example with a tweakable threshold — a "single-subtree
+    /// edit" away from itself.
+    fn running_example(threshold: i64) -> Policy {
+        apps::dns_tunnel_detect(threshold).seq(apps::assign_egress(6))
+    }
+
+    fn probe_packets() -> Vec<Packet> {
+        // Fully populated headers so every application policy can evaluate.
+        let base = |src: Value, dst: Value, sport: i64| {
+            Packet::new()
+                .with(Field::SrcIp, src)
+                .with(Field::DstIp, dst)
+                .with(Field::SrcPort, sport)
+                .with(Field::DstPort, 443)
+                .with(Field::Proto, 6)
+                .with(Field::InPort, 1)
+                .with(Field::TcpFlags, Value::sym("SYN"))
+                .with(Field::DnsRdata, Value::ip(1, 2, 3, 4))
+        };
+        vec![
+            base(Value::ip(8, 8, 8, 8), Value::ip(10, 0, 6, 9), 53),
+            base(Value::ip(10, 0, 6, 9), Value::ip(8, 8, 8, 8), 4000),
+            base(Value::ip(10, 0, 1, 1), Value::ip(10, 0, 2, 2), 80),
+        ]
+    }
+
+    fn assert_equivalent(a: &Compiled, b: &Compiled) {
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.placement.placement, b.placement.placement);
+        let store = Store::new();
+        for pkt in probe_packets() {
+            assert_eq!(
+                a.xfdd.evaluate(&pkt, &store).unwrap(),
+                b.xfdd.evaluate(&pkt, &store).unwrap(),
+                "diagrams disagree on {pkt:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_recompile_matches_cold_compile() {
+        let mut session = campus_session();
+        let compiler = campus_compiler();
+        session.compile(&running_example(3)).unwrap();
+        // Edit one subtree (the detection threshold) and recompile.
+        let incremental = session.update_policy(&running_example(5)).unwrap();
+        let cold = compiler.compile(&running_example(5)).unwrap();
+        assert_equivalent(&incremental, &cold);
+        assert!(
+            session.stats().subtree_hits > 0,
+            "no warm subtrees were hit"
+        );
+        assert_eq!(session.stats().placement_reuses, 1);
+    }
+
+    #[test]
+    fn recompiling_the_same_policy_adds_no_nodes() {
+        let mut session = campus_session();
+        session.compile(&running_example(3)).unwrap();
+        let len = session.pool_len();
+        session.update_policy(&running_example(3)).unwrap();
+        assert_eq!(session.pool_len(), len, "identical recompile grew the pool");
+        assert_eq!(session.epoch(), 2);
+    }
+
+    #[test]
+    fn parallel_translation_matches_sequential() {
+        let policy = Policy::par_all(vec![
+            apps::stateful_firewall(),
+            apps::port_monitoring(),
+            apps::heavy_hitter_detection(100),
+        ])
+        .seq(apps::assign_egress(6));
+
+        let mut sequential = campus_session();
+        let seq_result = sequential.compile(&policy).unwrap();
+
+        let mut parallel = campus_session().with_options(SessionOptions {
+            parallel: true,
+            solver: SolverChoice::Heuristic,
+            ..SessionOptions::default()
+        });
+        let par_result = parallel.compile(&policy).unwrap();
+
+        assert!(parallel.stats().parallel_translations >= 2);
+        assert_equivalent(&par_result, &seq_result);
+        assert!(par_result.xfdd.is_well_formed());
+    }
+
+    #[test]
+    fn compact_shrinks_a_session_pool_after_repeated_updates() {
+        let mut session = campus_session();
+        // Many distinct policy versions: each leaves a superseded diagram
+        // (plus composition intermediates) behind in the pool.
+        for threshold in 1..=12 {
+            session.update_policy(&running_example(threshold)).unwrap();
+        }
+        let before = session.pool_len();
+        let report = session.compact_now();
+        assert!(
+            session.pool_len() < before,
+            "compaction did not shrink the pool ({before} -> {})",
+            session.pool_len()
+        );
+        assert_eq!(report.nodes_before, before);
+        assert_eq!(report.nodes_after, session.pool_len());
+        assert!(report.reclaimed() > 0);
+        assert!(session.stats().nodes_reclaimed > 0);
+
+        // The session stays fully functional after GC: warm recompile of the
+        // surviving generation, fresh compile of a new version, both correct.
+        let len = session.pool_len();
+        session.update_policy(&running_example(12)).unwrap();
+        assert_eq!(
+            session.pool_len(),
+            len,
+            "post-GC warm recompile grew the pool"
+        );
+        let after_gc = session.update_policy(&running_example(99)).unwrap();
+        let cold = campus_compiler().compile(&running_example(99)).unwrap();
+        assert_equivalent(&after_gc, &cold);
+    }
+
+    #[test]
+    fn auto_gc_triggers_above_the_threshold() {
+        let mut session = campus_session().with_options(SessionOptions {
+            solver: SolverChoice::Heuristic,
+            gc_threshold: 200,
+            cache_generations: 1,
+            ..SessionOptions::default()
+        });
+        for threshold in 1..=8 {
+            session.update_policy(&running_example(threshold)).unwrap();
+        }
+        assert!(session.stats().gc_runs > 0, "auto-GC never ran");
+        assert!(session.stats().nodes_reclaimed > 0);
+    }
+
+    #[test]
+    fn update_traffic_keeps_placement_and_bumps_epoch() {
+        let mut session = campus_session();
+        let first = session.compile(&running_example(3)).unwrap();
+        let topo = session.topology().clone();
+        let rerouted = session
+            .update_traffic(TrafficMatrix::gravity(&topo, 900.0, 7))
+            .unwrap();
+        assert_eq!(rerouted.placement.placement, first.placement.placement);
+        assert_eq!(session.epoch(), 2);
+        assert_eq!(session.stats().reroutes, 1);
+        assert!(!rerouted.placement.paths.is_empty());
+    }
+
+    #[test]
+    fn changing_the_variable_order_resets_the_pool() {
+        let mut session = campus_session();
+        session.compile(&running_example(3)).unwrap();
+        assert_eq!(session.stats().order_resets, 0);
+        // A policy over different state variables derives a different order.
+        let other = apps::stateful_firewall().seq(apps::assign_egress(6));
+        let compiled = session.update_policy(&other).unwrap();
+        assert_eq!(session.stats().order_resets, 1);
+        let cold = campus_compiler().compile(&other).unwrap();
+        assert_eq!(compiled.mapping, cold.mapping);
+        assert_eq!(compiled.placement.placement, cold.placement.placement);
+    }
+
+    #[test]
+    fn apply_swaps_configs_into_a_running_network() {
+        let mut session = campus_session();
+        session.compile(&running_example(2)).unwrap();
+        let mut network = session.build_network().unwrap();
+        assert_eq!(network.epoch(), 0);
+
+        // Drive some state into the network.
+        let client = Value::ip(10, 0, 6, 77);
+        let dns = Packet::new()
+            .with(Field::SrcIp, Value::ip(8, 8, 8, 8))
+            .with(Field::DstIp, client.clone())
+            .with(Field::SrcPort, 53)
+            .with(Field::DnsRdata, Value::ip(1, 2, 3, 4));
+        network.inject(PortId(1), &dns).unwrap();
+        let counted = network
+            .aggregate_store()
+            .get(&"susp-client".into(), std::slice::from_ref(&client));
+        assert_eq!(counted, Value::Int(1));
+
+        // Recompile with a new threshold and swap it in: epoch bumps, state
+        // survives.
+        session.update_policy(&running_example(5)).unwrap();
+        assert_eq!(session.apply(&mut network), Some(1));
+        assert_eq!(network.epoch(), 1);
+        assert_eq!(
+            network
+                .aggregate_store()
+                .get(&"susp-client".into(), &[client]),
+            Value::Int(1)
+        );
+        network.inject(PortId(1), &dns).unwrap();
+    }
+
+    #[test]
+    fn version_flip_is_served_from_the_version_cache() {
+        let mut session = campus_session();
+        session.compile(&running_example(3)).unwrap(); // calm
+        session.update_policy(&running_example(8)).unwrap(); // attack
+        let flip = session.update_policy(&running_example(3)).unwrap(); // calm again
+        assert_eq!(session.stats().version_hits, 1);
+        assert_eq!(session.epoch(), 3);
+        let cold = campus_compiler().compile(&running_example(3)).unwrap();
+        assert_equivalent(&flip, &cold);
+
+        // A traffic change invalidates cached versions: placement/routing
+        // were optimized for the old matrix.
+        let topo = session.topology().clone();
+        session
+            .update_traffic(TrafficMatrix::gravity(&topo, 900.0, 7))
+            .unwrap();
+        session.update_policy(&running_example(8)).unwrap();
+        assert_eq!(session.stats().version_hits, 1, "stale version served");
+    }
+
+    #[test]
+    fn version_cache_is_bounded_and_can_be_disabled() {
+        let mut session = campus_session().with_options(SessionOptions {
+            solver: SolverChoice::Heuristic,
+            version_cache: 2,
+            ..SessionOptions::default()
+        });
+        for t in 1..=4 {
+            session.update_policy(&running_example(t)).unwrap();
+        }
+        // Capacity 2: version 1 was evicted, 3 and 4 are resident.
+        session.update_policy(&running_example(1)).unwrap();
+        assert_eq!(session.stats().version_hits, 0);
+        session.update_policy(&running_example(4)).unwrap();
+        assert_eq!(session.stats().version_hits, 1);
+
+        let mut off = campus_session().with_options(SessionOptions {
+            solver: SolverChoice::Heuristic,
+            version_cache: 0,
+            ..SessionOptions::default()
+        });
+        off.compile(&running_example(1)).unwrap();
+        off.update_policy(&running_example(1)).unwrap();
+        assert_eq!(off.stats().version_hits, 0);
+    }
+
+    #[test]
+    fn racy_policy_is_rejected() {
+        let mut session = campus_session();
+        let racy = state_set("s", vec![int(0)], int(1)).par(state_set("s", vec![int(0)], int(2)));
+        let err = session.compile(&racy).unwrap_err();
+        assert!(matches!(err, CompileError::StateRace { .. }));
+        // The session survives a failed compile.
+        assert!(session.compile(&running_example(3)).is_ok());
+    }
+
+    #[test]
+    fn racy_policy_is_rejected_in_parallel_mode_too() {
+        let mut session = campus_session().with_options(SessionOptions {
+            parallel: true,
+            solver: SolverChoice::Heuristic,
+            ..SessionOptions::default()
+        });
+        let racy = state_set("s", vec![int(0)], int(1)).par(state_set("s", vec![int(0)], int(2)));
+        assert!(session.compile(&racy).is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Pool garbage collection: a mark-from-roots compactor.
+//!
+//! A long-lived pool (incremental compilation sessions) accumulates dead
+//! intermediate nodes: every composition interns its partial results, and a
+//! superseded policy version leaves its whole diagram behind. [`Pool::compact`]
+//! reclaims that memory in place:
+//!
+//! 1. **mark** — the shared preorder walker marks every node reachable from
+//!    the given roots (plus the pre-interned `{drop}`/`{id}` leaves, which
+//!    must keep their fixed ids 0 and 1);
+//! 2. **sweep** — live nodes are rewritten into a fresh arena in index order.
+//!    Children always have smaller indices than their parents (see the `push`
+//!    invariant), so child ids are already remapped when a branch is visited;
+//! 3. **rebuild** — the leaf/branch interners are reconstructed from the new
+//!    arena, memo-table entries whose operands, results or contexts died are
+//!    cleared, surviving entries are remapped, and the interned contexts are
+//!    compacted the same way (a context is live when a surviving union memo
+//!    entry references it, and then so are its interning ancestors).
+//!
+//! The returned [`RemapTable`] translates old ids to new ones so callers (a
+//! compiler session's fingerprint cache, for example) can rewrite the ids
+//! they hold; ids of collected nodes translate to `None`.
+
+use crate::pool::{CtxId, Node, NodeId, Pool};
+
+/// Old-id → new-id translation produced by [`Pool::compact`].
+#[derive(Clone, Debug, Default)]
+pub struct RemapTable {
+    nodes: Vec<Option<NodeId>>,
+    ctxs: Vec<Option<CtxId>>,
+    live_nodes: usize,
+}
+
+impl RemapTable {
+    /// The new id of a node, or `None` if it was collected (or the id is
+    /// from a different pool generation).
+    pub fn node(&self, old: NodeId) -> Option<NodeId> {
+        self.nodes.get(old.index()).copied().flatten()
+    }
+
+    /// The new id of an interned context, or `None` if it was collected.
+    pub fn ctx(&self, old: CtxId) -> Option<CtxId> {
+        self.ctxs.get(old.index()).copied().flatten()
+    }
+
+    /// Number of nodes in the pool before compaction.
+    pub fn nodes_before(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes that survived.
+    pub fn nodes_after(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of nodes reclaimed.
+    pub fn nodes_reclaimed(&self) -> usize {
+        self.nodes_before() - self.nodes_after()
+    }
+}
+
+impl Pool {
+    /// Compact the pool in place, keeping only nodes reachable from `roots`
+    /// (plus the pre-interned `{drop}` and `{id}` leaves). Live nodes keep
+    /// their relative order but are renumbered densely; the interners are
+    /// rebuilt and stale memo entries cleared, so composition after a
+    /// compaction behaves exactly as before (minus the cleared warm entries
+    /// for collected diagrams). Never grows the pool.
+    pub fn compact(&mut self, roots: &[NodeId]) -> RemapTable {
+        // --- mark ------------------------------------------------------
+        let mut live = vec![false; self.nodes.len()];
+        live[self.drop().index()] = true;
+        live[self.id().index()] = true;
+        self.visit_reachable(roots.iter().copied(), |id, _| {
+            live[id.index()] = true;
+            true
+        });
+
+        // --- sweep -----------------------------------------------------
+        // Children have smaller indices than parents, so one forward pass
+        // can remap child links as it goes.
+        let old_nodes = std::mem::take(&mut self.nodes);
+        let mut node_map: Vec<Option<NodeId>> = vec![None; old_nodes.len()];
+        let mut new_nodes = Vec::with_capacity(live.iter().filter(|l| **l).count());
+        for (i, node) in old_nodes.into_iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let rewritten = match node {
+                Node::Leaf(l) => Node::Leaf(l),
+                Node::Branch { test, tru, fls } => Node::Branch {
+                    test,
+                    tru: node_map[tru.index()].expect("live child of live branch"),
+                    fls: node_map[fls.index()].expect("live child of live branch"),
+                },
+            };
+            node_map[i] = Some(NodeId(
+                u32::try_from(new_nodes.len()).expect("compacted pool overflow"),
+            ));
+            new_nodes.push(rewritten);
+        }
+        let live_nodes = new_nodes.len();
+        self.nodes = new_nodes;
+
+        // --- rebuild interners -----------------------------------------
+        self.leaf_intern.clear();
+        self.branch_intern.clear();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            match node {
+                Node::Leaf(l) => {
+                    self.leaf_intern.entry(l.clone()).or_insert(id);
+                }
+                Node::Branch { test, tru, fls } => {
+                    self.branch_intern
+                        .entry((test.clone(), *tru, *fls))
+                        .or_insert(id);
+                }
+            }
+        }
+
+        let nmap = |id: NodeId| node_map[id.index()];
+
+        // --- contexts --------------------------------------------------
+        // A context is live when a surviving union memo entry references it;
+        // its interning ancestors must then survive too so `ctx_with`
+        // continues to deduplicate. Parents are created before children, so
+        // one descending pass propagates liveness transitively.
+        let mut ctx_map: Vec<Option<CtxId>> = vec![None; self.ctxs.len()];
+        if !self.ctxs.is_empty() {
+            let mut ctx_live = vec![false; self.ctxs.len()];
+            ctx_live[CtxId::EMPTY.index()] = true;
+            for ((a, b, ctx), r) in &self.union_memo {
+                if nmap(*a).is_some() && nmap(*b).is_some() && nmap(*r).is_some() {
+                    ctx_live[ctx.index()] = true;
+                }
+            }
+            let mut parent_of: Vec<Option<CtxId>> = vec![None; self.ctxs.len()];
+            for ((parent, _, _), child) in &self.ctx_intern {
+                parent_of[child.index()] = Some(*parent);
+            }
+            for i in (0..ctx_live.len()).rev() {
+                if ctx_live[i] {
+                    if let Some(p) = parent_of[i] {
+                        ctx_live[p.index()] = true;
+                    }
+                }
+            }
+
+            let old_ctxs = std::mem::take(&mut self.ctxs);
+            for (i, ctx) in old_ctxs.into_iter().enumerate() {
+                if !ctx_live[i] {
+                    continue;
+                }
+                ctx_map[i] = Some(CtxId::new(self.ctxs.len()));
+                self.ctxs.push(ctx);
+            }
+            let old_ctx_intern = std::mem::take(&mut self.ctx_intern);
+            for ((parent, test, outcome), child) in old_ctx_intern {
+                if let (Some(p), Some(c)) = (ctx_map[parent.index()], ctx_map[child.index()]) {
+                    self.ctx_intern.insert((p, test, outcome), c);
+                }
+            }
+        }
+        let cmap = |id: CtxId| ctx_map.get(id.index()).copied().flatten();
+
+        // --- memo tables -----------------------------------------------
+        let old_union = std::mem::take(&mut self.union_memo);
+        for ((a, b, ctx), r) in old_union {
+            if let (Some(a), Some(b), Some(ctx), Some(r)) = (nmap(a), nmap(b), cmap(ctx), nmap(r)) {
+                self.union_memo.insert((a, b, ctx), r);
+            }
+        }
+        let old_seq = std::mem::take(&mut self.seq_memo);
+        for ((a, b), r) in old_seq {
+            if let (Some(a), Some(b)) = (nmap(a), nmap(b)) {
+                // Error results reference no nodes; they stay valid for as
+                // long as their operands live.
+                match r {
+                    Ok(d) => {
+                        if let Some(d) = nmap(d) {
+                            self.seq_memo.insert((a, b), Ok(d));
+                        }
+                    }
+                    Err(e) => {
+                        self.seq_memo.insert((a, b), Err(e));
+                    }
+                }
+            }
+        }
+        let old_negate = std::mem::take(&mut self.negate_memo);
+        for (a, r) in old_negate {
+            if let (Some(a), Some(r)) = (nmap(a), nmap(r)) {
+                self.negate_memo.insert(a, r);
+            }
+        }
+        let old_restrict = std::mem::take(&mut self.restrict_memo);
+        for ((a, test, positive), r) in old_restrict {
+            if let (Some(a), Some(r)) = (nmap(a), nmap(r)) {
+                self.restrict_memo.insert((a, test, positive), r);
+            }
+        }
+
+        RemapTable {
+            nodes: node_map,
+            ctxs: ctx_map,
+            live_nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Leaf};
+    use crate::test::{Test, VarOrder};
+    use snap_lang::{Field, Packet, Store, Value};
+
+    fn pool() -> Pool {
+        Pool::new(VarOrder::empty())
+    }
+
+    fn branch_on(p: &mut Pool, port: i64) -> NodeId {
+        let id = p.id();
+        let drop = p.drop();
+        p.branch(Test::FieldValue(Field::SrcPort, Value::Int(port)), id, drop)
+    }
+
+    #[test]
+    fn compact_drops_unreachable_nodes_and_keeps_roots() {
+        let mut p = pool();
+        let keep = branch_on(&mut p, 53);
+        let dead = branch_on(&mut p, 80);
+        let dead2 = p.union(dead, keep);
+        assert!(p.len() >= 5);
+        let before = p.len();
+
+        let remap = p.compact(&[keep]);
+        assert!(p.len() < before);
+        assert_eq!(remap.nodes_reclaimed(), before - p.len());
+        // drop/id keep their fixed ids.
+        assert_eq!(remap.node(NodeId(0)), Some(NodeId(0)));
+        assert_eq!(remap.node(NodeId(1)), Some(NodeId(1)));
+        // The kept diagram survives and still evaluates.
+        let keep2 = remap.node(keep).expect("root survives");
+        let dns = Packet::new().with(Field::SrcPort, 53);
+        assert_eq!(p.evaluate(keep2, &dns, &Store::new()).unwrap().0.len(), 1);
+        // Collected diagrams translate to None.
+        assert_eq!(remap.node(dead), None);
+        assert_eq!(remap.node(dead2), None);
+    }
+
+    #[test]
+    fn compacted_pool_reinterns_to_identical_structure() {
+        let mut p = pool();
+        let keep = branch_on(&mut p, 53);
+        let _dead = branch_on(&mut p, 80);
+        let out = p.leaf(Leaf::single(Action::Modify(Field::OutPort, Value::Int(1))));
+        let root = p.branch(Test::FieldValue(Field::DstPort, Value::Int(443)), out, keep);
+
+        let remap = p.compact(&[root]);
+        let root2 = remap.node(root).unwrap();
+        let len = p.len();
+        // Re-interning every live node must hit the rebuilt interners: same
+        // ids, no growth.
+        for id in p.reachable(root2) {
+            match p.node(id).clone() {
+                Node::Leaf(l) => assert_eq!(p.leaf(l), id),
+                Node::Branch { test, tru, fls } => assert_eq!(p.branch(test, tru, fls), id),
+            }
+        }
+        assert_eq!(p.len(), len, "re-interning grew the compacted pool");
+    }
+
+    #[test]
+    fn warm_memo_entries_for_live_diagrams_survive_compaction() {
+        let mut p = pool();
+        let a = branch_on(&mut p, 53);
+        let b = branch_on(&mut p, 80);
+        let u = p.union(a, b);
+        let remap = p.compact(&[a, b, u]);
+        let (a2, b2) = (remap.node(a).unwrap(), remap.node(b).unwrap());
+        let len = p.len();
+        // The union is a memo hit after compaction: same result, no growth.
+        assert_eq!(p.union(a2, b2), remap.node(u).unwrap());
+        assert_eq!(p.len(), len);
+    }
+
+    #[test]
+    fn compact_never_grows_and_is_idempotent() {
+        let mut p = pool();
+        let a = branch_on(&mut p, 53);
+        let b = branch_on(&mut p, 80);
+        let u = p.union(a, b);
+        let before = p.len();
+        let r1 = p.compact(&[u]);
+        assert!(p.len() <= before);
+        let mid = p.len();
+        let u2 = r1.node(u).unwrap();
+        let r2 = p.compact(&[u2]);
+        assert_eq!(p.len(), mid, "second compaction reclaimed live nodes");
+        assert_eq!(r2.node(u2), Some(u2));
+    }
+}

@@ -28,7 +28,12 @@
 //! * translation from SNAP policies ([`to_xfdd`], [`compile`]) including
 //!   race detection,
 //! * state dependency analysis ([`StateDependencies`]) and the derived
-//!   state-variable order ([`VarOrder`]).
+//!   state-variable order ([`VarOrder`]),
+//! * the machinery for long-lived compilation sessions: pool-to-pool import
+//!   ([`Pool::import`]) for merging per-thread translation pools, a
+//!   mark-from-roots compactor ([`Pool::compact`]) bounding arena growth,
+//!   and a serde-free wire format for frozen diagrams ([`encode_diagram`] /
+//!   [`decode_diagram`]).
 //!
 //! ## Example
 //!
@@ -53,16 +58,20 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod compact;
 pub mod compose;
 pub mod context;
 pub mod deps;
 pub mod diagram;
 pub mod error;
+pub mod import;
 pub mod pool;
 pub mod test;
 pub mod translate;
+pub mod wire;
 
 pub use action::{Action, ActionSeq, Leaf};
+pub use compact::RemapTable;
 pub use context::Context;
 pub use deps::StateDependencies;
 pub use diagram::{eval_test, Xfdd};
@@ -70,3 +79,4 @@ pub use error::CompileError;
 pub use pool::{CtxId, Node, NodeId, Pool};
 pub use test::{Test, VarOrder};
 pub use translate::{compile, pred_to_xfdd, to_xfdd};
+pub use wire::{decode_diagram, decode_into, encode_diagram, WireError};

@@ -52,6 +52,15 @@ pub struct CtxId(u32);
 impl CtxId {
     /// The empty context.
     pub const EMPTY: CtxId = CtxId(0);
+
+    /// The index into the pool's context table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn new(index: usize) -> CtxId {
+        CtxId(u32::try_from(index).expect("xFDD pool context overflow"))
+    }
 }
 
 /// One interned xFDD node: a leaf (set of action sequences) or a branch on a
@@ -88,13 +97,13 @@ impl fmt::Debug for Node {
 /// that order, which is what makes memoized results reusable.
 #[derive(Clone, Debug, Default)]
 pub struct Pool {
-    order: VarOrder,
-    nodes: Vec<Node>,
-    leaf_intern: HashMap<Leaf, NodeId>,
-    branch_intern: HashMap<(Test, NodeId, NodeId), NodeId>,
+    pub(crate) order: VarOrder,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) leaf_intern: HashMap<Leaf, NodeId>,
+    pub(crate) branch_intern: HashMap<(Test, NodeId, NodeId), NodeId>,
     // Interned composition contexts: ctxs[i] holds the full fact list.
-    ctxs: Vec<Context>,
-    ctx_intern: HashMap<(CtxId, Test, bool), CtxId>,
+    pub(crate) ctxs: Vec<Context>,
+    pub(crate) ctx_intern: HashMap<(CtxId, Test, bool), CtxId>,
     // Memo tables for the composition operators.
     pub(crate) union_memo: HashMap<(NodeId, NodeId, CtxId), NodeId>,
     pub(crate) seq_memo: HashMap<(NodeId, NodeId), Result<NodeId, crate::CompileError>>,
@@ -177,6 +186,10 @@ impl Pool {
         id
     }
 
+    // Invariant: a branch can only be interned once both children exist, so a
+    // node's children always have *strictly smaller* indices. Compaction
+    // ([`Pool::compact`]) and the wire decoder rely on this to process nodes
+    // in index order with children already handled.
     fn push(&mut self, node: Node) -> NodeId {
         let id = u32::try_from(self.nodes.len()).expect("xFDD pool node count overflow");
         self.nodes.push(node);
@@ -226,84 +239,135 @@ impl Pool {
     }
 
     // -----------------------------------------------------------------------
-    // Structural queries
+    // Structural queries — all built on two shared walkers so there is one
+    // DFS implementation to get right: `visit_reachable` (top-down, preorder,
+    // multi-root, early exit) and `fold_reachable` (bottom-up, children
+    // folded before parents). The GC mark phase, the pool-to-pool import and
+    // the wire encoder reuse the same walkers.
     // -----------------------------------------------------------------------
+
+    /// Visit every *distinct* node reachable from the given roots exactly
+    /// once, in preorder (a parent before its children, the true child before
+    /// the false child). Return `false` from the callback to stop the walk
+    /// early.
+    pub fn visit_reachable<I, F>(&self, roots: I, mut f: F)
+    where
+        I: IntoIterator<Item = NodeId>,
+        F: FnMut(NodeId, &Node) -> bool,
+    {
+        // Small arenas get a dense seen-bitmap; large ones (a long-lived
+        // session pool can hold hundreds of thousands of nodes) a hash set,
+        // so querying a small diagram stays O(diagram), not O(arena).
+        let mut seen = SeenSet::with_arena_len(self.nodes.len());
+        // Roots are pushed in reverse so they are visited in argument order.
+        let mut stack: Vec<NodeId> = roots.into_iter().collect();
+        stack.reverse();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) {
+                continue;
+            }
+            let node = self.node(n);
+            if !f(n, node) {
+                return;
+            }
+            if let Node::Branch { tru, fls, .. } = node {
+                // Push false first so the true child is visited first.
+                stack.push(*fls);
+                stack.push(*tru);
+            }
+        }
+    }
+
+    /// Fold the diagram bottom-up: `f` is called exactly once per distinct
+    /// reachable node, with the already-computed results of its children
+    /// (`None` for leaves), and the root's result is returned.
+    pub fn fold_reachable<T, F>(&self, root: NodeId, mut f: F) -> T
+    where
+        F: FnMut(NodeId, &Node, Option<(&T, &T)>) -> T,
+    {
+        let mut memo: HashMap<NodeId, T> = HashMap::new();
+        let mut stack = vec![root];
+        while let Some(&n) = stack.last() {
+            if memo.contains_key(&n) {
+                stack.pop();
+                continue;
+            }
+            let node = self.node(n);
+            match node {
+                Node::Leaf(_) => {
+                    let v = f(n, node, None);
+                    memo.insert(n, v);
+                    stack.pop();
+                }
+                Node::Branch { tru, fls, .. } => match (memo.get(tru), memo.get(fls)) {
+                    (Some(t), Some(fv)) => {
+                        let v = f(n, node, Some((t, fv)));
+                        memo.insert(n, v);
+                        stack.pop();
+                    }
+                    (t, fv) => {
+                        if fv.is_none() {
+                            stack.push(*fls);
+                        }
+                        if t.is_none() {
+                            stack.push(*tru);
+                        }
+                    }
+                },
+            }
+        }
+        memo.remove(&root)
+            .expect("fold_reachable computed the root")
+    }
 
     /// Number of *distinct* nodes reachable from `root` (the arena size of
     /// the diagram — what sharing actually stores).
     pub fn size(&self, root: NodeId) -> usize {
-        self.reachable(root).len()
+        let mut n = 0;
+        self.visit_reachable([root], |_, _| {
+            n += 1;
+            true
+        });
+        n
     }
 
     /// Number of nodes the diagram would occupy as an unshared tree (every
     /// occurrence counted with multiplicity, saturating at `u64::MAX`). The
     /// baseline against which sharing is measured.
     pub fn tree_size(&self, root: NodeId) -> u64 {
-        let mut memo: HashMap<NodeId, u64> = HashMap::new();
-        self.tree_size_memo(root, &mut memo)
-    }
-
-    fn tree_size_memo(&self, n: NodeId, memo: &mut HashMap<NodeId, u64>) -> u64 {
-        if let Some(&s) = memo.get(&n) {
-            return s;
-        }
-        let s = match self.node(n) {
-            Node::Leaf(_) => 1,
-            Node::Branch { tru, fls, .. } => {
-                let (t, f) = (*tru, *fls);
-                1u64.saturating_add(self.tree_size_memo(t, memo))
-                    .saturating_add(self.tree_size_memo(f, memo))
-            }
-        };
-        memo.insert(n, s);
-        s
+        self.fold_reachable(root, |_, _, kids| match kids {
+            None => 1u64,
+            Some((t, f)) => 1u64.saturating_add(*t).saturating_add(*f),
+        })
     }
 
     /// Number of distinct branch (test) nodes reachable from `root`.
     pub fn num_tests(&self, root: NodeId) -> usize {
-        self.reachable(root)
-            .iter()
-            .filter(|id| matches!(self.node(**id), Node::Branch { .. }))
-            .count()
+        let mut n = 0;
+        self.visit_reachable([root], |_, node| {
+            if matches!(node, Node::Branch { .. }) {
+                n += 1;
+            }
+            true
+        });
+        n
     }
 
     /// Depth of the diagram (a single leaf has depth 1).
     pub fn depth(&self, root: NodeId) -> usize {
-        let mut memo = HashMap::new();
-        self.depth_memo(root, &mut memo)
-    }
-
-    fn depth_memo(&self, n: NodeId, memo: &mut HashMap<NodeId, usize>) -> usize {
-        if let Some(&d) = memo.get(&n) {
-            return d;
-        }
-        let d = match self.node(n) {
-            Node::Leaf(_) => 1,
-            Node::Branch { tru, fls, .. } => {
-                let (t, f) = (*tru, *fls);
-                1 + self.depth_memo(t, memo).max(self.depth_memo(f, memo))
-            }
-        };
-        memo.insert(n, d);
-        d
+        self.fold_reachable::<usize, _>(root, |_, _, kids| match kids {
+            None => 1,
+            Some((t, f)) => 1 + *t.max(f),
+        })
     }
 
     /// The distinct nodes reachable from `root`, in preorder.
     pub fn reachable(&self, root: NodeId) -> Vec<NodeId> {
-        let mut seen: HashSet<NodeId> = HashSet::new();
         let mut order = Vec::new();
-        let mut stack = vec![root];
-        while let Some(n) = stack.pop() {
-            if !seen.insert(n) {
-                continue;
-            }
-            order.push(n);
-            if let Node::Branch { tru, fls, .. } = self.node(n) {
-                // Push false first so the true child is visited first.
-                stack.push(*fls);
-                stack.push(*tru);
-            }
-        }
+        self.visit_reachable([root], |id, _| {
+            order.push(id);
+            true
+        });
         order
     }
 
@@ -311,8 +375,8 @@ impl Pool {
     /// leaf actions).
     pub fn state_vars(&self, root: NodeId) -> BTreeSet<StateVar> {
         let mut out = BTreeSet::new();
-        for id in self.reachable(root) {
-            match self.node(id) {
+        self.visit_reachable([root], |_, node| {
+            match node {
                 Node::Leaf(leaf) => out.extend(leaf.written_vars()),
                 Node::Branch { test, .. } => {
                     if let Some(v) = test.state_var() {
@@ -320,7 +384,8 @@ impl Pool {
                     }
                 }
             }
-        }
+            true
+        });
         out
     }
 
@@ -366,14 +431,17 @@ impl Pool {
     /// If any leaf encodes a parallel race (two action sequences writing the
     /// same state variable), return that variable.
     pub fn find_race(&self, root: NodeId) -> Option<StateVar> {
-        for id in self.reachable(root) {
-            if let Node::Leaf(leaf) = self.node(id) {
+        let mut found = None;
+        self.visit_reachable([root], |_, node| {
+            if let Node::Leaf(leaf) = node {
                 if let Some(var) = leaf.parallel_race() {
-                    return Some(var);
+                    found = Some(var);
+                    return false;
                 }
             }
-        }
-        None
+            true
+        });
+        found
     }
 
     // -----------------------------------------------------------------------
@@ -462,6 +530,33 @@ impl Pool {
             Node::Branch { test, tru, fls } => {
                 format!("({test:?} ? {} : {})", self.debug(*tru), self.debug(*fls))
             }
+        }
+    }
+}
+
+/// Visited-set for the shared walkers: dense bitmap for small arenas (no
+/// hashing), hash set for large ones (no O(arena) allocation per query).
+enum SeenSet {
+    Dense(Vec<bool>),
+    Sparse(HashSet<NodeId>),
+}
+
+impl SeenSet {
+    const DENSE_LIMIT: usize = 1 << 14;
+
+    fn with_arena_len(len: usize) -> SeenSet {
+        if len <= Self::DENSE_LIMIT {
+            SeenSet::Dense(vec![false; len])
+        } else {
+            SeenSet::Sparse(HashSet::new())
+        }
+    }
+
+    /// Mark a node, returning whether it was already marked.
+    fn insert(&mut self, n: NodeId) -> bool {
+        match self {
+            SeenSet::Dense(v) => std::mem::replace(&mut v[n.index()], true),
+            SeenSet::Sparse(s) => !s.insert(n),
         }
     }
 }

@@ -1,0 +1,642 @@
+//! A wire format for frozen diagrams: length-prefixed binary encoding of a
+//! pool's node table plus a root id, with no serde dependency.
+//!
+//! Controller→switch distribution needs diagrams to cross process
+//! boundaries. The arena already stores nodes in a flat table whose child
+//! links always point at smaller indices, so the encoding is direct: a
+//! header (magic, version, variable order), the reachable nodes renumbered
+//! densely in index order, and the root's local id. The decoder *re-interns*
+//! every node through the target pool's constructors, so decoding is also a
+//! cross-pool import: structurally equal nodes collapse onto existing ids,
+//! and decoding into a non-empty pool shares everything it can.
+//!
+//! All integers are little-endian; strings and tables are `u32`
+//! length-prefixed.
+
+use crate::action::{Action, ActionSeq, Leaf};
+use crate::pool::{Node, NodeId, Pool};
+use crate::test::{Test, VarOrder};
+use snap_lang::{Expr, Field, StateVar, Value};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"XFDD";
+const VERSION: u16 = 1;
+
+/// Errors surfaced while decoding a wire-format diagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the encoded structure did.
+    Truncated,
+    /// The buffer does not start with the `XFDD` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// An unknown enum tag was encountered.
+    BadTag(&'static str, u8),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// A node referenced a child at or after itself (the child-first
+    /// invariant is violated, so the table cannot be re-interned).
+    BadNodeRef {
+        /// Local (renumbered) id of the offending node.
+        node: u32,
+        /// The child id it referenced.
+        child: u32,
+    },
+    /// The root id is outside the node table.
+    BadRoot(u32),
+    /// The encoded diagram was built under a different variable order than
+    /// the target pool composes with.
+    OrderMismatch,
+    /// The buffer has trailing bytes after the encoded diagram.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer ends inside an encoded structure"),
+            WireError::BadMagic => write!(f, "missing XFDD magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag(what, t) => write!(f, "unknown {what} tag {t}"),
+            WireError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            WireError::BadNodeRef { node, child } => {
+                write!(f, "node {node} references non-preceding child {child}")
+            }
+            WireError::BadRoot(r) => write!(f, "root id {r} outside the node table"),
+            WireError::OrderMismatch => {
+                write!(f, "diagram was encoded under a different variable order")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the diagram"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode the diagram rooted at `root` as a self-contained byte buffer:
+/// variable order, reachable-node table (children before parents) and root.
+pub fn encode_diagram(pool: &Pool, root: NodeId) -> Vec<u8> {
+    let mut w = Vec::new();
+    w.extend_from_slice(MAGIC);
+    put_u16(&mut w, VERSION);
+
+    let vars = pool.order().variables();
+    put_u32(&mut w, vars.len() as u32);
+    for v in &vars {
+        put_str(&mut w, v.name());
+    }
+
+    // Reachable nodes in ascending arena order: the arena's child-first
+    // invariant carries over to the dense renumbering.
+    let mut ids = pool.reachable(root);
+    ids.sort_unstable();
+    let mut local = vec![u32::MAX; pool.len()];
+    for (i, id) in ids.iter().enumerate() {
+        local[id.index()] = i as u32;
+    }
+
+    put_u32(&mut w, ids.len() as u32);
+    for id in &ids {
+        match pool.node(*id) {
+            Node::Leaf(leaf) => {
+                w.push(0);
+                put_leaf(&mut w, leaf);
+            }
+            Node::Branch { test, tru, fls } => {
+                w.push(1);
+                put_test(&mut w, test);
+                put_u32(&mut w, local[tru.index()]);
+                put_u32(&mut w, local[fls.index()]);
+            }
+        }
+    }
+    put_u32(&mut w, local[root.index()]);
+    w
+}
+
+/// Decode a diagram into a fresh pool created with the encoded variable
+/// order. Returns the pool and the root id.
+pub fn decode_diagram(bytes: &[u8]) -> Result<(Pool, NodeId), WireError> {
+    let mut r = Reader::new(bytes);
+    let order = decode_header(&mut r)?;
+    let mut pool = Pool::new(order);
+    let root = decode_body(&mut r, &mut pool)?;
+    Ok((pool, root))
+}
+
+/// Decode a diagram into an existing pool, re-interning every node (a
+/// cross-pool import over the wire). The pool must compose under the same
+/// variable order the diagram was encoded with.
+pub fn decode_into(bytes: &[u8], pool: &mut Pool) -> Result<NodeId, WireError> {
+    let mut r = Reader::new(bytes);
+    let order = decode_header(&mut r)?;
+    if &order != pool.order() {
+        return Err(WireError::OrderMismatch);
+    }
+    decode_body(&mut r, pool)
+}
+
+fn decode_header(r: &mut Reader<'_>) -> Result<VarOrder, WireError> {
+    if r.take(4)? != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let n = r.u32()? as usize;
+    let mut vars = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        vars.push(StateVar::new(r.str()?));
+    }
+    Ok(VarOrder::new(vars))
+}
+
+fn decode_body(r: &mut Reader<'_>, pool: &mut Pool) -> Result<NodeId, WireError> {
+    let count = r.u32()?;
+    let mut map: Vec<NodeId> = Vec::with_capacity((count as usize).min(1 << 20));
+    for i in 0..count {
+        let tag = r.u8()?;
+        let id = match tag {
+            0 => {
+                let leaf = get_leaf(r)?;
+                pool.leaf(leaf)
+            }
+            1 => {
+                let test = get_test(r)?;
+                let tru = r.u32()?;
+                let fls = r.u32()?;
+                let resolve = |child: u32| {
+                    if child >= i {
+                        Err(WireError::BadNodeRef { node: i, child })
+                    } else {
+                        Ok(map[child as usize])
+                    }
+                };
+                let (t, f) = (resolve(tru)?, resolve(fls)?);
+                pool.branch(test, t, f)
+            }
+            t => return Err(WireError::BadTag("node", t)),
+        };
+        map.push(id);
+    }
+    let root = r.u32()?;
+    let root = *map.get(root as usize).ok_or(WireError::BadRoot(root))?;
+    if !r.is_empty() {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(root)
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------------
+
+fn put_u16(w: &mut Vec<u8>, v: u16) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(w: &mut Vec<u8>, v: i64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(w: &mut Vec<u8>, s: &str) {
+    put_u32(w, s.len() as u32);
+    w.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(w: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            w.push(0);
+            put_i64(w, *i);
+        }
+        Value::Bool(b) => {
+            w.push(1);
+            w.push(u8::from(*b));
+        }
+        Value::Ip(ip) => {
+            w.push(2);
+            put_u32(w, ip.0);
+        }
+        Value::Prefix(p) => {
+            w.push(3);
+            put_u32(w, p.addr.0);
+            w.push(p.len);
+        }
+        Value::Str(s) => {
+            w.push(4);
+            put_str(w, s);
+        }
+        Value::Symbol(s) => {
+            w.push(5);
+            put_str(w, s);
+        }
+        Value::Tuple(vs) => {
+            w.push(6);
+            put_u32(w, vs.len() as u32);
+            for v in vs {
+                put_value(w, v);
+            }
+        }
+    }
+}
+
+fn put_field(w: &mut Vec<u8>, f: &Field) {
+    // Fields round-trip through their canonical surface-syntax name.
+    put_str(w, f.name());
+}
+
+fn put_expr(w: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::Value(v) => {
+            w.push(0);
+            put_value(w, v);
+        }
+        Expr::Field(f) => {
+            w.push(1);
+            put_field(w, f);
+        }
+        Expr::Tuple(es) => {
+            w.push(2);
+            put_u32(w, es.len() as u32);
+            for e in es {
+                put_expr(w, e);
+            }
+        }
+    }
+}
+
+fn put_exprs(w: &mut Vec<u8>, es: &[Expr]) {
+    put_u32(w, es.len() as u32);
+    for e in es {
+        put_expr(w, e);
+    }
+}
+
+fn put_test(w: &mut Vec<u8>, t: &Test) {
+    match t {
+        Test::FieldValue(f, v) => {
+            w.push(0);
+            put_field(w, f);
+            put_value(w, v);
+        }
+        Test::FieldField(a, b) => {
+            w.push(1);
+            put_field(w, a);
+            put_field(w, b);
+        }
+        Test::State { var, index, value } => {
+            w.push(2);
+            put_str(w, var.name());
+            put_exprs(w, index);
+            put_expr(w, value);
+        }
+    }
+}
+
+fn put_action(w: &mut Vec<u8>, a: &Action) {
+    match a {
+        Action::Modify(f, v) => {
+            w.push(0);
+            put_field(w, f);
+            put_value(w, v);
+        }
+        Action::StateSet { var, index, value } => {
+            w.push(1);
+            put_str(w, var.name());
+            put_exprs(w, index);
+            put_expr(w, value);
+        }
+        Action::StateIncr { var, index } => {
+            w.push(2);
+            put_str(w, var.name());
+            put_exprs(w, index);
+        }
+        Action::StateDecr { var, index } => {
+            w.push(3);
+            put_str(w, var.name());
+            put_exprs(w, index);
+        }
+    }
+}
+
+fn put_leaf(w: &mut Vec<u8>, leaf: &Leaf) {
+    put_u32(w, leaf.0.len() as u32);
+    for seq in &leaf.0 {
+        w.push(u8::from(seq.drops));
+        put_u32(w, seq.actions.len() as u32);
+        for a in &seq.actions {
+            put_action(w, a);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Readers
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Truncated)?;
+        let slice = self.bytes.get(self.at..end).ok_or(WireError::Truncated)?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+}
+
+fn get_value(r: &mut Reader<'_>) -> Result<Value, WireError> {
+    match r.u8()? {
+        0 => Ok(Value::Int(r.i64()?)),
+        1 => Ok(Value::Bool(r.bool()?)),
+        2 => Ok(Value::Ip(snap_lang::Ipv4(r.u32()?))),
+        3 => {
+            let addr = snap_lang::Ipv4(r.u32()?);
+            let len = r.u8()?;
+            if len > 32 {
+                return Err(WireError::BadTag("prefix length", len));
+            }
+            Ok(Value::Prefix(snap_lang::Prefix::new(addr, len)))
+        }
+        4 => Ok(Value::Str(r.str()?)),
+        5 => Ok(Value::Symbol(r.str()?)),
+        6 => {
+            let n = r.u32()? as usize;
+            let mut vs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                vs.push(get_value(r)?);
+            }
+            Ok(Value::Tuple(vs))
+        }
+        t => Err(WireError::BadTag("value", t)),
+    }
+}
+
+fn get_field(r: &mut Reader<'_>) -> Result<Field, WireError> {
+    Ok(Field::from_name(&r.str()?))
+}
+
+fn get_expr(r: &mut Reader<'_>) -> Result<Expr, WireError> {
+    match r.u8()? {
+        0 => Ok(Expr::Value(get_value(r)?)),
+        1 => Ok(Expr::Field(get_field(r)?)),
+        2 => {
+            let n = r.u32()? as usize;
+            let mut es = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                es.push(get_expr(r)?);
+            }
+            Ok(Expr::Tuple(es))
+        }
+        t => Err(WireError::BadTag("expr", t)),
+    }
+}
+
+fn get_exprs(r: &mut Reader<'_>) -> Result<Vec<Expr>, WireError> {
+    let n = r.u32()? as usize;
+    let mut es = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        es.push(get_expr(r)?);
+    }
+    Ok(es)
+}
+
+fn get_test(r: &mut Reader<'_>) -> Result<Test, WireError> {
+    match r.u8()? {
+        0 => Ok(Test::FieldValue(get_field(r)?, get_value(r)?)),
+        1 => Ok(Test::FieldField(get_field(r)?, get_field(r)?)),
+        2 => Ok(Test::State {
+            var: StateVar::new(r.str()?),
+            index: get_exprs(r)?,
+            value: get_expr(r)?,
+        }),
+        t => Err(WireError::BadTag("test", t)),
+    }
+}
+
+fn get_action(r: &mut Reader<'_>) -> Result<Action, WireError> {
+    match r.u8()? {
+        0 => Ok(Action::Modify(get_field(r)?, get_value(r)?)),
+        1 => Ok(Action::StateSet {
+            var: StateVar::new(r.str()?),
+            index: get_exprs(r)?,
+            value: get_expr(r)?,
+        }),
+        2 => Ok(Action::StateIncr {
+            var: StateVar::new(r.str()?),
+            index: get_exprs(r)?,
+        }),
+        3 => Ok(Action::StateDecr {
+            var: StateVar::new(r.str()?),
+            index: get_exprs(r)?,
+        }),
+        t => Err(WireError::BadTag("action", t)),
+    }
+}
+
+fn get_leaf(r: &mut Reader<'_>) -> Result<Leaf, WireError> {
+    let n = r.u32()? as usize;
+    let mut leaf = Leaf::drop();
+    for _ in 0..n {
+        let drops = r.bool()?;
+        let count = r.u32()? as usize;
+        let mut actions = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            actions.push(get_action(r)?);
+        }
+        let mut seq = ActionSeq::from_actions(actions);
+        if drops {
+            seq = seq.with_drop();
+        }
+        leaf.insert(seq);
+    }
+    Ok(leaf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::to_xfdd;
+    use snap_lang::builder::*;
+    use snap_lang::{Packet, Store};
+    use snap_xfdd_test_policies::*;
+
+    // A couple of representative policies exercising every encoded shape:
+    // all three test kinds, all four actions, tuples, prefixes, symbols.
+    mod snap_xfdd_test_policies {
+        use snap_lang::builder::*;
+        use snap_lang::{Expr, Field, Policy, Value};
+
+        pub fn stateful_policy() -> Policy {
+            ite(
+                test_prefix(Field::DstIp, 10, 0, 6, 0, 24)
+                    .and(test(Field::SrcPort, Value::Int(53))),
+                Policy::seq_all(vec![
+                    state_set(
+                        "orphan",
+                        vec![field(Field::DstIp), field(Field::DnsRdata)],
+                        Value::Bool(true),
+                    ),
+                    state_incr("susp", vec![field(Field::DstIp)]),
+                    modify(Field::OutPort, Value::Int(6)),
+                ]),
+                ite(
+                    state_test(
+                        "mode",
+                        vec![Expr::Tuple(vec![field(Field::SrcIp), int(1)])],
+                        Expr::Value(Value::sym("ESTABLISHED")),
+                    ),
+                    state_decr("susp", vec![field(Field::SrcIp)]),
+                    modify(Field::Content, Value::str("quarantine")),
+                ),
+            )
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_a_fresh_pool() {
+        let policy = stateful_policy();
+        let deps = crate::deps::StateDependencies::analyze(&policy);
+        let mut pool = Pool::new(deps.var_order());
+        let root = to_xfdd(&policy, &mut pool).unwrap();
+
+        let bytes = encode_diagram(&pool, root);
+        let (decoded_pool, decoded_root) = decode_diagram(&bytes).unwrap();
+
+        assert_eq!(decoded_pool.order(), pool.order());
+        assert_eq!(decoded_pool.size(decoded_root), pool.size(root));
+        assert_eq!(decoded_pool.debug(decoded_root), pool.debug(root));
+
+        let store = Store::new();
+        let pkt = Packet::new()
+            .with(snap_lang::Field::DstIp, Value::ip(10, 0, 6, 9))
+            .with(snap_lang::Field::SrcPort, 53)
+            .with(snap_lang::Field::DnsRdata, Value::ip(1, 2, 3, 4));
+        assert_eq!(
+            decoded_pool.evaluate(decoded_root, &pkt, &store).unwrap(),
+            pool.evaluate(root, &pkt, &store).unwrap()
+        );
+    }
+
+    #[test]
+    fn decode_into_reuses_existing_structure() {
+        let policy = stateful_policy();
+        let deps = crate::deps::StateDependencies::analyze(&policy);
+        let mut pool = Pool::new(deps.var_order());
+        let root = to_xfdd(&policy, &mut pool).unwrap();
+        let bytes = encode_diagram(&pool, root);
+
+        // Decoding back into the *same* pool re-interns onto existing ids
+        // without growing the arena.
+        let len = pool.len();
+        let again = decode_into(&bytes, &mut pool).unwrap();
+        assert_eq!(again, root);
+        assert_eq!(pool.len(), len);
+
+        // Decoding into a different, non-empty pool with the same order
+        // shares whatever already exists there.
+        let mut other = Pool::new(deps.var_order());
+        let partial = to_xfdd(
+            &modify(snap_lang::Field::OutPort, Value::Int(6)),
+            &mut other,
+        );
+        partial.unwrap();
+        let imported = decode_into(&bytes, &mut other).unwrap();
+        assert_eq!(other.debug(imported), pool.debug(root));
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_variable_order() {
+        let policy = stateful_policy();
+        let deps = crate::deps::StateDependencies::analyze(&policy);
+        let mut pool = Pool::new(deps.var_order());
+        let root = to_xfdd(&policy, &mut pool).unwrap();
+        let bytes = encode_diagram(&pool, root);
+
+        let mut wrong = Pool::new(crate::test::VarOrder::new(vec![snap_lang::StateVar::new(
+            "unrelated",
+        )]));
+        assert_eq!(
+            decode_into(&bytes, &mut wrong),
+            Err(WireError::OrderMismatch)
+        );
+    }
+
+    #[test]
+    fn truncated_and_corrupt_buffers_are_rejected() {
+        let mut pool = Pool::new(crate::test::VarOrder::empty());
+        let root = to_xfdd(
+            &ite(
+                test(snap_lang::Field::SrcPort, Value::Int(53)),
+                modify(snap_lang::Field::OutPort, Value::Int(6)),
+                drop(),
+            ),
+            &mut pool,
+        )
+        .unwrap();
+        let bytes = encode_diagram(&pool, root);
+
+        assert_eq!(decode_diagram(&[]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            decode_diagram(b"NOPE____").unwrap_err(),
+            WireError::BadMagic
+        );
+        for cut in [5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_diagram(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.extend_from_slice(b"junk");
+        assert_eq!(
+            decode_diagram(&trailing).unwrap_err(),
+            WireError::TrailingBytes(4)
+        );
+    }
+}

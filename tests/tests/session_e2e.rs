@@ -1,0 +1,119 @@
+//! End-to-end controller loop: a long-lived `CompilerSession` driving a
+//! running `Network` through policy edits, traffic changes and pool GC,
+//! checked against the one-big-switch semantics after every swap — plus
+//! controller→switch distribution of the program over the wire format.
+
+use snap_apps as apps;
+use snap_lang::prelude::*;
+use snap_session::{CompilerSession, SessionOptions};
+use snap_topology::generators::campus;
+use snap_topology::{PortId, TrafficMatrix};
+use snap_xfdd::{decode_diagram, encode_diagram};
+use std::collections::BTreeSet;
+
+fn running_example(threshold: i64) -> Policy {
+    apps::dns_tunnel_detect(threshold).seq(apps::assign_egress(6))
+}
+
+fn dns_packet(client: &Value, rdata: Value) -> Packet {
+    Packet::new()
+        .with(Field::SrcIp, Value::ip(8, 8, 8, 8))
+        .with(Field::DstIp, client.clone())
+        .with(Field::SrcPort, 53)
+        .with(Field::DnsRdata, rdata)
+}
+
+#[test]
+fn controller_loop_with_policy_edits_traffic_changes_and_gc() {
+    let topo = campus();
+    let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+    let mut session = CompilerSession::new(topo, tm)
+        .with_solver(snap_core::SolverChoice::Heuristic)
+        .with_options(SessionOptions {
+            solver: snap_core::SolverChoice::Heuristic,
+            gc_threshold: 2_000,
+            ..SessionOptions::default()
+        });
+
+    // Boot: cold compile, bring the network up.
+    session.compile(&running_example(2)).unwrap();
+    let mut network = session.build_network().unwrap();
+
+    // Reference one-big-switch state, kept in lockstep with the network.
+    let mut obs_store = Store::new();
+    let mut policy = running_example(2);
+
+    let client = Value::ip(10, 0, 6, 77);
+    let mut seq = 0u8;
+    let mut drive = |network: &mut snap_dataplane::Network,
+                     obs_store: &mut Store,
+                     policy: &Policy,
+                     n: usize| {
+        for _ in 0..n {
+            seq += 1;
+            let pkt = dns_packet(&client, Value::ip(9, 9, 9, seq));
+            let obs = eval(policy, obs_store, &pkt).unwrap();
+            *obs_store = obs.store;
+            let out = network.inject(PortId(1), &pkt).unwrap();
+            let pkts: BTreeSet<Packet> = out.into_iter().map(|(_, p)| p).collect();
+            assert_eq!(pkts, obs.packets, "network and OBS disagree");
+        }
+    };
+
+    drive(&mut network, &mut obs_store, &policy, 1);
+
+    // Controller loop: alternate policy edits (threshold bumps) and traffic
+    // updates, swapping configs into the running network each time. The
+    // per-switch state must survive every swap and keep matching OBS.
+    for round in 0..6 {
+        if round % 2 == 0 {
+            policy = running_example(3 + round);
+            session.update_policy(&policy).unwrap();
+        } else {
+            let tm = TrafficMatrix::gravity(session.topology(), 700.0 + round as f64, round as u64);
+            session.update_traffic(tm).unwrap();
+        }
+        let epoch_before = network.epoch();
+        session.apply(&mut network).unwrap();
+        assert_eq!(network.epoch(), epoch_before + 1);
+        drive(&mut network, &mut obs_store, &policy, 2);
+    }
+    assert_eq!(network.aggregate_store(), obs_store);
+
+    // GC the session pool and keep going: still correct after compaction.
+    let report = session.compact_now();
+    assert!(report.nodes_after <= report.nodes_before);
+    policy = running_example(50);
+    session.update_policy(&policy).unwrap();
+    session.apply(&mut network).unwrap();
+    drive(&mut network, &mut obs_store, &policy, 2);
+    assert_eq!(network.aggregate_store(), obs_store);
+
+    // The session did real incremental work along the way.
+    let stats = session.stats();
+    assert!(stats.subtree_hits > 0);
+    assert!(stats.placement_reuses > 0);
+    assert!(stats.reroutes > 0);
+}
+
+#[test]
+fn program_distribution_over_the_wire_preserves_semantics() {
+    // Controller side: compile in a session, freeze, encode.
+    let topo = campus();
+    let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+    let mut session =
+        CompilerSession::new(topo, tm).with_solver(snap_core::SolverChoice::Heuristic);
+    let compiled = session.compile(&running_example(3)).unwrap();
+    let bytes = encode_diagram(compiled.xfdd.pool(), compiled.xfdd.root());
+
+    // Switch side: decode into a fresh arena and execute.
+    let (pool, root) = decode_diagram(&bytes).unwrap();
+    let store = Store::new();
+    let pkt = dns_packet(&Value::ip(10, 0, 6, 9), Value::ip(1, 2, 3, 4));
+    assert_eq!(
+        pool.evaluate(root, &pkt, &store).unwrap(),
+        compiled.xfdd.evaluate(&pkt, &store).unwrap()
+    );
+    // The decoded arena is exactly the reachable part of the original.
+    assert_eq!(pool.size(root), compiled.xfdd.size());
+}
