@@ -1,0 +1,278 @@
+//! Dataplane throughput: packets/sec through the distributed simulator.
+//!
+//! Two questions, both on the campus topology with a mixed
+//! stateful/stateless workload:
+//!
+//! * **flat vs. interned evaluation** — per-packet one-big-switch
+//!   evaluation through the dense `FlatProgram` arrays vs. the hash-consed
+//!   arena walk (`Xfdd::evaluate`), plus the lowered NetASM interpreter for
+//!   reference;
+//! * **worker scaling** — aggregate throughput of the `TrafficEngine` at
+//!   1/2/4/8 workers injecting concurrently into one shared `Network`
+//!   (RCU snapshots, sharded state). Scaling beyond one worker requires
+//!   hardware parallelism; the summary prints whatever the machine offers.
+//!
+//! Set `SNAP_BENCH_SMOKE=1` (as CI does) to run a reduced configuration
+//! that just keeps the path compiling and non-regressing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snap_apps as apps;
+use snap_dataplane::{NetAsmProgram, Network, SwitchConfig, TrafficEngine};
+use snap_lang::builder::*;
+use snap_lang::{Field, Packet, Policy, Store, Value};
+use snap_topology::generators::campus;
+use snap_topology::PortId;
+use snap_xfdd::Node;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("SNAP_BENCH_SMOKE").is_some()
+}
+
+/// The campus workload policy: count DNS-ish packets per source, then
+/// assign the egress port from the destination prefix (subnet `10.0.k.0/24`
+/// sits behind port `k`).
+fn campus_policy() -> Policy {
+    let mut egress = modify(Field::OutPort, Value::Int(1));
+    for k in (2..=6).rev() {
+        egress = ite(
+            test_prefix(Field::DstIp, 10, 0, k, 0, 24),
+            modify(Field::OutPort, Value::Int(k as i64)),
+            egress,
+        );
+    }
+    ite(
+        test(Field::SrcPort, Value::Int(53)),
+        state_incr("dns", vec![field(Field::SrcIp)]),
+        id(),
+    )
+    .seq(egress)
+}
+
+/// A mixed workload: round-robin ingress ports, destinations across all six
+/// subnets, a quarter of the packets DNS-flavoured (stateful).
+fn campus_workload(n: usize) -> Vec<(PortId, Packet)> {
+    (0..n)
+        .map(|i| {
+            let sport = if i % 4 == 0 {
+                53
+            } else {
+                40_000 + (i % 101) as i64
+            };
+            (
+                PortId(1 + i % 6),
+                Packet::new()
+                    .with(Field::SrcPort, sport)
+                    .with(
+                        Field::SrcIp,
+                        Value::ip(10, 0, (1 + i % 6) as u8, (i % 251) as u8),
+                    )
+                    .with(Field::DstIp, Value::ip(10, 0, (1 + (i / 6) % 6) as u8, 1)),
+            )
+        })
+        .collect()
+}
+
+fn campus_network() -> Network {
+    let topo = campus();
+    let program = snap_xfdd::compile(&campus_policy()).unwrap();
+    let owners = BTreeMap::from([(
+        topo.node_by_name("C6").unwrap(),
+        BTreeSet::from(["dns".into()]),
+    )]);
+    let configs = SwitchConfig::for_topology(&topo, &program, &owners);
+    Network::new(topo, configs)
+}
+
+/// A substantial program — parallel composition of three applications plus
+/// egress assignment — so the per-packet walk is deep enough to expose the
+/// representation difference (the campus counting policy alone is a
+/// handful of nodes and the walk is noise next to leaf application).
+fn heavy_policy() -> Policy {
+    Policy::par_all(vec![
+        apps::stateful_firewall(),
+        apps::port_monitoring(),
+        apps::heavy_hitter_detection(100),
+    ])
+    .seq(apps::assign_egress(6))
+}
+
+/// Fully populated headers so every application test can evaluate.
+fn heavy_packets(n: usize) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            Packet::new()
+                .with(
+                    Field::SrcIp,
+                    Value::ip(10, 0, (1 + i % 6) as u8, (i % 251) as u8),
+                )
+                .with(Field::DstIp, Value::ip(10, 0, (1 + (i / 6) % 6) as u8, 1))
+                .with(
+                    Field::SrcPort,
+                    if i % 4 == 0 {
+                        53
+                    } else {
+                        40_000 + (i % 101) as i64
+                    },
+                )
+                .with(Field::DstPort, 443)
+                .with(Field::Proto, 6)
+                .with(Field::InPort, (1 + i % 6) as i64)
+                .with(
+                    Field::TcpFlags,
+                    Value::sym(if i % 3 == 0 { "SYN" } else { "ACK" }),
+                )
+                .with(Field::DnsRdata, Value::ip(9, 9, (i % 7) as u8, 9))
+        })
+        .collect()
+}
+
+/// Per-packet one-big-switch evaluation on the campus workload: dense flat
+/// arrays (with their precomputed stateless-leaf fast path) vs. the
+/// interned arena walk, plus the NetASM interpreter lowered from the same
+/// flat program.
+fn bench_eval_representations(c: &mut Criterion) {
+    let xfdd = snap_xfdd::compile(&campus_policy()).unwrap();
+    let flat = xfdd.flatten();
+    let asm = NetAsmProgram::lower_flat(&flat);
+    let packets: Vec<Packet> = campus_workload(256).into_iter().map(|(_, p)| p).collect();
+    let store = Store::new();
+
+    let mut group = c.benchmark_group("obs_eval");
+    group.sample_size(if smoke() { 5 } else { 60 });
+    group.bench_function("interned_pool", |b| {
+        b.iter(|| {
+            for pkt in &packets {
+                black_box(xfdd.evaluate(pkt, &store).unwrap());
+            }
+        })
+    });
+    group.bench_function("flat_program", |b| {
+        b.iter(|| {
+            for pkt in &packets {
+                black_box(flat.evaluate(pkt, &store).unwrap());
+            }
+        })
+    });
+    group.bench_function("netasm_interp", |b| {
+        b.iter(|| {
+            for pkt in &packets {
+                black_box(asm.execute(pkt, &store).unwrap());
+            }
+        })
+    });
+    group.finish();
+
+    // Classification only, on a substantial program (parallel composition
+    // of three applications) — walk tests to a leaf without applying it.
+    // This is the per-hop hot loop of the distributed simulator (leaves
+    // apply once per packet, tests evaluate at every switch the packet
+    // crosses).
+    let heavy = snap_xfdd::compile(&heavy_policy()).unwrap();
+    let heavy_flat = heavy.flatten();
+    let deep_packets = heavy_packets(256);
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(if smoke() { 5 } else { 60 });
+    group.bench_function("interned_pool", |b| {
+        let pool = heavy.pool();
+        b.iter(|| {
+            for pkt in &deep_packets {
+                let mut cur = heavy.root();
+                loop {
+                    match pool.node(cur) {
+                        Node::Leaf(_) => break,
+                        Node::Branch { test, tru, fls } => {
+                            cur = if snap_xfdd::eval_test(test, pkt, &store).unwrap() {
+                                *tru
+                            } else {
+                                *fls
+                            };
+                        }
+                    }
+                }
+                black_box(cur);
+            }
+        })
+    });
+    group.bench_function("flat_program", |b| {
+        b.iter(|| {
+            for pkt in &deep_packets {
+                black_box(heavy_flat.walk(heavy_flat.root(), pkt, &store).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Aggregate throughput of the multi-worker engine against one shared
+/// network.
+fn bench_worker_scaling(c: &mut Criterion) {
+    let n = if smoke() { 300 } else { 6_000 };
+    let load = campus_workload(n);
+    let mut group = c.benchmark_group("dataplane_throughput");
+    group.sample_size(if smoke() { 3 } else { 15 });
+    for workers in [1usize, 2, 4, 8] {
+        let net = campus_network();
+        let engine = TrafficEngine::new(workers).with_batch_size(64);
+        group.bench_function(&format!("workers/{workers}"), |b| {
+            b.iter(|| {
+                let report = engine.run(&net, &load);
+                assert!(report.is_clean());
+                black_box(report.processed)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Print a packets/sec summary (best of three runs per configuration) —
+/// the numbers quoted in EXPERIMENTS.md.
+fn throughput_summary(_c: &mut Criterion) {
+    let n = if smoke() { 300 } else { 20_000 };
+    let load = campus_workload(n);
+    println!("\nthroughput summary ({n} packets, campus workload, best of 3):");
+    let single = {
+        let xfdd = snap_xfdd::compile(&campus_policy()).unwrap();
+        let flat = xfdd.flatten();
+        let store = Store::new();
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            for (_, pkt) in &load {
+                black_box(flat.evaluate(pkt, &store).unwrap());
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        n as f64 / best
+    };
+    println!("  obs flat eval (no network):   {single:>12.0} pkts/s");
+    let mut base = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let net = campus_network();
+        let engine = TrafficEngine::new(workers).with_batch_size(64);
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let report = engine.run(&net, &load);
+            assert!(report.is_clean());
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        let pps = n as f64 / best;
+        if workers == 1 {
+            base = pps;
+        }
+        println!(
+            "  network, {workers} worker(s):        {pps:>12.0} pkts/s  ({:.2}x vs 1 worker)",
+            pps / base
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_eval_representations,
+    bench_worker_scaling,
+    throughput_summary
+);
+criterion_main!(benches);

@@ -314,7 +314,7 @@ mod tests {
         let compiler = campus_compiler();
         let program = dns_tunnel_detect(2).seq(assign_egress());
         let compiled = compiler.compile(&program).unwrap();
-        let mut network = compiler.build_network(&compiled);
+        let network = compiler.build_network(&compiled);
 
         let client = Value::ip(10, 0, 6, 77);
         let attacker_dns = Packet::new()

@@ -39,9 +39,11 @@ pub fn generate_rules(
     xfdd: &Xfdd,
     placement: &PlacementResult,
 ) -> RuleGenOutput {
-    // The lowered instruction program is identical on every switch; lower
-    // once and clone.
-    let lowered = NetAsmProgram::lower(xfdd);
+    // The lowered instruction program is identical on every switch; flatten
+    // the diagram once (the same dense representation the dataplane
+    // executes), lower once and clone.
+    let flat = xfdd.flatten();
+    let lowered = NetAsmProgram::lower_flat(&flat);
 
     // Which variables live on which switch.
     let mut vars_per_switch: BTreeMap<NodeId, BTreeSet<StateVar>> = BTreeMap::new();
@@ -51,34 +53,21 @@ pub fn generate_rules(
             .or_default()
             .insert(var.clone());
     }
-    // Which external ports attach to which switch.
-    let mut ports_per_switch: BTreeMap<NodeId, BTreeSet<PortId>> = BTreeMap::new();
-    for (port, node) in topology.external_ports() {
-        ports_per_switch.entry(node).or_default().insert(port);
-    }
+    let configs = SwitchConfig::for_topology(topology, xfdd, &vars_per_switch);
 
-    let mut configs = Vec::new();
     let mut programs = BTreeMap::new();
     let mut total_instructions = 0;
     let mut total_state_ops = 0;
-    for node in topology.nodes() {
-        let local_vars = vars_per_switch.get(&node).cloned().unwrap_or_default();
-        let ports = ports_per_switch.get(&node).cloned().unwrap_or_default();
+    for config in &configs {
         // Switches that neither hold state nor host ports only forward; they
         // still receive the program (they may become relevant after a TE
         // re-route) but are not counted towards the rule statistics.
-        let relevant = !local_vars.is_empty() || !ports.is_empty();
+        let relevant = !config.local_vars.is_empty() || !config.ports.is_empty();
         if relevant {
             total_instructions += lowered.len();
             total_state_ops += lowered.num_state_ops();
-            programs.insert(node, lowered.clone());
+            programs.insert(config.node, lowered.clone());
         }
-        configs.push(SwitchConfig {
-            node,
-            local_vars,
-            program: xfdd.clone(),
-            ports,
-        });
     }
 
     RuleGenOutput {

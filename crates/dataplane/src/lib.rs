@@ -1,28 +1,37 @@
 //! # snap-dataplane
 //!
-//! A stateful software data plane for SNAP: a NetASM-like instruction set
-//! lowered from hash-consed xFDDs, and a network simulator that executes
-//! *distributed* SNAP programs hop by hop over a physical topology.
+//! A concurrent, stateful software data plane for SNAP: a NetASM-like
+//! instruction set lowered from flattened xFDDs, and a network simulator
+//! that executes *distributed* SNAP programs hop by hop over a physical
+//! topology while configurations are swapped underneath it.
 //!
 //! The paper's prototype emits NetASM and runs it on the NetASM software
 //! switch; that artifact is not available, so this crate implements an
 //! equivalent substrate:
 //!
-//! * [`NetAsmProgram`] — branch / table / store instructions lowered from an
-//!   interned xFDD (one block per *distinct* node — sharing in the arena is
-//!   sharing in the instruction stream), plus an interpreter (§5);
+//! * [`NetAsmProgram`] — branch / table / store instructions lowered from
+//!   the dense [`snap_xfdd::FlatProgram`] (one block per *distinct* node —
+//!   sharing in the arena is sharing in the instruction stream), plus an
+//!   interpreter (§5);
 //! * [`Network`] / [`SwitchConfig`] — per-switch programs and state tables,
 //!   packet injection at OBS ports and hop-by-hop forwarding, used to verify
 //!   that distributed execution matches the one-big-switch semantics.
+//!   [`Network::inject`] takes `&self`: the running configuration is an
+//!   immutable, atomically-swappable [`ConfigSnapshot`] (RCU-style —
+//!   readers never block on a recompile) over sharded per-switch state;
+//! * [`TrafficEngine`] — drives a packet workload through a network from N
+//!   worker threads with per-worker egress collection.
 //!
-//! Diagrams are executed directly via their interned `NodeId`s, which double
-//! as the §4.5 packet-tag node identifiers; there is no separate indexed or
-//! flattened representation.
+//! Programs are executed via their dense flat node ids, which double as the
+//! §4.5 packet-tag node identifiers; the flattening is pure index
+//! arithmetic at packet time.
 
 #![warn(missing_docs)]
 
 pub mod netasm;
 pub mod network;
+pub mod traffic;
 
 pub use netasm::{Instruction, NetAsmProgram};
-pub use network::{Network, SimError, SwitchConfig};
+pub use network::{BatchOutput, ConfigSnapshot, Network, SimError, SwitchConfig};
+pub use traffic::{TrafficEngine, TrafficReport};

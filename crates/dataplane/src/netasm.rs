@@ -8,14 +8,16 @@
 //! module provides an equivalent instruction set, a lowering from hash-consed
 //! xFDDs, and an interpreter with the same observable behaviour.
 //!
-//! Lowering walks the interned diagram directly: every *distinct* node emits
-//! exactly one block, so subdiagrams shared in the arena are shared in the
-//! instruction stream too (branches jump to the single copy).
+//! Lowering consumes the dense [`FlatProgram`] representation (the same one
+//! the network simulator executes): every *distinct* node emits exactly one
+//! block, so subdiagrams shared in the arena are shared in the instruction
+//! stream too (branches jump to the single copy), and the flat branch index
+//! maps directly onto the instruction offset.
 
 use serde::{Deserialize, Serialize};
 use snap_lang::{EvalError, Expr, Field, Packet, StateVar, Store, Value};
-use snap_xfdd::{eval_test, ActionSeq, Node, NodeId, Test, Xfdd};
-use std::collections::{BTreeSet, HashMap};
+use snap_xfdd::{eval_test, ActionSeq, FlatId, FlatNode, FlatProgram, Test, Xfdd};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// One instruction of the data-plane program. Jump targets are instruction
@@ -118,66 +120,77 @@ impl NetAsmProgram {
             .count()
     }
 
-    /// Lower an xFDD to instructions.
-    ///
-    /// Every distinct xFDD branch node becomes one [`Instruction::Branch`];
-    /// every distinct leaf becomes one straight-line block per action
-    /// sequence, ending in `Emit` or `Drop`. Shared subdiagrams are emitted
-    /// once and jumped to. The whole program executes atomically per packet,
-    /// mirroring NetASM's atomic table updates.
+    /// Lower an xFDD to instructions by flattening it first (see
+    /// [`Self::lower_flat`]).
     pub fn lower(program: &Xfdd) -> NetAsmProgram {
-        let nodes = program.reachable();
-        let mut out = Vec::new();
-        // First pass: emit each node's block (branch targets still
-        // placeholders), recording the instruction offset where each node id
-        // starts.
-        let mut node_offsets: HashMap<NodeId, usize> = HashMap::new();
-        for &id in &nodes {
-            node_offsets.insert(id, out.len());
-            match program.node(id) {
-                Node::Branch { test, .. } => {
-                    out.push(Instruction::Branch {
-                        test: test.clone(),
-                        on_true: usize::MAX,
-                        on_false: usize::MAX,
-                    });
+        Self::lower_flat(&program.flatten())
+    }
+
+    /// Lower a flat program to instructions.
+    ///
+    /// Every flat branch node becomes exactly one [`Instruction::Branch`];
+    /// every flat leaf becomes one straight-line block per action sequence,
+    /// ending in `Emit` or `Drop`. Sharing in the flat program (one entry
+    /// per *distinct* xFDD node) is sharing in the instruction stream. The
+    /// layout mirrors the flat arrays: instruction `0` jumps to the root's
+    /// block, branches occupy one instruction each at offsets `1..=B` (the
+    /// branch index *is* the offset minus one), and leaf blocks follow. The
+    /// whole program executes atomically per packet, mirroring NetASM's
+    /// atomic table updates.
+    pub fn lower_flat(flat: &FlatProgram) -> NetAsmProgram {
+        let branches = flat.num_branches();
+        // Leaf block offsets: computed by scanning leaf sizes once.
+        let mut leaf_offsets = Vec::with_capacity(flat.num_leaves());
+        let mut at = 1 + branches;
+        for li in 0..flat.num_leaves() {
+            leaf_offsets.push(at);
+            let leaf = flat.leaf(flat.leaf_id(li));
+            if leaf.seqs.is_empty() {
+                at += 1; // Drop
+            } else {
+                for (i, seq) in leaf.seqs.iter().enumerate() {
+                    at += usize::from(i > 0); // Restore
+                    at += seq.actions.len() + 1; // actions + Emit/Drop
                 }
-                Node::Leaf(leaf) => {
-                    if leaf.0.is_empty() {
-                        out.push(Instruction::Drop);
-                    } else {
-                        for (i, seq) in leaf.0.iter().enumerate() {
-                            if i > 0 {
-                                // Each parallel sequence starts from the
-                                // packet as it reached the leaf.
-                                out.push(Instruction::Restore);
-                            }
-                            lower_seq(seq, &mut out);
-                        }
+            }
+            at += 1; // Halt
+        }
+        let offset_of = |id: FlatId| -> usize {
+            if id.is_leaf() {
+                leaf_offsets[id.leaf_index()]
+            } else {
+                1 + id.branch_index()
+            }
+        };
+
+        let mut out = Vec::with_capacity(at);
+        out.push(Instruction::Jump(offset_of(flat.root())));
+        for bi in 0..branches {
+            match flat.node(flat.branch_id(bi)) {
+                FlatNode::Branch { test, tru, fls, .. } => out.push(Instruction::Branch {
+                    test: test.clone(),
+                    on_true: offset_of(tru),
+                    on_false: offset_of(fls),
+                }),
+                FlatNode::Leaf(_) => unreachable!("branch ids resolve to branches"),
+            }
+        }
+        for (li, offset) in leaf_offsets.iter().enumerate() {
+            debug_assert_eq!(out.len(), *offset);
+            let leaf = flat.leaf(flat.leaf_id(li));
+            if leaf.seqs.is_empty() {
+                out.push(Instruction::Drop);
+            } else {
+                for (i, seq) in leaf.seqs.iter().enumerate() {
+                    if i > 0 {
+                        // Each parallel sequence starts from the packet as
+                        // it reached the leaf.
+                        out.push(Instruction::Restore);
                     }
-                    out.push(Instruction::Halt);
+                    lower_seq(seq, &mut out);
                 }
             }
-        }
-        // Second pass: patch branch targets to the recorded node offsets, in
-        // the same node order as the first pass.
-        let mut targets: Vec<(usize, usize)> = Vec::new();
-        for &id in &nodes {
-            if let Node::Branch { tru, fls, .. } = program.node(id) {
-                targets.push((node_offsets[tru], node_offsets[fls]));
-            }
-        }
-        let mut b = 0;
-        for ins in &mut out {
-            if let Instruction::Branch {
-                on_true, on_false, ..
-            } = ins
-            {
-                let (t, f) = targets[b];
-                b += 1;
-                *on_true = t;
-                *on_false = f;
-            }
+            out.push(Instruction::Halt);
         }
         NetAsmProgram {
             instructions: Arc::new(out),

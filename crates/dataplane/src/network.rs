@@ -1,22 +1,37 @@
-//! A network simulator that executes a *distributed* SNAP program: per-switch
-//! xFDD fragments, per-switch state tables and hop-by-hop forwarding with a
-//! SNAP header that records how far into the diagram a packet has progressed
-//! (§4.5).
+//! A concurrent network simulator that executes a *distributed* SNAP
+//! program: per-switch xFDD fragments, per-switch state tables and
+//! hop-by-hop forwarding with a SNAP header that records how far into the
+//! diagram a packet has progressed (§4.5).
 //!
-//! Since the xFDD is hash-consed, its interned [`NodeId`]s *are* the packet
-//! tag: a switch resumes processing at the recorded node id directly, and the
-//! "every switch carries the full diagram" requirement costs one `Arc` clone
-//! per switch instead of a deep copy.
+//! The dataplane is split RCU-style into two halves:
 //!
-//! The simulator is used by integration tests to check the key end-to-end
-//! property of the compiler: running the distributed program over the
-//! physical topology produces the same output packets and the same aggregate
-//! state as running the original one-big-switch program.
+//! * an immutable [`ConfigSnapshot`] — per-switch configurations, the shared
+//!   [`FlatProgram`], the state-variable placement and the epoch — published
+//!   behind an `Arc`. Packet workers grab a snapshot per packet (or per
+//!   batch) and process against it without further coordination; a packet
+//!   therefore never mixes two configurations, no matter how many
+//!   [`Network::swap_configs`] calls race with it.
+//! * sharded mutable state: one `Arc<Mutex<Store>>` per switch, shared
+//!   *across* snapshots so state survives recompiles. The paper's invariant
+//!   that each state variable lives on exactly one switch makes the shard
+//!   the variable's single writer; locks are held per table access, never
+//!   across a hop.
+//!
+//! [`Network::inject`] takes `&self`: traffic and recompile-and-swap run
+//! concurrently. [`Network::swap_configs`] builds the next snapshot on the
+//! side (migrating state tables whose owner moved) and publishes it with one
+//! pointer store — readers never block on a recompile.
+//!
+//! Per-switch execution walks the dense [`FlatProgram`] lowered from the
+//! hash-consed xFDD: the flat node ids *are* the packet tag, so a switch
+//! resumes processing at the recorded id with pure index arithmetic, and the
+//! "every switch carries the full diagram" requirement costs one `Arc`
+//! clone per switch.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use snap_lang::{EvalError, Field, Packet, StateVar, Store, Value};
-use snap_xfdd::{eval_test, Action, Node, NodeId, Xfdd};
+use snap_xfdd::{eval_test, Action, FlatId, FlatNode, FlatProgram, Xfdd};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -31,10 +46,39 @@ pub struct SwitchConfig {
     pub local_vars: BTreeSet<StateVar>,
     /// The program. Every switch carries the full (shared, interned) diagram
     /// but only executes the parts whose state it owns; the SNAP header
-    /// records where processing stopped.
+    /// records where processing stopped. Installing the configuration
+    /// flattens the diagram once into the [`FlatProgram`] all switches
+    /// execute.
     pub program: Xfdd,
     /// OBS external ports attached to this switch.
     pub ports: BTreeSet<PortId>,
+}
+
+impl SwitchConfig {
+    /// Build one configuration per switch of `topology`: every switch
+    /// carries `program`, external ports are derived from the topology, and
+    /// state variables are placed per `owners` (switches absent from the
+    /// map own nothing). The single constructor behind rule generation,
+    /// tests and benches, so the config shape has one source of truth.
+    pub fn for_topology(
+        topology: &Topology,
+        program: &Xfdd,
+        owners: &BTreeMap<SwitchId, BTreeSet<StateVar>>,
+    ) -> Vec<SwitchConfig> {
+        let mut ports_per_switch: BTreeMap<SwitchId, BTreeSet<PortId>> = BTreeMap::new();
+        for (port, node) in topology.external_ports() {
+            ports_per_switch.entry(node).or_default().insert(port);
+        }
+        topology
+            .nodes()
+            .map(|n| SwitchConfig {
+                node: n,
+                local_vars: owners.get(&n).cloned().unwrap_or_default(),
+                program: program.clone(),
+                ports: ports_per_switch.remove(&n).unwrap_or_default(),
+            })
+            .collect()
+    }
 }
 
 /// Errors surfaced by the simulator.
@@ -60,12 +104,12 @@ impl From<EvalError> for SimError {
 /// Processing status carried in the SNAP header of an in-flight packet.
 #[derive(Clone, Debug, PartialEq)]
 enum Progress {
-    /// Still walking the diagram; the interned id of the next node to
+    /// Still walking the diagram; the dense flat id of the next node to
     /// process (the §4.5 packet tag).
-    AtNode(NodeId),
+    AtNode(FlatId),
     /// Executing a specific action sequence of a leaf, from an action offset.
     InLeaf {
-        node: NodeId,
+        node: FlatId,
         seq: usize,
         offset: usize,
     },
@@ -83,33 +127,58 @@ struct InFlight {
     hops: usize,
 }
 
-/// The distributed network: topology, per-switch configurations and
-/// per-switch state tables.
-pub struct Network {
-    topology: Topology,
+/// One immutable, atomically-swappable configuration of the whole network:
+/// per-switch configs, the shared flattened program, the state placement and
+/// the per-switch store handles, all stamped with an epoch.
+///
+/// Snapshots are published behind an `Arc` by [`Network::swap_configs`];
+/// a packet (or batch) is processed entirely against one snapshot, so it can
+/// never observe half of an old configuration and half of a new one. The
+/// store handles are shared across snapshots — state survives swaps — while
+/// everything else is immutable once published.
+pub struct ConfigSnapshot {
     configs: BTreeMap<SwitchId, SwitchConfig>,
-    /// The shared program's root node (identical across configs, which all
-    /// hold handles on the same interned pool).
-    root: Option<NodeId>,
+    /// The shared program, flattened once at install time. `None` when no
+    /// programs are installed.
+    flat: Option<Arc<FlatProgram>>,
     /// Which switch holds each state variable (derived from the configs).
     placement: BTreeMap<StateVar, SwitchId>,
-    /// Per-switch state, behind a lock so statistics can be gathered from
-    /// other threads in long-running simulations.
+    /// Per-switch state shards. Shared across snapshots; each variable's
+    /// table lives in exactly one shard (its owner's).
     stores: BTreeMap<SwitchId, Arc<Mutex<Store>>>,
-    /// Maximum number of hops a packet may take before the simulator reports
-    /// a routing loop.
-    pub hop_budget: usize,
     /// Configuration epoch: 0 at construction, bumped by every
     /// [`Network::swap_configs`].
     epoch: u64,
 }
 
+impl ConfigSnapshot {
+    /// This snapshot's configuration epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The switch a state variable lives on under this snapshot.
+    pub fn owner(&self, var: &StateVar) -> Option<SwitchId> {
+        self.placement.get(var).copied()
+    }
+
+    /// The shared flattened program, if any is installed.
+    pub fn program(&self) -> Option<&Arc<FlatProgram>> {
+        self.flat.as_ref()
+    }
+
+    /// The configuration installed on a switch.
+    pub fn config(&self, switch: SwitchId) -> Option<&SwitchConfig> {
+        self.configs.get(&switch)
+    }
+}
+
 /// Per-switch configurations, indexed and validated: every config must hold
 /// a handle on the *same* interned pool and root, since the packet tag of
-/// one switch dereferences another switch's arena.
+/// one switch dereferences another switch's program.
 struct IndexedConfigs {
     map: BTreeMap<SwitchId, SwitchConfig>,
-    root: Option<NodeId>,
+    flat: Option<Arc<FlatProgram>>,
     placement: BTreeMap<StateVar, SwitchId>,
 }
 
@@ -118,11 +187,12 @@ fn index_configs(configs: Vec<SwitchConfig>) -> IndexedConfigs {
     let mut map = BTreeMap::new();
     let mut root = None;
     let mut pool: Option<*const snap_xfdd::Pool> = None;
-    for c in configs {
+    let mut shared: Option<&Xfdd> = None;
+    for c in &configs {
         // NodeIds are only meaningful within their own arena: every
         // config must hold a handle on the same interned pool (rule
         // generation guarantees this), otherwise the packet tag of one
-        // switch would dereference another switch's arena.
+        // switch would dereference another switch's program.
         let c_pool = c.program.pool() as *const _;
         assert!(
             *pool.get_or_insert(c_pool) == c_pool,
@@ -134,6 +204,12 @@ fn index_configs(configs: Vec<SwitchConfig>) -> IndexedConfigs {
             "switch {:?} carries a program with a different root",
             c.node
         );
+        shared.get_or_insert(&c.program);
+    }
+    // One flattening pass for the whole network: the dense ids are the
+    // packet tags, so every switch must execute the *same* flat program.
+    let flat = shared.map(|program| Arc::new(program.flatten()));
+    for c in configs {
         for v in &c.local_vars {
             placement.insert(v.clone(), c.node);
         }
@@ -141,10 +217,45 @@ fn index_configs(configs: Vec<SwitchConfig>) -> IndexedConfigs {
     }
     IndexedConfigs {
         map,
-        root,
+        flat,
         placement,
     }
 }
+
+/// The result of injecting a batch of packets under one configuration
+/// snapshot. Results are per packet: one packet failing (bad outport,
+/// missing field, ...) does not discard the egress of the packets that
+/// already completed — their state side effects have happened either way.
+#[derive(Clone, Debug)]
+pub struct BatchOutput {
+    /// The epoch of the snapshot every packet of the batch ran against.
+    pub epoch: u64,
+    /// Per-packet egress sets (or the packet's error), in batch order.
+    pub outputs: Vec<Result<BTreeSet<(PortId, Packet)>, SimError>>,
+}
+
+/// The distributed network: an immutable topology, an atomically-swappable
+/// [`ConfigSnapshot`] and sharded per-switch state.
+pub struct Network {
+    topology: Topology,
+    /// `next_hop[from][to]`: the first hop of a shortest path, precomputed
+    /// once so per-packet forwarding is two array loads instead of a BFS.
+    next_hop: Vec<Vec<Option<SwitchId>>>,
+    /// The current snapshot. The mutex guards only the `Arc` pointer: a
+    /// reader clones it and drops the lock, so the critical section is a
+    /// refcount bump — nobody holds it across packet processing, let alone
+    /// a recompile.
+    snapshot: Mutex<Arc<ConfigSnapshot>>,
+    /// Serializes writers: concurrent [`Network::swap_configs`] calls
+    /// migrate state one at a time while readers keep flowing.
+    swap_lock: Mutex<()>,
+    /// Maximum number of hops a packet may take before the simulator reports
+    /// a routing loop.
+    hop_budget: usize,
+}
+
+/// Default hop budget (see [`Network::with_hop_budget`]).
+pub const DEFAULT_HOP_BUDGET: usize = 256;
 
 impl Network {
     /// Build a network from per-switch configurations.
@@ -155,41 +266,98 @@ impl Network {
             .keys()
             .map(|&n| (n, Arc::new(Mutex::new(Store::new()))))
             .collect();
+        let next_hop = build_next_hops(&topology);
         Network {
             topology,
-            configs: indexed.map,
-            root: indexed.root,
-            placement: indexed.placement,
-            stores,
-            hop_budget: 256,
-            epoch: 0,
+            next_hop,
+            snapshot: Mutex::new(Arc::new(ConfigSnapshot {
+                configs: indexed.map,
+                flat: indexed.flat,
+                placement: indexed.placement,
+                stores,
+                epoch: 0,
+            })),
+            swap_lock: Mutex::new(()),
+            hop_budget: DEFAULT_HOP_BUDGET,
         }
     }
 
-    /// The current configuration epoch (how many times [`Self::swap_configs`]
-    /// replaced the running program).
+    /// Set the hop budget at construction time (default
+    /// [`DEFAULT_HOP_BUDGET`]): the maximum number of hops a packet may take
+    /// before the simulator reports [`SimError::HopBudgetExceeded`] instead
+    /// of spinning on a loopy configuration.
+    pub fn with_hop_budget(mut self, budget: usize) -> Self {
+        self.hop_budget = budget;
+        self
+    }
+
+    /// Change the hop budget of a network that is not yet shared.
+    pub fn set_hop_budget(&mut self, budget: usize) {
+        self.hop_budget = budget;
+    }
+
+    /// The current hop budget.
+    pub fn hop_budget(&self) -> usize {
+        self.hop_budget
+    }
+
+    /// The network's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The current configuration snapshot. The returned `Arc` stays valid
+    /// (and internally consistent) however many swaps happen after this
+    /// call.
+    pub fn snapshot(&self) -> Arc<ConfigSnapshot> {
+        self.snapshot.lock().clone()
+    }
+
+    /// The current configuration epoch (how many times
+    /// [`Self::swap_configs`] replaced the running program).
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.snapshot.lock().epoch
     }
 
     /// Atomically replace every switch's configuration with a freshly
     /// compiled set — the controller's recompile-and-push step — without
-    /// rebuilding the network or losing switch state. Variables whose owner
-    /// moved have their state tables migrated to the new owner; variables no
-    /// longer placed anywhere have their tables *dropped*, so re-placing the
-    /// same name later deterministically starts fresh wherever it lands
-    /// (rather than resurrecting stale state only when the optimizer happens
-    /// to pick the old switch). Returns the new epoch.
+    /// stopping traffic or losing switch state. Takes `&self`: packet
+    /// workers keep injecting throughout; each packet runs against whichever
+    /// snapshot was current when it entered, never a mix. Variables whose
+    /// owner moved have their state tables migrated to the new owner;
+    /// variables no longer placed anywhere have their tables *dropped*, so
+    /// re-placing the same name later deterministically starts fresh
+    /// wherever it lands (rather than resurrecting stale state only when
+    /// the optimizer happens to pick the old switch). Returns the new
+    /// epoch.
     ///
-    /// The new configs may come from a different xFDD pool than the old ones
-    /// (they must still all share one pool among themselves): the swap
-    /// replaces program, root and placement together, so no packet ever
-    /// resolves an old node id against a new arena.
-    pub fn swap_configs(&mut self, configs: Vec<SwitchConfig>) -> u64 {
+    /// The new configs may come from a different xFDD pool than the old
+    /// ones (they must still all share one pool among themselves): the swap
+    /// publishes program, root and placement together in one snapshot, so
+    /// no packet ever resolves an old node id against a new program.
+    ///
+    /// Consistency caveat: table migration happens eagerly on the shared
+    /// store shards, so when a variable's owner *moves* (or the variable is
+    /// dropped), a packet still executing against the previous snapshot can
+    /// race with the migration — a write it performs on the old owner after
+    /// the table moved lands in a fresh table and is orphaned. Packets that
+    /// start after the swap are always consistent. Controllers that need
+    /// exactly-once state transfer under live traffic should keep a
+    /// variable's placement stable across updates (the session's placement
+    /// reuse does this automatically when mapping and dependencies are
+    /// unchanged) or quiesce injection around an owner move; full
+    /// migration consistency under owner moves needs reader quiescence and
+    /// is future work (see ROADMAP).
+    pub fn swap_configs(&self, configs: Vec<SwitchConfig>) -> u64 {
+        let _writer = self.swap_lock.lock();
+        let cur = self.snapshot();
         let indexed = index_configs(configs);
-        // Migrate state owned by a different switch under the new placement,
-        // and drop tables of variables the new program no longer places.
-        for (var, &old_owner) in &self.placement {
+        // The store shards are shared with the current snapshot (state
+        // survives the swap); migrate tables owned by a different switch
+        // under the new placement, and drop tables of variables the new
+        // program no longer places.
+        let mut stores = cur.stores.clone();
+        for (var, &old_owner) in &cur.placement {
             let take = |stores: &BTreeMap<SwitchId, Arc<Mutex<Store>>>| {
                 stores
                     .get(&old_owner)
@@ -197,8 +365,8 @@ impl Network {
             };
             match indexed.placement.get(var) {
                 Some(&new_owner) if new_owner != old_owner => {
-                    if let Some(table) = take(&self.stores) {
-                        self.stores
+                    if let Some(table) = take(&stores) {
+                        stores
                             .entry(new_owner)
                             .or_insert_with(|| Arc::new(Mutex::new(Store::new())))
                             .lock()
@@ -207,55 +375,109 @@ impl Network {
                 }
                 Some(_) => {} // same owner: table stays put
                 None => {
-                    take(&self.stores);
+                    take(&stores);
                 }
             }
         }
         for &n in indexed.map.keys() {
-            self.stores
+            stores
                 .entry(n)
                 .or_insert_with(|| Arc::new(Mutex::new(Store::new())));
         }
-        self.configs = indexed.map;
-        self.root = indexed.root;
-        self.placement = indexed.placement;
-        self.epoch += 1;
-        self.epoch
+        let epoch = cur.epoch + 1;
+        let next = Arc::new(ConfigSnapshot {
+            configs: indexed.map,
+            flat: indexed.flat,
+            placement: indexed.placement,
+            stores,
+            epoch,
+        });
+        *self.snapshot.lock() = next;
+        epoch
     }
 
     /// The switch a state variable lives on.
     pub fn owner(&self, var: &StateVar) -> Option<SwitchId> {
-        self.placement.get(var).copied()
+        self.snapshot.lock().owner(var)
     }
 
     /// Merge the per-switch state tables into a single OBS-level store
     /// (each variable lives on exactly one switch, so this is a disjoint
     /// union).
+    ///
+    /// The store locks are taken per *table*, not per switch: listing a
+    /// shard's variables is one short lock, and each table is then cloned
+    /// under its own acquisition, so a switch with a huge table cannot
+    /// stall packet workers for the duration of the whole clone.
     pub fn aggregate_store(&self) -> Store {
+        let snap = self.snapshot();
         let mut out = Store::new();
-        for (node, store) in &self.stores {
-            let guard = store.lock();
-            for var in guard.variables() {
-                if self
-                    .configs
-                    .get(node)
-                    .map(|c| c.local_vars.contains(var))
-                    .unwrap_or(false)
-                {
-                    if let Some(table) = guard.table(var) {
-                        out.insert_table(var.clone(), table.clone());
-                    }
+        for (node, store) in &snap.stores {
+            let Some(config) = snap.configs.get(node) else {
+                continue;
+            };
+            let vars: Vec<StateVar> = {
+                let guard = store.lock();
+                guard
+                    .variables()
+                    .filter(|v| config.local_vars.contains(*v))
+                    .cloned()
+                    .collect()
+            };
+            for var in vars {
+                let table = store.lock().table(&var).cloned();
+                if let Some(table) = table {
+                    out.insert_table(var, table);
                 }
             }
         }
         out
     }
 
-    /// Inject a packet at an OBS external port and run it to completion.
-    /// Returns the set of `(egress port, packet)` pairs that leave the
-    /// network.
+    /// Inject a packet at an OBS external port and run it to completion
+    /// against the current configuration snapshot. Returns the set of
+    /// `(egress port, packet)` pairs that leave the network.
     pub fn inject(
-        &mut self,
+        &self,
+        port: PortId,
+        packet: &Packet,
+    ) -> Result<BTreeSet<(PortId, Packet)>, SimError> {
+        let snap = self.snapshot();
+        self.inject_on(&snap, port, packet)
+    }
+
+    /// Inject a batch of packets, all against the *same* configuration
+    /// snapshot (one snapshot load for the whole batch). Workers use this
+    /// to amortize the snapshot acquisition and to get a consistency
+    /// guarantee: every packet of the batch observed the same epoch.
+    pub fn inject_batch(&self, batch: &[(PortId, Packet)]) -> BatchOutput {
+        let snap = self.snapshot();
+        let outputs = batch
+            .iter()
+            .map(|(port, pkt)| self.inject_on(&snap, *port, pkt))
+            .collect();
+        BatchOutput {
+            epoch: snap.epoch,
+            outputs,
+        }
+    }
+
+    /// Inject a sequence of packets (a trace) and collect every egress
+    /// event. Each packet runs against the then-current snapshot.
+    pub fn inject_trace(
+        &self,
+        trace: &[(PortId, Packet)],
+    ) -> Result<Vec<BTreeSet<(PortId, Packet)>>, SimError> {
+        trace
+            .iter()
+            .map(|(port, pkt)| self.inject(*port, pkt))
+            .collect()
+    }
+
+    /// Run one packet to completion against a fixed snapshot.
+    fn inject_on(
+        &self,
+        snap: &ConfigSnapshot,
         port: PortId,
         packet: &Packet,
     ) -> Result<BTreeSet<(PortId, Packet)>, SimError> {
@@ -263,8 +485,8 @@ impl Network {
             .topology
             .port_switch(port)
             .ok_or(SimError::UnknownPort(port))?;
-        let root = match self.root {
-            Some(r) => r,
+        let flat = match &snap.flat {
+            Some(f) => f,
             None => return Ok(BTreeSet::new()), // no programs installed
         };
         let mut outputs = BTreeSet::new();
@@ -272,7 +494,7 @@ impl Network {
             pkt: packet.clone(),
             inport: port,
             at: ingress,
-            progress: Progress::AtNode(root),
+            progress: Progress::AtNode(flat.root()),
             hops: 0,
         }];
 
@@ -280,8 +502,8 @@ impl Network {
             if flight.hops > self.hop_budget {
                 return Err(SimError::HopBudgetExceeded);
             }
-            let config = match self.configs.get(&flight.at) {
-                Some(c) => c.clone(),
+            let config = match snap.configs.get(&flight.at) {
+                Some(c) => c,
                 None => {
                     // A switch without a config only forwards.
                     self.forward(&mut flight)?;
@@ -289,7 +511,8 @@ impl Network {
                     continue;
                 }
             };
-            match self.process_at_switch(&config, &mut flight)? {
+            let store = snap.stores.get(&flight.at);
+            match self.process_at_switch(config, flat, store, &mut flight)? {
                 StepOutcome::Emit(pkt, outport) => {
                     // Deliver: if the egress port is attached to this switch
                     // the packet leaves; otherwise keep forwarding.
@@ -307,7 +530,7 @@ impl Network {
                 StepOutcome::Dropped => {}
                 StepOutcome::NeedState(var) => {
                     // Forward one hop towards the owner of the variable.
-                    let owner = self.owner(&var).ok_or_else(|| {
+                    let owner = snap.owner(&var).ok_or_else(|| {
                         SimError::Eval(EvalError::MissingField(Field::Custom(format!(
                             "no placement for state variable {var}"
                         ))))
@@ -325,24 +548,16 @@ impl Network {
         Ok(outputs)
     }
 
-    /// Inject a sequence of packets (a trace) and collect every egress event.
-    pub fn inject_trace(
-        &mut self,
-        trace: &[(PortId, Packet)],
-    ) -> Result<Vec<BTreeSet<(PortId, Packet)>>, SimError> {
-        trace
-            .iter()
-            .map(|(port, pkt)| self.inject(*port, pkt))
-            .collect()
-    }
-
     fn process_at_switch(
         &self,
         config: &SwitchConfig,
+        flat: &FlatProgram,
+        store: Option<&Arc<Mutex<Store>>>,
         flight: &mut InFlight,
     ) -> Result<StepOutcome, SimError> {
-        let store_arc = self.stores.get(&config.node).cloned();
-        let program = &config.program;
+        // Field-only tests never read the store; evaluating them against an
+        // empty one avoids taking the shard lock on the stateless hot path.
+        let stateless = Store::new();
         loop {
             match flight.progress.clone() {
                 Progress::Done => {
@@ -351,27 +566,31 @@ impl Network {
                     let outport = read_outport(&flight.pkt)?;
                     return Ok(StepOutcome::Emit(flight.pkt.clone(), outport));
                 }
-                Progress::AtNode(idx) => match program.node(idx) {
-                    Node::Branch { test, tru, fls } => {
-                        let passed = match test.state_var() {
+                Progress::AtNode(idx) => match flat.node(idx) {
+                    FlatNode::Branch {
+                        test,
+                        var,
+                        tru,
+                        fls,
+                    } => {
+                        let passed = match var {
                             Some(var) if !config.local_vars.contains(var) => {
                                 return Ok(StepOutcome::NeedState(var.clone()))
                             }
-                            _ => {
-                                let store = store_arc
-                                    .as_ref()
-                                    .map(|s| s.lock().clone())
-                                    .unwrap_or_default();
-                                eval_test(test, &flight.pkt, &store)?
+                            Some(_) => {
+                                let guard =
+                                    store.expect("switch owning state has a store shard").lock();
+                                eval_test(test, &flight.pkt, &guard)?
                             }
+                            None => eval_test(test, &flight.pkt, &stateless)?,
                         };
-                        flight.progress = Progress::AtNode(if passed { *tru } else { *fls });
+                        flight.progress = Progress::AtNode(if passed { tru } else { fls });
                     }
-                    Node::Leaf(leaf) => {
-                        if leaf.0.is_empty() {
+                    FlatNode::Leaf(leaf) => {
+                        if leaf.seqs.is_empty() {
                             return Ok(StepOutcome::Dropped);
                         }
-                        if leaf.0.len() == 1 {
+                        if leaf.seqs.len() == 1 {
                             flight.progress = Progress::InLeaf {
                                 node: idx,
                                 seq: 0,
@@ -379,7 +598,7 @@ impl Network {
                             };
                         } else {
                             // Fork one in-flight copy per parallel sequence.
-                            let children = (0..leaf.0.len())
+                            let children = (0..leaf.seqs.len())
                                 .map(|s| InFlight {
                                     pkt: flight.pkt.clone(),
                                     inport: flight.inport,
@@ -397,20 +616,10 @@ impl Network {
                     }
                 },
                 Progress::InLeaf { node, seq, offset } => {
-                    let leaf = match program.node(node) {
-                        Node::Leaf(l) => l,
-                        _ => unreachable!("InLeaf progress always points at a leaf"),
-                    };
-                    let sequence: Vec<&Action> = leaf
-                        .0
-                        .iter()
-                        .nth(seq)
-                        .map(|s| s.actions.iter().collect())
-                        .unwrap_or_default();
-                    let drops = leaf.0.iter().nth(seq).map(|s| s.drops).unwrap_or(true);
+                    let sequence = &flat.leaf(node).seqs[seq];
                     let mut off = offset;
-                    while off < sequence.len() {
-                        let action = sequence[off];
+                    while off < sequence.actions.len() {
+                        let action = &sequence.actions[off];
                         match action {
                             Action::Modify(f, v) => {
                                 flight.pkt.set(f.clone(), v.clone());
@@ -426,15 +635,14 @@ impl Network {
                                     };
                                     return Ok(StepOutcome::NeedState(var.clone()));
                                 }
-                                let store =
-                                    store_arc.as_ref().expect("switch with state has a store");
+                                let store = store.expect("switch with state has a store");
                                 let mut guard = store.lock();
                                 apply_state_action(action, &flight.pkt, &mut guard)?;
                             }
                         }
                         off += 1;
                     }
-                    if drops {
+                    if sequence.drops {
                         return Ok(StepOutcome::Dropped);
                     }
                     let outport = read_outport(&flight.pkt)?;
@@ -467,14 +675,58 @@ impl Network {
         if flight.at == target {
             return Ok(());
         }
-        let path = self
-            .topology
-            .shortest_path(flight.at, target)
-            .ok_or(SimError::HopBudgetExceeded)?;
-        flight.at = path[1];
+        let hop = self.next_hop[flight.at.0][target.0].ok_or(SimError::HopBudgetExceeded)?;
+        flight.at = hop;
         flight.hops += 1;
         Ok(())
     }
+}
+
+/// Precompute the first hop of a shortest path for every switch pair, so
+/// per-packet forwarding is two array loads instead of a breadth-first
+/// search per hop.
+fn build_next_hops(topology: &Topology) -> Vec<Vec<Option<SwitchId>>> {
+    let n = topology.num_nodes();
+    // Reverse adjacency: dist_to[t][u] is the hop distance from u to t,
+    // computed by a BFS from t over reversed links.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for u in topology.nodes() {
+        for &(v, _) in topology.neighbors(u) {
+            rev[v.0].push(u.0);
+        }
+    }
+    let mut next = vec![vec![None; n]; n];
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for t in 0..n {
+        dist.fill(usize::MAX);
+        dist[t] = 0;
+        queue.clear();
+        queue.push_back(t);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[u];
+            for &w in &rev[u] {
+                if dist[w] == usize::MAX {
+                    dist[w] = d + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        for u in topology.nodes() {
+            if u.0 == t || dist[u.0] == usize::MAX {
+                continue;
+            }
+            // First neighbor strictly closer to t: deterministic and on a
+            // shortest path, so hop counts match the BFS the simulator used
+            // to run per hop.
+            next[u.0][t] = topology
+                .neighbors(u)
+                .iter()
+                .map(|&(v, _)| v)
+                .find(|v| dist[v.0] == dist[u.0] - 1);
+        }
+    }
+    next
 }
 
 enum StepOutcome {
@@ -547,27 +799,7 @@ mod tests {
     /// the named switch. All configs share one interned program.
     fn campus_network(policy: &Policy, state_switch: &str) -> Network {
         let topo = campus();
-        let program = snap_xfdd::compile(policy).unwrap();
-        let owner = topo.node_by_name(state_switch).unwrap();
-        let all_vars = policy.state_vars();
-        let configs = topo
-            .nodes()
-            .map(|n| SwitchConfig {
-                node: n,
-                local_vars: if n == owner {
-                    all_vars.clone()
-                } else {
-                    BTreeSet::new()
-                },
-                program: program.clone(),
-                ports: topo
-                    .external_ports()
-                    .filter(|(_, sw)| *sw == n)
-                    .map(|(p, _)| p)
-                    .collect(),
-            })
-            .collect();
-        Network::new(topo, configs)
+        Network::new(topo.clone(), campus_configs(policy, state_switch))
     }
 
     fn assign_egress_stateless() -> Policy {
@@ -582,7 +814,7 @@ mod tests {
     #[test]
     fn stateless_forwarding_reaches_the_right_port() {
         let policy = assign_egress_stateless();
-        let mut net = campus_network(&policy, "D4");
+        let net = campus_network(&policy, "D4");
         let pkt = Packet::new()
             .with(Field::SrcIp, Value::ip(10, 0, 1, 9))
             .with(Field::DstIp, Value::ip(10, 0, 6, 9));
@@ -598,7 +830,7 @@ mod tests {
         // Count per inport, then forward to port 6.
         let policy = state_incr("count", vec![field(Field::InPort)])
             .seq(modify(Field::OutPort, Value::Int(6)));
-        let mut net = campus_network(&policy, "C6");
+        let net = campus_network(&policy, "C6");
         let pkt = Packet::new()
             .with(Field::InPort, 1)
             .with(Field::DstIp, Value::ip(10, 0, 6, 1));
@@ -639,7 +871,7 @@ mod tests {
             modify(Field::OutPort, Value::Int(1)),
         ));
 
-        let mut net = campus_network(&policy, "D4");
+        let net = campus_network(&policy, "D4");
         let inside = Value::ip(10, 0, 6, 10);
         let outside = Value::ip(10, 0, 1, 20);
         let trace = vec![
@@ -687,7 +919,7 @@ mod tests {
     #[test]
     fn unknown_port_is_reported() {
         let policy = assign_egress_stateless();
-        let mut net = campus_network(&policy, "D4");
+        let net = campus_network(&policy, "D4");
         let err = net.inject(PortId(99), &Packet::new()).unwrap_err();
         assert_eq!(err, SimError::UnknownPort(PortId(99)));
     }
@@ -697,7 +929,7 @@ mod tests {
         // Multicast to ports 1 and 6 simultaneously.
         let policy =
             modify(Field::OutPort, Value::Int(1)).par(modify(Field::OutPort, Value::Int(6)));
-        let mut net = campus_network(&policy, "D4");
+        let net = campus_network(&policy, "D4");
         let out = net
             .inject(
                 PortId(2),
@@ -711,9 +943,67 @@ mod tests {
     #[test]
     fn packet_with_no_outport_is_an_error() {
         let policy = Policy::id();
-        let mut net = campus_network(&policy, "D4");
+        let net = campus_network(&policy, "D4");
         let err = net.inject(PortId(1), &Packet::new()).unwrap_err();
         assert!(matches!(err, SimError::BadOutPort(_)));
+    }
+
+    #[test]
+    fn hop_budget_is_configurable_and_enforced() {
+        // Egress port 6 (on D4) is several hops from port 1's switch (I1):
+        // with a one-hop budget the simulator must report the budget error
+        // instead of forwarding forever.
+        let policy = modify(Field::OutPort, Value::Int(6));
+        let net = campus_network(&policy, "D4").with_hop_budget(1);
+        assert_eq!(net.hop_budget(), 1);
+        let pkt = Packet::new().with(Field::SrcIp, Value::ip(10, 0, 1, 9));
+        let err = net.inject(PortId(1), &pkt).unwrap_err();
+        assert_eq!(err, SimError::HopBudgetExceeded);
+
+        // The default budget routes the same packet fine.
+        let mut net = campus_network(&policy, "D4");
+        assert_eq!(net.hop_budget(), DEFAULT_HOP_BUDGET);
+        net.set_hop_budget(64);
+        assert_eq!(net.hop_budget(), 64);
+        assert_eq!(net.inject(PortId(1), &pkt).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn state_ping_pong_across_switches_stays_within_budget() {
+        // Two variables on two different switches: the packet must visit
+        // C1 for `a`, then C6 for `b`, then egress — a multi-hop state
+        // itinerary that still terminates well within the default budget.
+        let policy = state_incr("a", vec![field(Field::InPort)])
+            .seq(state_incr("b", vec![field(Field::InPort)]))
+            .seq(modify(Field::OutPort, Value::Int(6)));
+        let topo = campus();
+        let program = snap_xfdd::compile(&policy).unwrap();
+        let owners = BTreeMap::from([
+            (
+                topo.node_by_name("C1").unwrap(),
+                BTreeSet::from(["a".into()]),
+            ),
+            (
+                topo.node_by_name("C6").unwrap(),
+                BTreeSet::from(["b".into()]),
+            ),
+        ]);
+        let configs = SwitchConfig::for_topology(&topo, &program, &owners);
+        let net = Network::new(topo, configs);
+        let pkt = Packet::new().with(Field::InPort, 1);
+        let out = net.inject(PortId(1), &pkt).unwrap();
+        assert_eq!(out.len(), 1);
+        let store = net.aggregate_store();
+        assert_eq!(store.get(&"a".into(), &[Value::Int(1)]), Value::Int(1));
+        assert_eq!(store.get(&"b".into(), &[Value::Int(1)]), Value::Int(1));
+
+        // And with a tiny budget, the same itinerary is cut off with the
+        // budget error rather than spinning.
+        let err = {
+            let net = campus_network(&policy, "C6").with_hop_budget(0);
+            net.inject(PortId(1), &pkt).unwrap_err()
+        };
+        assert_eq!(err, SimError::HopBudgetExceeded);
     }
 
     /// The configs a `campus_network` for `policy` would install, without
@@ -722,30 +1012,15 @@ mod tests {
         let topo = campus();
         let program = snap_xfdd::compile(policy).unwrap();
         let owner = topo.node_by_name(state_switch).unwrap();
-        let all_vars = policy.state_vars();
-        topo.nodes()
-            .map(|n| SwitchConfig {
-                node: n,
-                local_vars: if n == owner {
-                    all_vars.clone()
-                } else {
-                    BTreeSet::new()
-                },
-                program: program.clone(),
-                ports: topo
-                    .external_ports()
-                    .filter(|(_, sw)| *sw == n)
-                    .map(|(p, _)| p)
-                    .collect(),
-            })
-            .collect()
+        let owners = BTreeMap::from([(owner, policy.state_vars())]);
+        SwitchConfig::for_topology(&topo, &program, &owners)
     }
 
     #[test]
     fn swap_configs_bumps_the_epoch_and_replaces_the_program() {
         let count_then_6 = state_incr("count", vec![field(Field::InPort)])
             .seq(modify(Field::OutPort, Value::Int(6)));
-        let mut net = campus_network(&count_then_6, "C6");
+        let net = campus_network(&count_then_6, "C6");
         assert_eq!(net.epoch(), 0);
         let pkt = Packet::new().with(Field::InPort, 1);
         net.inject(PortId(1), &pkt).unwrap();
@@ -772,16 +1047,20 @@ mod tests {
         let counting = state_incr("count", vec![field(Field::InPort)])
             .seq(modify(Field::OutPort, Value::Int(6)));
         let stateless = assign_egress_stateless();
-        let mut net = campus_network(&counting, "C6");
+        let net = campus_network(&counting, "C6");
         let pkt = Packet::new().with(Field::InPort, 1);
         for _ in 0..3 {
             net.inject(PortId(1), &pkt).unwrap();
         }
 
-        // Swap to a program that no longer places "count": its table is
-        // dropped, not stranded on C6.
+        // Swap to a program that no longer places "count" while its table
+        // still holds entries: the table is dropped, not stranded on C6.
         net.swap_configs(campus_configs(&stateless, "C6"));
         assert_eq!(net.owner(&"count".into()), None);
+        assert_eq!(
+            net.aggregate_store().get(&"count".into(), &[Value::Int(1)]),
+            Value::Int(0)
+        );
 
         // Re-placing the variable — on the *same* switch as before — starts
         // fresh rather than resurrecting the old table.
@@ -797,7 +1076,7 @@ mod tests {
     fn swap_configs_migrates_state_to_the_new_owner() {
         let policy = state_incr("count", vec![field(Field::InPort)])
             .seq(modify(Field::OutPort, Value::Int(6)));
-        let mut net = campus_network(&policy, "C6");
+        let net = campus_network(&policy, "C6");
         let pkt = Packet::new().with(Field::InPort, 1);
         for _ in 0..3 {
             net.inject(PortId(1), &pkt).unwrap();
@@ -822,6 +1101,131 @@ mod tests {
         assert_eq!(
             net.aggregate_store().get(&"count".into(), &[Value::Int(1)]),
             Value::Int(4)
+        );
+    }
+
+    #[test]
+    fn owner_moving_twice_keeps_the_table_intact_across_three_epochs() {
+        let policy = state_incr("count", vec![field(Field::InPort)])
+            .seq(modify(Field::OutPort, Value::Int(6)));
+        let net = campus_network(&policy, "C6");
+        let pkt = Packet::new().with(Field::InPort, 1);
+        for _ in 0..2 {
+            net.inject(PortId(1), &pkt).unwrap();
+        }
+
+        // Epoch 1: C6 -> D4. Epoch 2: D4 -> C1. The table follows both
+        // moves; a count is taken on each owner along the way.
+        assert_eq!(net.swap_configs(campus_configs(&policy, "D4")), 1);
+        net.inject(PortId(1), &pkt).unwrap();
+        assert_eq!(net.swap_configs(campus_configs(&policy, "C1")), 2);
+        net.inject(PortId(1), &pkt).unwrap();
+
+        assert_eq!(
+            net.topology.node_name(net.owner(&"count".into()).unwrap()),
+            "C1"
+        );
+        assert_eq!(
+            net.aggregate_store().get(&"count".into(), &[Value::Int(1)]),
+            Value::Int(4)
+        );
+        assert_eq!(net.epoch(), 2);
+    }
+
+    #[test]
+    fn snapshots_stay_consistent_across_a_swap() {
+        // A snapshot taken before a swap keeps answering with its own
+        // epoch, placement and program — the reader-side RCU guarantee.
+        let counting = state_incr("count", vec![field(Field::InPort)])
+            .seq(modify(Field::OutPort, Value::Int(6)));
+        let stateless = assign_egress_stateless();
+        let net = campus_network(&counting, "C6");
+        let before = net.snapshot();
+        net.swap_configs(campus_configs(&stateless, "D4"));
+        let after = net.snapshot();
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(after.epoch(), 1);
+        assert!(before.owner(&"count".into()).is_some());
+        assert!(after.owner(&"count".into()).is_none());
+        // Both snapshots expose a program; they are different flattenings.
+        assert!(before.program().is_some());
+        assert!(after.program().is_some());
+        assert!(!Arc::ptr_eq(
+            before.program().unwrap(),
+            after.program().unwrap()
+        ));
+    }
+
+    #[test]
+    fn concurrent_injection_during_swaps_sees_consistent_epochs_and_state() {
+        // Four injector threads hammer the network with batches while the
+        // main thread swaps configurations 16 times. The counter's owner
+        // never moves, so every increment lands in the same shard: the
+        // total must be *exactly* the number of injected packets, every
+        // batch must observe a single valid epoch, and per-worker epochs
+        // must be monotone (snapshots are published in order).
+        let v6 = state_incr("count", vec![field(Field::InPort)])
+            .seq(modify(Field::OutPort, Value::Int(6)));
+        let v1 = state_incr("count", vec![field(Field::InPort)])
+            .seq(modify(Field::OutPort, Value::Int(1)));
+        let net = campus_network(&v6, "C6");
+
+        const WORKERS: usize = 4;
+        const BATCHES: usize = 30;
+        const BATCH: usize = 8;
+        const SWAPS: u64 = 16;
+
+        std::thread::scope(|scope| {
+            let net = &net;
+            let v1 = &v1;
+            let v6 = &v6;
+            let mut handles = Vec::new();
+            for w in 0..WORKERS {
+                handles.push(scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    let mut delivered = 0usize;
+                    for b in 0..BATCHES {
+                        let batch: Vec<(PortId, Packet)> = (0..BATCH)
+                            .map(|i| {
+                                (
+                                    PortId(1 + (w + b + i) % 6),
+                                    Packet::new().with(Field::InPort, 1),
+                                )
+                            })
+                            .collect();
+                        let out = net.inject_batch(&batch);
+                        assert!(
+                            out.epoch >= last_epoch,
+                            "epoch went backwards: {} after {last_epoch}",
+                            out.epoch
+                        );
+                        assert!(out.epoch <= SWAPS);
+                        last_epoch = out.epoch;
+                        for set in out.outputs {
+                            let set = set.unwrap();
+                            assert_eq!(set.len(), 1, "every packet egresses exactly once");
+                            let port = set.iter().next().unwrap().0;
+                            assert!(port == PortId(1) || port == PortId(6));
+                            delivered += 1;
+                        }
+                    }
+                    delivered
+                }));
+            }
+            for s in 0..SWAPS {
+                let policy = if s % 2 == 0 { v1 } else { v6 };
+                net.swap_configs(campus_configs(policy, "C6"));
+                std::thread::yield_now();
+            }
+            let delivered: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(delivered, WORKERS * BATCHES * BATCH);
+        });
+
+        assert_eq!(net.epoch(), SWAPS);
+        // Exactly one increment per injected packet survived the swaps.
+        assert_eq!(
+            net.aggregate_store().get(&"count".into(), &[Value::Int(1)]),
+            Value::Int((WORKERS * BATCHES * BATCH) as i64)
         );
     }
 }

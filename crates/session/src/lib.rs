@@ -31,9 +31,11 @@
 //!   subtrees alive and rewrites their ids through the remap table.
 //!
 //! Results publish to a running [`snap_dataplane::Network`] as an atomic,
-//! epoch-versioned configuration swap ([`CompilerSession::apply`]): switch
-//! state survives, and state tables migrate when a variable's placement
-//! moves.
+//! epoch-versioned configuration swap ([`CompilerSession::apply`], or
+//! [`CompilerSession::publish`] against a shared `Arc<Network>` handle):
+//! switch state survives, state tables migrate when a variable's placement
+//! moves, and — because the swap is RCU-style — packet workers keep
+//! injecting while the new configuration is installed.
 //!
 //! ```
 //! use snap_session::CompilerSession;
@@ -63,9 +65,9 @@
 //! assert!(session.pool_len() >= cold_pool);
 //! assert_eq!(session.epoch(), 2);
 //!
-//! // Publish to a data plane.
-//! let mut network = session.build_network().unwrap();
-//! assert_eq!(session.apply(&mut network), Some(1));
+//! // Publish to a (possibly shared, concurrently injecting) data plane.
+//! let network = session.build_shared_network().unwrap();
+//! assert_eq!(session.publish(&network), Some(1));
 //! # let _ = updated;
 //! ```
 

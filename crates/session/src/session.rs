@@ -409,13 +409,31 @@ impl CompilerSession {
             .map(|c| Network::new(self.topology.clone(), c.rules.configs.clone()))
     }
 
+    /// Instantiate a fresh data plane behind a shared handle, ready for
+    /// packet workers and [`Self::publish`] to use concurrently.
+    pub fn build_shared_network(&self) -> Option<Arc<Network>> {
+        self.build_network().map(Arc::new)
+    }
+
     /// Push the current compilation into a running network as an atomic,
     /// epoch-versioned configuration swap (state tables migrate with their
     /// variables). Returns the network's new epoch.
-    pub fn apply(&self, network: &mut Network) -> Option<u64> {
+    ///
+    /// Takes `&Network`: the swap is RCU-style, so traffic keeps flowing
+    /// while the new configuration is installed — each in-flight packet
+    /// finishes against the snapshot it started with.
+    pub fn apply(&self, network: &Network) -> Option<u64> {
         self.current
             .as_ref()
             .map(|c| network.swap_configs(c.rules.configs.clone()))
+    }
+
+    /// Publish the current compilation to a *shared* network handle — the
+    /// controller's recompile-and-swap step running concurrently with
+    /// packet workers that hold clones of the same `Arc`. The epoch read on
+    /// each packet guarantees a packet never mixes two configurations.
+    pub fn publish(&self, network: &Arc<Network>) -> Option<u64> {
+        self.apply(network)
     }
 
     // -----------------------------------------------------------------------
@@ -802,7 +820,7 @@ mod tests {
     fn apply_swaps_configs_into_a_running_network() {
         let mut session = campus_session();
         session.compile(&running_example(2)).unwrap();
-        let mut network = session.build_network().unwrap();
+        let network = session.build_network().unwrap();
         assert_eq!(network.epoch(), 0);
 
         // Drive some state into the network.
@@ -821,7 +839,7 @@ mod tests {
         // Recompile with a new threshold and swap it in: epoch bumps, state
         // survives.
         session.update_policy(&running_example(5)).unwrap();
-        assert_eq!(session.apply(&mut network), Some(1));
+        assert_eq!(session.apply(&network), Some(1));
         assert_eq!(network.epoch(), 1);
         assert_eq!(
             network

@@ -9,6 +9,7 @@
 //! processing at a [`NodeId`] directly.
 
 use crate::action::Leaf;
+use crate::flat::FlatProgram;
 use crate::pool::{Node, NodeId, Pool};
 use crate::test::Test;
 use snap_lang::{EvalError, Packet, StateVar, Store};
@@ -122,6 +123,13 @@ impl Xfdd {
     /// Enumerate all root-to-leaf paths as `(tests-with-outcomes, leaf)`.
     pub fn paths(&self) -> Vec<(Vec<(Test, bool)>, &Leaf)> {
         self.pool.paths(self.root)
+    }
+
+    /// Compile the reachable subgraph into a dense struct-of-arrays
+    /// [`FlatProgram`] — the representation the dataplane executes and
+    /// NetASM lowering consumes (see [`crate::flat`]).
+    pub fn flatten(&self) -> FlatProgram {
+        FlatProgram::from_pool(&self.pool, self.root)
     }
 
     /// Render the diagram as an indented tree (for debugging, examples and

@@ -1,0 +1,451 @@
+//! Flat struct-of-arrays lowering of an xFDD for wire-speed evaluation.
+//!
+//! The interned arena ([`crate::Pool`]) is the right representation for
+//! *building* diagrams — hash-consing, memo tables, GC — but per-packet
+//! evaluation through it chases `Vec<Node>` entries holding clones of whole
+//! tests and leaves, and a long-lived session arena interleaves the live
+//! diagram with garbage from superseded compilations, so the reachable
+//! subgraph is scattered across the allocation.
+//!
+//! A [`FlatProgram`] is the dataplane's view: the reachable subgraph of one
+//! root, renumbered densely child-first and split into parallel arrays —
+//! branch tests, branch edges, and leaf action tables each contiguous in
+//! memory. Per-packet evaluation is then index arithmetic over a few dense
+//! arrays: follow an edge, load a test by the same index, repeat. The dense
+//! [`FlatId`]s also replace the arena [`NodeId`]s as the §4.5 packet-tag node
+//! identifiers carried in the SNAP header, so a flattened program is all a
+//! switch needs to resume processing mid-diagram.
+//!
+//! Each branch additionally caches the state variable its test reads (if
+//! any): the distributed simulator checks ownership of that variable on
+//! every hop, and the cache turns that from a match over the test structure
+//! into an array load.
+
+use crate::action::{ActionSeq, Leaf};
+use crate::pool::{eval_test, Node, NodeId, Pool};
+use crate::test::Test;
+use snap_lang::{EvalError, Packet, StateVar, Store};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Dense identifier of a node in a [`FlatProgram`]: the top bit distinguishes
+/// leaves from branches, the remainder indexes the respective array. Flat ids
+/// double as the packet-tag node identifiers of §4.5 — every switch holds the
+/// same flattened program, so an id minted on one switch resumes correctly on
+/// another.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlatId(u32);
+
+const LEAF_BIT: u32 = 1 << 31;
+
+impl FlatId {
+    /// Is this the id of a leaf?
+    pub fn is_leaf(self) -> bool {
+        self.0 & LEAF_BIT != 0
+    }
+
+    /// Index into the branch arrays (tests/edges). Panics on leaf ids.
+    pub fn branch_index(self) -> usize {
+        debug_assert!(!self.is_leaf());
+        self.0 as usize
+    }
+
+    /// Index into the leaf array. Panics on branch ids.
+    pub fn leaf_index(self) -> usize {
+        debug_assert!(self.is_leaf());
+        (self.0 & !LEAF_BIT) as usize
+    }
+
+    fn branch(i: usize) -> FlatId {
+        let i = u32::try_from(i).expect("flat program branch overflow");
+        assert!(i & LEAF_BIT == 0, "flat program branch overflow");
+        FlatId(i)
+    }
+
+    fn leaf(i: usize) -> FlatId {
+        let i = u32::try_from(i).expect("flat program leaf overflow");
+        assert!(i & LEAF_BIT == 0, "flat program leaf overflow");
+        FlatId(i | LEAF_BIT)
+    }
+}
+
+impl fmt::Debug for FlatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_leaf() {
+            write!(f, "l{}", self.0 & !LEAF_BIT)
+        } else {
+            write!(f, "b{}", self.0)
+        }
+    }
+}
+
+/// A leaf of a flat program: the action sequences of the interned
+/// [`Leaf`], laid out in a dense `Vec` (in the leaf's canonical set order)
+/// so a resumed packet can index its sequence in O(1) instead of walking a
+/// `BTreeSet`, plus facts precomputed at flatten time that the per-packet
+/// path would otherwise rediscover on every application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlatLeaf {
+    /// The parallel action sequences, in the canonical (set) order of the
+    /// source leaf.
+    pub seqs: Vec<ActionSeq>,
+    /// Does any sequence write a state variable? Precomputed so the
+    /// (common) stateless leaf skips per-sequence store cloning and the
+    /// store merge entirely.
+    writes_state: bool,
+}
+
+impl FlatLeaf {
+    fn from_leaf(leaf: &Leaf) -> FlatLeaf {
+        let seqs: Vec<ActionSeq> = leaf.0.iter().cloned().collect();
+        let writes_state = seqs
+            .iter()
+            .any(|s| s.actions.iter().any(|a| a.written_var().is_some()));
+        FlatLeaf { seqs, writes_state }
+    }
+
+    /// Does this leaf drop every packet with no side effect?
+    pub fn is_drop(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Does any sequence of this leaf write a state variable?
+    pub fn writes_state(&self) -> bool {
+        self.writes_state
+    }
+
+    /// Apply the leaf with one-big-switch semantics: every sequence runs on
+    /// the same input store, output packets are unioned and store changes
+    /// merged (identical to [`Leaf::apply`]).
+    pub fn apply(
+        &self,
+        pkt: &Packet,
+        store: &Store,
+    ) -> Result<(BTreeSet<Packet>, Store), EvalError> {
+        if !self.writes_state {
+            // Stateless leaf: only `Modify` actions, which cannot fail and
+            // cannot touch the store — no per-sequence store clones, no
+            // merge.
+            let mut packets = BTreeSet::new();
+            for seq in &self.seqs {
+                if seq.drops {
+                    continue;
+                }
+                let mut p = pkt.clone();
+                for a in &seq.actions {
+                    if let crate::action::Action::Modify(f, v) = a {
+                        p.set(f.clone(), v.clone());
+                    }
+                }
+                packets.insert(p);
+            }
+            return Ok((packets, store.clone()));
+        }
+        let mut packets = BTreeSet::new();
+        let mut stores = Vec::with_capacity(self.seqs.len());
+        for seq in &self.seqs {
+            let (p, s) = seq.apply(pkt, store)?;
+            if let Some(p) = p {
+                packets.insert(p);
+            }
+            stores.push(s);
+        }
+        let merged = Store::merge(store, &stores);
+        Ok((packets, merged))
+    }
+}
+
+/// One flat node, borrowed from the program's arrays.
+#[derive(Clone, Copy, Debug)]
+pub enum FlatNode<'a> {
+    /// A branch: evaluate `test` and continue at `tru` or `fls`.
+    Branch {
+        /// The test at this node.
+        test: &'a Test,
+        /// The state variable the test reads, if any (cached off the test).
+        var: Option<&'a StateVar>,
+        /// Successor when the test passes.
+        tru: FlatId,
+        /// Successor when the test fails.
+        fls: FlatId,
+    },
+    /// A leaf: apply its action sequences.
+    Leaf(&'a FlatLeaf),
+}
+
+/// The reachable subgraph of one diagram root, compiled into dense parallel
+/// arrays for per-packet evaluation (see the module docs).
+#[derive(Clone, Debug)]
+pub struct FlatProgram {
+    /// Branch tests, one per branch node.
+    tests: Vec<Test>,
+    /// The state variable read by each test (parallel to `tests`), cached so
+    /// the ownership check of the distributed simulator is an array load.
+    test_vars: Vec<Option<StateVar>>,
+    /// Branch successors `[tru, fls]`, parallel to `tests`.
+    edges: Vec<[FlatId; 2]>,
+    /// Leaf action tables.
+    leaves: Vec<FlatLeaf>,
+    /// Entry node.
+    root: FlatId,
+}
+
+impl FlatProgram {
+    /// Flatten the subgraph reachable from `root`.
+    ///
+    /// The arena interns children before parents (ids strictly decrease from
+    /// parent to child), so walking the reachable set in ascending arena
+    /// order assigns dense, child-first flat ids with every child already
+    /// numbered when its parent is visited.
+    pub fn from_pool(pool: &Pool, root: NodeId) -> FlatProgram {
+        let mut ids = pool.reachable(root);
+        ids.sort_unstable();
+        let mut flat_of = vec![FlatId(u32::MAX); ids.last().map_or(0, |n| n.index() + 1)];
+        let mut out = FlatProgram {
+            tests: Vec::new(),
+            test_vars: Vec::new(),
+            edges: Vec::new(),
+            leaves: Vec::new(),
+            root: FlatId(0),
+        };
+        for id in ids {
+            let flat = match pool.node(id) {
+                Node::Leaf(leaf) => {
+                    out.leaves.push(FlatLeaf::from_leaf(leaf));
+                    FlatId::leaf(out.leaves.len() - 1)
+                }
+                Node::Branch { test, tru, fls } => {
+                    out.tests.push(test.clone());
+                    out.test_vars.push(test.state_var().cloned());
+                    out.edges.push([flat_of[tru.index()], flat_of[fls.index()]]);
+                    FlatId::branch(out.tests.len() - 1)
+                }
+            };
+            flat_of[id.index()] = flat;
+        }
+        out.root = flat_of[root.index()];
+        out
+    }
+
+    /// The entry node.
+    pub fn root(&self) -> FlatId {
+        self.root
+    }
+
+    /// Number of branch nodes.
+    pub fn num_branches(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Total number of nodes (equals the arena size of the source diagram).
+    pub fn num_nodes(&self) -> usize {
+        self.tests.len() + self.leaves.len()
+    }
+
+    /// The id of the `i`-th branch (for iterating the branch arrays).
+    pub fn branch_id(&self, i: usize) -> FlatId {
+        assert!(i < self.tests.len());
+        FlatId::branch(i)
+    }
+
+    /// The id of the `i`-th leaf (for iterating the leaf array).
+    pub fn leaf_id(&self, i: usize) -> FlatId {
+        assert!(i < self.leaves.len());
+        FlatId::leaf(i)
+    }
+
+    /// Borrow a node by id.
+    #[inline]
+    pub fn node(&self, id: FlatId) -> FlatNode<'_> {
+        if id.is_leaf() {
+            FlatNode::Leaf(&self.leaves[id.leaf_index()])
+        } else {
+            let i = id.branch_index();
+            let [tru, fls] = self.edges[i];
+            FlatNode::Branch {
+                test: &self.tests[i],
+                var: self.test_vars[i].as_ref(),
+                tru,
+                fls,
+            }
+        }
+    }
+
+    /// The leaf behind a leaf id.
+    #[inline]
+    pub fn leaf(&self, id: FlatId) -> &FlatLeaf {
+        &self.leaves[id.leaf_index()]
+    }
+
+    /// The state variable read by a branch's test, if any.
+    #[inline]
+    pub fn branch_var(&self, id: FlatId) -> Option<&StateVar> {
+        self.test_vars[id.branch_index()].as_ref()
+    }
+
+    /// Walk tests from `from` to a leaf for one packet: the hot path of the
+    /// dataplane. Pure index arithmetic over the dense arrays.
+    #[inline]
+    pub fn walk(&self, from: FlatId, pkt: &Packet, store: &Store) -> Result<FlatId, EvalError> {
+        let mut cur = from;
+        while !cur.is_leaf() {
+            let i = cur.branch_index();
+            let [tru, fls] = self.edges[i];
+            cur = if eval_test(&self.tests[i], pkt, store)? {
+                tru
+            } else {
+                fls
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Run the program on a packet and store with one-big-switch semantics:
+    /// walk tests to a leaf, then apply the leaf's action sequences.
+    /// Semantically identical to [`Pool::evaluate`] on the source diagram.
+    pub fn evaluate(
+        &self,
+        pkt: &Packet,
+        store: &Store,
+    ) -> Result<(BTreeSet<Packet>, Store), EvalError> {
+        let leaf = self.walk(self.root, pkt, store)?;
+        self.leaves[leaf.leaf_index()].apply(pkt, store)
+    }
+
+    /// All state variables referenced anywhere in the program (tests and
+    /// leaf actions).
+    pub fn state_vars(&self) -> BTreeSet<StateVar> {
+        let mut out: BTreeSet<StateVar> = self.test_vars.iter().flatten().cloned().collect();
+        for leaf in &self.leaves {
+            for seq in &leaf.seqs {
+                out.extend(seq.written_vars());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::test::VarOrder;
+    use crate::translate::to_xfdd;
+    use snap_lang::builder::*;
+    use snap_lang::{Field, Value};
+
+    fn flatten(policy: &snap_lang::Policy) -> (Pool, NodeId, FlatProgram) {
+        let deps = crate::deps::StateDependencies::analyze(policy);
+        let mut pool = Pool::new(deps.var_order());
+        let root = to_xfdd(policy, &mut pool).unwrap();
+        let flat = FlatProgram::from_pool(&pool, root);
+        (pool, root, flat)
+    }
+
+    #[test]
+    fn flat_ids_are_dense_and_child_first() {
+        let policy = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            state_incr("dns", vec![field(Field::DstIp)]),
+            ite(
+                test(Field::DstPort, Value::Int(80)),
+                modify(Field::OutPort, Value::Int(1)),
+                drop(),
+            ),
+        );
+        let (pool, root, flat) = flatten(&policy);
+        assert_eq!(flat.num_nodes(), pool.size(root));
+        assert_eq!(flat.num_branches(), pool.num_tests(root));
+        // Every branch's successors carry strictly smaller per-kind indices
+        // or point at leaves that exist — i.e. ids are dense and resolvable.
+        for b in 0..flat.num_branches() {
+            let id = FlatId::branch(b);
+            if let FlatNode::Branch { tru, fls, .. } = flat.node(id) {
+                for child in [tru, fls] {
+                    if child.is_leaf() {
+                        assert!(child.leaf_index() < flat.num_leaves());
+                    } else {
+                        assert!(child.branch_index() < b, "children are numbered first");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_evaluation_matches_pool_evaluation() {
+        let policy = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            state_incr("dns", vec![field(Field::DstIp)]).seq(modify(Field::OutPort, Value::Int(6))),
+            ite(
+                state_test("dns", vec![field(Field::SrcIp)], int(2)),
+                drop(),
+                modify(Field::OutPort, Value::Int(1)),
+            ),
+        );
+        let (pool, root, flat) = flatten(&policy);
+        let mut store_pool = Store::new();
+        let mut store_flat = Store::new();
+        for i in 0..8i64 {
+            let pkt = Packet::new()
+                .with(Field::SrcPort, if i % 2 == 0 { 53 } else { 80 })
+                .with(Field::SrcIp, Value::ip(10, 0, 0, (i % 3) as u8))
+                .with(Field::DstIp, Value::ip(10, 0, 0, (i % 3) as u8));
+            let (pa, sa) = pool.evaluate(root, &pkt, &store_pool).unwrap();
+            let (pb, sb) = flat.evaluate(&pkt, &store_flat).unwrap();
+            assert_eq!(pa, pb, "packet {i}");
+            assert_eq!(sa, sb, "store {i}");
+            store_pool = sa;
+            store_flat = sb;
+        }
+    }
+
+    #[test]
+    fn parallel_leaves_keep_their_sequences() {
+        let policy =
+            modify(Field::OutPort, Value::Int(1)).par(modify(Field::OutPort, Value::Int(2)));
+        let (pool, root, flat) = flatten(&policy);
+        let pkt = Packet::new().with(Field::InPort, 9);
+        let (a, _) = pool.evaluate(root, &pkt, &Store::new()).unwrap();
+        let (b, _) = flat.evaluate(&pkt, &Store::new()).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a, b);
+        // The leaf's sequences are indexable in canonical order.
+        let leaf = flat.leaf(flat.root());
+        assert_eq!(leaf.seqs.len(), 2);
+    }
+
+    #[test]
+    fn state_vars_and_branch_var_cache() {
+        let policy = ite(
+            state_test("seen", vec![field(Field::SrcIp)], int(1)),
+            state_incr("hits", vec![field(Field::SrcIp)]),
+            drop(),
+        );
+        let (_, _, flat) = flatten(&policy);
+        let vars = flat.state_vars();
+        assert!(vars.contains(&"seen".into()));
+        assert!(vars.contains(&"hits".into()));
+        // The root is the state test; its cached variable matches.
+        assert_eq!(
+            flat.branch_var(flat.root()).map(|v| v.name().to_string()),
+            Some("seen".to_string())
+        );
+    }
+
+    #[test]
+    fn single_leaf_program_flattens() {
+        let mut pool = Pool::new(VarOrder::empty());
+        let leaf = pool.leaf(Leaf::single(Action::Modify(Field::OutPort, Value::Int(3))));
+        let flat = FlatProgram::from_pool(&pool, leaf);
+        assert_eq!(flat.num_nodes(), 1);
+        assert!(flat.root().is_leaf());
+        let (pkts, _) = flat.evaluate(&Packet::new(), &Store::new()).unwrap();
+        assert_eq!(pkts.len(), 1);
+    }
+}

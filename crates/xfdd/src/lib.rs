@@ -33,7 +33,10 @@
 //!   ([`Pool::import`]) for merging per-thread translation pools, a
 //!   mark-from-roots compactor ([`Pool::compact`]) bounding arena growth,
 //!   and a serde-free wire format for frozen diagrams ([`encode_diagram`] /
-//!   [`decode_diagram`]).
+//!   [`decode_diagram`]),
+//! * a flat struct-of-arrays lowering for the dataplane ([`FlatProgram`]):
+//!   the reachable subgraph renumbered densely child-first, so per-packet
+//!   evaluation is index arithmetic instead of arena chasing.
 //!
 //! ## Example
 //!
@@ -64,6 +67,7 @@ pub mod context;
 pub mod deps;
 pub mod diagram;
 pub mod error;
+pub mod flat;
 pub mod import;
 pub mod pool;
 pub mod test;
@@ -76,6 +80,7 @@ pub use context::Context;
 pub use deps::StateDependencies;
 pub use diagram::{eval_test, Xfdd};
 pub use error::CompileError;
+pub use flat::{FlatId, FlatLeaf, FlatNode, FlatProgram};
 pub use pool::{CtxId, Node, NodeId, Pool};
 pub use test::{Test, VarOrder};
 pub use translate::{compile, pred_to_xfdd, to_xfdd};

@@ -1,0 +1,107 @@
+//! Robustness of the wire-format decoder against malformed input: for valid
+//! encodings of representative diagrams, every truncation must decode to an
+//! error (never a panic), and arbitrary bit flips must either decode to an
+//! error or to a *well-defined* diagram the pool accepts — the decoder is
+//! fed controller→switch bytes and must never take a switch down.
+
+use proptest::prelude::*;
+use snap_lang::builder::*;
+use snap_lang::{Field, Policy, Value};
+use snap_xfdd::{decode_diagram, encode_diagram, to_xfdd, Pool, StateDependencies};
+
+/// Representative policies covering every encoded shape: all three test
+/// kinds, all four actions, tuples, prefixes, symbols, parallel leaves.
+fn corpus() -> Vec<Policy> {
+    vec![
+        ite(
+            test_prefix(Field::DstIp, 10, 0, 6, 0, 24).and(test(Field::SrcPort, Value::Int(53))),
+            Policy::seq_all(vec![
+                state_set(
+                    "orphan",
+                    vec![field(Field::DstIp), field(Field::DnsRdata)],
+                    Value::Bool(true),
+                ),
+                state_incr("susp", vec![field(Field::DstIp)]),
+                modify(Field::OutPort, Value::Int(6)),
+            ]),
+            ite(
+                state_test(
+                    "mode",
+                    vec![snap_lang::Expr::Tuple(vec![field(Field::SrcIp), int(1)])],
+                    snap_lang::Expr::Value(Value::sym("ESTABLISHED")),
+                ),
+                state_decr("susp", vec![field(Field::SrcIp)]),
+                modify(Field::Content, Value::str("quarantine")),
+            ),
+        ),
+        modify(Field::OutPort, Value::Int(1)).par(state_incr("c", vec![field(Field::InPort)])),
+        ite(
+            test(Field::SrcPort, Value::Int(53)),
+            modify(Field::OutPort, Value::Int(6)),
+            drop(),
+        ),
+    ]
+}
+
+fn encodings() -> Vec<Vec<u8>> {
+    corpus()
+        .iter()
+        .map(|policy| {
+            let deps = StateDependencies::analyze(policy);
+            let mut pool = Pool::new(deps.var_order());
+            let root = to_xfdd(policy, &mut pool).unwrap();
+            encode_diagram(&pool, root)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn truncated_encodings_error_and_never_panic(
+        which in 0usize..3,
+        cut in 0usize..10_000,
+    ) {
+        let bytes = &encodings()[which];
+        // Any strict prefix is a decode error — a prefix can never look
+        // complete because the trailing root id is mandatory.
+        let cut = cut % bytes.len();
+        prop_assert!(decode_diagram(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_encodings_never_panic(
+        which in 0usize..3,
+        pos in 0usize..10_000,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = encodings()[which].clone();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        // A flipped bit may still be a structurally valid diagram (e.g. a
+        // flipped payload byte inside an integer value); what it must never
+        // do is panic or produce a diagram the pool itself rejects.
+        if let Ok((pool, root)) = decode_diagram(&bytes) {
+            prop_assert!(root.index() < pool.len());
+            // The decoded diagram is a real, traversable pool citizen.
+            prop_assert!(pool.size(root) >= 1);
+        }
+    }
+
+    #[test]
+    fn multi_byte_corruption_never_panics(
+        which in 0usize..3,
+        a in 0usize..10_000,
+        b in 0usize..10_000,
+        byte in 0u8..=255,
+    ) {
+        let mut bytes = encodings()[which].clone();
+        let len = bytes.len();
+        bytes[a % len] = byte;
+        bytes[b % len] = byte.wrapping_mul(31).wrapping_add(7);
+        if let Ok((pool, root)) = decode_diagram(&bytes) {
+            prop_assert!(root.index() < pool.len());
+        }
+    }
+}

@@ -28,7 +28,7 @@ fn main() {
 
     // Drive an attack trace through the distributed network: a client in the
     // CS department receives DNS responses it never uses.
-    let mut network = compiler.build_network(&compiled);
+    let network = compiler.build_network(&compiled);
     let victim = Value::ip(10, 0, 6, 42);
     println!("== injecting {threshold} unanswered DNS responses for {victim} ==");
     let victim_display = victim.clone();

@@ -34,7 +34,7 @@ fn main() {
     );
 
     // Send one packet towards the honeypot and one ordinary packet.
-    let mut network = compiler.build_network(&compiled);
+    let network = compiler.build_network(&compiled);
     let to_honeypot = Packet::new()
         .with(Field::SrcIp, Value::ip(10, 0, 1, 9))
         .with(Field::DstIp, Value::ip(10, 0, 3, 10))

@@ -1,0 +1,253 @@
+//! The concurrent controller loop, end to end: packet workers hammer a
+//! shared `Network` from multiple threads while a `CompilerSession`
+//! recompiles and publishes new configurations mid-flight. Exercises the
+//! RCU snapshot path (readers never block on a recompile), state survival
+//! across swaps, and the per-batch epoch guarantee (a packet never mixes
+//! two configurations).
+
+use snap_core::SolverChoice;
+use snap_dataplane::{Network, SwitchConfig, TrafficEngine};
+use snap_lang::prelude::*;
+use snap_session::CompilerSession;
+use snap_topology::generators::campus;
+use snap_topology::{PortId, TrafficMatrix};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Count every packet per inport, then send it to `egress`.
+fn counting_policy(egress: i64) -> Policy {
+    state_incr("count", vec![field(Field::InPort)]).seq(modify(Field::OutPort, Value::Int(egress)))
+}
+
+/// A family of *distinct* programs with identical packet-state mappings: the
+/// guard threshold is far beyond any count this test can reach, so every
+/// version behaves like `counting_policy(6)` — but each version is a real
+/// recompile-and-swap. Because the mapping and dependencies are unchanged,
+/// the session reuses the placement and the counter's owner never moves,
+/// which is what makes the concurrent totals exact.
+fn guarded_counting_policy(threshold: i64) -> Policy {
+    ite(
+        state_test("count", vec![field(Field::InPort)], int(threshold)),
+        drop(),
+        state_incr("count", vec![field(Field::InPort)]),
+    )
+    .seq(modify(Field::OutPort, Value::Int(6)))
+}
+
+fn campus_session() -> CompilerSession {
+    let topo = campus();
+    let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+    CompilerSession::new(topo, tm).with_solver(SolverChoice::Heuristic)
+}
+
+#[test]
+fn traffic_flows_while_the_session_publishes_new_configs() {
+    let mut session = campus_session();
+    session
+        .compile(&guarded_counting_policy(1_000_000))
+        .unwrap();
+    let network: Arc<Network> = session.build_shared_network().unwrap();
+
+    const WORKERS: usize = 4;
+    const BATCHES: usize = 25;
+    const BATCH: usize = 8;
+    const SWAPS: usize = 10;
+
+    let published = std::thread::scope(|scope| {
+        // Packet workers: each drives batches through its own clone of the
+        // shared handle, recording the epochs its batches observed.
+        let mut handles = Vec::new();
+        for w in 0..WORKERS {
+            let network = Arc::clone(&network);
+            handles.push(scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut delivered = 0usize;
+                for b in 0..BATCHES {
+                    let batch: Vec<(PortId, Packet)> = (0..BATCH)
+                        .map(|i| {
+                            (
+                                PortId(1 + (w + b + i) % 6),
+                                Packet::new().with(Field::InPort, 1),
+                            )
+                        })
+                        .collect();
+                    let out = network.inject_batch(&batch);
+                    // Snapshots are published in order: epochs never run
+                    // backwards within a worker.
+                    assert!(out.epoch >= last_epoch);
+                    last_epoch = out.epoch;
+                    for set in out.outputs {
+                        let set = set.unwrap();
+                        assert_eq!(set.len(), 1);
+                        let port = set.iter().next().unwrap().0;
+                        assert_eq!(port, PortId(6), "egress from a torn config");
+                        delivered += 1;
+                    }
+                }
+                delivered
+            }));
+        }
+
+        // Controller: recompile and publish concurrently with the traffic.
+        // Each version is a distinct program (new threshold) with the same
+        // mapping, so placement is reused and the owner stays put.
+        let mut published = 0u64;
+        for s in 0..SWAPS {
+            session
+                .update_policy(&guarded_counting_policy(1_000_000 + 1 + s as i64))
+                .unwrap();
+            let epoch = session.publish(&network).unwrap();
+            assert_eq!(epoch, (s + 1) as u64);
+            published = epoch;
+            std::thread::yield_now();
+        }
+
+        let delivered: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(delivered, WORKERS * BATCHES * BATCH);
+        published
+    });
+
+    assert_eq!(network.epoch(), published);
+    // The session really did reuse the placement on every recompile: the
+    // owner never moved, so each injected packet incremented exactly once
+    // and the total is exact despite the concurrent swaps.
+    assert_eq!(session.stats().placement_reuses, SWAPS as u64);
+    assert_eq!(
+        network
+            .aggregate_store()
+            .get(&"count".into(), &[Value::Int(1)]),
+        Value::Int((WORKERS * BATCHES * BATCH) as i64)
+    );
+}
+
+#[test]
+fn traffic_engine_reports_epochs_spanning_concurrent_swaps() {
+    let mut session = campus_session();
+    session
+        .compile(&guarded_counting_policy(1_000_000))
+        .unwrap();
+    let network = session.build_shared_network().unwrap();
+
+    let workload: Vec<(PortId, Packet)> = (0..400)
+        .map(|i| (PortId(1 + i % 6), Packet::new().with(Field::InPort, 1)))
+        .collect();
+
+    let report = std::thread::scope(|scope| {
+        let engine = TrafficEngine::new(4).with_batch_size(16);
+        let net = Arc::clone(&network);
+        let traffic = scope.spawn(move || engine.run(&net, &workload));
+        for s in 0..6 {
+            session
+                .update_policy(&guarded_counting_policy(2_000_000 + s))
+                .unwrap();
+            session.publish(&network).unwrap();
+            std::thread::yield_now();
+        }
+        traffic.join().unwrap()
+    });
+
+    assert!(report.is_clean(), "errors: {:?}", report.errors);
+    assert_eq!(report.processed, 400);
+    assert_eq!(report.total_egress(), 400);
+    assert_eq!(report.egress.len(), 4);
+    // Every observed epoch is one the controller actually published.
+    assert!(report.epochs.iter().all(|&e| e <= 6));
+    assert!(!report.epochs.is_empty());
+    assert_eq!(
+        network
+            .aggregate_store()
+            .get(&"count".into(), &[Value::Int(1)]),
+        Value::Int(400)
+    );
+}
+
+#[test]
+fn aggregate_store_runs_concurrently_with_traffic() {
+    // The aggregate view snapshots tables one short lock at a time, so it
+    // can be polled while workers are mid-flight; totals observed along the
+    // way never exceed the final exact count.
+    let mut session = campus_session();
+    session.compile(&counting_policy(6)).unwrap();
+    let network = session.build_shared_network().unwrap();
+    std::mem::drop(session); // static config for this test: only traffic runs
+
+    const TOTAL: usize = 600;
+    let workload: Vec<(PortId, Packet)> = (0..TOTAL)
+        .map(|i| (PortId(1 + i % 6), Packet::new().with(Field::InPort, 1)))
+        .collect();
+
+    std::thread::scope(|scope| {
+        let net = Arc::clone(&network);
+        let traffic = scope.spawn(move || {
+            TrafficEngine::new(3)
+                .with_batch_size(8)
+                .run(&net, &workload)
+        });
+        let mut last = 0i64;
+        for _ in 0..50 {
+            let snapshot_total = network
+                .aggregate_store()
+                .get(&"count".into(), &[Value::Int(1)])
+                .as_int()
+                .unwrap();
+            assert!(snapshot_total >= last, "counter ran backwards");
+            assert!(snapshot_total <= TOTAL as i64);
+            last = snapshot_total;
+            std::thread::yield_now();
+        }
+        let report = traffic.join().unwrap();
+        assert!(report.is_clean());
+    });
+    assert_eq!(
+        network
+            .aggregate_store()
+            .get(&"count".into(), &[Value::Int(1)]),
+        Value::Int(TOTAL as i64)
+    );
+}
+
+#[test]
+fn swapping_between_manual_configs_preserves_distributed_semantics() {
+    // A distributed sanity check under swaps with *hand-placed* state: the
+    // variable's owner is pinned, so the concurrent total is exact even
+    // though the program (egress port) keeps changing.
+    let topo = campus();
+    let make_configs = |egress: i64| -> Vec<SwitchConfig> {
+        let program = snap_xfdd::compile(&counting_policy(egress)).unwrap();
+        let owners = BTreeMap::from([(
+            topo.node_by_name("C6").unwrap(),
+            BTreeSet::from(["count".into()]),
+        )]);
+        SwitchConfig::for_topology(&topo, &program, &owners)
+    };
+
+    let network = Arc::new(Network::new(topo.clone(), make_configs(6)));
+    const TOTAL: usize = 480;
+    let workload: Vec<(PortId, Packet)> = (0..TOTAL)
+        .map(|i| (PortId(1 + i % 6), Packet::new().with(Field::InPort, 1)))
+        .collect();
+
+    std::thread::scope(|scope| {
+        let net = Arc::clone(&network);
+        let traffic = scope.spawn(move || {
+            TrafficEngine::new(4)
+                .with_batch_size(12)
+                .run(&net, &workload)
+        });
+        for s in 0..12u64 {
+            let epoch = network.swap_configs(make_configs(if s % 2 == 0 { 1 } else { 6 }));
+            assert_eq!(epoch, s + 1);
+            std::thread::yield_now();
+        }
+        let report = traffic.join().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.total_egress(), TOTAL);
+    });
+    assert_eq!(network.epoch(), 12);
+    assert_eq!(
+        network
+            .aggregate_store()
+            .get(&"count".into(), &[Value::Int(1)]),
+        Value::Int(TOTAL as i64)
+    );
+}

@@ -90,7 +90,7 @@ fn distributed_execution_equals_obs_for_the_stateful_firewall() {
     let compiler = campus_compiler();
     let program = apps::stateful_firewall().seq(apps::assign_egress(6));
     let compiled = compiler.compile(&program).unwrap();
-    let mut network = compiler.build_network(&compiled);
+    let network = compiler.build_network(&compiled);
 
     let inside = Value::ip(10, 0, 6, 10);
     let outside = Value::ip(10, 0, 2, 20);

@@ -37,7 +37,7 @@ fn controller_loop_with_policy_edits_traffic_changes_and_gc() {
 
     // Boot: cold compile, bring the network up.
     session.compile(&running_example(2)).unwrap();
-    let mut network = session.build_network().unwrap();
+    let network = session.build_network().unwrap();
 
     // Reference one-big-switch state, kept in lockstep with the network.
     let mut obs_store = Store::new();
@@ -45,22 +45,20 @@ fn controller_loop_with_policy_edits_traffic_changes_and_gc() {
 
     let client = Value::ip(10, 0, 6, 77);
     let mut seq = 0u8;
-    let mut drive = |network: &mut snap_dataplane::Network,
-                     obs_store: &mut Store,
-                     policy: &Policy,
-                     n: usize| {
-        for _ in 0..n {
-            seq += 1;
-            let pkt = dns_packet(&client, Value::ip(9, 9, 9, seq));
-            let obs = eval(policy, obs_store, &pkt).unwrap();
-            *obs_store = obs.store;
-            let out = network.inject(PortId(1), &pkt).unwrap();
-            let pkts: BTreeSet<Packet> = out.into_iter().map(|(_, p)| p).collect();
-            assert_eq!(pkts, obs.packets, "network and OBS disagree");
-        }
-    };
+    let mut drive =
+        |network: &snap_dataplane::Network, obs_store: &mut Store, policy: &Policy, n: usize| {
+            for _ in 0..n {
+                seq += 1;
+                let pkt = dns_packet(&client, Value::ip(9, 9, 9, seq));
+                let obs = eval(policy, obs_store, &pkt).unwrap();
+                *obs_store = obs.store;
+                let out = network.inject(PortId(1), &pkt).unwrap();
+                let pkts: BTreeSet<Packet> = out.into_iter().map(|(_, p)| p).collect();
+                assert_eq!(pkts, obs.packets, "network and OBS disagree");
+            }
+        };
 
-    drive(&mut network, &mut obs_store, &policy, 1);
+    drive(&network, &mut obs_store, &policy, 1);
 
     // Controller loop: alternate policy edits (threshold bumps) and traffic
     // updates, swapping configs into the running network each time. The
@@ -74,9 +72,9 @@ fn controller_loop_with_policy_edits_traffic_changes_and_gc() {
             session.update_traffic(tm).unwrap();
         }
         let epoch_before = network.epoch();
-        session.apply(&mut network).unwrap();
+        session.apply(&network).unwrap();
         assert_eq!(network.epoch(), epoch_before + 1);
-        drive(&mut network, &mut obs_store, &policy, 2);
+        drive(&network, &mut obs_store, &policy, 2);
     }
     assert_eq!(network.aggregate_store(), obs_store);
 
@@ -85,8 +83,8 @@ fn controller_loop_with_policy_edits_traffic_changes_and_gc() {
     assert!(report.nodes_after <= report.nodes_before);
     policy = running_example(50);
     session.update_policy(&policy).unwrap();
-    session.apply(&mut network).unwrap();
-    drive(&mut network, &mut obs_store, &policy, 2);
+    session.apply(&network).unwrap();
+    drive(&network, &mut obs_store, &policy, 2);
     assert_eq!(network.aggregate_store(), obs_store);
 
     // The session did real incremental work along the way.
