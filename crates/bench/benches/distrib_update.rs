@@ -1,0 +1,154 @@
+//! Distribution-plane update costs on the campus topology: how many bytes
+//! the controller ships per update (suffix delta vs. what a full-program
+//! payload would cost) and the end-to-end two-phase commit latency across
+//! one agent per switch, over a realistic edit sequence (bootstrap → novel
+//! threshold edits → working-set attack/calm flips → traffic reroute).
+//!
+//! Set `SNAP_BENCH_SMOKE=1` (as CI does) for a reduced configuration that
+//! keeps the path compiling and non-regressing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snap_apps as apps;
+use snap_core::SolverChoice;
+use snap_distrib::{deploy_in_process, InProcessDeployment};
+use snap_lang::Policy;
+use snap_session::CompilerSession;
+use snap_topology::generators::campus;
+use snap_topology::TrafficMatrix;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("SNAP_BENCH_SMOKE").is_some()
+}
+
+fn campus_session() -> CompilerSession {
+    let topo = campus();
+    let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+    CompilerSession::new(topo, tm).with_solver(SolverChoice::Heuristic)
+}
+
+/// The paper's running example with a tweakable detection threshold — one
+/// working-set edit away from itself.
+fn running_example(threshold: i64) -> Policy {
+    apps::dns_tunnel_detect(threshold).seq(apps::assign_egress(6))
+}
+
+fn deploy() -> InProcessDeployment {
+    deploy_in_process(campus_session(), 1024)
+}
+
+/// Latency of a full two-phase commit (compile + delta encode + prepare on
+/// every agent + flip + acks), for the two interesting edit classes.
+fn bench_commit_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distrib_update");
+    group.sample_size(if smoke() { 3 } else { 30 });
+
+    // Working-set flip: both versions fully shipped, delta is ~a root.
+    let mut deployment = deploy();
+    deployment
+        .controller
+        .update_policy(&running_example(3))
+        .unwrap();
+    deployment
+        .controller
+        .update_policy(&running_example(8))
+        .unwrap();
+    let mut calm = true;
+    group.bench_function("working_set_flip", |b| {
+        b.iter(|| {
+            let t = if calm { 3 } else { 8 };
+            calm = !calm;
+            black_box(
+                deployment
+                    .controller
+                    .update_policy(&running_example(t))
+                    .unwrap(),
+            )
+        })
+    });
+    deployment.shutdown();
+
+    // Novel threshold edits: each iteration ships the changed subtree.
+    let mut deployment = deploy();
+    deployment
+        .controller
+        .update_policy(&running_example(1))
+        .unwrap();
+    let mut threshold = 1_000i64;
+    group.bench_function("novel_edit", |b| {
+        b.iter(|| {
+            threshold += 1;
+            black_box(
+                deployment
+                    .controller
+                    .update_policy(&running_example(threshold))
+                    .unwrap(),
+            )
+        })
+    });
+    deployment.shutdown();
+    group.finish();
+}
+
+/// Print the delta-vs-full payload numbers quoted in EXPERIMENTS.md.
+fn update_summary(_c: &mut Criterion) {
+    let mut deployment = deploy();
+    let fmt = |label: &str, r: &snap_distrib::CommitReport| {
+        println!(
+            "  {label:<28} {:>7} B delta vs {:>7} B full ({:>5.1}%), {:>4} new nodes, \
+             prepare {:?}, commit {:?}",
+            r.delta_bytes,
+            r.full_bytes,
+            100.0 * r.delta_ratio(),
+            r.new_nodes,
+            r.prepare_time,
+            r.commit_time,
+        );
+    };
+    println!("\ndistribution update summary (campus, one agent per switch):");
+    let boot = deployment
+        .controller
+        .update_policy(&running_example(3))
+        .unwrap();
+    fmt("bootstrap (full resync)", &boot);
+    let novel = deployment
+        .controller
+        .update_policy(&running_example(8))
+        .unwrap();
+    fmt("novel threshold edit", &novel);
+    let flip = deployment
+        .controller
+        .update_policy(&running_example(3))
+        .unwrap();
+    fmt("working-set flip", &flip);
+    let topo = deployment.controller.session().topology().clone();
+    let reroute = deployment
+        .controller
+        .update_traffic(TrafficMatrix::gravity(&topo, 900.0, 7))
+        .unwrap()
+        .expect("compiled");
+    fmt("traffic reroute", &reroute);
+
+    // Best-of-N end-to-end commit latency for the working-set flip.
+    let n = if smoke() { 5 } else { 200 };
+    let mut best = f64::MAX;
+    let mut calm = true;
+    for _ in 0..n {
+        let t = if calm { 3 } else { 8 };
+        calm = !calm;
+        let start = Instant::now();
+        deployment
+            .controller
+            .update_policy(&running_example(t))
+            .unwrap();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!(
+        "  end-to-end flip commit, best of {n}: {:.1} µs",
+        best * 1e6
+    );
+    deployment.shutdown();
+}
+
+criterion_group!(benches, bench_commit_latency, update_summary);
+criterion_main!(benches);

@@ -1,0 +1,360 @@
+//! The per-switch execution core, shared by every driver of the data plane.
+//!
+//! [`crate::Network`] (the in-process simulator with a globally swapped
+//! [`crate::ConfigSnapshot`]) and the distributed per-switch agents of the
+//! `snap-distrib` crate execute packets the same way: walk the dense
+//! [`FlatProgram`] from the packet's SNAP-header tag, pause at state the
+//! local switch does not own, fork at parallel leaves, and emit towards an
+//! egress port. What differs between drivers is only *where* the
+//! configuration comes from (one atomic snapshot vs. a per-agent epoch view)
+//! and where egress lands (a result set vs. per-port queues). This module
+//! holds the shared machinery: the in-flight packet representation
+//! ([`InFlight`], [`Progress`]), the single-switch step
+//! ([`process_at_switch`], [`StepOutcome`]), the precomputed shortest-path
+//! next-hop table ([`NextHops`]) and the small packet-header helpers.
+
+use parking_lot::Mutex;
+use snap_lang::{EvalError, Field, Packet, StateVar, Store, Value};
+use snap_topology::{NodeId as SwitchId, PortId, Topology};
+use snap_xfdd::{eval_test, Action, FlatId, FlatNode, FlatProgram};
+use std::collections::BTreeSet;
+
+/// Errors surfaced by packet execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The ingress port is not attached to any switch.
+    UnknownPort(PortId),
+    /// A packet was forwarded more than the hop budget allows (routing loop
+    /// or unreachable state/egress switch).
+    HopBudgetExceeded,
+    /// The program's outport is not an external port of the topology.
+    BadOutPort(Value),
+    /// Evaluation failed (missing field, bad increment, ...).
+    Eval(EvalError),
+}
+
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> Self {
+        SimError::Eval(e)
+    }
+}
+
+/// Processing status carried in the SNAP header of an in-flight packet.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Progress {
+    /// Still walking the diagram; the dense flat id of the next node to
+    /// process (the §4.5 packet tag).
+    AtNode(FlatId),
+    /// Executing a specific action sequence of a leaf, from an action offset.
+    InLeaf {
+        /// The leaf being executed.
+        node: FlatId,
+        /// Which of the leaf's parallel sequences this copy runs.
+        seq: usize,
+        /// Offset of the next action within the sequence.
+        offset: usize,
+    },
+    /// Processing finished; the packet just needs to reach its egress.
+    Done,
+}
+
+/// An in-flight packet: payload plus SNAP header.
+#[derive(Clone, Debug)]
+pub struct InFlight {
+    /// The packet payload (headers included).
+    pub pkt: Packet,
+    /// The OBS port the packet entered at.
+    pub inport: PortId,
+    /// The switch currently holding the packet.
+    pub at: SwitchId,
+    /// Where in the program processing stands.
+    pub progress: Progress,
+    /// Hops taken so far (checked against the hop budget).
+    pub hops: usize,
+}
+
+impl InFlight {
+    /// A packet freshly arrived at its ingress switch, about to start the
+    /// program at `root`.
+    pub fn ingress(pkt: Packet, inport: PortId, at: SwitchId, root: FlatId) -> InFlight {
+        InFlight {
+            pkt,
+            inport,
+            at,
+            progress: Progress::AtNode(root),
+            hops: 0,
+        }
+    }
+}
+
+/// What one switch-local processing step decided.
+pub enum StepOutcome {
+    /// Processing finished; deliver the packet to the given egress port.
+    Emit(Packet, PortId),
+    /// The packet was dropped (by a drop leaf or a dropping sequence).
+    Dropped,
+    /// The program needs a state variable this switch does not own; forward
+    /// towards its owner and resume there.
+    NeedState(StateVar),
+    /// A parallel leaf forked the packet into one copy per sequence.
+    Fork(Vec<InFlight>),
+}
+
+/// Run a packet at one switch until it emits, drops, forks, or needs state
+/// the switch does not own. `local_vars` is the set of state variables this
+/// switch holds; `store` is its state shard (may be `None` only when
+/// `local_vars` is empty).
+pub fn process_at_switch(
+    local_vars: &BTreeSet<StateVar>,
+    flat: &FlatProgram,
+    store: Option<&Mutex<Store>>,
+    flight: &mut InFlight,
+) -> Result<StepOutcome, SimError> {
+    // Field-only tests never read the store; evaluating them against an
+    // empty one avoids taking the shard lock on the stateless hot path.
+    let stateless = Store::new();
+    loop {
+        match flight.progress.clone() {
+            Progress::Done => {
+                // Processing already finished elsewhere; figure the
+                // outport out of the packet and keep delivering.
+                let outport = read_outport(&flight.pkt)?;
+                return Ok(StepOutcome::Emit(flight.pkt.clone(), outport));
+            }
+            Progress::AtNode(idx) => match flat.node(idx) {
+                FlatNode::Branch {
+                    test,
+                    var,
+                    tru,
+                    fls,
+                } => {
+                    let passed = match var {
+                        Some(var) if !local_vars.contains(var) => {
+                            return Ok(StepOutcome::NeedState(var.clone()))
+                        }
+                        Some(_) => {
+                            let guard =
+                                store.expect("switch owning state has a store shard").lock();
+                            eval_test(test, &flight.pkt, &guard)?
+                        }
+                        None => eval_test(test, &flight.pkt, &stateless)?,
+                    };
+                    flight.progress = Progress::AtNode(if passed { tru } else { fls });
+                }
+                FlatNode::Leaf(leaf) => {
+                    if leaf.seqs.is_empty() {
+                        return Ok(StepOutcome::Dropped);
+                    }
+                    if leaf.seqs.len() == 1 {
+                        flight.progress = Progress::InLeaf {
+                            node: idx,
+                            seq: 0,
+                            offset: 0,
+                        };
+                    } else {
+                        // Fork one in-flight copy per parallel sequence.
+                        let children = (0..leaf.seqs.len())
+                            .map(|s| InFlight {
+                                pkt: flight.pkt.clone(),
+                                inport: flight.inport,
+                                at: flight.at,
+                                progress: Progress::InLeaf {
+                                    node: idx,
+                                    seq: s,
+                                    offset: 0,
+                                },
+                                hops: flight.hops,
+                            })
+                            .collect();
+                        return Ok(StepOutcome::Fork(children));
+                    }
+                }
+            },
+            Progress::InLeaf { node, seq, offset } => {
+                let sequence = &flat.leaf(node).seqs[seq];
+                let mut off = offset;
+                while off < sequence.actions.len() {
+                    let action = &sequence.actions[off];
+                    match action {
+                        Action::Modify(f, v) => {
+                            flight.pkt.set(f.clone(), v.clone());
+                        }
+                        Action::StateSet { var, .. }
+                        | Action::StateIncr { var, .. }
+                        | Action::StateDecr { var, .. } => {
+                            if !local_vars.contains(var) {
+                                flight.progress = Progress::InLeaf {
+                                    node,
+                                    seq,
+                                    offset: off,
+                                };
+                                return Ok(StepOutcome::NeedState(var.clone()));
+                            }
+                            let store = store.expect("switch with state has a store");
+                            let mut guard = store.lock();
+                            apply_state_action(action, &flight.pkt, &mut guard)?;
+                        }
+                    }
+                    off += 1;
+                }
+                if sequence.drops {
+                    return Ok(StepOutcome::Dropped);
+                }
+                let outport = read_outport(&flight.pkt)?;
+                return Ok(StepOutcome::Emit(flight.pkt.clone(), outport));
+            }
+        }
+    }
+}
+
+/// The first hop of a shortest path for every switch pair, precomputed once
+/// so per-packet forwarding is two array loads instead of a BFS per hop.
+#[derive(Clone, Debug)]
+pub struct NextHops {
+    /// `table[from][to]`: the first hop of a shortest path.
+    table: Vec<Vec<Option<SwitchId>>>,
+}
+
+impl NextHops {
+    /// Precompute the table for a topology.
+    pub fn compute(topology: &Topology) -> NextHops {
+        let n = topology.num_nodes();
+        // Reverse adjacency: dist_to[t][u] is the hop distance from u to t,
+        // computed by a BFS from t over reversed links.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for u in topology.nodes() {
+            for &(v, _) in topology.neighbors(u) {
+                rev[v.0].push(u.0);
+            }
+        }
+        let mut next = vec![vec![None; n]; n];
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for t in 0..n {
+            dist.fill(usize::MAX);
+            dist[t] = 0;
+            queue.clear();
+            queue.push_back(t);
+            while let Some(u) = queue.pop_front() {
+                let d = dist[u];
+                for &w in &rev[u] {
+                    if dist[w] == usize::MAX {
+                        dist[w] = d + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            for u in topology.nodes() {
+                if u.0 == t || dist[u.0] == usize::MAX {
+                    continue;
+                }
+                // First neighbor strictly closer to t: deterministic and on
+                // a shortest path, so hop counts match a per-hop BFS.
+                next[u.0][t] = topology
+                    .neighbors(u)
+                    .iter()
+                    .map(|&(v, _)| v)
+                    .find(|v| dist[v.0] == dist[u.0] - 1);
+            }
+        }
+        NextHops { table: next }
+    }
+
+    /// The first hop from `from` towards `to`, if `to` is reachable.
+    #[inline]
+    pub fn hop(&self, from: SwitchId, to: SwitchId) -> Option<SwitchId> {
+        self.table[from.0][to.0]
+    }
+
+    /// Advance an in-flight packet one hop towards a target switch.
+    /// Reaching the target (or already being there) is not a hop.
+    pub fn forward_towards(&self, flight: &mut InFlight, target: SwitchId) -> Result<(), SimError> {
+        if flight.at == target {
+            return Ok(());
+        }
+        let hop = self
+            .hop(flight.at, target)
+            .ok_or(SimError::HopBudgetExceeded)?;
+        flight.at = hop;
+        flight.hops += 1;
+        Ok(())
+    }
+}
+
+/// The error for a state variable the running placement does not map to any
+/// switch.
+pub fn missing_placement_error(var: &StateVar) -> SimError {
+    SimError::Eval(EvalError::MissingField(Field::Custom(format!(
+        "no placement for state variable {var}"
+    ))))
+}
+
+/// The error for a variable whose placement names the *current* switch
+/// while that switch's configuration does not own it — inconsistent
+/// metadata that would otherwise spin a packet in place forever.
+pub fn misplaced_state_error(var: &StateVar) -> SimError {
+    SimError::Eval(EvalError::MissingField(Field::Custom(format!(
+        "state variable {var} placed on a switch that does not own it"
+    ))))
+}
+
+/// The OBS egress port the program assigned to a packet.
+pub fn read_outport(pkt: &Packet) -> Result<PortId, SimError> {
+    match pkt.get(&Field::OutPort) {
+        Some(Value::Int(p)) if *p >= 0 => Ok(PortId(*p as usize)),
+        Some(other) => Err(SimError::BadOutPort(other.clone())),
+        None => Err(SimError::BadOutPort(Value::Int(-1))),
+    }
+}
+
+/// Apply one state action against a switch's store shard. `Modify` actions
+/// are packet-local and ignored here.
+pub fn apply_state_action(
+    action: &Action,
+    pkt: &Packet,
+    store: &mut Store,
+) -> Result<(), EvalError> {
+    match action {
+        Action::Modify(_, _) => Ok(()),
+        Action::StateSet { var, index, value } => {
+            let idx = snap_lang::eval_index(index, pkt)?;
+            let val = snap_lang::eval_expr(value, pkt)?;
+            store.set(var, idx, val);
+            Ok(())
+        }
+        Action::StateIncr { var, index } | Action::StateDecr { var, index } => {
+            let delta = if matches!(action, Action::StateIncr { .. }) {
+                1
+            } else {
+                -1
+            };
+            let idx = snap_lang::eval_index(index, pkt)?;
+            let cur = store.get(var, &idx);
+            let next = cur.as_int().ok_or(EvalError::NotAnInteger {
+                var: var.clone(),
+                value: cur.clone(),
+            })?;
+            store.set(var, idx, Value::Int(next + delta));
+            Ok(())
+        }
+    }
+}
+
+/// Remove simulator-internal `snap.*` header fields before a packet leaves
+/// the network.
+pub fn strip_snap_header(pkt: &mut Packet) {
+    // The simulator keeps its bookkeeping outside the packet, so the only
+    // header field added by the pipeline itself is the OBS outport; keep it,
+    // since the OBS program set it explicitly. Custom `snap.*` fields, if a
+    // rule generator added any, are removed here.
+    let custom: Vec<Field> = pkt
+        .iter()
+        .filter_map(|(f, _)| match f {
+            Field::Custom(name) if name.starts_with("snap.") => Some(f.clone()),
+            _ => None,
+        })
+        .collect();
+    for f in custom {
+        pkt.remove(&f);
+    }
+}

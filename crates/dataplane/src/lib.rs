@@ -28,10 +28,14 @@
 
 #![warn(missing_docs)]
 
+pub mod egress;
+pub mod exec;
 pub mod netasm;
 pub mod network;
 pub mod traffic;
 
+pub use egress::{EgressEvent, EgressQueues, DEFAULT_QUEUE_CAPACITY};
+pub use exec::{InFlight, NextHops, Progress, SimError, StepOutcome};
 pub use netasm::{Instruction, NetAsmProgram};
-pub use network::{BatchOutput, ConfigSnapshot, Network, SimError, SwitchConfig};
+pub use network::{BatchOutput, ConfigSnapshot, Network, SwitchConfig};
 pub use traffic::{TrafficEngine, TrafficReport};

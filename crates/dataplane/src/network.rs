@@ -30,11 +30,16 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use snap_lang::{EvalError, Field, Packet, StateVar, Store, Value};
-use snap_xfdd::{eval_test, Action, FlatId, FlatNode, FlatProgram, Xfdd};
+use snap_lang::{Packet, StateVar, Store, Value};
+use snap_xfdd::{FlatProgram, Xfdd};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+pub use crate::exec::SimError;
+use crate::exec::{
+    misplaced_state_error, missing_placement_error, process_at_switch, read_outport,
+    strip_snap_header, InFlight, NextHops, Progress, StepOutcome,
+};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
 
 /// Per-switch configuration produced by rule generation.
@@ -79,52 +84,6 @@ impl SwitchConfig {
             })
             .collect()
     }
-}
-
-/// Errors surfaced by the simulator.
-#[derive(Clone, Debug, PartialEq)]
-pub enum SimError {
-    /// The ingress port is not attached to any switch.
-    UnknownPort(PortId),
-    /// A packet was forwarded more than the hop budget allows (routing loop
-    /// or unreachable state/egress switch).
-    HopBudgetExceeded,
-    /// The program's outport is not an external port of the topology.
-    BadOutPort(Value),
-    /// Evaluation failed (missing field, bad increment, ...).
-    Eval(EvalError),
-}
-
-impl From<EvalError> for SimError {
-    fn from(e: EvalError) -> Self {
-        SimError::Eval(e)
-    }
-}
-
-/// Processing status carried in the SNAP header of an in-flight packet.
-#[derive(Clone, Debug, PartialEq)]
-enum Progress {
-    /// Still walking the diagram; the dense flat id of the next node to
-    /// process (the §4.5 packet tag).
-    AtNode(FlatId),
-    /// Executing a specific action sequence of a leaf, from an action offset.
-    InLeaf {
-        node: FlatId,
-        seq: usize,
-        offset: usize,
-    },
-    /// Processing finished; the packet just needs to reach its egress.
-    Done,
-}
-
-/// An in-flight packet: payload plus SNAP header.
-#[derive(Clone, Debug)]
-struct InFlight {
-    pkt: Packet,
-    inport: PortId,
-    at: SwitchId,
-    progress: Progress,
-    hops: usize,
 }
 
 /// One immutable, atomically-swappable configuration of the whole network:
@@ -238,9 +197,9 @@ pub struct BatchOutput {
 /// [`ConfigSnapshot`] and sharded per-switch state.
 pub struct Network {
     topology: Topology,
-    /// `next_hop[from][to]`: the first hop of a shortest path, precomputed
-    /// once so per-packet forwarding is two array loads instead of a BFS.
-    next_hop: Vec<Vec<Option<SwitchId>>>,
+    /// First hop of a shortest path per switch pair, precomputed once so
+    /// per-packet forwarding is two array loads instead of a BFS.
+    next_hop: NextHops,
     /// The current snapshot. The mutex guards only the `Arc` pointer: a
     /// reader clones it and drops the lock, so the critical section is a
     /// refcount bump — nobody holds it across packet processing, let alone
@@ -266,7 +225,7 @@ impl Network {
             .keys()
             .map(|&n| (n, Arc::new(Mutex::new(Store::new()))))
             .collect();
-        let next_hop = build_next_hops(&topology);
+        let next_hop = NextHops::compute(&topology);
         Network {
             topology,
             next_hop,
@@ -314,8 +273,9 @@ impl Network {
     }
 
     /// The current configuration epoch (how many times
-    /// [`Self::swap_configs`] replaced the running program).
-    pub fn epoch(&self) -> u64 {
+    /// [`Self::swap_configs`] replaced the running program). The one
+    /// canonical epoch read — a lock, a load and a drop, no snapshot clone.
+    pub fn current_epoch(&self) -> u64 {
         self.snapshot.lock().epoch
     }
 
@@ -490,13 +450,12 @@ impl Network {
             None => return Ok(BTreeSet::new()), // no programs installed
         };
         let mut outputs = BTreeSet::new();
-        let mut work = vec![InFlight {
-            pkt: packet.clone(),
-            inport: port,
-            at: ingress,
-            progress: Progress::AtNode(flat.root()),
-            hops: 0,
-        }];
+        let mut work = vec![InFlight::ingress(
+            packet.clone(),
+            port,
+            ingress,
+            flat.root(),
+        )];
 
         while let Some(mut flight) = work.pop() {
             if flight.hops > self.hop_budget {
@@ -511,8 +470,8 @@ impl Network {
                     continue;
                 }
             };
-            let store = snap.stores.get(&flight.at);
-            match self.process_at_switch(config, flat, store, &mut flight)? {
+            let store = snap.stores.get(&flight.at).map(|s| s.as_ref());
+            match process_at_switch(&config.local_vars, flat, store, &mut flight)? {
                 StepOutcome::Emit(pkt, outport) => {
                     // Deliver: if the egress port is attached to this switch
                     // the packet leaves; otherwise keep forwarding.
@@ -530,12 +489,15 @@ impl Network {
                 StepOutcome::Dropped => {}
                 StepOutcome::NeedState(var) => {
                     // Forward one hop towards the owner of the variable.
-                    let owner = snap.owner(&var).ok_or_else(|| {
-                        SimError::Eval(EvalError::MissingField(Field::Custom(format!(
-                            "no placement for state variable {var}"
-                        ))))
-                    })?;
-                    self.forward_towards_node(&mut flight, owner)?;
+                    let owner = snap
+                        .owner(&var)
+                        .ok_or_else(|| missing_placement_error(&var))?;
+                    if owner == flight.at {
+                        // Inconsistent hand-built configs: forwarding
+                        // "towards" the owner would spin in place.
+                        return Err(misplaced_state_error(&var));
+                    }
+                    self.next_hop.forward_towards(&mut flight, owner)?;
                     work.push(flight);
                 }
                 StepOutcome::Fork(children) => {
@@ -546,110 +508,6 @@ impl Network {
             }
         }
         Ok(outputs)
-    }
-
-    fn process_at_switch(
-        &self,
-        config: &SwitchConfig,
-        flat: &FlatProgram,
-        store: Option<&Arc<Mutex<Store>>>,
-        flight: &mut InFlight,
-    ) -> Result<StepOutcome, SimError> {
-        // Field-only tests never read the store; evaluating them against an
-        // empty one avoids taking the shard lock on the stateless hot path.
-        let stateless = Store::new();
-        loop {
-            match flight.progress.clone() {
-                Progress::Done => {
-                    // Processing already finished elsewhere; figure the
-                    // outport out of the packet and keep delivering.
-                    let outport = read_outport(&flight.pkt)?;
-                    return Ok(StepOutcome::Emit(flight.pkt.clone(), outport));
-                }
-                Progress::AtNode(idx) => match flat.node(idx) {
-                    FlatNode::Branch {
-                        test,
-                        var,
-                        tru,
-                        fls,
-                    } => {
-                        let passed = match var {
-                            Some(var) if !config.local_vars.contains(var) => {
-                                return Ok(StepOutcome::NeedState(var.clone()))
-                            }
-                            Some(_) => {
-                                let guard =
-                                    store.expect("switch owning state has a store shard").lock();
-                                eval_test(test, &flight.pkt, &guard)?
-                            }
-                            None => eval_test(test, &flight.pkt, &stateless)?,
-                        };
-                        flight.progress = Progress::AtNode(if passed { tru } else { fls });
-                    }
-                    FlatNode::Leaf(leaf) => {
-                        if leaf.seqs.is_empty() {
-                            return Ok(StepOutcome::Dropped);
-                        }
-                        if leaf.seqs.len() == 1 {
-                            flight.progress = Progress::InLeaf {
-                                node: idx,
-                                seq: 0,
-                                offset: 0,
-                            };
-                        } else {
-                            // Fork one in-flight copy per parallel sequence.
-                            let children = (0..leaf.seqs.len())
-                                .map(|s| InFlight {
-                                    pkt: flight.pkt.clone(),
-                                    inport: flight.inport,
-                                    at: flight.at,
-                                    progress: Progress::InLeaf {
-                                        node: idx,
-                                        seq: s,
-                                        offset: 0,
-                                    },
-                                    hops: flight.hops,
-                                })
-                                .collect();
-                            return Ok(StepOutcome::Fork(children));
-                        }
-                    }
-                },
-                Progress::InLeaf { node, seq, offset } => {
-                    let sequence = &flat.leaf(node).seqs[seq];
-                    let mut off = offset;
-                    while off < sequence.actions.len() {
-                        let action = &sequence.actions[off];
-                        match action {
-                            Action::Modify(f, v) => {
-                                flight.pkt.set(f.clone(), v.clone());
-                            }
-                            Action::StateSet { var, .. }
-                            | Action::StateIncr { var, .. }
-                            | Action::StateDecr { var, .. } => {
-                                if !config.local_vars.contains(var) {
-                                    flight.progress = Progress::InLeaf {
-                                        node,
-                                        seq,
-                                        offset: off,
-                                    };
-                                    return Ok(StepOutcome::NeedState(var.clone()));
-                                }
-                                let store = store.expect("switch with state has a store");
-                                let mut guard = store.lock();
-                                apply_state_action(action, &flight.pkt, &mut guard)?;
-                            }
-                        }
-                        off += 1;
-                    }
-                    if sequence.drops {
-                        return Ok(StepOutcome::Dropped);
-                    }
-                    let outport = read_outport(&flight.pkt)?;
-                    return Ok(StepOutcome::Emit(flight.pkt.clone(), outport));
-                }
-            }
-        }
     }
 
     fn forward(&self, flight: &mut InFlight) -> Result<(), SimError> {
@@ -664,127 +522,13 @@ impl Network {
             .topology
             .port_switch(port)
             .ok_or(SimError::BadOutPort(Value::Int(port.0 as i64)))?;
-        self.forward_towards_node(flight, target)
-    }
-
-    fn forward_towards_node(
-        &self,
-        flight: &mut InFlight,
-        target: SwitchId,
-    ) -> Result<(), SimError> {
-        if flight.at == target {
-            return Ok(());
+        if target == flight.at {
+            // Only reached when this switch cannot deliver the port itself
+            // (it is missing from its config, or the switch has no config at
+            // all): forwarding "towards" the port would spin in place.
+            return Err(SimError::BadOutPort(Value::Int(port.0 as i64)));
         }
-        let hop = self.next_hop[flight.at.0][target.0].ok_or(SimError::HopBudgetExceeded)?;
-        flight.at = hop;
-        flight.hops += 1;
-        Ok(())
-    }
-}
-
-/// Precompute the first hop of a shortest path for every switch pair, so
-/// per-packet forwarding is two array loads instead of a breadth-first
-/// search per hop.
-fn build_next_hops(topology: &Topology) -> Vec<Vec<Option<SwitchId>>> {
-    let n = topology.num_nodes();
-    // Reverse adjacency: dist_to[t][u] is the hop distance from u to t,
-    // computed by a BFS from t over reversed links.
-    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for u in topology.nodes() {
-        for &(v, _) in topology.neighbors(u) {
-            rev[v.0].push(u.0);
-        }
-    }
-    let mut next = vec![vec![None; n]; n];
-    let mut dist = vec![usize::MAX; n];
-    let mut queue = std::collections::VecDeque::new();
-    for t in 0..n {
-        dist.fill(usize::MAX);
-        dist[t] = 0;
-        queue.clear();
-        queue.push_back(t);
-        while let Some(u) = queue.pop_front() {
-            let d = dist[u];
-            for &w in &rev[u] {
-                if dist[w] == usize::MAX {
-                    dist[w] = d + 1;
-                    queue.push_back(w);
-                }
-            }
-        }
-        for u in topology.nodes() {
-            if u.0 == t || dist[u.0] == usize::MAX {
-                continue;
-            }
-            // First neighbor strictly closer to t: deterministic and on a
-            // shortest path, so hop counts match the BFS the simulator used
-            // to run per hop.
-            next[u.0][t] = topology
-                .neighbors(u)
-                .iter()
-                .map(|&(v, _)| v)
-                .find(|v| dist[v.0] == dist[u.0] - 1);
-        }
-    }
-    next
-}
-
-enum StepOutcome {
-    Emit(Packet, PortId),
-    Dropped,
-    NeedState(StateVar),
-    Fork(Vec<InFlight>),
-}
-
-fn read_outport(pkt: &Packet) -> Result<PortId, SimError> {
-    match pkt.get(&Field::OutPort) {
-        Some(Value::Int(p)) if *p >= 0 => Ok(PortId(*p as usize)),
-        Some(other) => Err(SimError::BadOutPort(other.clone())),
-        None => Err(SimError::BadOutPort(Value::Int(-1))),
-    }
-}
-
-fn apply_state_action(action: &Action, pkt: &Packet, store: &mut Store) -> Result<(), EvalError> {
-    match action {
-        Action::Modify(_, _) => Ok(()),
-        Action::StateSet { var, index, value } => {
-            let idx = snap_lang::eval_index(index, pkt)?;
-            let val = snap_lang::eval_expr(value, pkt)?;
-            store.set(var, idx, val);
-            Ok(())
-        }
-        Action::StateIncr { var, index } | Action::StateDecr { var, index } => {
-            let delta = if matches!(action, Action::StateIncr { .. }) {
-                1
-            } else {
-                -1
-            };
-            let idx = snap_lang::eval_index(index, pkt)?;
-            let cur = store.get(var, &idx);
-            let next = cur.as_int().ok_or(EvalError::NotAnInteger {
-                var: var.clone(),
-                value: cur.clone(),
-            })?;
-            store.set(var, idx, Value::Int(next + delta));
-            Ok(())
-        }
-    }
-}
-
-fn strip_snap_header(pkt: &mut Packet) {
-    // The simulator keeps its bookkeeping outside the packet, so the only
-    // header field added by the pipeline itself is the OBS outport; keep it,
-    // since the OBS program set it explicitly. Custom `snap.*` fields, if a
-    // rule generator added any, are removed here.
-    let custom: Vec<Field> = pkt
-        .iter()
-        .filter_map(|(f, _)| match f {
-            Field::Custom(name) if name.starts_with("snap.") => Some(f.clone()),
-            _ => None,
-        })
-        .collect();
-    for f in custom {
-        pkt.remove(&f);
+        self.next_hop.forward_towards(flight, target)
     }
 }
 
@@ -792,7 +536,7 @@ fn strip_snap_header(pkt: &mut Packet) {
 mod tests {
     use super::*;
     use snap_lang::builder::*;
-    use snap_lang::Policy;
+    use snap_lang::{Field, Policy};
     use snap_topology::generators::campus;
 
     /// Build a network for `policy` on the campus topology with all state on
@@ -1021,7 +765,7 @@ mod tests {
         let count_then_6 = state_incr("count", vec![field(Field::InPort)])
             .seq(modify(Field::OutPort, Value::Int(6)));
         let net = campus_network(&count_then_6, "C6");
-        assert_eq!(net.epoch(), 0);
+        assert_eq!(net.current_epoch(), 0);
         let pkt = Packet::new().with(Field::InPort, 1);
         net.inject(PortId(1), &pkt).unwrap();
 
@@ -1030,7 +774,7 @@ mod tests {
             .seq(modify(Field::OutPort, Value::Int(1)));
         let epoch = net.swap_configs(campus_configs(&count_then_1, "C6"));
         assert_eq!(epoch, 1);
-        assert_eq!(net.epoch(), 1);
+        assert_eq!(net.current_epoch(), 1);
 
         // The new program routes to port 1, and the old counter state
         // survived the swap.
@@ -1129,7 +873,7 @@ mod tests {
             net.aggregate_store().get(&"count".into(), &[Value::Int(1)]),
             Value::Int(4)
         );
-        assert_eq!(net.epoch(), 2);
+        assert_eq!(net.current_epoch(), 2);
     }
 
     #[test]
@@ -1221,7 +965,7 @@ mod tests {
             assert_eq!(delivered, WORKERS * BATCHES * BATCH);
         });
 
-        assert_eq!(net.epoch(), SWAPS);
+        assert_eq!(net.current_epoch(), SWAPS);
         // Exactly one increment per injected packet survived the swaps.
         assert_eq!(
             net.aggregate_store().get(&"count".into(), &[Value::Int(1)]),

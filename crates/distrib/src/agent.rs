@@ -1,0 +1,385 @@
+//! The per-switch update agent: a genuinely separate party that caches the
+//! controller's distribution pool, stages updates, and flips epochs.
+//!
+//! A [`SwitchAgent`] owns
+//!
+//! * a **mirror pool** — a node-for-node copy of the controller's
+//!   append-only distribution pool, advanced by `snap_xfdd::wire` suffix
+//!   deltas. Every agent's mirror holds the same node table, so the dense
+//!   flat ids every agent derives from it agree — which is what lets the
+//!   §4.5 packet tag minted on one switch resume on another;
+//! * a small ring of **epoch views** — per-epoch immutable bundles of
+//!   flattened program, owned variables, external ports and global
+//!   placement. Traffic is stamped with its ingress epoch and every hop
+//!   resolves the view for *that* epoch, so a packet never mixes two
+//!   configurations even while the distributed commit is mid-flip;
+//! * its **state shard** and bounded per-port **egress queues**
+//!   ([`snap_dataplane::EgressQueues`]).
+//!
+//! The two-phase protocol does all expensive work in *prepare* (delta
+//! decode, re-intern, flatten — off the packet path's critical flip) and
+//! makes *commit* a pointer swap plus the release of migrated tables. A
+//! packet can carry an epoch the local agent has prepared but not yet
+//! committed — that is exactly the commit wave passing through the network
+//! — and the view lookup serves the staged view in that case: sound,
+//! because the controller only starts committing after *every* agent
+//! prepared, so a packet stamped with the new epoch proves global
+//! readiness.
+
+use crate::transport::{AgentEndpoint, FromAgent, PrepareMsg, SwitchMeta, ToAgent};
+use parking_lot::Mutex;
+use snap_dataplane::EgressQueues;
+use snap_lang::{StateVar, Store};
+use snap_topology::{NodeId as SwitchId, PortId};
+use snap_xfdd::{apply_delta, decode_delta_fresh, FlatProgram, Pool};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How many committed epochs an agent keeps resolvable for in-flight
+/// packets. Packets live for a handful of hops; anything older than this
+/// many commits is a stray.
+pub const EPOCH_HISTORY: usize = 8;
+
+/// One epoch's immutable configuration, as a switch executes it.
+pub struct EpochView {
+    /// The configuration epoch this view belongs to.
+    pub epoch: u64,
+    /// The program, flattened from the agent's mirror. Identical (same
+    /// dense ids) on every agent of the same epoch.
+    pub flat: Arc<FlatProgram>,
+    /// State variables this switch owns under this epoch.
+    pub local_vars: BTreeSet<StateVar>,
+    /// External ports attached to this switch.
+    pub ports: BTreeSet<PortId>,
+    /// Global variable→owner placement, for forwarding towards state.
+    pub placement: Arc<BTreeMap<StateVar, SwitchId>>,
+}
+
+/// A staged (prepared, uncommitted) update.
+struct Pending {
+    view: Arc<EpochView>,
+}
+
+struct AgentCore {
+    /// The running configuration.
+    current: Option<Arc<EpochView>>,
+    /// Recently committed epochs, for in-flight packets (pruned to
+    /// [`EPOCH_HISTORY`]).
+    views: BTreeMap<u64, Arc<EpochView>>,
+    /// The staged update, if any.
+    pending: Option<Pending>,
+    /// Last shipped metadata/placement, carried forward when a prepare
+    /// says "unchanged".
+    meta: SwitchMeta,
+    placement: Arc<BTreeMap<StateVar, SwitchId>>,
+}
+
+/// Monotone counters describing what an agent has done.
+#[derive(Default)]
+pub struct AgentStats {
+    /// Updates staged successfully.
+    pub prepares: AtomicU64,
+    /// Updates whose staging failed (mirror divergence, bad payload).
+    pub prepare_failures: AtomicU64,
+    /// Updates committed.
+    pub commits: AtomicU64,
+    /// Updates aborted after staging.
+    pub aborts: AtomicU64,
+    /// Full-table resyncs applied.
+    pub resyncs: AtomicU64,
+    /// Total delta payload bytes applied.
+    pub delta_bytes: AtomicU64,
+    /// Total nodes appended to the mirror by deltas.
+    pub nodes_appended: AtomicU64,
+    /// Migrated tables adopted.
+    pub tables_installed: AtomicU64,
+}
+
+/// A per-switch update agent (see the module docs).
+pub struct SwitchAgent {
+    switch: SwitchId,
+    name: String,
+    /// The cached distribution pool; `None` before the first resync or
+    /// after a failed delta left it untrusted. Separate from `core` so the
+    /// expensive prepare work (delta decode, re-intern, flatten) never
+    /// blocks the packet path, which only locks `core` to resolve views.
+    mirror: Mutex<Option<Pool>>,
+    core: Mutex<AgentCore>,
+    store: Mutex<Store>,
+    egress: EgressQueues,
+    stats: AgentStats,
+}
+
+impl SwitchAgent {
+    /// An agent for one switch, with egress queues over its external ports
+    /// bounded at `queue_capacity`.
+    pub fn new(
+        switch: SwitchId,
+        name: impl Into<String>,
+        ports: impl IntoIterator<Item = PortId>,
+        queue_capacity: usize,
+    ) -> SwitchAgent {
+        SwitchAgent {
+            switch,
+            name: name.into(),
+            mirror: Mutex::new(None),
+            core: Mutex::new(AgentCore {
+                current: None,
+                views: BTreeMap::new(),
+                pending: None,
+                meta: SwitchMeta {
+                    local_vars: BTreeSet::new(),
+                    ports: BTreeSet::new(),
+                },
+                placement: Arc::new(BTreeMap::new()),
+            }),
+            store: Mutex::new(Store::new()),
+            egress: EgressQueues::new(ports, queue_capacity),
+            stats: AgentStats::default(),
+        }
+    }
+
+    /// The switch this agent manages.
+    pub fn switch(&self) -> SwitchId {
+        self.switch
+    }
+
+    /// The switch's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The agent's state shard.
+    pub fn store(&self) -> &Mutex<Store> {
+        &self.store
+    }
+
+    /// The agent's per-port egress queues.
+    pub fn egress(&self) -> &EgressQueues {
+        &self.egress
+    }
+
+    /// The agent's counters.
+    pub fn stats(&self) -> &AgentStats {
+        &self.stats
+    }
+
+    /// The number of nodes in the agent's mirror pool (0 before a sync).
+    pub fn mirror_len(&self) -> usize {
+        self.mirror.lock().as_ref().map_or(0, Pool::len)
+    }
+
+    /// The running configuration, if any epoch has committed.
+    pub fn current_view(&self) -> Option<Arc<EpochView>> {
+        self.core.lock().current.clone()
+    }
+
+    /// Resolve the view for a specific epoch: a committed one from the
+    /// history ring, or the staged one mid-commit (a packet stamped with the
+    /// new epoch proves every agent prepared it; see the module docs).
+    pub fn view_for(&self, epoch: u64) -> Option<Arc<EpochView>> {
+        let core = self.core.lock();
+        if let Some(view) = core.views.get(&epoch) {
+            return Some(Arc::clone(view));
+        }
+        core.pending
+            .as_ref()
+            .filter(|p| p.view.epoch == epoch)
+            .map(|p| Arc::clone(&p.view))
+    }
+
+    /// Handle one controller message, producing any replies. Exposed so
+    /// tests can drive an agent synchronously; [`SwitchAgent::run`] is the
+    /// threaded loop around it.
+    pub fn handle(&self, msg: ToAgent) -> Vec<FromAgent> {
+        match msg {
+            ToAgent::Prepare(prep) => vec![self.prepare(*prep)],
+            ToAgent::Commit { epoch } => self.commit(epoch).into_iter().collect(),
+            ToAgent::Abort { epoch } => {
+                let mut core = self.core.lock();
+                if core.pending.as_ref().is_some_and(|p| p.view.epoch == epoch) {
+                    core.pending = None;
+                    self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+                }
+                Vec::new()
+            }
+            ToAgent::InstallTable { epoch, var, table } => {
+                {
+                    let mut store = self.store.lock();
+                    match store.remove_table(&var) {
+                        None => store.insert_table(var.clone(), table),
+                        Some(fresh) => {
+                            // New-epoch packets may already have written
+                            // this variable here before the migrated table
+                            // arrived; those entries are newer and win,
+                            // the migrated history fills in the rest.
+                            // (Read-modify-write entries touched in the
+                            // window still lose the migrated base — see the
+                            // migration caveat in the controller docs.)
+                            let mut merged = table;
+                            for (index, value) in fresh.iter() {
+                                merged.set(index.clone(), value.clone());
+                            }
+                            store.insert_table(var.clone(), merged);
+                        }
+                    }
+                }
+                self.stats.tables_installed.fetch_add(1, Ordering::Relaxed);
+                vec![FromAgent::Installed {
+                    switch: self.switch,
+                    epoch,
+                    var,
+                }]
+            }
+            ToAgent::Shutdown => Vec::new(),
+        }
+    }
+
+    /// The agent's message loop: receive, handle, reply, until `Shutdown`
+    /// or a dead transport.
+    pub fn run(self: Arc<Self>, endpoint: impl AgentEndpoint) {
+        loop {
+            let msg = match endpoint.recv() {
+                Ok(msg) => msg,
+                Err(_) => return,
+            };
+            let shutdown = matches!(msg, ToAgent::Shutdown);
+            for reply in self.handle(msg) {
+                if endpoint.send(reply).is_err() {
+                    return;
+                }
+            }
+            if shutdown {
+                return;
+            }
+        }
+    }
+
+    fn prepare(&self, prep: PrepareMsg) -> FromAgent {
+        let fail = |stats: &AgentStats, reason: String| {
+            stats.prepare_failures.fetch_add(1, Ordering::Relaxed);
+            FromAgent::PrepareFailed {
+                switch: self.switch,
+                epoch: prep.epoch,
+                reason,
+            }
+        };
+
+        // All the expensive staging work — delta decode, re-interning,
+        // flattening — happens under the *mirror* lock only; the packet
+        // path resolves views through `core` and is never blocked by it.
+        let mut guard = self.mirror.lock();
+        let before = if prep.resync {
+            0
+        } else {
+            guard.as_ref().map_or(0, Pool::len)
+        };
+        let root = if prep.resync {
+            match decode_delta_fresh(&prep.delta) {
+                Ok((pool, root)) => {
+                    *guard = Some(pool);
+                    self.stats.resyncs.fetch_add(1, Ordering::Relaxed);
+                    root
+                }
+                Err(e) => return fail(&self.stats, format!("resync rejected: {e}")),
+            }
+        } else {
+            let Some(mirror) = guard.as_mut() else {
+                return fail(&self.stats, "no mirror: agent was never synced".into());
+            };
+            match apply_delta(&prep.delta, mirror) {
+                Ok(root) => root,
+                Err(e) => {
+                    // A failed apply may have left partial suffix nodes
+                    // behind; drop the mirror so the controller resyncs.
+                    *guard = None;
+                    return fail(&self.stats, format!("delta rejected: {e}"));
+                }
+            }
+        };
+        let mirror = guard.as_ref().expect("mirror just (re)built");
+        let new_nodes = (mirror.len() - before) as u64;
+
+        // Flatten here, in prepare: commit must be a pointer flip.
+        let flat = Arc::new(FlatProgram::from_pool(mirror, root));
+        drop(guard);
+
+        let mut core = self.core.lock();
+        let meta = prep.meta.unwrap_or_else(|| core.meta.clone());
+        let placement = match prep.placement {
+            Some(p) => Arc::new(p),
+            None => Arc::clone(&core.placement),
+        };
+        let view = Arc::new(EpochView {
+            epoch: prep.epoch,
+            flat,
+            local_vars: meta.local_vars.clone(),
+            ports: meta.ports.clone(),
+            placement,
+        });
+        core.pending = Some(Pending { view });
+        self.stats.prepares.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .delta_bytes
+            .fetch_add(prep.delta.len() as u64, Ordering::Relaxed);
+        self.stats
+            .nodes_appended
+            .fetch_add(new_nodes, Ordering::Relaxed);
+        FromAgent::Prepared {
+            switch: self.switch,
+            epoch: prep.epoch,
+            new_nodes,
+        }
+    }
+
+    fn commit(&self, epoch: u64) -> Option<FromAgent> {
+        let mut core = self.core.lock();
+        let pending = core.pending.take()?;
+        if pending.view.epoch != epoch {
+            // A stray commit for some other epoch: put the staged update
+            // back and ignore.
+            core.pending = Some(pending);
+            return None;
+        }
+        let view = pending.view;
+        core.meta = SwitchMeta {
+            local_vars: view.local_vars.clone(),
+            ports: view.ports.clone(),
+        };
+        core.placement = Arc::clone(&view.placement);
+        core.views.insert(epoch, Arc::clone(&view));
+        while core.views.len() > EPOCH_HISTORY {
+            let oldest = *core.views.keys().next().expect("non-empty");
+            core.views.remove(&oldest);
+        }
+        core.current = Some(Arc::clone(&view));
+        drop(core);
+
+        // Yield the tables of variables this switch no longer owns — the
+        // "state moves with its owner" half of the consistent update. The
+        // store, not a controller-computed release list, is authoritative:
+        // this also evicts tables stranded by an earlier failed update, so
+        // stale state can never silently resurface on a later re-placement.
+        let mut yields = Vec::new();
+        {
+            let mut store = self.store.lock();
+            let to_yield: Vec<StateVar> = store
+                .variables()
+                .filter(|v| !view.local_vars.contains(*v))
+                .cloned()
+                .collect();
+            for var in to_yield {
+                if let Some(table) = store.remove_table(&var) {
+                    yields.push((var, table));
+                }
+            }
+        }
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        Some(FromAgent::Committed {
+            switch: self.switch,
+            epoch,
+            yields,
+        })
+    }
+}

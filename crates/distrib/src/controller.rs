@@ -1,0 +1,639 @@
+//! The distribution controller: turns each recompile into per-switch wire
+//! deltas and drives the two-phase epoch commit across the agents.
+//!
+//! The controller owns a [`CompilerSession`] and an **append-only
+//! distribution pool**. After every recompile it imports the freshly
+//! compiled diagram into that pool — hash-consing makes the import dedupe
+//! against everything ever shipped, so the pool grows by exactly the
+//! *structurally new* nodes of the update — and ships each agent the
+//! node-table suffix past what that agent already mirrors
+//! ([`snap_xfdd::encode_delta`]), plus only the per-switch metadata entries
+//! that changed ([`snap_session::SwitchChanges`]). A working-set edit
+//! therefore costs a few nodes on the wire; a rollback costs a zero-node
+//! delta carrying just the old root.
+//!
+//! **Commit invariant.** An update is distributed in two phases: `Prepare`
+//! to every agent (stage mirror + flattened view; running config untouched),
+//! then — only after *every* agent acknowledged — `Commit` to every agent
+//! (pointer flip + yield of migrated state tables). Packets are stamped with
+//! their ingress epoch and resolve that epoch's view at every hop, and a
+//! packet can only be stamped with the new epoch after some agent committed
+//! it, which the controller only orders once all agents hold the staged
+//! view. Hence no packet ever mixes two epochs, even though the flip
+//! reaches agents one message at a time — the same invariant
+//! `Network::swap_configs` gets from its single atomic pointer swap, now
+//! preserved across a distributed commit. If any prepare fails, the whole
+//! epoch is aborted and no agent flips.
+//!
+//! State migration keeps the eager-migration caveats of `swap_configs`, in
+//! both directions: tables move at commit, so (a) a packet of the *old*
+//! epoch that reaches the old owner after its table was yielded writes into
+//! a fresh table and is orphaned, and (b) a packet of the *new* epoch that
+//! reaches the new owner before its `InstallTable` arrives starts a fresh
+//! entry — the install merges around such entries (newer writes win) rather
+//! than replacing them, but a read-modify-write in that window still misses
+//! the migrated base value. Placement-stable updates (the session reuses
+//! placement whenever mapping and dependencies are unchanged) have no such
+//! window.
+
+use crate::transport::{
+    ControllerEndpoint, FromAgent, PrepareMsg, SwitchMeta, ToAgent, TransportError,
+};
+use snap_core::Compiled;
+use snap_lang::{Policy, StateTable, StateVar};
+use snap_session::{CompilerSession, SessionUpdate};
+use snap_topology::{NodeId as SwitchId, TrafficMatrix};
+use snap_xfdd::{encode_delta, encode_diagram, CompileError, Pool};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the distribution plane.
+#[derive(Debug)]
+pub enum DistribError {
+    /// The session rejected the policy.
+    Compile(CompileError),
+    /// A transport operation against an agent failed.
+    Transport {
+        /// The agent's switch name.
+        switch: String,
+        /// The underlying failure.
+        error: TransportError,
+    },
+    /// An agent refused to stage the update; the epoch was aborted
+    /// everywhere and no configuration changed.
+    PrepareRejected {
+        /// The rejecting switch name.
+        switch: String,
+        /// The agent's reason.
+        reason: String,
+    },
+    /// An agent replied out of protocol.
+    Protocol {
+        /// The offending switch name.
+        switch: String,
+        /// What was received.
+        unexpected: String,
+    },
+}
+
+impl fmt::Display for DistribError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistribError::Compile(e) => write!(f, "compilation failed: {e:?}"),
+            DistribError::Transport { switch, error } => {
+                write!(f, "transport to {switch} failed: {error}")
+            }
+            DistribError::PrepareRejected { switch, reason } => {
+                write!(f, "{switch} rejected prepare: {reason}")
+            }
+            DistribError::Protocol { switch, unexpected } => {
+                write!(f, "{switch} broke protocol: {unexpected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistribError {}
+
+impl From<CompileError> for DistribError {
+    fn from(e: CompileError) -> Self {
+        DistribError::Compile(e)
+    }
+}
+
+/// What one distributed commit did — the numbers behind the delta-shipping
+/// story.
+#[derive(Clone, Debug)]
+pub struct CommitReport {
+    /// The committed distribution epoch.
+    pub epoch: u64,
+    /// The session epoch the update came from.
+    pub session_epoch: u64,
+    /// Structurally new nodes this update added to the distribution pool.
+    pub new_nodes: usize,
+    /// Bytes of the suffix delta shipped to each in-sync agent. When
+    /// `resyncs > 0`, those agents received `resync_bytes` instead — this
+    /// field alone understates the shipped total on resync updates.
+    pub delta_bytes: usize,
+    /// Bytes a full-program payload of the same compilation would cost
+    /// (`encode_diagram` of the frozen program) — the delta's baseline.
+    pub full_bytes: usize,
+    /// Agents that needed a full-table resync instead of the suffix.
+    pub resyncs: usize,
+    /// Bytes of the full-table resync payload each resyncing agent
+    /// received (0 when no agent resynced).
+    pub resync_bytes: usize,
+    /// Switches whose metadata (owned variables / ports) was re-shipped.
+    pub meta_shipped: usize,
+    /// State tables migrated between owners at commit.
+    pub migrated_tables: usize,
+    /// Wall-clock spent in the prepare phase (all agents staged).
+    pub prepare_time: Duration,
+    /// Wall-clock spent in the commit phase (all agents flipped, tables
+    /// migrated).
+    pub commit_time: Duration,
+}
+
+impl CommitReport {
+    /// Delta payload size as a fraction of the full-program payload.
+    pub fn delta_ratio(&self) -> f64 {
+        self.delta_bytes as f64 / self.full_bytes.max(1) as f64
+    }
+}
+
+struct AgentLink {
+    switch: SwitchId,
+    name: String,
+    endpoint: Box<dyn ControllerEndpoint>,
+    /// Mirror length after the agent's last successful prepare; valid only
+    /// when `needs_resync` is false.
+    synced_len: usize,
+    needs_resync: bool,
+    /// Metadata last committed to this agent.
+    meta: Option<SwitchMeta>,
+}
+
+/// The distribution controller (see the module docs).
+pub struct Controller {
+    session: CompilerSession,
+    /// The append-only distribution pool every agent mirrors.
+    dist: Pool,
+    /// Length of a fresh pool under the current variable order (the resync
+    /// base).
+    fresh_len: usize,
+    epoch: u64,
+    agents: BTreeMap<SwitchId, AgentLink>,
+    /// Set when a distribute failed: the session's change tracking can no
+    /// longer be trusted as a baseline (it records every *taken* update,
+    /// shipped or not), so the next update re-ships metadata and placement
+    /// to everyone.
+    dirty: bool,
+    /// Cached full-program payload size of the last distributed
+    /// compilation, so the baseline statistic does not re-encode the whole
+    /// diagram on every working-set flip.
+    full_cache: Option<(Arc<Compiled>, usize)>,
+    timeout: Duration,
+    history: Vec<CommitReport>,
+}
+
+impl Controller {
+    /// A controller around a compiler session, with no agents attached yet.
+    pub fn new(session: CompilerSession) -> Controller {
+        let dist = Pool::new(snap_xfdd::VarOrder::empty());
+        let fresh_len = dist.len();
+        Controller {
+            session,
+            dist,
+            fresh_len,
+            epoch: 0,
+            agents: BTreeMap::new(),
+            dirty: false,
+            full_cache: None,
+            timeout: Duration::from_secs(5),
+            history: Vec::new(),
+        }
+    }
+
+    /// Set the per-reply transport timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Controller {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Attach an agent for a switch. The first update it receives is a full
+    /// resync.
+    pub fn attach(&mut self, switch: SwitchId, endpoint: Box<dyn ControllerEndpoint>) {
+        let name = self.session.topology().node_name(switch).to_string();
+        self.agents.insert(
+            switch,
+            AgentLink {
+                switch,
+                name,
+                endpoint,
+                synced_len: 0,
+                needs_resync: true,
+                meta: None,
+            },
+        );
+    }
+
+    /// The wrapped compiler session.
+    pub fn session(&self) -> &CompilerSession {
+        &self.session
+    }
+
+    /// The current distribution epoch (0 = nothing committed yet).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of attached agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Nodes accumulated in the append-only distribution pool.
+    pub fn dist_pool_len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Reports of every committed update, oldest first.
+    pub fn history(&self) -> &[CommitReport] {
+        &self.history
+    }
+
+    /// Compile a policy update and distribute it to every agent as a
+    /// two-phase delta commit. Returns the commit report, or an error if
+    /// compilation, staging or transport failed (on staging failure the
+    /// epoch was aborted everywhere and the previous configuration keeps
+    /// running).
+    pub fn update_policy(&mut self, policy: &Policy) -> Result<CommitReport, DistribError> {
+        self.session.update_policy(policy)?;
+        let update = self
+            .session
+            .take_update()
+            .expect("successful compile yields an update");
+        self.distribute(update)
+    }
+
+    /// React to a traffic-matrix change and distribute the re-routed
+    /// result. `Ok(None)` when nothing has been compiled yet.
+    pub fn update_traffic(
+        &mut self,
+        traffic: TrafficMatrix,
+    ) -> Result<Option<CommitReport>, DistribError> {
+        if self.session.update_traffic(traffic).is_none() {
+            return Ok(None);
+        }
+        let update = self
+            .session
+            .take_update()
+            .expect("reroute yields an update");
+        self.distribute(update).map(Some)
+    }
+
+    /// Tell every agent to stop its message loop.
+    pub fn shutdown(&mut self) {
+        for link in self.agents.values() {
+            let _ = link.endpoint.send(ToAgent::Shutdown);
+        }
+    }
+
+    /// Distribute one session update (see [`Self::update_policy`]).
+    pub fn distribute(&mut self, update: SessionUpdate) -> Result<CommitReport, DistribError> {
+        let xfdd = &update.compiled.xfdd;
+
+        // A changed state-variable order invalidates every mirror: the
+        // interned diagrams were composed under the old test order. Reset
+        // the distribution pool and resync everyone.
+        if xfdd.pool().order() != self.dist.order() {
+            self.dist = Pool::new(xfdd.pool().order().clone());
+            self.fresh_len = self.dist.len();
+            for link in self.agents.values_mut() {
+                link.needs_resync = true;
+            }
+        }
+
+        // Import dedupes against everything ever shipped: the suffix past
+        // `base` is exactly the structurally new part of this update.
+        let base = self.dist.len();
+        let root = self.dist.import(xfdd.pool(), xfdd.root());
+        let new_nodes = self.dist.len() - base;
+        // The epoch number is burned up front, success or failure: once any
+        // Prepare (let alone Commit) may have reached an agent, replies and
+        // staged views for this number can exist out there, and reusing it
+        // for a different configuration would let a stale reply be taken
+        // for a fresh one (or, after a partial commit, break the
+        // one-epoch-per-packet invariant outright). Stale replies from a
+        // failed update always carry a smaller epoch than any later one and
+        // are discarded by `recv_reply`.
+        let epoch = self.epoch + 1;
+        self.epoch = epoch;
+
+        // One payload per distinct mirror state: in-sync agents share the
+        // suffix delta, diverged/fresh agents get the full table.
+        let delta = encode_delta(&self.dist, base, root);
+        let mut resync_payload: Option<Vec<u8>> = None;
+        // The full-payload baseline for the report, cached per compiled
+        // program so a working-set flip does not pay a full encode just to
+        // fill in a statistic.
+        let full_bytes = match &self.full_cache {
+            Some((compiled, len)) if Arc::ptr_eq(compiled, &update.compiled) => *len,
+            _ => {
+                let len = encode_diagram(xfdd.pool(), xfdd.root()).len();
+                self.full_cache = Some((Arc::clone(&update.compiled), len));
+                len
+            }
+        };
+
+        // One source of truth for per-switch metadata: the map the session
+        // already derived for its change tracking.
+        let meta_by_switch: BTreeMap<SwitchId, SwitchMeta> = update
+            .switch_meta
+            .iter()
+            .map(|(&node, (local_vars, ports))| {
+                (
+                    node,
+                    SwitchMeta {
+                        local_vars: local_vars.clone(),
+                        ports: ports.clone(),
+                    },
+                )
+            })
+            .collect();
+        let placement: BTreeMap<StateVar, SwitchId> = update.compiled.placement.placement.clone();
+        // The session's per-switch change tracking decides what to re-ship
+        // in steady state; after any failed distribute its baseline is off
+        // by the unshipped update, so everything goes out again once.
+        let ship_all = self.dirty || update.changes.first;
+        let placement_changed = ship_all || update.changes.placement_changed;
+
+        // -- Phase one: prepare everywhere. --------------------------------
+        let t_prepare = Instant::now();
+        let mut resyncs = 0usize;
+        let mut meta_shipped = 0usize;
+        let empty_meta = SwitchMeta {
+            local_vars: BTreeSet::new(),
+            ports: BTreeSet::new(),
+        };
+        let mut send_failure: Option<DistribError> = None;
+        for link in self.agents.values_mut() {
+            let resync = link.needs_resync || link.synced_len != base;
+            let payload = if resync {
+                resyncs += 1;
+                resync_payload
+                    .get_or_insert_with(|| encode_delta(&self.dist, self.fresh_len, root))
+                    .clone()
+            } else {
+                delta.clone()
+            };
+            let new_meta = meta_by_switch.get(&link.switch).unwrap_or(&empty_meta);
+            let meta = if resync
+                || ship_all
+                || link.meta.is_none()
+                || update.changes.meta_changed.contains(&link.switch)
+            {
+                meta_shipped += 1;
+                Some(new_meta.clone())
+            } else {
+                None
+            };
+            let msg = PrepareMsg {
+                epoch,
+                resync,
+                delta: payload,
+                meta,
+                placement: (resync || placement_changed).then(|| placement.clone()),
+            };
+            if let Err(error) = link.endpoint.send(ToAgent::Prepare(Box::new(msg))) {
+                // The agent's state is unknown (its transport just died
+                // mid-protocol): mark it for resync and fail the update.
+                link.needs_resync = true;
+                send_failure = Some(DistribError::Transport {
+                    switch: link.name.clone(),
+                    error,
+                });
+                break;
+            }
+        }
+        if let Some(err) = send_failure {
+            // Abort the (burned) epoch everywhere and bail without
+            // collecting replies — any already-queued Prepared acks carry
+            // this epoch and will be discarded by the next update's recv
+            // loop as stale.
+            for link in self.agents.values() {
+                let _ = link.endpoint.send(ToAgent::Abort { epoch });
+            }
+            self.dirty = true;
+            return Err(err);
+        }
+
+        // Collect one Prepared/PrepareFailed per agent before touching any
+        // running configuration.
+        let mut failure: Option<DistribError> = None;
+        for link in self.agents.values_mut() {
+            match recv_reply(link, self.timeout, epoch) {
+                Ok(FromAgent::Prepared { epoch: e, .. }) if e == epoch => {
+                    link.synced_len = self.dist.len();
+                    link.needs_resync = false;
+                }
+                Ok(FromAgent::PrepareFailed { reason, .. }) => {
+                    link.needs_resync = true;
+                    failure.get_or_insert(DistribError::PrepareRejected {
+                        switch: link.name.clone(),
+                        reason,
+                    });
+                }
+                Ok(other) => {
+                    link.needs_resync = true;
+                    failure.get_or_insert(DistribError::Protocol {
+                        switch: link.name.clone(),
+                        unexpected: format!("{other:?}"),
+                    });
+                }
+                Err(error) => {
+                    link.needs_resync = true;
+                    failure.get_or_insert(DistribError::Transport {
+                        switch: link.name.clone(),
+                        error,
+                    });
+                }
+            }
+        }
+        if let Some(err) = failure {
+            // Abort everywhere: nobody flips, the previous epoch keeps
+            // running on every switch (the burned epoch number is simply
+            // skipped), and the session's change baseline now includes an
+            // update that never shipped — hence `dirty`.
+            for link in self.agents.values() {
+                let _ = link.endpoint.send(ToAgent::Abort { epoch });
+            }
+            self.dirty = true;
+            return Err(err);
+        }
+        let prepare_time = t_prepare.elapsed();
+
+        // -- Phase two: flip everywhere, then migrate yielded state. -------
+        // If this phase fails partway, some agent already holds a committed
+        // view for `epoch` (which is why the number was burned up front);
+        // recovery is conservative: resync everyone and re-ship all
+        // metadata on the next update.
+        let t_commit = Instant::now();
+        let migrated_tables = match commit_phase(&mut self.agents, epoch, self.timeout, &placement)
+        {
+            Ok(migrated) => migrated,
+            Err(err) => {
+                self.dirty = true;
+                for link in self.agents.values_mut() {
+                    link.needs_resync = true;
+                    link.meta = None;
+                }
+                return Err(err);
+            }
+        };
+        let commit_time = t_commit.elapsed();
+
+        // Bookkeeping: the epoch is committed everywhere.
+        self.dirty = false;
+        for link in self.agents.values_mut() {
+            let meta = meta_by_switch
+                .get(&link.switch)
+                .cloned()
+                .unwrap_or_else(|| empty_meta.clone());
+            link.meta = Some(meta);
+        }
+        let report = CommitReport {
+            epoch,
+            session_epoch: update.session_epoch,
+            new_nodes,
+            delta_bytes: delta.len(),
+            full_bytes,
+            resyncs,
+            resync_bytes: resync_payload.as_ref().map_or(0, Vec::len),
+            meta_shipped,
+            migrated_tables,
+            prepare_time,
+            commit_time,
+        };
+        self.history.push(report.clone());
+        Ok(report)
+    }
+
+    /// Reset the distribution pool to only the currently shipped program and
+    /// force a full resync of every agent on the next update — the GC valve
+    /// for very long-lived controllers whose append-only pool has
+    /// accumulated many superseded generations.
+    pub fn compact_distribution(&mut self) -> usize {
+        let Some(compiled) = self.session.current_shared() else {
+            return 0;
+        };
+        let before = self.dist.len();
+        let mut fresh = Pool::new(self.dist.order().clone());
+        fresh.import(compiled.xfdd.pool(), compiled.xfdd.root());
+        self.dist = fresh;
+        self.fresh_len = Pool::new(self.dist.order().clone()).len();
+        for link in self.agents.values_mut() {
+            link.needs_resync = true;
+        }
+        before.saturating_sub(self.dist.len())
+    }
+}
+
+/// Receive the next reply for `epoch` on one agent link, discarding stale
+/// replies left queued by an update that failed mid-flight (e.g. `Committed`
+/// acknowledgements of a burned epoch that were never collected).
+fn recv_reply(
+    link: &mut AgentLink,
+    timeout: Duration,
+    epoch: u64,
+) -> Result<FromAgent, TransportError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let msg = link.endpoint.recv_timeout(remaining)?;
+        let msg_epoch = match &msg {
+            FromAgent::Prepared { epoch, .. }
+            | FromAgent::PrepareFailed { epoch, .. }
+            | FromAgent::Committed { epoch, .. }
+            | FromAgent::Installed { epoch, .. } => *epoch,
+        };
+        if msg_epoch < epoch {
+            continue;
+        }
+        return Ok(msg);
+    }
+}
+
+/// Phase two of one update: order the flip on every agent, collect the
+/// commit acknowledgements, and relay yielded state tables to their new
+/// owners. Returns the number of migrated tables.
+///
+/// Failures are collected, not short-circuited: agents that committed have
+/// already *removed* their yielded tables, so every yield the controller
+/// managed to receive is still delivered to its new owner before the first
+/// error is reported — losing an acknowledgement must not also lose state.
+/// (A table inside a reply that never arrived is unrecoverable here; the
+/// agents' store-authoritative yield on the next commit re-homes anything
+/// stranded on a switch, but counts carried by a lost reply are gone.)
+fn commit_phase(
+    agents: &mut BTreeMap<SwitchId, AgentLink>,
+    epoch: u64,
+    timeout: Duration,
+    placement: &BTreeMap<StateVar, SwitchId>,
+) -> Result<usize, DistribError> {
+    let mut failure: Option<DistribError> = None;
+    for link in agents.values() {
+        if let Err(error) = link.endpoint.send(ToAgent::Commit { epoch }) {
+            failure.get_or_insert(DistribError::Transport {
+                switch: link.name.clone(),
+                error,
+            });
+        }
+    }
+    let mut yields: Vec<(StateVar, StateTable)> = Vec::new();
+    for link in agents.values_mut() {
+        match recv_reply(link, timeout, epoch) {
+            Ok(FromAgent::Committed {
+                epoch: e,
+                yields: y,
+                ..
+            }) if e == epoch => yields.extend(y),
+            Ok(other) => {
+                failure.get_or_insert(DistribError::Protocol {
+                    switch: link.name.clone(),
+                    unexpected: format!("{other:?}"),
+                });
+            }
+            Err(error) => {
+                failure.get_or_insert(DistribError::Transport {
+                    switch: link.name.clone(),
+                    error,
+                });
+            }
+        }
+    }
+    let migrated_tables = yields.len();
+    for (var, table) in yields {
+        // A yielded table moves to the variable's new owner; a variable
+        // the new program no longer places is dropped (deterministic
+        // fresh start on re-placement, matching `Network::swap_configs`).
+        let Some(owner) = placement.get(&var) else {
+            continue;
+        };
+        let Some(link) = agents.get_mut(owner) else {
+            continue;
+        };
+        if let Err(error) = link.endpoint.send(ToAgent::InstallTable {
+            epoch,
+            var: var.clone(),
+            table,
+        }) {
+            failure.get_or_insert(DistribError::Transport {
+                switch: link.name.clone(),
+                error,
+            });
+            continue;
+        }
+        match recv_reply(link, timeout, epoch) {
+            Ok(FromAgent::Installed { .. }) => {}
+            Ok(other) => {
+                failure.get_or_insert(DistribError::Protocol {
+                    switch: link.name.clone(),
+                    unexpected: format!("{other:?}"),
+                });
+            }
+            Err(error) => {
+                failure.get_or_insert(DistribError::Transport {
+                    switch: link.name.clone(),
+                    error,
+                });
+            }
+        }
+    }
+    match failure {
+        Some(err) => Err(err),
+        None => Ok(migrated_tables),
+    }
+}

@@ -1,0 +1,133 @@
+//! # snap-distrib
+//!
+//! The controller→switch **distribution plane**: what turns the in-process
+//! "publish a config by swapping a pointer" story into an actual protocol
+//! between a controller and per-switch agents, with the paper's consistency
+//! guarantees preserved across the wire.
+//!
+//! * [`Controller`] wraps a [`snap_session::CompilerSession`] and an
+//!   append-only distribution pool. Every recompile is imported into that
+//!   pool (hash-consing dedupes against everything ever shipped) and
+//!   distributed as a **wire-format delta**: the node-table suffix the
+//!   agents don't have yet, plus the new root and only the per-switch
+//!   metadata entries that changed. Working-set edits ship a few nodes;
+//!   rollbacks ship zero.
+//! * [`SwitchAgent`] is the switch side: it mirrors the distribution pool
+//!   node-for-node (so dense flat ids — the §4.5 packet tags — agree across
+//!   all switches), stages updates on *prepare* and flips on *commit*,
+//!   keeping a short ring of epoch views for in-flight packets. State
+//!   tables move with their owner through yield/install messages.
+//! * The **two-phase epoch protocol** preserves the invariant that no
+//!   packet mixes two configurations: commit is only ordered after every
+//!   agent staged the epoch, and packets resolve their ingress-stamped
+//!   epoch at every hop (see `controller` module docs for the argument).
+//! * [`DistNetwork`] drives traffic through the agents with per-port
+//!   bounded FIFO egress queues and backpressure counters
+//!   ([`snap_dataplane::EgressQueues`]) instead of flat result vectors.
+//! * The transport is a trait seam ([`transport::ControllerEndpoint`] /
+//!   [`transport::AgentEndpoint`]); the in-process backend is a pair of
+//!   mpsc channels, and a socket backend can slot in without touching
+//!   controller or agent logic.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use snap_core::SolverChoice;
+//! use snap_distrib::deploy_in_process;
+//! use snap_lang::prelude::*;
+//! use snap_session::CompilerSession;
+//! use snap_topology::{generators, PortId, TrafficMatrix};
+//!
+//! let topo = generators::campus();
+//! let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+//! let session = CompilerSession::new(topo, tm).with_solver(SolverChoice::Heuristic);
+//! let mut deployment = deploy_in_process(session, 1024);
+//!
+//! // Compile + two-phase delta commit to every agent.
+//! let policy = state_incr("count", vec![field(Field::InPort)])
+//!     .seq(modify(Field::OutPort, Value::Int(6)));
+//! let report = deployment.controller.update_policy(&policy).unwrap();
+//! assert_eq!(report.epoch, 1);
+//!
+//! // Traffic flows through the agents; egress lands in per-port queues.
+//! let pkt = Packet::new().with(Field::InPort, 1);
+//! let out = deployment.network.inject(PortId(1), &pkt).unwrap();
+//! assert_eq!(out.epoch, 1);
+//! assert_eq!(deployment.network.drain_port(PortId(6)).len(), 1);
+//! deployment.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod controller;
+pub mod plane;
+pub mod transport;
+
+pub use agent::{AgentStats, EpochView, SwitchAgent, EPOCH_HISTORY};
+pub use controller::{CommitReport, Controller, DistribError};
+pub use plane::{DistNetwork, InjectError, InjectOutcome};
+pub use transport::{
+    channel_link, AgentEndpoint, ControllerEndpoint, FromAgent, PrepareMsg, SwitchMeta, ToAgent,
+    TransportError,
+};
+
+use snap_session::CompilerSession;
+use snap_topology::{NodeId as SwitchId, PortId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A fully wired in-process deployment: one agent thread per switch,
+/// channel transports, a traffic-facing [`DistNetwork`] over the same
+/// agents, and the [`Controller`] driving them.
+pub struct InProcessDeployment {
+    /// The controller (owns the compiler session and all agent links).
+    pub controller: Controller,
+    /// The traffic plane over the deployed agents.
+    pub network: Arc<DistNetwork>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl InProcessDeployment {
+    /// Stop every agent thread and join them.
+    pub fn shutdown(mut self) {
+        self.controller.shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Deploy one [`SwitchAgent`] per switch of the session's topology on its
+/// own thread, linked to a [`Controller`] over in-process channels.
+/// `queue_capacity` bounds each agent's per-port egress queues.
+pub fn deploy_in_process(session: CompilerSession, queue_capacity: usize) -> InProcessDeployment {
+    let topology = session.topology().clone();
+    let mut ports_per_switch: BTreeMap<SwitchId, Vec<PortId>> = BTreeMap::new();
+    for (port, node) in topology.external_ports() {
+        ports_per_switch.entry(node).or_default().push(port);
+    }
+    let mut controller = Controller::new(session);
+    let mut agents: BTreeMap<SwitchId, Arc<SwitchAgent>> = BTreeMap::new();
+    let mut handles = Vec::new();
+    for switch in topology.nodes() {
+        let agent = Arc::new(SwitchAgent::new(
+            switch,
+            topology.node_name(switch),
+            ports_per_switch.remove(&switch).unwrap_or_default(),
+            queue_capacity,
+        ));
+        let (controller_end, agent_end) = channel_link();
+        let runner = Arc::clone(&agent);
+        handles.push(std::thread::spawn(move || runner.run(agent_end)));
+        controller.attach(switch, Box::new(controller_end));
+        agents.insert(switch, agent);
+    }
+    let network = Arc::new(DistNetwork::new(topology, agents));
+    InProcessDeployment {
+        controller,
+        network,
+        handles,
+    }
+}

@@ -1,0 +1,270 @@
+//! The distributed data plane: traffic over a set of [`SwitchAgent`]s.
+//!
+//! Unlike [`snap_dataplane::Network`] — one process-wide snapshot swapped
+//! atomically — a [`DistNetwork`] has no global configuration at all: each
+//! agent holds its own epoch views, updated by the controller's two-phase
+//! commit. Consistency comes from epoch stamping: a packet is stamped with
+//! its ingress agent's current epoch and every subsequent hop resolves the
+//! view for *that* epoch, so the packet executes exactly one configuration
+//! end to end no matter how the commit wave interleaves with its flight.
+//!
+//! Egress is delivered through each agent's bounded per-port FIFO queues
+//! ([`snap_dataplane::EgressQueues`]) instead of a flat result `Vec`:
+//! deliveries carry the epoch and a per-port sequence number, full queues
+//! tail-drop and count backpressure, and consumers drain ports explicitly.
+
+use crate::agent::SwitchAgent;
+use snap_dataplane::egress::EgressEvent;
+use snap_dataplane::exec::{
+    misplaced_state_error, missing_placement_error, process_at_switch, strip_snap_header, InFlight,
+    NextHops, Progress, SimError, StepOutcome,
+};
+use snap_lang::{Packet, Store, Value};
+use snap_topology::{NodeId as SwitchId, PortId, Topology};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by distributed injection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InjectError {
+    /// Packet execution failed.
+    Sim(SimError),
+    /// A switch on the packet's path has no agent.
+    NoAgent(SwitchId),
+    /// The ingress agent has no committed configuration yet.
+    NotConfigured(SwitchId),
+    /// An agent could no longer resolve the packet's stamped epoch (it was
+    /// pruned from the history ring — the packet outlived
+    /// [`crate::agent::EPOCH_HISTORY`] commits).
+    EpochUnavailable {
+        /// The switch that could not resolve the epoch.
+        switch: SwitchId,
+        /// The stamped epoch.
+        epoch: u64,
+    },
+}
+
+impl From<SimError> for InjectError {
+    fn from(e: SimError) -> Self {
+        InjectError::Sim(e)
+    }
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::Sim(e) => write!(f, "simulation error: {e:?}"),
+            InjectError::NoAgent(s) => write!(f, "switch {s:?} has no agent"),
+            InjectError::NotConfigured(s) => write!(f, "agent {s:?} has no configuration"),
+            InjectError::EpochUnavailable { switch, epoch } => {
+                write!(f, "agent {switch:?} cannot resolve epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// What one injection did.
+#[derive(Clone, Debug)]
+pub struct InjectOutcome {
+    /// The epoch the packet was stamped with at ingress (and executed under
+    /// at every hop).
+    pub epoch: u64,
+    /// Deliveries, in emission order. Each was also enqueued on its port's
+    /// egress queue unless that queue was full.
+    pub delivered: Vec<(PortId, Packet)>,
+    /// Deliveries tail-dropped by a full egress queue (still listed in
+    /// `delivered`; the loss is an egress-queue property, not a processing
+    /// one).
+    pub backpressure_drops: usize,
+}
+
+/// A distributed network: topology, next-hop table, one agent per switch.
+pub struct DistNetwork {
+    topology: Topology,
+    next_hops: NextHops,
+    agents: BTreeMap<SwitchId, Arc<SwitchAgent>>,
+    hop_budget: usize,
+}
+
+impl DistNetwork {
+    /// A network over a set of agents.
+    pub fn new(topology: Topology, agents: BTreeMap<SwitchId, Arc<SwitchAgent>>) -> DistNetwork {
+        let next_hops = NextHops::compute(&topology);
+        DistNetwork {
+            topology,
+            next_hops,
+            agents,
+            hop_budget: snap_dataplane::network::DEFAULT_HOP_BUDGET,
+        }
+    }
+
+    /// Set the hop budget.
+    pub fn with_hop_budget(mut self, budget: usize) -> DistNetwork {
+        self.hop_budget = budget;
+        self
+    }
+
+    /// The network's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The agent for a switch.
+    pub fn agent(&self, switch: SwitchId) -> Option<&Arc<SwitchAgent>> {
+        self.agents.get(&switch)
+    }
+
+    /// All agents, in switch order.
+    pub fn agents(&self) -> impl Iterator<Item = &Arc<SwitchAgent>> {
+        self.agents.values()
+    }
+
+    /// Inject a packet at an OBS external port: stamp it with the ingress
+    /// agent's current epoch, run it hop by hop against that epoch's views,
+    /// and deliver egress into the owning agents' port queues.
+    pub fn inject(&self, port: PortId, packet: &Packet) -> Result<InjectOutcome, InjectError> {
+        let ingress = self
+            .topology
+            .port_switch(port)
+            .ok_or(InjectError::Sim(SimError::UnknownPort(port)))?;
+        let ingress_agent = self
+            .agents
+            .get(&ingress)
+            .ok_or(InjectError::NoAgent(ingress))?;
+        let view0 = ingress_agent
+            .current_view()
+            .ok_or(InjectError::NotConfigured(ingress))?;
+        let epoch = view0.epoch;
+
+        let mut outcome = InjectOutcome {
+            epoch,
+            delivered: Vec::new(),
+            backpressure_drops: 0,
+        };
+        let mut work = vec![InFlight::ingress(
+            packet.clone(),
+            port,
+            ingress,
+            view0.flat.root(),
+        )];
+
+        while let Some(mut flight) = work.pop() {
+            if flight.hops > self.hop_budget {
+                return Err(InjectError::Sim(SimError::HopBudgetExceeded));
+            }
+            let agent = self
+                .agents
+                .get(&flight.at)
+                .ok_or(InjectError::NoAgent(flight.at))?;
+            let view = agent.view_for(epoch).ok_or(InjectError::EpochUnavailable {
+                switch: flight.at,
+                epoch,
+            })?;
+            let step = process_at_switch(
+                &view.local_vars,
+                &view.flat,
+                Some(agent.store()),
+                &mut flight,
+            )?;
+            match step {
+                StepOutcome::Emit(pkt, outport) => {
+                    if view.ports.contains(&outport) {
+                        let mut clean = pkt;
+                        strip_snap_header(&mut clean);
+                        if !agent.egress().push(outport, clean.clone(), epoch) {
+                            outcome.backpressure_drops += 1;
+                        }
+                        outcome.delivered.push((outport, clean));
+                    } else {
+                        let target = self.topology.port_switch(outport).ok_or(InjectError::Sim(
+                            SimError::BadOutPort(Value::Int(outport.0 as i64)),
+                        ))?;
+                        if target == flight.at {
+                            // The port is attached here, yet this epoch's
+                            // view does not serve it — a misconfigured
+                            // agent. Forwarding "towards" it would spin in
+                            // place forever, so fail the packet instead.
+                            return Err(InjectError::Sim(SimError::BadOutPort(Value::Int(
+                                outport.0 as i64,
+                            ))));
+                        }
+                        flight.pkt = pkt;
+                        flight.progress = Progress::Done;
+                        self.next_hops.forward_towards(&mut flight, target)?;
+                        work.push(flight);
+                    }
+                }
+                StepOutcome::Dropped => {}
+                StepOutcome::NeedState(var) => {
+                    let owner = view
+                        .placement
+                        .get(&var)
+                        .copied()
+                        .ok_or_else(|| InjectError::Sim(missing_placement_error(&var)))?;
+                    if owner == flight.at {
+                        // The view's placement and local_vars disagree;
+                        // forwarding "towards" the owner would spin in
+                        // place.
+                        return Err(InjectError::Sim(misplaced_state_error(&var)));
+                    }
+                    self.next_hops.forward_towards(&mut flight, owner)?;
+                    work.push(flight);
+                }
+                StepOutcome::Fork(children) => work.extend(children),
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Drain the egress queue of a port (wherever its agent is), in FIFO
+    /// order.
+    pub fn drain_port(&self, port: PortId) -> Vec<EgressEvent> {
+        match self.topology.port_switch(port) {
+            Some(switch) => self
+                .agents
+                .get(&switch)
+                .map(|a| a.egress().drain(port))
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total backpressure drops across every agent's queues.
+    pub fn total_backpressure(&self) -> u64 {
+        self.agents
+            .values()
+            .map(|a| a.egress().total_dropped())
+            .sum()
+    }
+
+    /// Merge every agent's state tables into one OBS-level store, filtered
+    /// to the variables each agent currently owns (each variable lives on
+    /// exactly one switch, so this is a disjoint union).
+    pub fn aggregate_store(&self) -> Store {
+        let mut out = Store::new();
+        for agent in self.agents.values() {
+            let Some(view) = agent.current_view() else {
+                continue;
+            };
+            for var in &view.local_vars {
+                let table = agent.store().lock().table(var).cloned();
+                if let Some(table) = table {
+                    out.insert_table(var.clone(), table);
+                }
+            }
+        }
+        out
+    }
+
+    /// The set of current epochs across agents (a singleton whenever no
+    /// commit is mid-flight).
+    pub fn current_epochs(&self) -> std::collections::BTreeSet<u64> {
+        self.agents
+            .values()
+            .filter_map(|a| a.current_view().map(|v| v.epoch))
+            .collect()
+    }
+}

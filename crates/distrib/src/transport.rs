@@ -1,0 +1,223 @@
+//! The controller↔agent message protocol and the transport seam.
+//!
+//! The controller talks to each switch agent over a pair of endpoint traits
+//! ([`ControllerEndpoint`] on its side, [`AgentEndpoint`] on the switch
+//! side). The in-process backend ([`channel_link`]) is a pair of `mpsc`
+//! channels; a socket backend slots in by implementing the same two traits
+//! over a serialized stream — the program payloads already *are* bytes
+//! (`snap_xfdd::wire` deltas), and the remaining message fields are plain
+//! data.
+//!
+//! Message flow per update (the two-phase epoch protocol):
+//!
+//! ```text
+//! controller                                   agent
+//!     │  Prepare { epoch, delta, meta, … }  →    │  decode + re-intern + flatten
+//!     │  ←  Prepared { epoch } / PrepareFailed   │  (current epoch untouched)
+//!     │  Commit { epoch }                   →    │  flip current view, yield
+//!     │  ←  Committed { epoch, yields }          │  released state tables
+//!     │  InstallTable { var, table }        →    │  adopt a migrated table
+//!     │  ←  Installed { epoch, var }             │
+//! ```
+//!
+//! `Abort { epoch }` cancels a prepared-but-uncommitted update on every
+//! agent when any prepare fails.
+
+use snap_lang::{StateTable, StateVar};
+use snap_topology::{NodeId as SwitchId, PortId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// The per-switch metadata shipped alongside the (shared) program: what the
+/// switch owns and which external ports it hosts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwitchMeta {
+    /// State variables placed on this switch.
+    pub local_vars: BTreeSet<StateVar>,
+    /// OBS external ports attached to this switch.
+    pub ports: BTreeSet<PortId>,
+}
+
+/// Phase one of an update: everything the agent needs to *stage* the new
+/// epoch without touching the running configuration.
+#[derive(Clone, Debug)]
+pub struct PrepareMsg {
+    /// The epoch this update will commit as.
+    pub epoch: u64,
+    /// When set, `delta` is a full-table payload to decode into a *fresh*
+    /// mirror (bootstrap, or recovery from divergence); otherwise it is a
+    /// suffix delta against the agent's cached pool.
+    pub resync: bool,
+    /// The `snap_xfdd::wire` delta payload (node-table suffix + root).
+    pub delta: Vec<u8>,
+    /// This switch's metadata, or `None` when unchanged since the last
+    /// update shipped to this agent.
+    pub meta: Option<SwitchMeta>,
+    /// The global variable→owner placement (for forwarding packets towards
+    /// state), or `None` when unchanged.
+    pub placement: Option<BTreeMap<StateVar, SwitchId>>,
+}
+
+/// Controller → agent messages.
+#[derive(Clone, Debug)]
+pub enum ToAgent {
+    /// Stage an update (phase one).
+    Prepare(Box<PrepareMsg>),
+    /// Flip a prepared update to current (phase two).
+    Commit {
+        /// The epoch to commit; must match the staged update.
+        epoch: u64,
+    },
+    /// Drop a prepared update without committing it.
+    Abort {
+        /// The epoch to abort.
+        epoch: u64,
+    },
+    /// Adopt a state table migrated from the variable's previous owner.
+    InstallTable {
+        /// The epoch whose commit migrated the table.
+        epoch: u64,
+        /// The migrated variable.
+        var: StateVar,
+        /// Its table contents.
+        table: StateTable,
+    },
+    /// Stop the agent's message loop.
+    Shutdown,
+}
+
+/// Agent → controller messages.
+#[derive(Clone, Debug)]
+pub enum FromAgent {
+    /// The update is staged: delta applied to the mirror, program flattened,
+    /// new view materialized. The current epoch is untouched.
+    Prepared {
+        /// The replying switch.
+        switch: SwitchId,
+        /// The staged epoch.
+        epoch: u64,
+        /// Nodes the delta appended to the agent's mirror.
+        new_nodes: u64,
+    },
+    /// The update could not be staged (diverged mirror, malformed payload).
+    /// The agent's mirror must be resynced before the next update.
+    PrepareFailed {
+        /// The replying switch.
+        switch: SwitchId,
+        /// The epoch that failed to stage.
+        epoch: u64,
+        /// Human-readable failure cause.
+        reason: String,
+    },
+    /// The staged epoch is now current; released tables ride along. The
+    /// agent is authoritative about what it yields: *every* table in its
+    /// store whose variable the new view does not own — the planned
+    /// migrations of this update, plus anything stranded by an earlier
+    /// failed one.
+    Committed {
+        /// The replying switch.
+        switch: SwitchId,
+        /// The committed epoch.
+        epoch: u64,
+        /// Tables of variables this switch no longer owns, for migration.
+        yields: Vec<(StateVar, StateTable)>,
+    },
+    /// A migrated table was adopted.
+    Installed {
+        /// The replying switch.
+        switch: SwitchId,
+        /// The epoch the migration belongs to.
+        epoch: u64,
+        /// The adopted variable.
+        var: StateVar,
+    },
+}
+
+/// Transport failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer is gone (channel closed / connection lost).
+    Disconnected,
+    /// No reply within the configured timeout.
+    Timeout,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "transport disconnected"),
+            TransportError::Timeout => write!(f, "transport timed out"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// The controller's end of one agent link.
+pub trait ControllerEndpoint: Send {
+    /// Send a message to the agent.
+    fn send(&self, msg: ToAgent) -> Result<(), TransportError>;
+    /// Wait for the agent's next message.
+    fn recv_timeout(&self, timeout: Duration) -> Result<FromAgent, TransportError>;
+}
+
+/// The agent's end of its controller link.
+pub trait AgentEndpoint: Send {
+    /// Block for the controller's next message.
+    fn recv(&self) -> Result<ToAgent, TransportError>;
+    /// Send a message to the controller.
+    fn send(&self, msg: FromAgent) -> Result<(), TransportError>;
+}
+
+/// In-process controller endpoint over a pair of `mpsc` channels.
+pub struct ChannelControllerEndpoint {
+    tx: mpsc::Sender<ToAgent>,
+    rx: mpsc::Receiver<FromAgent>,
+}
+
+/// In-process agent endpoint over a pair of `mpsc` channels.
+pub struct ChannelAgentEndpoint {
+    tx: mpsc::Sender<FromAgent>,
+    rx: mpsc::Receiver<ToAgent>,
+}
+
+/// An in-process bidirectional link: the controller half and the agent half.
+pub fn channel_link() -> (ChannelControllerEndpoint, ChannelAgentEndpoint) {
+    let (to_agent_tx, to_agent_rx) = mpsc::channel();
+    let (from_agent_tx, from_agent_rx) = mpsc::channel();
+    (
+        ChannelControllerEndpoint {
+            tx: to_agent_tx,
+            rx: from_agent_rx,
+        },
+        ChannelAgentEndpoint {
+            tx: from_agent_tx,
+            rx: to_agent_rx,
+        },
+    )
+}
+
+impl ControllerEndpoint for ChannelControllerEndpoint {
+    fn send(&self, msg: ToAgent) -> Result<(), TransportError> {
+        self.tx.send(msg).map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<FromAgent, TransportError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => TransportError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
+    }
+}
+
+impl AgentEndpoint for ChannelAgentEndpoint {
+    fn recv(&self) -> Result<ToAgent, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn send(&self, msg: FromAgent) -> Result<(), TransportError> {
+        self.tx.send(msg).map_err(|_| TransportError::Disconnected)
+    }
+}

@@ -1,0 +1,438 @@
+//! Protocol-level tests of the distribution plane: two-phase commit
+//! atomicity, abort-and-resync recovery, late-joining agents, order resets
+//! and state-table migration between agents.
+
+use snap_core::SolverChoice;
+use snap_distrib::{
+    channel_link, deploy_in_process, Controller, ControllerEndpoint, DistribError, FromAgent,
+    PrepareMsg, SwitchAgent, SwitchMeta, ToAgent, TransportError,
+};
+use snap_lang::prelude::*;
+use snap_session::CompilerSession;
+use snap_topology::{generators::campus, PortId, TrafficMatrix};
+use snap_xfdd::{encode_delta, Pool, VarOrder};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn campus_session() -> CompilerSession {
+    let topo = campus();
+    let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+    CompilerSession::new(topo, tm).with_solver(SolverChoice::Heuristic)
+}
+
+fn counting_policy(egress: i64) -> Policy {
+    state_incr("count", vec![field(Field::InPort)]).seq(modify(Field::OutPort, Value::Int(egress)))
+}
+
+/// A controller endpoint that rewrites the first `n` `Prepared` replies into
+/// `PrepareFailed` — a switch whose staging "fails" while the real agent
+/// actually advanced its mirror, i.e. the worst divergence case.
+struct SabotagePrepares<E> {
+    inner: E,
+    remaining: AtomicU32,
+}
+
+impl<E: ControllerEndpoint> ControllerEndpoint for SabotagePrepares<E> {
+    fn send(&self, msg: ToAgent) -> Result<(), TransportError> {
+        self.inner.send(msg)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<FromAgent, TransportError> {
+        let msg = self.inner.recv_timeout(timeout)?;
+        if let FromAgent::Prepared { switch, epoch, .. } = &msg {
+            if self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return Ok(FromAgent::PrepareFailed {
+                    switch: *switch,
+                    epoch: *epoch,
+                    reason: "sabotaged by test".into(),
+                });
+            }
+        }
+        Ok(msg)
+    }
+}
+
+#[test]
+fn failed_prepare_aborts_everywhere_and_recovers_by_resync() {
+    let session = campus_session();
+    let topo = session.topology().clone();
+    let mut controller = Controller::new(session);
+    let mut agents = Vec::new();
+    let mut handles = Vec::new();
+    for (i, switch) in topo.nodes().enumerate() {
+        let agent = Arc::new(SwitchAgent::new(switch, topo.node_name(switch), [], 64));
+        let (ctrl_end, agent_end) = channel_link();
+        let runner = Arc::clone(&agent);
+        handles.push(std::thread::spawn(move || runner.run(agent_end)));
+        if i == 0 {
+            controller.attach(
+                switch,
+                Box::new(SabotagePrepares {
+                    inner: ctrl_end,
+                    remaining: AtomicU32::new(1),
+                }),
+            );
+        } else {
+            controller.attach(switch, Box::new(ctrl_end));
+        }
+        agents.push(agent);
+    }
+
+    // The sabotaged prepare fails the whole epoch: nobody commits. The
+    // epoch number is burned anyway (stale replies for it may be queued),
+    // so it is skipped rather than reused.
+    let err = controller.update_policy(&counting_policy(6)).unwrap_err();
+    assert!(matches!(err, DistribError::PrepareRejected { .. }));
+    assert_eq!(controller.epoch(), 1);
+    // Give the aborts a moment to drain, then check no agent flipped.
+    std::thread::sleep(Duration::from_millis(50));
+    for agent in &agents {
+        assert!(
+            agent.current_view().is_none(),
+            "an agent committed an aborted epoch"
+        );
+    }
+
+    // The next update succeeds: the failed agent is resynced, everyone
+    // commits the same epoch, and every mirror matches the controller's
+    // distribution pool node-for-node (by length here; the wire layer
+    // verifies contents).
+    let report = controller.update_policy(&counting_policy(1)).unwrap();
+    assert_eq!(report.epoch, 2);
+    assert_eq!(report.resyncs, 1, "exactly the sabotaged agent resyncs");
+    for agent in &agents {
+        assert_eq!(agent.current_view().unwrap().epoch, 2);
+        assert_eq!(agent.mirror_len(), controller.dist_pool_len());
+    }
+
+    controller.shutdown();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// A controller endpoint that eats the first `Committed` reply (turning it
+/// into a timeout): the agent really flipped, the controller never heard.
+struct EatCommitted<E> {
+    inner: E,
+    remaining: AtomicU32,
+}
+
+impl<E: ControllerEndpoint> ControllerEndpoint for EatCommitted<E> {
+    fn send(&self, msg: ToAgent) -> Result<(), TransportError> {
+        self.inner.send(msg)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<FromAgent, TransportError> {
+        let msg = self.inner.recv_timeout(timeout)?;
+        if matches!(msg, FromAgent::Committed { .. })
+            && self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+        {
+            return Err(TransportError::Timeout);
+        }
+        Ok(msg)
+    }
+}
+
+#[test]
+fn commit_phase_failure_burns_the_epoch_and_resyncs() {
+    let session = campus_session();
+    let topo = session.topology().clone();
+    let mut controller = Controller::new(session).with_timeout(Duration::from_millis(500));
+    let mut agents = Vec::new();
+    let mut handles = Vec::new();
+    for (i, switch) in topo.nodes().enumerate() {
+        let agent = Arc::new(SwitchAgent::new(switch, topo.node_name(switch), [], 64));
+        let (ctrl_end, agent_end) = channel_link();
+        let runner = Arc::clone(&agent);
+        handles.push(std::thread::spawn(move || runner.run(agent_end)));
+        if i == 0 {
+            controller.attach(
+                switch,
+                Box::new(EatCommitted {
+                    inner: ctrl_end,
+                    remaining: AtomicU32::new(1),
+                }),
+            );
+        } else {
+            controller.attach(switch, Box::new(ctrl_end));
+        }
+        agents.push(agent);
+    }
+
+    // Every agent flips to epoch 1, but one acknowledgement is lost: the
+    // update errors, and — crucially — epoch 1 is burned, because some
+    // switch is already running it.
+    let err = controller.update_policy(&counting_policy(6)).unwrap_err();
+    assert!(matches!(err, DistribError::Transport { .. }));
+    assert_eq!(
+        controller.epoch(),
+        1,
+        "a partially committed epoch is consumed"
+    );
+
+    // Recovery: the next update uses a fresh epoch and conservatively
+    // resyncs every agent; afterwards the whole plane is consistent again.
+    let report = controller.update_policy(&counting_policy(1)).unwrap();
+    assert_eq!(report.epoch, 2);
+    assert_eq!(report.resyncs, agents.len());
+    for agent in &agents {
+        assert_eq!(agent.current_view().unwrap().epoch, 2);
+        assert_eq!(agent.mirror_len(), controller.dist_pool_len());
+    }
+
+    controller.shutdown();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn unservable_egress_port_errors_instead_of_spinning() {
+    use snap_distrib::{DistNetwork, InjectError};
+    use snap_xfdd::{Action, Leaf};
+
+    // One switch hosting external port 1 per the topology, but the agent's
+    // committed view serves *no* ports — a misconfiguration that must fail
+    // the packet, not hang the injector.
+    let mut topo = snap_topology::Topology::new("tiny");
+    let s0 = topo.add_node("S0");
+    topo.add_external_port(PortId(1), s0);
+
+    let order = VarOrder::empty();
+    let mut pool = Pool::new(order.clone());
+    let root = pool.leaf(Leaf::single(Action::Modify(Field::OutPort, Value::Int(1))));
+    let fresh = Pool::new(order).len();
+    let boot = encode_delta(&pool, fresh, root);
+
+    let agent = Arc::new(SwitchAgent::new(s0, "S0", [PortId(1)], 16));
+    agent.handle(ToAgent::Prepare(Box::new(PrepareMsg {
+        epoch: 1,
+        resync: true,
+        delta: boot,
+        meta: Some(SwitchMeta {
+            local_vars: BTreeSet::new(),
+            ports: BTreeSet::new(), // does not serve port 1
+        }),
+        placement: Some(BTreeMap::new()),
+    })));
+    agent.handle(ToAgent::Commit { epoch: 1 });
+
+    let network = DistNetwork::new(topo, BTreeMap::from([(s0, agent)]));
+    let err = network.inject(PortId(1), &Packet::new()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            InjectError::Sim(snap_dataplane::SimError::BadOutPort(_))
+        ),
+        "expected a BadOutPort error, got {err:?}"
+    );
+}
+
+#[test]
+fn late_joining_agent_is_bootstrapped_by_full_resync() {
+    let session = campus_session();
+    let topo = session.topology().clone();
+    let mut deployment = deploy_in_process(session, 64);
+    deployment
+        .controller
+        .update_policy(&counting_policy(6))
+        .unwrap();
+    deployment
+        .controller
+        .update_policy(&counting_policy(1))
+        .unwrap();
+
+    // A fresh agent joins after two generations were distributed.
+    let switch = topo.node_by_name("C1").unwrap();
+    let late = Arc::new(SwitchAgent::new(switch, "late-C1", [], 64));
+    let (ctrl_end, agent_end) = channel_link();
+    let runner = Arc::clone(&late);
+    let handle = std::thread::spawn(move || runner.run(agent_end));
+    deployment.controller.attach(switch, Box::new(ctrl_end));
+
+    let report = deployment
+        .controller
+        .update_policy(&counting_policy(6))
+        .unwrap();
+    assert_eq!(report.resyncs, 1);
+    assert_eq!(report.epoch, 3);
+    // The late mirror holds the *entire* distribution pool (all shipped
+    // generations), which is what keeps its flat ids aligned with agents
+    // that followed every delta.
+    assert_eq!(late.mirror_len(), deployment.controller.dist_pool_len());
+    assert_eq!(late.current_view().unwrap().epoch, 3);
+    assert_eq!(late.stats().resyncs.load(Ordering::Relaxed), 1);
+
+    deployment.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn changed_variable_order_resets_the_distribution_pool() {
+    let session = campus_session();
+    let mut deployment = deploy_in_process(session, 64);
+    let n = deployment.controller.agent_count();
+    let first = deployment
+        .controller
+        .update_policy(&counting_policy(6))
+        .unwrap();
+    assert_eq!(first.resyncs, n, "first update bootstraps everyone");
+
+    // Same variable set: suffix deltas.
+    let second = deployment
+        .controller
+        .update_policy(&counting_policy(1))
+        .unwrap();
+    assert_eq!(second.resyncs, 0);
+
+    // A different state variable changes the order: everyone resyncs
+    // against a reset pool.
+    let other =
+        state_incr("other", vec![field(Field::InPort)]).seq(modify(Field::OutPort, Value::Int(6)));
+    let reset = deployment.controller.update_policy(&other).unwrap();
+    assert_eq!(reset.resyncs, n);
+    deployment.shutdown();
+}
+
+#[test]
+fn rollback_ships_a_zero_node_delta() {
+    let session = campus_session();
+    let mut deployment = deploy_in_process(session, 64);
+    // A substantial program, so the constant payload header is noise.
+    let v6 = snap_apps::dns_tunnel_detect(3).seq(snap_apps::assign_egress(6));
+    let v1 = snap_apps::dns_tunnel_detect(5).seq(snap_apps::assign_egress(6));
+    deployment.controller.update_policy(&v6).unwrap();
+    let grow = deployment.controller.update_policy(&v1).unwrap();
+    assert!(grow.new_nodes > 0);
+    // Flipping back: every node is already mirrored everywhere.
+    let rollback = deployment.controller.update_policy(&v6).unwrap();
+    assert_eq!(rollback.new_nodes, 0);
+    assert!(rollback.delta_bytes < grow.delta_bytes);
+    assert!(
+        rollback.delta_bytes < rollback.full_bytes / 4,
+        "zero-node delta ({} B) not under 25% of full payload ({} B)",
+        rollback.delta_bytes,
+        rollback.full_bytes
+    );
+    deployment.shutdown();
+}
+
+#[test]
+fn tables_migrate_between_agents_through_yield_and_install() {
+    // Drive two agents synchronously through the message handlers: A owns
+    // `x` at epoch 1, loses it to B at epoch 2; the table must move intact.
+    let a = SwitchAgent::new(snap_topology::NodeId(0), "A", [PortId(1)], 16);
+    let b = SwitchAgent::new(snap_topology::NodeId(1), "B", [PortId(2)], 16);
+
+    let order = VarOrder::new(vec!["x".into()]);
+    let dist = Pool::new(order);
+    let fresh = dist.len();
+    let root = dist.id();
+    let boot = encode_delta(&dist, fresh, root);
+
+    let x: snap_lang::StateVar = "x".into();
+    let meta = |vars: BTreeSet<snap_lang::StateVar>, ports: BTreeSet<PortId>| SwitchMeta {
+        local_vars: vars,
+        ports,
+    };
+    let prepare = |epoch, m: SwitchMeta, placement| {
+        ToAgent::Prepare(Box::new(PrepareMsg {
+            epoch,
+            resync: true,
+            delta: boot.clone(),
+            meta: Some(m),
+            placement: Some(placement),
+        }))
+    };
+
+    // Epoch 1: A owns x.
+    let placement1: BTreeMap<_, _> = [(x.clone(), snap_topology::NodeId(0))].into();
+    let r = a.handle(prepare(
+        1,
+        meta(BTreeSet::from([x.clone()]), BTreeSet::from([PortId(1)])),
+        placement1.clone(),
+    ));
+    assert!(matches!(r[0], FromAgent::Prepared { .. }));
+    a.handle(ToAgent::Commit { epoch: 1 });
+    b.handle(prepare(
+        1,
+        meta(BTreeSet::new(), BTreeSet::from([PortId(2)])),
+        placement1,
+    ));
+    b.handle(ToAgent::Commit { epoch: 1 });
+
+    // Some state accrues on A — plus a stray table A was never assigned
+    // (as a failed earlier migration would leave behind).
+    let stray: snap_lang::StateVar = "stray".into();
+    {
+        let mut store = a.store().lock();
+        store.set(&x, vec![Value::Int(7)], Value::Int(42));
+        store.set(&stray, vec![Value::Int(0)], Value::Int(9));
+    }
+
+    // Epoch 2: x moves to B. The agent's store is authoritative: at commit
+    // it yields every table its new view no longer owns.
+    let placement2: BTreeMap<_, _> = [(x.clone(), snap_topology::NodeId(1))].into();
+    a.handle({
+        let mut p = match prepare(
+            2,
+            meta(BTreeSet::new(), BTreeSet::from([PortId(1)])),
+            placement2.clone(),
+        ) {
+            ToAgent::Prepare(p) => p,
+            _ => unreachable!(),
+        };
+        p.resync = false;
+        // The mirror is already at the full table; a zero-node delta
+        // re-ships the root.
+        p.delta = encode_delta(&dist, dist.len(), root);
+        ToAgent::Prepare(p)
+    });
+    let replies = a.handle(ToAgent::Commit { epoch: 2 });
+    let yields = match &replies[0] {
+        FromAgent::Committed { yields, .. } => yields.clone(),
+        other => panic!("unexpected reply {other:?}"),
+    };
+    // Both x (the planned migration) and the stray table are yielded: the
+    // store, not a controller-provided list, decides what leaves.
+    assert_eq!(yields.len(), 2);
+    assert_eq!(a.store().lock().table(&x), None, "A kept a yielded table");
+    assert_eq!(a.store().lock().table(&stray), None, "stray table stranded");
+
+    // Meanwhile a new-epoch packet already wrote x on B before the
+    // migrated table arrives (the eager-migration window).
+    b.store()
+        .lock()
+        .set(&x, vec![Value::Int(99)], Value::Int(7));
+
+    // The controller relays x's table to B (the stray one has no owner in
+    // the placement and would be dropped). The install merges: migrated
+    // history fills in, entries written in the window survive.
+    let (var, table) = yields.into_iter().find(|(v, _)| *v == x).unwrap();
+    let installed = b.handle(ToAgent::InstallTable {
+        epoch: 2,
+        var,
+        table,
+    });
+    assert!(matches!(installed[0], FromAgent::Installed { .. }));
+    assert_eq!(
+        b.store().lock().get(&x, &[Value::Int(7)]),
+        Value::Int(42),
+        "the migrated table lost its contents"
+    );
+    assert_eq!(
+        b.store().lock().get(&x, &[Value::Int(99)]),
+        Value::Int(7),
+        "a write racing the install was discarded"
+    );
+}

@@ -77,4 +77,7 @@ pub mod cache;
 pub mod session;
 
 pub use cache::{fingerprint, TranslationCache};
-pub use session::{CompilerSession, GcReport, SessionOptions, SessionStats};
+pub use session::{
+    CompilerSession, GcReport, SessionOptions, SessionStats, SessionUpdate, SwitchChanges,
+    SwitchMeta,
+};

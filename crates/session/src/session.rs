@@ -6,12 +6,13 @@ use snap_core::{
     PacketStateMap, PhaseTimings, SolverChoice,
 };
 use snap_dataplane::Network;
-use snap_lang::{Policy, Pred};
-use snap_topology::{PortId, Topology, TrafficMatrix};
+use snap_lang::{Policy, Pred, StateVar};
+use snap_topology::{NodeId as SwitchId, PortId, Topology, TrafficMatrix};
 use snap_xfdd::{
     pred_to_xfdd, to_xfdd, Action, CompileError, Leaf, NodeId, Pool, StateDependencies, VarOrder,
     Xfdd,
 };
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -79,6 +80,8 @@ pub struct SessionStats {
     pub nodes_reclaimed: u64,
     /// Pool rebuilds forced by a changed state-variable order.
     pub order_resets: u64,
+    /// Distribution updates handed out by [`CompilerSession::take_update`].
+    pub updates_taken: u64,
 }
 
 /// What one pool compaction did.
@@ -122,6 +125,8 @@ pub struct CompilerSession {
     /// do, because placement and routing were optimized for the old matrix.
     versions: Vec<VersionEntry>,
     current: Option<Arc<Compiled>>,
+    /// What the last [`Self::take_update`] shipped, for change tracking.
+    shipped: Option<ShippedState>,
     epoch: u64,
     stats: SessionStats,
 }
@@ -129,6 +134,64 @@ pub struct CompilerSession {
 struct VersionEntry {
     fingerprint: u64,
     compiled: Arc<Compiled>,
+}
+
+/// Per-switch distribution metadata: the pieces of a switch's configuration
+/// that are *not* the (globally shared) program — what it owns (`.0`) and
+/// where its external ports are (`.1`).
+pub type SwitchMeta = (BTreeSet<StateVar>, BTreeSet<PortId>);
+
+/// What the session last handed to a distribution consumer via
+/// [`CompilerSession::take_update`].
+struct ShippedState {
+    session_epoch: u64,
+    compiled: Arc<Compiled>,
+    meta: BTreeMap<SwitchId, SwitchMeta>,
+    placement: BTreeMap<StateVar, SwitchId>,
+}
+
+/// What changed since the previous [`CompilerSession::take_update`] — the
+/// per-switch change tracking a distribution plane uses to ship only the
+/// entries that moved instead of every switch's full configuration.
+#[derive(Clone, Debug)]
+pub struct SwitchChanges {
+    /// No previous update was taken: everything must be shipped.
+    pub first: bool,
+    /// The compiled program object changed (a version-cache hit that
+    /// returns the previously shipped compilation reports `false`).
+    pub program_changed: bool,
+    /// Switches whose local variables or external ports changed.
+    pub meta_changed: BTreeSet<SwitchId>,
+    /// The global state-variable placement changed (some variable's owner
+    /// moved, appeared or disappeared).
+    pub placement_changed: bool,
+}
+
+impl SwitchChanges {
+    /// Is there anything to distribute at all?
+    pub fn is_empty(&self) -> bool {
+        !self.first
+            && !self.program_changed
+            && !self.placement_changed
+            && self.meta_changed.is_empty()
+    }
+}
+
+/// One distributable compilation result, as consumed by a controller's
+/// distribution plane: the compiled program plus what changed since the
+/// update before it.
+#[derive(Clone)]
+pub struct SessionUpdate {
+    /// The session epoch this update corresponds to.
+    pub session_epoch: u64,
+    /// The full compilation result (program, placement, per-switch configs).
+    pub compiled: Arc<Compiled>,
+    /// Change tracking relative to the previously taken update.
+    pub changes: SwitchChanges,
+    /// Per-switch distribution metadata (owned variables, external ports)
+    /// — the exact map [`SwitchChanges::meta_changed`] was computed from,
+    /// so consumers ship the same data the change tracking compared.
+    pub switch_meta: BTreeMap<SwitchId, SwitchMeta>,
 }
 
 impl CompilerSession {
@@ -142,6 +205,7 @@ impl CompilerSession {
             cache: TranslationCache::default(),
             versions: Vec::new(),
             current: None,
+            shipped: None,
             epoch: 0,
             stats: SessionStats::default(),
         }
@@ -401,6 +465,69 @@ impl CompilerSession {
     // -----------------------------------------------------------------------
     // Publishing
     // -----------------------------------------------------------------------
+
+    /// The most recent compilation result behind a shared handle (no deep
+    /// clone) — what a distribution plane holds on to.
+    pub fn current_shared(&self) -> Option<Arc<Compiled>> {
+        self.current.clone()
+    }
+
+    /// Take the current compilation as a distributable update, with change
+    /// tracking relative to the previous `take_update`: which switches'
+    /// metadata (owned variables, external ports) changed, whether the
+    /// program object changed, and whether the global placement moved.
+    ///
+    /// Returns `None` when nothing has been compiled yet or when the session
+    /// epoch has not advanced since the last taken update — the
+    /// publish-as-delta path a controller polls after each
+    /// [`Self::update_policy`] / [`Self::update_traffic`].
+    pub fn take_update(&mut self) -> Option<SessionUpdate> {
+        let compiled = self.current.clone()?;
+        if let Some(shipped) = &self.shipped {
+            if shipped.session_epoch == self.epoch {
+                return None;
+            }
+        }
+        let meta: BTreeMap<SwitchId, SwitchMeta> = compiled
+            .rules
+            .configs
+            .iter()
+            .map(|c| (c.node, (c.local_vars.clone(), c.ports.clone())))
+            .collect();
+        let placement: BTreeMap<StateVar, SwitchId> = compiled.placement.placement.clone();
+        let changes = match &self.shipped {
+            None => SwitchChanges {
+                first: true,
+                program_changed: true,
+                meta_changed: meta.keys().copied().collect(),
+                placement_changed: true,
+            },
+            Some(prev) => SwitchChanges {
+                first: false,
+                program_changed: !Arc::ptr_eq(&prev.compiled, &compiled),
+                meta_changed: meta
+                    .iter()
+                    .filter(|(n, m)| prev.meta.get(n) != Some(m))
+                    .map(|(n, _)| *n)
+                    .chain(prev.meta.keys().filter(|n| !meta.contains_key(n)).copied())
+                    .collect(),
+                placement_changed: prev.placement != placement,
+            },
+        };
+        self.shipped = Some(ShippedState {
+            session_epoch: self.epoch,
+            compiled: Arc::clone(&compiled),
+            meta: meta.clone(),
+            placement,
+        });
+        self.stats.updates_taken += 1;
+        Some(SessionUpdate {
+            session_epoch: self.epoch,
+            compiled,
+            changes,
+            switch_meta: meta,
+        })
+    }
 
     /// Instantiate a fresh data plane for the current compilation.
     pub fn build_network(&self) -> Option<Network> {
@@ -821,7 +948,7 @@ mod tests {
         let mut session = campus_session();
         session.compile(&running_example(2)).unwrap();
         let network = session.build_network().unwrap();
-        assert_eq!(network.epoch(), 0);
+        assert_eq!(network.current_epoch(), 0);
 
         // Drive some state into the network.
         let client = Value::ip(10, 0, 6, 77);
@@ -840,7 +967,7 @@ mod tests {
         // survives.
         session.update_policy(&running_example(5)).unwrap();
         assert_eq!(session.apply(&network), Some(1));
-        assert_eq!(network.epoch(), 1);
+        assert_eq!(network.current_epoch(), 1);
         assert_eq!(
             network
                 .aggregate_store()
@@ -895,6 +1022,55 @@ mod tests {
         off.compile(&running_example(1)).unwrap();
         off.update_policy(&running_example(1)).unwrap();
         assert_eq!(off.stats().version_hits, 0);
+    }
+
+    #[test]
+    fn take_update_tracks_per_switch_changes() {
+        let mut session = campus_session();
+        assert!(session.take_update().is_none(), "nothing compiled yet");
+
+        session.compile(&running_example(3)).unwrap();
+        let first = session.take_update().unwrap();
+        assert!(first.changes.first);
+        assert!(first.changes.program_changed);
+        assert!(first.changes.placement_changed);
+        assert_eq!(
+            first.changes.meta_changed.len(),
+            session.topology().num_nodes(),
+            "first update ships every switch"
+        );
+        assert_eq!(first.session_epoch, 1);
+
+        // Nothing recompiled since: no update to take.
+        assert!(session.take_update().is_none());
+
+        // A working-set edit keeps mapping and placement: the program
+        // changes, no switch's metadata does.
+        session.update_policy(&running_example(5)).unwrap();
+        let edit = session.take_update().unwrap();
+        assert!(!edit.changes.first);
+        assert!(edit.changes.program_changed);
+        assert!(!edit.changes.placement_changed);
+        assert!(edit.changes.meta_changed.is_empty());
+        assert!(!edit.changes.is_empty());
+
+        // A version-cache flip back to the first compilation returns the
+        // same compiled object, and it still counts as a program change —
+        // the *running* program is the edit, not the rollback target.
+        session.update_policy(&running_example(3)).unwrap();
+        let flip = session.take_update().unwrap();
+        assert!(Arc::ptr_eq(&flip.compiled, &first.compiled));
+        assert!(flip.changes.program_changed);
+        assert!(flip.changes.meta_changed.is_empty());
+
+        // Recompiling the same policy again (same object re-shipped) is the
+        // case where nothing at all changed.
+        session.update_policy(&running_example(3)).unwrap();
+        let same = session.take_update().unwrap();
+        assert!(Arc::ptr_eq(&same.compiled, &flip.compiled));
+        assert!(!same.changes.program_changed);
+        assert!(same.changes.is_empty());
+        assert_eq!(session.stats().updates_taken, 4);
     }
 
     #[test]

@@ -84,4 +84,7 @@ pub use flat::{FlatId, FlatLeaf, FlatNode, FlatProgram};
 pub use pool::{CtxId, Node, NodeId, Pool};
 pub use test::{Test, VarOrder};
 pub use translate::{compile, pred_to_xfdd, to_xfdd};
-pub use wire::{decode_diagram, decode_into, encode_diagram, WireError};
+pub use wire::{
+    apply_delta, decode_delta_fresh, decode_diagram, decode_into, encode_delta, encode_diagram,
+    WireError,
+};

@@ -4,11 +4,27 @@
 //! Controller→switch distribution needs diagrams to cross process
 //! boundaries. The arena already stores nodes in a flat table whose child
 //! links always point at smaller indices, so the encoding is direct: a
-//! header (magic, version, variable order), the reachable nodes renumbered
-//! densely in index order, and the root's local id. The decoder *re-interns*
-//! every node through the target pool's constructors, so decoding is also a
-//! cross-pool import: structurally equal nodes collapse onto existing ids,
-//! and decoding into a non-empty pool shares everything it can.
+//! header (magic, version, payload kind, variable order), a node table and
+//! a root id. The decoder *re-interns* every node through the target pool's
+//! constructors, so decoding is also a cross-pool import: structurally equal
+//! nodes collapse onto existing ids, and decoding into a non-empty pool
+//! shares everything it can.
+//!
+//! Two payload kinds exist, distinguished by a header byte so a receiver can
+//! never misinterpret one as the other:
+//!
+//! * **full** ([`encode_diagram`] / [`decode_diagram`] / [`decode_into`]) —
+//!   the subgraph reachable from one root, renumbered densely. Child links
+//!   are local to the payload; the payload is self-contained.
+//! * **delta** ([`encode_delta`] / [`apply_delta`]) — a *suffix* of the
+//!   encoder pool's node table, for controller→switch distribution against a
+//!   mirrored pool. Because the arena appends children before parents and
+//!   never stores duplicates, the node table of an append-only distribution
+//!   pool is itself a valid child-first encoding, and an update is just the
+//!   bytes past what the receiver already holds. Child links are *absolute*
+//!   arena indices; the receiver re-interns each node and verifies it lands
+//!   at the expected absolute index, which proves its cached table is a
+//!   node-for-node mirror of the encoder's (or fails the update cleanly).
 //!
 //! All integers are little-endian; strings and tables are `u32`
 //! length-prefixed.
@@ -20,7 +36,21 @@ use snap_lang::{Expr, Field, StateVar, Value};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"XFDD";
-const VERSION: u16 = 1;
+/// Version 2 added the payload-kind byte (full vs delta).
+const VERSION: u16 = 2;
+
+/// Header byte of a full, self-contained diagram payload.
+const KIND_FULL: u8 = 0;
+/// Header byte of a node-table-suffix delta payload.
+const KIND_DELTA: u8 = 1;
+
+fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        KIND_FULL => "full",
+        KIND_DELTA => "delta",
+        _ => "unknown",
+    }
+}
 
 /// Errors surfaced while decoding a wire-format diagram.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,6 +65,30 @@ pub enum WireError {
     BadTag(&'static str, u8),
     /// A string was not valid UTF-8.
     BadUtf8,
+    /// The payload is of the other kind (a delta handed to a full-diagram
+    /// decoder, or vice versa).
+    WrongKind {
+        /// The kind the decoder expected.
+        expected: u8,
+        /// The kind byte found in the header.
+        found: u8,
+    },
+    /// A delta was cut at a different base length than the receiving pool
+    /// holds: the receiver is ahead, behind, or was never synced.
+    DeltaBaseMismatch {
+        /// The node-table length the delta was encoded against.
+        expected: u32,
+        /// The receiving pool's actual node-table length.
+        actual: u32,
+    },
+    /// Re-interning a delta node did not land at its expected absolute
+    /// index: the receiving pool is not a node-for-node mirror of the
+    /// encoder's base (it interned different nodes, or the same nodes in a
+    /// different order). The receiver needs a full resync.
+    DeltaNotCanonical {
+        /// Absolute index the node should have occupied.
+        node: u32,
+    },
     /// A node referenced a child at or after itself (the child-first
     /// invariant is violated, so the table cannot be re-interned).
     BadNodeRef {
@@ -60,6 +114,21 @@ impl fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
             WireError::BadTag(what, t) => write!(f, "unknown {what} tag {t}"),
             WireError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            WireError::WrongKind { expected, found } => write!(
+                f,
+                "expected a {} payload, found a {} payload (kind byte {found})",
+                kind_name(*expected),
+                kind_name(*found)
+            ),
+            WireError::DeltaBaseMismatch { expected, actual } => write!(
+                f,
+                "delta encoded against a {expected}-node base, pool holds {actual} nodes"
+            ),
+            WireError::DeltaNotCanonical { node } => write!(
+                f,
+                "delta node did not re-intern at absolute index {node}; the pool is not a \
+                 mirror of the encoder's base"
+            ),
             WireError::BadNodeRef { node, child } => {
                 write!(f, "node {node} references non-preceding child {child}")
             }
@@ -77,15 +146,7 @@ impl std::error::Error for WireError {}
 /// Encode the diagram rooted at `root` as a self-contained byte buffer:
 /// variable order, reachable-node table (children before parents) and root.
 pub fn encode_diagram(pool: &Pool, root: NodeId) -> Vec<u8> {
-    let mut w = Vec::new();
-    w.extend_from_slice(MAGIC);
-    put_u16(&mut w, VERSION);
-
-    let vars = pool.order().variables();
-    put_u32(&mut w, vars.len() as u32);
-    for v in &vars {
-        put_str(&mut w, v.name());
-    }
+    let mut w = encode_header(KIND_FULL, pool.order());
 
     // Reachable nodes in ascending arena order: the arena's child-first
     // invariant carries over to the dense renumbering.
@@ -115,35 +176,179 @@ pub fn encode_diagram(pool: &Pool, root: NodeId) -> Vec<u8> {
     w
 }
 
-/// Decode a diagram into a fresh pool created with the encoded variable
-/// order. Returns the pool and the root id.
+/// Decode a full diagram into a fresh pool created with the encoded
+/// variable order. Returns the pool and the root id.
 pub fn decode_diagram(bytes: &[u8]) -> Result<(Pool, NodeId), WireError> {
     let mut r = Reader::new(bytes);
-    let order = decode_header(&mut r)?;
+    let order = decode_header(&mut r, KIND_FULL)?;
     let mut pool = Pool::new(order);
     let root = decode_body(&mut r, &mut pool)?;
     Ok((pool, root))
 }
 
-/// Decode a diagram into an existing pool, re-interning every node (a
+/// Decode a full diagram into an existing pool, re-interning every node (a
 /// cross-pool import over the wire). The pool must compose under the same
 /// variable order the diagram was encoded with.
 pub fn decode_into(bytes: &[u8], pool: &mut Pool) -> Result<NodeId, WireError> {
     let mut r = Reader::new(bytes);
-    let order = decode_header(&mut r)?;
+    let order = decode_header(&mut r, KIND_FULL)?;
     if &order != pool.order() {
         return Err(WireError::OrderMismatch);
     }
     decode_body(&mut r, pool)
 }
 
-fn decode_header(r: &mut Reader<'_>) -> Result<VarOrder, WireError> {
+/// Encode the suffix of `pool`'s node table past `base_len`, plus the root,
+/// as a delta payload: what a controller ships to a switch whose cached pool
+/// mirrors the first `base_len` nodes. Child references are absolute arena
+/// indices (they may point into the base region). With `base_len` equal to a
+/// fresh pool's length, the payload carries the *entire* table — the full
+/// resync that (unlike [`encode_diagram`]'s reachable-only renumbering)
+/// reproduces the distribution pool's exact node numbering, which every
+/// mirror must share for flat packet tags to be portable across switches.
+///
+/// The root may lie anywhere in the table, including the base region: an
+/// update that rolls back to an already-shipped program is a delta with zero
+/// nodes and a new root.
+pub fn encode_delta(pool: &Pool, base_len: usize, root: NodeId) -> Vec<u8> {
+    assert!(
+        base_len <= pool.len(),
+        "delta base {base_len} past the pool's {} nodes",
+        pool.len()
+    );
+    assert!(root.index() < pool.len(), "delta root outside the pool");
+    let mut w = encode_header(KIND_DELTA, pool.order());
+    put_u32(&mut w, base_len as u32);
+    put_u32(&mut w, (pool.len() - base_len) as u32);
+    for i in base_len..pool.len() {
+        match pool.node(NodeId(i as u32)) {
+            Node::Leaf(leaf) => {
+                w.push(0);
+                put_leaf(&mut w, leaf);
+            }
+            Node::Branch { test, tru, fls } => {
+                w.push(1);
+                put_test(&mut w, test);
+                put_u32(&mut w, tru.0);
+                put_u32(&mut w, fls.0);
+            }
+        }
+    }
+    put_u32(&mut w, root.0);
+    w
+}
+
+/// Apply a delta to a mirrored pool: re-intern every suffix node, verifying
+/// each lands at its expected absolute index, and return the new root.
+///
+/// Errors are total — [`WireError::DeltaBaseMismatch`] when the pool is not
+/// at the delta's base length, [`WireError::DeltaNotCanonical`] when the
+/// pool's contents diverge from the encoder's base (either way the receiver
+/// needs a full resync), plus the usual malformed-payload errors. On error
+/// the pool may retain some re-interned suffix nodes; they are ordinary
+/// interned nodes and keep the pool structurally valid, but the mirror must
+/// be considered out of sync.
+pub fn apply_delta(bytes: &[u8], pool: &mut Pool) -> Result<NodeId, WireError> {
+    let mut r = Reader::new(bytes);
+    let order = decode_header(&mut r, KIND_DELTA)?;
+    if &order != pool.order() {
+        return Err(WireError::OrderMismatch);
+    }
+    apply_delta_body(&mut r, pool)
+}
+
+/// Decode a delta into a fresh pool created with the encoded variable order
+/// — how a switch bootstraps (or resyncs) its mirror from a full-table delta
+/// (one encoded at a fresh pool's base length). Returns the pool and root.
+pub fn decode_delta_fresh(bytes: &[u8]) -> Result<(Pool, NodeId), WireError> {
+    let mut r = Reader::new(bytes);
+    let order = decode_header(&mut r, KIND_DELTA)?;
+    let mut pool = Pool::new(order);
+    let root = apply_delta_body(&mut r, &mut pool)?;
+    Ok((pool, root))
+}
+
+fn apply_delta_body(r: &mut Reader<'_>, pool: &mut Pool) -> Result<NodeId, WireError> {
+    let base = r.u32()?;
+    if base as usize != pool.len() {
+        return Err(WireError::DeltaBaseMismatch {
+            expected: base,
+            actual: pool.len() as u32,
+        });
+    }
+    let count = r.u32()?;
+    for i in 0..count {
+        let absolute = base.checked_add(i).ok_or(WireError::Truncated)?;
+        let tag = r.u8()?;
+        let id = match tag {
+            0 => {
+                let leaf = get_leaf(r)?;
+                pool.leaf(leaf)
+            }
+            1 => {
+                let test = get_test(r)?;
+                let tru = r.u32()?;
+                let fls = r.u32()?;
+                for child in [tru, fls] {
+                    if child >= absolute {
+                        return Err(WireError::BadNodeRef {
+                            node: absolute,
+                            child,
+                        });
+                    }
+                }
+                pool.branch(test, NodeId(tru), NodeId(fls))
+            }
+            t => return Err(WireError::BadTag("node", t)),
+        };
+        // The encoder's suffix nodes are new to its arena by construction
+        // (an arena never holds duplicates), so on a faithful mirror each
+        // re-interning appends at exactly the absolute index. Anything else
+        // proves the mirror diverged.
+        if id.index() != absolute as usize {
+            return Err(WireError::DeltaNotCanonical { node: absolute });
+        }
+    }
+    let root = r.u32()?;
+    if root as usize >= pool.len() {
+        return Err(WireError::BadRoot(root));
+    }
+    if !r.is_empty() {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(NodeId(root))
+}
+
+fn encode_header(kind: u8, order: &VarOrder) -> Vec<u8> {
+    let mut w = Vec::new();
+    w.extend_from_slice(MAGIC);
+    put_u16(&mut w, VERSION);
+    w.push(kind);
+    let vars = order.variables();
+    put_u32(&mut w, vars.len() as u32);
+    for v in &vars {
+        put_str(&mut w, v.name());
+    }
+    w
+}
+
+fn decode_header(r: &mut Reader<'_>, expected_kind: u8) -> Result<VarOrder, WireError> {
     if r.take(4)? != MAGIC {
         return Err(WireError::BadMagic);
     }
     let version = r.u16()?;
     if version != VERSION {
         return Err(WireError::BadVersion(version));
+    }
+    let kind = r.u8()?;
+    if kind != KIND_FULL && kind != KIND_DELTA {
+        return Err(WireError::BadTag("payload kind", kind));
+    }
+    if kind != expected_kind {
+        return Err(WireError::WrongKind {
+            expected: expected_kind,
+            found: kind,
+        });
     }
     let n = r.u32()? as usize;
     let mut vars = Vec::with_capacity(n.min(1024));
@@ -506,7 +711,7 @@ mod tests {
     use super::*;
     use crate::translate::to_xfdd;
     use snap_lang::builder::*;
-    use snap_lang::{Packet, Store};
+    use snap_lang::{Packet, Policy, Store};
     use snap_xfdd_test_policies::*;
 
     // A couple of representative policies exercising every encoded shape:
@@ -607,6 +812,130 @@ mod tests {
         assert_eq!(
             decode_into(&bytes, &mut wrong),
             Err(WireError::OrderMismatch)
+        );
+    }
+
+    #[test]
+    fn delta_shipping_keeps_a_mirror_in_lockstep() {
+        // Controller side: an append-only distribution pool, two program
+        // versions imported in sequence.
+        let policy_v1 = stateful_policy();
+        let policy_v2 = ite(
+            test(Field::SrcPort, Value::Int(80)),
+            drop(),
+            stateful_policy(),
+        );
+        let deps = crate::deps::StateDependencies::analyze(&policy_v1);
+        let mut dist = Pool::new(deps.var_order());
+        let root1 = to_xfdd(&policy_v1, &mut dist).unwrap();
+        // Garbage from composition intermediates is fine: the mirror mirrors
+        // the whole table, reachable or not.
+        let fresh_len = Pool::new(deps.var_order()).len();
+
+        // Switch side: bootstrap from a full-table delta.
+        let boot = encode_delta(&dist, fresh_len, root1);
+        let (mut mirror, mroot1) = decode_delta_fresh(&boot).unwrap();
+        assert_eq!(mirror.len(), dist.len());
+        assert_eq!(mroot1, root1);
+        assert_eq!(mirror.debug(mroot1), dist.debug(root1));
+
+        // Second version: ship only the suffix.
+        let base = dist.len();
+        let root2 = to_xfdd(&policy_v2, &mut dist).unwrap();
+        let delta = encode_delta(&dist, base, root2);
+        let full = encode_delta(&dist, fresh_len, root2);
+        assert!(delta.len() < full.len(), "suffix not smaller than table");
+        let mroot2 = apply_delta(&delta, &mut mirror).unwrap();
+        assert_eq!(mirror.len(), dist.len());
+        assert_eq!(mroot2, root2);
+        assert_eq!(mirror.debug(mroot2), dist.debug(root2));
+
+        // Rolling back to v1 is a zero-node delta with an old root.
+        let rollback = encode_delta(&dist, dist.len(), root1);
+        let len = mirror.len();
+        let mroot = apply_delta(&rollback, &mut mirror).unwrap();
+        assert_eq!(mroot, root1);
+        assert_eq!(mirror.len(), len);
+    }
+
+    #[test]
+    fn payload_kinds_never_cross_decode() {
+        let policy = stateful_policy();
+        let deps = crate::deps::StateDependencies::analyze(&policy);
+        let mut pool = Pool::new(deps.var_order());
+        let root = to_xfdd(&policy, &mut pool).unwrap();
+        let fresh_len = Pool::new(deps.var_order()).len();
+
+        let full = encode_diagram(&pool, root);
+        let delta = encode_delta(&pool, fresh_len, root);
+
+        // A delta handed to the full decoders errors out, and vice versa.
+        assert!(matches!(
+            decode_diagram(&delta),
+            Err(WireError::WrongKind { .. })
+        ));
+        let mut target = Pool::new(deps.var_order());
+        assert!(matches!(
+            decode_into(&delta, &mut target),
+            Err(WireError::WrongKind { .. })
+        ));
+        assert!(matches!(
+            apply_delta(&full, &mut target),
+            Err(WireError::WrongKind { .. })
+        ));
+        assert!(matches!(
+            decode_delta_fresh(&full),
+            Err(WireError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_against_the_wrong_base_is_rejected() {
+        let policy = stateful_policy();
+        let deps = crate::deps::StateDependencies::analyze(&policy);
+        let mut pool = Pool::new(deps.var_order());
+        let root = to_xfdd(&policy, &mut pool).unwrap();
+        let fresh_len = Pool::new(deps.var_order()).len();
+        let delta = encode_delta(&pool, fresh_len, root);
+
+        // A pool that is already past the base (it holds the program) ...
+        assert!(matches!(
+            apply_delta(&delta, &mut pool.clone()),
+            Err(WireError::DeltaBaseMismatch { .. })
+        ));
+
+        // ... and a same-length pool with *different* contents: the first
+        // re-interned node collapses onto an existing id instead of
+        // appending, which is exactly the divergence the check catches.
+        let mut diverged = Pool::new(deps.var_order());
+        to_xfdd(
+            &ite(
+                test_prefix(Field::DstIp, 10, 0, 6, 0, 24)
+                    .and(test(Field::SrcPort, Value::Int(53))),
+                Policy::seq_all(vec![
+                    state_set(
+                        "orphan",
+                        vec![field(Field::DstIp), field(Field::DnsRdata)],
+                        Value::Bool(true),
+                    ),
+                    state_incr("susp", vec![field(Field::DstIp)]),
+                    modify(Field::OutPort, Value::Int(6)),
+                ]),
+                drop(),
+            ),
+            &mut diverged,
+        )
+        .unwrap();
+        let at_base = encode_delta(&pool, diverged.len().min(pool.len()), root);
+        let err = apply_delta(&at_base, &mut diverged).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::DeltaNotCanonical { .. }
+                    | WireError::DeltaBaseMismatch { .. }
+                    | WireError::BadNodeRef { .. }
+            ),
+            "diverged mirror accepted a delta: {err}"
         );
     }
 

@@ -7,7 +7,10 @@
 use proptest::prelude::*;
 use snap_lang::builder::*;
 use snap_lang::{Field, Policy, Value};
-use snap_xfdd::{decode_diagram, encode_diagram, to_xfdd, Pool, StateDependencies};
+use snap_xfdd::{
+    apply_delta, decode_delta_fresh, decode_diagram, encode_delta, encode_diagram, to_xfdd, NodeId,
+    Pool, StateDependencies, VarOrder,
+};
 
 /// Representative policies covering every encoded shape: all three test
 /// kinds, all four actions, tuples, prefixes, symbols, parallel leaves.
@@ -53,6 +56,142 @@ fn encodings() -> Vec<Vec<u8>> {
             encode_diagram(&pool, root)
         })
         .collect()
+}
+
+/// One member of a family of policies a controller might walk through while
+/// editing: thresholds, egress ports and a guard toggle vary, the state
+/// variables (and hence the composition order) stay fixed.
+fn edited_policy(threshold: i64, egress: i64, guarded: bool) -> Policy {
+    let detect = ite(
+        test(Field::SrcPort, Value::Int(53)),
+        ite(
+            state_test("susp", vec![field(Field::DstIp)], int(threshold)),
+            drop(),
+            state_incr("susp", vec![field(Field::DstIp)]),
+        ),
+        id(),
+    );
+    let route = ite(
+        test_prefix(Field::DstIp, 10, 0, 6, 0, 24),
+        modify(Field::OutPort, Value::Int(egress)),
+        modify(Field::OutPort, Value::Int(1)),
+    );
+    if guarded {
+        ite(
+            test_prefix(Field::SrcIp, 10, 0, 0, 0, 8),
+            detect.seq(route),
+            drop(),
+        )
+    } else {
+        detect.seq(route)
+    }
+}
+
+fn edited_order() -> VarOrder {
+    StateDependencies::analyze(&edited_policy(1, 1, false)).var_order()
+}
+
+/// Assert two pools hold identical node tables (same nodes at same ids).
+fn assert_mirrors(a: &Pool, b: &Pool) {
+    assert_eq!(a.len(), b.len(), "mirrors differ in length");
+    for i in 0..a.len() {
+        let id = NodeId(i as u32);
+        assert_eq!(a.node(id), b.node(id), "mirrors differ at node {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // For random policy-edit sequences, shipping suffix deltas keeps the
+    // receiver node-for-node identical to the controller's pool — and to a
+    // full-table decode from scratch.
+    #[test]
+    fn delta_sequences_mirror_full_decode(
+        edits in proptest::collection::vec((1i64..=12, 1i64..=6, any::<bool>()), 1..6),
+    ) {
+        let order = edited_order();
+        let fresh_len = Pool::new(order.clone()).len();
+        let mut dist = Pool::new(order.clone());
+        let mut mirror: Option<Pool> = None;
+
+        for (threshold, egress, guarded) in edits {
+            let policy = edited_policy(threshold, egress, guarded);
+            let base = dist.len();
+            let root = to_xfdd(&policy, &mut dist).unwrap();
+            let delta = encode_delta(&dist, base, root);
+
+            let applied_root = match mirror.as_mut() {
+                None => {
+                    // Bootstrap: full-table payload into a fresh pool.
+                    let boot = encode_delta(&dist, fresh_len, root);
+                    let (pool, r) = decode_delta_fresh(&boot).unwrap();
+                    mirror = Some(pool);
+                    r
+                }
+                Some(m) => apply_delta(&delta, m).unwrap(),
+            };
+            let m = mirror.as_ref().unwrap();
+            prop_assert_eq!(applied_root, root);
+            assert_mirrors(m, &dist);
+
+            // The incrementally maintained mirror equals a from-scratch
+            // full-table decode of the same state.
+            let full = encode_delta(&dist, fresh_len, root);
+            let (scratch, scratch_root) = decode_delta_fresh(&full).unwrap();
+            prop_assert_eq!(scratch_root, root);
+            assert_mirrors(&scratch, m);
+        }
+    }
+
+    // Any strict prefix of a delta payload errors (never panics), and the
+    // receiving mirror can always be resynced afterwards.
+    #[test]
+    fn truncated_deltas_error_and_never_panic(
+        threshold in 1i64..=12,
+        cut in 0usize..10_000,
+    ) {
+        let order = edited_order();
+        let fresh_len = Pool::new(order.clone()).len();
+        let mut dist = Pool::new(order.clone());
+        let r1 = to_xfdd(&edited_policy(1, 1, false), &mut dist).unwrap();
+        let boot = encode_delta(&dist, fresh_len, r1);
+        let (mirror, _) = decode_delta_fresh(&boot).unwrap();
+
+        let base = dist.len();
+        let r2 = to_xfdd(&edited_policy(threshold, 2, true), &mut dist).unwrap();
+        let delta = encode_delta(&dist, base, r2);
+        let cut = cut % delta.len();
+        prop_assert!(apply_delta(&delta[..cut], &mut mirror.clone()).is_err());
+    }
+
+    // Arbitrary single-byte corruption of a delta payload must never panic:
+    // it either errors or produces a structurally valid pool state.
+    #[test]
+    fn bit_flipped_deltas_never_panic(
+        threshold in 1i64..=12,
+        pos in 0usize..10_000,
+        bit in 0u32..8,
+    ) {
+        let order = edited_order();
+        let fresh_len = Pool::new(order.clone()).len();
+        let mut dist = Pool::new(order.clone());
+        let r1 = to_xfdd(&edited_policy(1, 1, false), &mut dist).unwrap();
+        let boot = encode_delta(&dist, fresh_len, r1);
+        let (mirror, _) = decode_delta_fresh(&boot).unwrap();
+
+        let base = dist.len();
+        let r2 = to_xfdd(&edited_policy(threshold, 3, true), &mut dist).unwrap();
+        let mut delta = encode_delta(&dist, base, r2);
+        let pos = pos % delta.len();
+        delta[pos] ^= 1 << bit;
+
+        let mut target = mirror.clone();
+        if let Ok(root) = apply_delta(&delta, &mut target) {
+            prop_assert!(root.index() < target.len());
+            prop_assert!(target.size(root) >= 1);
+        }
+    }
 }
 
 proptest! {

@@ -107,7 +107,7 @@ fn traffic_flows_while_the_session_publishes_new_configs() {
         published
     });
 
-    assert_eq!(network.epoch(), published);
+    assert_eq!(network.current_epoch(), published);
     // The session really did reuse the placement on every recompile: the
     // owner never moved, so each injected packet incremented exactly once
     // and the total is exact despite the concurrent swaps.
@@ -243,7 +243,7 @@ fn swapping_between_manual_configs_preserves_distributed_semantics() {
         assert!(report.is_clean());
         assert_eq!(report.total_egress(), TOTAL);
     });
-    assert_eq!(network.epoch(), 12);
+    assert_eq!(network.current_epoch(), 12);
     assert_eq!(
         network
             .aggregate_store()

@@ -71,9 +71,9 @@ fn controller_loop_with_policy_edits_traffic_changes_and_gc() {
             let tm = TrafficMatrix::gravity(session.topology(), 700.0 + round as f64, round as u64);
             session.update_traffic(tm).unwrap();
         }
-        let epoch_before = network.epoch();
+        let epoch_before = network.current_epoch();
         session.apply(&network).unwrap();
-        assert_eq!(network.epoch(), epoch_before + 1);
+        assert_eq!(network.current_epoch(), epoch_before + 1);
         drive(&network, &mut obs_store, &policy, 2);
     }
     assert_eq!(network.aggregate_store(), obs_store);
