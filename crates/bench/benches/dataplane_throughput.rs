@@ -205,6 +205,70 @@ fn bench_eval_representations(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched per-switch execution vs. the per-packet baseline: the same
+/// workload through the same network, injected one packet at a time
+/// (`inject`, a batch of one) vs. in driver batches (`inject_batch`), which
+/// group in-flight packets by switch and take one store-lock acquisition
+/// per (switch, table, batch-group) instead of one per packet visit.
+fn bench_batched_execution(c: &mut Criterion) {
+    let n = if smoke() { 256 } else { 4_096 };
+    let load = campus_workload(n);
+    let mut group = c.benchmark_group("batched_execution");
+    group.sample_size(if smoke() { 5 } else { 30 });
+    let net = campus_network();
+    group.bench_function("per_packet", |b| {
+        b.iter(|| {
+            for (port, pkt) in &load {
+                black_box(net.inject(*port, pkt).unwrap());
+            }
+        })
+    });
+    for batch in [64usize, 256] {
+        let net = campus_network();
+        group.bench_function(&format!("batch/{batch}"), |b| {
+            b.iter(|| {
+                for chunk in load.chunks(batch) {
+                    let out = net.inject_batch(chunk);
+                    for result in out.outputs {
+                        black_box(result.unwrap());
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // Store-lock accounting for one pass over the workload, per execution
+    // style — the numbers quoted in EXPERIMENTS.md ("Batched execution").
+    println!("\nstore-lock acquisitions for {n} campus packets (1/4 stateful):");
+    let count_locks = |f: &dyn Fn()| {
+        let before = snap_dataplane::store_lock_acquisitions();
+        f();
+        snap_dataplane::store_lock_acquisitions() - before
+    };
+    let net = campus_network();
+    let per_packet = count_locks(&|| {
+        for (port, pkt) in &load {
+            net.inject(*port, pkt).unwrap();
+        }
+    });
+    println!("  per-packet inject:        {per_packet:>8} lock acquisitions");
+    for batch in [64usize, 256] {
+        let net = campus_network();
+        let batched = count_locks(&|| {
+            for chunk in load.chunks(batch) {
+                for result in net.inject_batch(chunk).outputs {
+                    result.unwrap();
+                }
+            }
+        });
+        println!(
+            "  inject_batch({batch:>3}):        {batched:>8} lock acquisitions ({:.1}x fewer)",
+            per_packet as f64 / batched.max(1) as f64
+        );
+    }
+}
+
 /// Aggregate throughput of the multi-worker engine against one shared
 /// network.
 fn bench_worker_scaling(c: &mut Criterion) {
@@ -272,6 +336,7 @@ fn throughput_summary(_c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_eval_representations,
+    bench_batched_execution,
     bench_worker_scaling,
     throughput_summary
 );

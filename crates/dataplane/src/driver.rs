@@ -1,0 +1,343 @@
+//! The one packet driver shared by every plane of the simulator.
+//!
+//! SNAP's premise is a single program abstraction executed uniformly across
+//! the network, and the repo used to mirror that with two divergent copies
+//! of the per-packet dispatch loop — one in `Network`, one in the
+//! distributed `DistNetwork`. This module is the single remaining loop: the
+//! Emit/Dropped/NeedState/Fork dispatch, both spin-in-place guards, the hop
+//! budget and the forwarding logic live here and nowhere else. What differs
+//! between planes is expressed through two small traits:
+//!
+//! * [`ViewResolver`] — how a hop resolves its executable view. The
+//!   in-process `Network` answers from one RCU [`crate::ConfigSnapshot`]
+//!   (every hop sees the same epoch); the distributed plane answers from
+//!   each agent's epoch-history ring (`view_for(epoch)`), serving staged
+//!   views mid-commit. The resolver also hands out the per-switch store
+//!   shard — state is epoch-independent in both planes.
+//! * [`EgressSink`] — where a delivered packet lands: a flat per-packet
+//!   result set, or bounded per-port FIFO queues with backpressure
+//!   accounting ([`crate::EgressQueues`]).
+//!
+//! On top of the unified loop the driver executes **batched**: in-flight
+//! packets are grouped by their current switch and each group is drained
+//! under a single [`StoreLease`], so a store lock is taken once per
+//! (switch, batch-group) instead of once per packet visit — the cheapest
+//! remaining throughput lever, in the spirit of the wire-speed stateful
+//! stages of OPP and the state-access bottleneck observed by State-Compute
+//! Replication. Per-packet injection is simply a batch of one.
+//!
+//! Consistency note: within a batch, packets interleave at switch
+//! granularity, so the *relative order* of state writes from different
+//! packets of one batch is unspecified (exactly as it already was across
+//! worker threads); each packet still executes exactly one configuration
+//! end to end, and per-packet semantics are unchanged.
+
+use crate::exec::{
+    misplaced_state_error, missing_placement_error, process_at_switch, read_outport,
+    strip_snap_header, InFlight, NextHops, Progress, SimError, StepOutcome, StoreLease,
+};
+use parking_lot::Mutex;
+use snap_lang::{Packet, StateVar, Store, Value};
+use snap_topology::{NodeId as SwitchId, PortId, Topology};
+use snap_xfdd::{FlatId, FlatProgram};
+use std::collections::{BTreeSet, VecDeque};
+
+/// One switch's executable view under one epoch, as the driver consumes it:
+/// the program to walk, the state the switch owns, the external ports it
+/// serves and the global variable placement for forwarding towards state.
+pub trait HopView {
+    /// The flattened program this view executes.
+    fn flat(&self) -> &FlatProgram;
+    /// State variables the switch owns under this view.
+    fn local_vars(&self) -> &BTreeSet<StateVar>;
+    /// Does this view serve `port` as a local external port?
+    fn serves_port(&self, port: PortId) -> bool;
+    /// The switch a state variable lives on under this view's placement.
+    fn owner(&self, var: &StateVar) -> Option<SwitchId>;
+}
+
+/// How a plane resolves executable views: the seam between the shared
+/// driver and a configuration source.
+///
+/// Implementations: the RCU snapshot of [`crate::Network`] (one immutable
+/// epoch for the whole run) and the per-agent epoch-history lookup of the
+/// distributed plane (each hop resolves the packet's stamped epoch).
+pub trait ViewResolver {
+    /// The view a hop executes, borrowed from the resolver.
+    type View<'v>: HopView
+    where
+        Self: 'v;
+    /// The plane's error type; every shared [`SimError`] must embed into it.
+    type Error: From<SimError>;
+
+    /// Stamp a packet at its ingress switch: the epoch it will execute under
+    /// at every hop and the program root to start from. `Ok(None)` means
+    /// nothing is installed — the packet vanishes with empty egress.
+    fn ingress(&self, switch: SwitchId) -> Result<Option<(u64, FlatId)>, Self::Error>;
+
+    /// Resolve the view of `switch` for a stamped `epoch`. `Ok(None)` means
+    /// the switch has no configuration and only forwards.
+    fn resolve(&self, switch: SwitchId, epoch: u64) -> Result<Option<Self::View<'_>>, Self::Error>;
+
+    /// The switch's state shard. Epoch-independent in every plane — state
+    /// survives reconfiguration — which is what lets the driver lease it
+    /// once per (switch, batch-group).
+    fn store(&self, switch: SwitchId) -> Option<&Mutex<Store>>;
+}
+
+/// Where delivered packets land. `origin` is the index of the packet within
+/// the driven batch, so sinks can keep per-packet results.
+pub trait EgressSink {
+    /// Deliver a cleaned packet leaving the network at `port` (served by
+    /// switch `at`) under `epoch`.
+    fn deliver(&mut self, origin: usize, at: SwitchId, port: PortId, pkt: Packet, epoch: u64);
+}
+
+/// Per-packet driver results for one batch: the epoch each packet executed
+/// under (`None` when nothing was installed), or the packet's error. Egress
+/// is delivered through the [`EgressSink`], keyed by the same index.
+pub type BatchResults<E> = Vec<Result<Option<u64>, E>>;
+
+/// An in-flight packet plus the driver's batch bookkeeping: which batch
+/// packet it belongs to and the epoch it was stamped with at ingress.
+struct Tagged {
+    flight: InFlight,
+    origin: usize,
+    epoch: u64,
+}
+
+/// The generic packet driver: topology, precomputed next hops and the hop
+/// budget — everything the dispatch loop needs that is not view resolution
+/// or egress delivery. Both planes build one per injection call; it borrows
+/// and costs nothing to construct.
+pub struct Driver<'a> {
+    topology: &'a Topology,
+    next_hops: &'a NextHops,
+    hop_budget: usize,
+}
+
+impl<'a> Driver<'a> {
+    /// A driver over a topology with a precomputed next-hop table and a hop
+    /// budget.
+    pub fn new(topology: &'a Topology, next_hops: &'a NextHops, hop_budget: usize) -> Driver<'a> {
+        Driver {
+            topology,
+            next_hops,
+            hop_budget,
+        }
+    }
+
+    /// Drive a batch of packets to completion — the single dispatch loop of
+    /// the workspace.
+    ///
+    /// Execution is grouped by switch: all in-flight packets currently at
+    /// the same switch are drained together under one [`StoreLease`] (one
+    /// store-lock acquisition per group) with each distinct epoch's view
+    /// resolved once for the group. A packet that fails loses its remaining
+    /// in-flight copies, and never affects the rest of the batch; state
+    /// side effects that already happened stay, as they always did. The
+    /// sink may already have seen some of a failed packet's deliveries:
+    /// set-collecting adapters discard them along with the error, while
+    /// queue-delivering sinks cannot retract what was already enqueued (the
+    /// distributed plane's historical semantics — an egress queue is a
+    /// wire, not a buffer the driver owns).
+    ///
+    /// Batch entries may be owned packets or references — a batch of one
+    /// borrowed packet clones it exactly once, into its in-flight copy.
+    pub fn run_batch<R, S, P>(
+        &self,
+        resolver: &R,
+        sink: &mut S,
+        batch: &[(PortId, P)],
+    ) -> BatchResults<R::Error>
+    where
+        R: ViewResolver,
+        S: EgressSink,
+        P: std::borrow::Borrow<Packet>,
+    {
+        let mut results: BatchResults<R::Error> = batch.iter().map(|_| Ok(None)).collect();
+        let mut pending: Vec<Tagged> = Vec::with_capacity(batch.len());
+        for (origin, (port, packet)) in batch.iter().enumerate() {
+            let Some(ingress) = self.topology.port_switch(*port) else {
+                results[origin] = Err(SimError::UnknownPort(*port).into());
+                continue;
+            };
+            match resolver.ingress(ingress) {
+                Err(e) => results[origin] = Err(e),
+                Ok(None) => {} // nothing installed: empty egress
+                Ok(Some((epoch, root))) => {
+                    results[origin] = Ok(Some(epoch));
+                    pending.push(Tagged {
+                        flight: InFlight::ingress(packet.borrow().clone(), *port, ingress, root),
+                        origin,
+                        epoch,
+                    });
+                }
+            }
+        }
+
+        // Wave scheduling: each wave stable-sorts the in-flight packets by
+        // their current switch (preserving arrival order within a switch)
+        // and processes each contiguous run as one group — one store lease
+        // and one view resolution per (switch, epoch) per wave. Flights
+        // forwarded during a wave join the next one. The buffers persist
+        // across waves, so steady state allocates nothing.
+        let mut group: VecDeque<Tagged> = VecDeque::new();
+        let mut next: Vec<Tagged> = Vec::new();
+        let mut views: Vec<(u64, Option<R::View<'_>>)> = Vec::new();
+        while !pending.is_empty() {
+            pending.sort_by_key(|tagged| tagged.flight.at);
+            let mut drain = pending.drain(..).peekable();
+            while let Some(first) = drain.next() {
+                let switch = first.flight.at;
+                group.push_back(first);
+                while drain
+                    .peek()
+                    .is_some_and(|tagged| tagged.flight.at == switch)
+                {
+                    group.push_back(drain.next().expect("peeked"));
+                }
+                self.run_group(
+                    resolver,
+                    sink,
+                    switch,
+                    &mut group,
+                    &mut views,
+                    &mut next,
+                    &mut results,
+                );
+            }
+            drop(drain);
+            std::mem::swap(&mut pending, &mut next);
+        }
+        results
+    }
+
+    /// Drain one switch's group: every flight currently at `switch`, plus
+    /// any copies forked while draining, executes under a single
+    /// [`StoreLease`] with each distinct epoch's view resolved once.
+    /// Forwarded flights land in `next` (the following wave); failures land
+    /// in `results`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_group<'r, R: ViewResolver, S: EgressSink>(
+        &self,
+        resolver: &'r R,
+        sink: &mut S,
+        switch: SwitchId,
+        group: &mut VecDeque<Tagged>,
+        views: &mut Vec<(u64, Option<R::View<'r>>)>,
+        next: &mut Vec<Tagged>,
+        results: &mut BatchResults<R::Error>,
+    ) {
+        let mut lease = StoreLease::new(resolver.store(switch));
+        views.clear();
+        while let Some(mut tagged) = group.pop_front() {
+            if results[tagged.origin].is_err() {
+                continue; // a sibling copy already failed this packet
+            }
+            if tagged.flight.hops > self.hop_budget {
+                results[tagged.origin] = Err(SimError::HopBudgetExceeded.into());
+                continue;
+            }
+            let view_idx = match views.iter().position(|(e, _)| *e == tagged.epoch) {
+                Some(idx) => idx,
+                None => match resolver.resolve(switch, tagged.epoch) {
+                    Ok(view) => {
+                        views.push((tagged.epoch, view));
+                        views.len() - 1
+                    }
+                    Err(e) => {
+                        results[tagged.origin] = Err(e);
+                        continue;
+                    }
+                },
+            };
+            let Some(view) = views[view_idx].1.as_ref() else {
+                // A switch without a configuration only forwards,
+                // towards the packet's egress port if it has one.
+                match self.forward_unconfigured(&mut tagged.flight) {
+                    Ok(()) => next.push(tagged),
+                    Err(e) => results[tagged.origin] = Err(e.into()),
+                }
+                continue;
+            };
+            let step = match process_at_switch(
+                view.local_vars(),
+                view.flat(),
+                &mut lease,
+                &mut tagged.flight,
+            ) {
+                Ok(step) => step,
+                Err(e) => {
+                    results[tagged.origin] = Err(e.into());
+                    continue;
+                }
+            };
+            match step {
+                StepOutcome::Emit(pkt, outport) => {
+                    if view.serves_port(outport) {
+                        let mut clean = pkt;
+                        strip_snap_header(&mut clean);
+                        sink.deliver(tagged.origin, switch, outport, clean, tagged.epoch);
+                    } else {
+                        tagged.flight.pkt = pkt;
+                        tagged.flight.progress = Progress::Done;
+                        match self.forward_towards_port(&mut tagged.flight, outport) {
+                            Ok(()) => next.push(tagged),
+                            Err(e) => results[tagged.origin] = Err(e.into()),
+                        }
+                    }
+                }
+                StepOutcome::Dropped => {}
+                StepOutcome::NeedState(var) => {
+                    let Some(owner) = view.owner(&var) else {
+                        results[tagged.origin] = Err(missing_placement_error(&var).into());
+                        continue;
+                    };
+                    if owner == switch {
+                        // The view's placement and local_vars disagree;
+                        // forwarding "towards" the owner would spin in
+                        // place forever.
+                        results[tagged.origin] = Err(misplaced_state_error(&var).into());
+                        continue;
+                    }
+                    match self.next_hops.forward_towards(&mut tagged.flight, owner) {
+                        Ok(()) => next.push(tagged),
+                        Err(e) => results[tagged.origin] = Err(e.into()),
+                    }
+                }
+                StepOutcome::Fork(children) => {
+                    for flight in children {
+                        group.push_back(Tagged {
+                            flight,
+                            origin: tagged.origin,
+                            epoch: tagged.epoch,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forwarding for a switch with no configuration: towards the packet's
+    /// already-assigned egress port, or an error if it has none.
+    fn forward_unconfigured(&self, flight: &mut InFlight) -> Result<(), SimError> {
+        let outport = read_outport(&flight.pkt)?;
+        self.forward_towards_port(flight, outport)
+    }
+
+    /// Advance one hop towards the switch hosting `port`, with the shared
+    /// spin-in-place guard: if the port is attached to the *current* switch
+    /// yet its view does not serve it (misconfiguration), forwarding
+    /// "towards" it would spin forever, so the packet fails instead.
+    fn forward_towards_port(&self, flight: &mut InFlight, port: PortId) -> Result<(), SimError> {
+        let target = self
+            .topology
+            .port_switch(port)
+            .ok_or(SimError::BadOutPort(Value::Int(port.0 as i64)))?;
+        if target == flight.at {
+            return Err(SimError::BadOutPort(Value::Int(port.0 as i64)));
+        }
+        self.next_hops.forward_towards(flight, target)
+    }
+}

@@ -19,8 +19,17 @@
 //!   [`Network::inject`] takes `&self`: the running configuration is an
 //!   immutable, atomically-swappable [`ConfigSnapshot`] (RCU-style —
 //!   readers never block on a recompile) over sharded per-switch state;
-//! * [`TrafficEngine`] — drives a packet workload through a network from N
-//!   worker threads with per-worker egress collection.
+//! * [`driver`] — the one generic packet driver behind every plane: a
+//!   single Emit/Dropped/NeedState/Fork dispatch loop, parameterized over a
+//!   [`ViewResolver`] (how a hop resolves its executable view) and an
+//!   [`EgressSink`] (where deliveries land), executing batches grouped per
+//!   switch so a store lock is taken once per (switch, batch-group). Both
+//!   [`Network`] and the distributed plane of `snap-distrib` are thin
+//!   adapters over it;
+//! * [`TrafficEngine`] — drives a packet workload through any
+//!   [`TrafficTarget`] (the in-process network, the queue-delivering
+//!   [`QueuedNetwork`], the distributed plane) from N worker threads with
+//!   per-worker egress collection.
 //!
 //! Programs are executed via their dense flat node ids, which double as the
 //! §4.5 packet-tag node identifiers; the flattening is pure index
@@ -28,14 +37,18 @@
 
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod egress;
 pub mod exec;
 pub mod netasm;
 pub mod network;
 pub mod traffic;
 
+pub use driver::{BatchResults, Driver, EgressSink, HopView, ViewResolver};
 pub use egress::{EgressEvent, EgressQueues, DEFAULT_QUEUE_CAPACITY};
-pub use exec::{InFlight, NextHops, Progress, SimError, StepOutcome};
+pub use exec::{
+    store_lock_acquisitions, InFlight, NextHops, Progress, SimError, StepOutcome, StoreLease,
+};
 pub use netasm::{Instruction, NetAsmProgram};
-pub use network::{BatchOutput, ConfigSnapshot, Network, SwitchConfig};
-pub use traffic::{TrafficEngine, TrafficReport};
+pub use network::{BatchOutput, ConfigSnapshot, Network, QueuedBatchOutput, SwitchConfig};
+pub use traffic::{QueuedNetwork, TargetBatch, TrafficEngine, TrafficReport, TrafficTarget};

@@ -30,16 +30,15 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use snap_lang::{Packet, StateVar, Store, Value};
+use snap_lang::{Packet, StateVar, Store};
 use snap_xfdd::{FlatProgram, Xfdd};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use crate::driver::{Driver, EgressSink, HopView, ViewResolver};
+use crate::egress::EgressQueues;
+use crate::exec::NextHops;
 pub use crate::exec::SimError;
-use crate::exec::{
-    misplaced_state_error, missing_placement_error, process_at_switch, read_outport,
-    strip_snap_header, InFlight, NextHops, Progress, StepOutcome,
-};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
 
 /// Per-switch configuration produced by rule generation.
@@ -394,6 +393,12 @@ impl Network {
         out
     }
 
+    /// The shared packet driver over this network's topology, next-hop
+    /// table and hop budget.
+    fn driver(&self) -> Driver<'_> {
+        Driver::new(&self.topology, &self.next_hop, self.hop_budget)
+    }
+
     /// Inject a packet at an OBS external port and run it to completion
     /// against the current configuration snapshot. Returns the set of
     /// `(egress port, packet)` pairs that leave the network.
@@ -403,22 +408,71 @@ impl Network {
         packet: &Packet,
     ) -> Result<BTreeSet<(PortId, Packet)>, SimError> {
         let snap = self.snapshot();
-        self.inject_on(&snap, port, packet)
+        let resolver = SnapshotResolver { snap: &snap };
+        let mut sink = SetSink::for_batch(1);
+        let batch = [(port, packet)];
+        let mut results = self.driver().run_batch(&resolver, &mut sink, &batch);
+        results
+            .pop()
+            .expect("one result per packet")
+            .map(|_| sink.outputs.pop().expect("one egress set per packet"))
     }
 
     /// Inject a batch of packets, all against the *same* configuration
-    /// snapshot (one snapshot load for the whole batch). Workers use this
-    /// to amortize the snapshot acquisition and to get a consistency
-    /// guarantee: every packet of the batch observed the same epoch.
+    /// snapshot (one snapshot load for the whole batch). Execution is
+    /// batched per switch by the shared driver: in-flight packets at the
+    /// same switch drain under a single store-lock acquisition, so state
+    /// writes from *different* packets of one batch may interleave (each
+    /// packet's own semantics are unchanged, and every packet of the batch
+    /// observed the same epoch).
     pub fn inject_batch(&self, batch: &[(PortId, Packet)]) -> BatchOutput {
         let snap = self.snapshot();
-        let outputs = batch
-            .iter()
-            .map(|(port, pkt)| self.inject_on(&snap, *port, pkt))
+        let resolver = SnapshotResolver { snap: &snap };
+        let mut sink = SetSink::for_batch(batch.len());
+        let results = self.driver().run_batch(&resolver, &mut sink, batch);
+        let outputs = results
+            .into_iter()
+            .zip(sink.outputs)
+            .map(|(result, set)| result.map(|_| set))
             .collect();
         BatchOutput {
             epoch: snap.epoch,
             outputs,
+        }
+    }
+
+    /// Inject a batch whose egress is *delivered* rather than collected:
+    /// every emitted packet is pushed onto its port's bounded FIFO queue in
+    /// `queues` (tail-dropping and counting backpressure when full), in
+    /// addition to the per-packet result lists. This is the [`Network`]
+    /// counterpart of the distributed plane's queued egress, sharing the
+    /// same driver and the same [`EgressQueues`] semantics — including
+    /// that a delivery already enqueued is *not* retracted if a later copy
+    /// of the same packet fails (the per-packet `Err` discards only the
+    /// result list; the queue is a wire, and its enqueue/drop counters
+    /// keep counting such deliveries).
+    pub fn inject_batch_queued(
+        &self,
+        batch: &[(PortId, Packet)],
+        queues: &EgressQueues,
+    ) -> QueuedBatchOutput {
+        let snap = self.snapshot();
+        let resolver = SnapshotResolver { snap: &snap };
+        let mut sink = QueueSink {
+            queues,
+            outputs: batch.iter().map(|_| Vec::new()).collect(),
+            drops: 0,
+        };
+        let results = self.driver().run_batch(&resolver, &mut sink, batch);
+        let outputs = results
+            .into_iter()
+            .zip(sink.outputs)
+            .map(|(result, list)| result.map(|_| list))
+            .collect();
+        QueuedBatchOutput {
+            epoch: snap.epoch,
+            outputs,
+            backpressure_drops: sink.drops,
         }
     }
 
@@ -433,102 +487,119 @@ impl Network {
             .map(|(port, pkt)| self.inject(*port, pkt))
             .collect()
     }
+}
 
-    /// Run one packet to completion against a fixed snapshot.
-    fn inject_on(
-        &self,
-        snap: &ConfigSnapshot,
-        port: PortId,
-        packet: &Packet,
-    ) -> Result<BTreeSet<(PortId, Packet)>, SimError> {
-        let ingress = self
-            .topology
-            .port_switch(port)
-            .ok_or(SimError::UnknownPort(port))?;
-        let flat = match &snap.flat {
-            Some(f) => f,
-            None => return Ok(BTreeSet::new()), // no programs installed
+/// The result of a queued batch injection ([`Network::inject_batch_queued`]).
+#[derive(Clone, Debug)]
+pub struct QueuedBatchOutput {
+    /// The epoch of the snapshot every packet of the batch ran against.
+    pub epoch: u64,
+    /// Per-packet egress events (also enqueued on the port queues unless
+    /// tail-dropped), or the packet's error, in batch order.
+    pub outputs: Vec<Result<Vec<(PortId, Packet)>, SimError>>,
+    /// Deliveries tail-dropped by a full egress queue (still listed in
+    /// `outputs`; the loss is a queue property, not a processing one).
+    pub backpressure_drops: u64,
+}
+
+/// [`ViewResolver`] over one RCU snapshot: every hop of every packet sees
+/// the same epoch, program and placement — the single-pointer-swap
+/// consistency story expressed through the shared driver's seam.
+struct SnapshotResolver<'a> {
+    snap: &'a ConfigSnapshot,
+}
+
+/// One switch's view under a snapshot.
+struct SnapshotView<'a> {
+    config: &'a SwitchConfig,
+    flat: &'a FlatProgram,
+    placement: &'a BTreeMap<StateVar, SwitchId>,
+}
+
+impl HopView for SnapshotView<'_> {
+    fn flat(&self) -> &FlatProgram {
+        self.flat
+    }
+
+    fn local_vars(&self) -> &BTreeSet<StateVar> {
+        &self.config.local_vars
+    }
+
+    fn serves_port(&self, port: PortId) -> bool {
+        self.config.ports.contains(&port)
+    }
+
+    fn owner(&self, var: &StateVar) -> Option<SwitchId> {
+        self.placement.get(var).copied()
+    }
+}
+
+impl ViewResolver for SnapshotResolver<'_> {
+    type View<'v>
+        = SnapshotView<'v>
+    where
+        Self: 'v;
+    type Error = SimError;
+
+    fn ingress(&self, _switch: SwitchId) -> Result<Option<(u64, snap_xfdd::FlatId)>, SimError> {
+        // No programs installed: packets vanish with empty egress.
+        Ok(self.snap.flat.as_ref().map(|f| (self.snap.epoch, f.root())))
+    }
+
+    fn resolve(&self, switch: SwitchId, _epoch: u64) -> Result<Option<SnapshotView<'_>>, SimError> {
+        let Some(config) = self.snap.configs.get(&switch) else {
+            return Ok(None); // a switch without a config only forwards
         };
-        let mut outputs = BTreeSet::new();
-        let mut work = vec![InFlight::ingress(
-            packet.clone(),
-            port,
-            ingress,
-            flat.root(),
-        )];
-
-        while let Some(mut flight) = work.pop() {
-            if flight.hops > self.hop_budget {
-                return Err(SimError::HopBudgetExceeded);
-            }
-            let config = match snap.configs.get(&flight.at) {
-                Some(c) => c,
-                None => {
-                    // A switch without a config only forwards.
-                    self.forward(&mut flight)?;
-                    work.push(flight);
-                    continue;
-                }
-            };
-            let store = snap.stores.get(&flight.at).map(|s| s.as_ref());
-            match process_at_switch(&config.local_vars, flat, store, &mut flight)? {
-                StepOutcome::Emit(pkt, outport) => {
-                    // Deliver: if the egress port is attached to this switch
-                    // the packet leaves; otherwise keep forwarding.
-                    if config.ports.contains(&outport) {
-                        let mut clean = pkt;
-                        strip_snap_header(&mut clean);
-                        outputs.insert((outport, clean));
-                    } else {
-                        flight.pkt = pkt;
-                        flight.progress = Progress::Done;
-                        self.forward_towards_port(&mut flight, outport)?;
-                        work.push(flight);
-                    }
-                }
-                StepOutcome::Dropped => {}
-                StepOutcome::NeedState(var) => {
-                    // Forward one hop towards the owner of the variable.
-                    let owner = snap
-                        .owner(&var)
-                        .ok_or_else(|| missing_placement_error(&var))?;
-                    if owner == flight.at {
-                        // Inconsistent hand-built configs: forwarding
-                        // "towards" the owner would spin in place.
-                        return Err(misplaced_state_error(&var));
-                    }
-                    self.next_hop.forward_towards(&mut flight, owner)?;
-                    work.push(flight);
-                }
-                StepOutcome::Fork(children) => {
-                    for child in children {
-                        work.push(child);
-                    }
-                }
-            }
-        }
-        Ok(outputs)
+        let flat = self
+            .snap
+            .flat
+            .as_deref()
+            .expect("a non-empty config set always carries a flattened program");
+        Ok(Some(SnapshotView {
+            config,
+            flat,
+            placement: &self.snap.placement,
+        }))
     }
 
-    fn forward(&self, flight: &mut InFlight) -> Result<(), SimError> {
-        // A config-less switch should not normally be reached; forward toward
-        // the packet's egress if known, otherwise report a loop.
-        let outport = read_outport(&flight.pkt)?;
-        self.forward_towards_port(flight, outport)
+    fn store(&self, switch: SwitchId) -> Option<&Mutex<Store>> {
+        self.snap.stores.get(&switch).map(|s| s.as_ref())
     }
+}
 
-    fn forward_towards_port(&self, flight: &mut InFlight, port: PortId) -> Result<(), SimError> {
-        let target = self
-            .topology
-            .port_switch(port)
-            .ok_or(SimError::BadOutPort(Value::Int(port.0 as i64)))?;
-        if target == flight.at {
-            // Only reached when this switch cannot deliver the port itself
-            // (it is missing from its config, or the switch has no config at
-            // all): forwarding "towards" the port would spin in place.
-            return Err(SimError::BadOutPort(Value::Int(port.0 as i64)));
+/// Collects per-packet egress sets — the `Network`'s classic result shape.
+struct SetSink {
+    outputs: Vec<BTreeSet<(PortId, Packet)>>,
+}
+
+impl SetSink {
+    fn for_batch(n: usize) -> SetSink {
+        SetSink {
+            outputs: vec![BTreeSet::new(); n],
         }
-        self.next_hop.forward_towards(flight, target)
+    }
+}
+
+impl EgressSink for SetSink {
+    fn deliver(&mut self, origin: usize, _at: SwitchId, port: PortId, pkt: Packet, _epoch: u64) {
+        self.outputs[origin].insert((port, pkt));
+    }
+}
+
+/// Delivers into bounded per-port FIFO queues while keeping per-packet
+/// result lists and a backpressure count.
+struct QueueSink<'a> {
+    queues: &'a EgressQueues,
+    outputs: Vec<Vec<(PortId, Packet)>>,
+    drops: u64,
+}
+
+impl EgressSink for QueueSink<'_> {
+    fn deliver(&mut self, origin: usize, _at: SwitchId, port: PortId, pkt: Packet, epoch: u64) {
+        if !self.queues.push(port, pkt.clone(), epoch) {
+            self.drops += 1;
+        }
+        self.outputs[origin].push((port, pkt));
     }
 }
 
@@ -536,7 +607,7 @@ impl Network {
 mod tests {
     use super::*;
     use snap_lang::builder::*;
-    use snap_lang::{Field, Policy};
+    use snap_lang::{Field, Policy, Value};
     use snap_topology::generators::campus;
 
     /// Build a network for `policy` on the campus topology with all state on

@@ -1,27 +1,113 @@
-//! Multi-worker traffic generation: drive a packet workload through a
-//! [`Network`] from N threads.
+//! Multi-worker traffic generation: drive a packet workload through any
+//! packet-driving plane from N threads.
 //!
-//! [`Network::inject`] takes `&self` and every packet runs against an
-//! immutable configuration snapshot, so scaling traffic is embarrassingly
-//! parallel up to the per-switch store shards: the [`TrafficEngine`] shards
-//! a workload across worker threads, each worker pumps its shard through
-//! [`Network::inject_batch`] (one snapshot acquisition per batch) and
-//! collects its egress locally, and the per-worker results are only merged
-//! after the workers join — no shared output structure, no coordination on
-//! the hot path.
+//! The [`TrafficEngine`] is generic over a [`TrafficTarget`] — anything
+//! that can run a batch of packets and report, per packet, the epoch it
+//! executed under and its egress. The in-process [`Network`] is one target
+//! (RCU snapshots, sharded state); a [`Network`] delivering through bounded
+//! per-port queues is another ([`QueuedNetwork`]); the distributed
+//! `snap-distrib` plane implements the same trait over its per-switch
+//! agents, so one worker harness drives every plane.
 //!
-//! The engine runs happily *while* a controller calls
-//! [`Network::swap_configs`]: each batch reports the epoch it ran under, and
-//! the engine aggregates the set of epochs observed, which tests use to
-//! assert that concurrent recompiles were actually interleaved with the
-//! traffic.
+//! Scaling traffic is embarrassingly parallel up to the per-switch store
+//! shards: the engine shards a workload across worker threads, each worker
+//! pumps its shard batch by batch (one configuration acquisition — and one
+//! store-lock acquisition per visited switch — per batch, thanks to the
+//! shared batched driver) and collects its egress locally; per-worker
+//! results are only merged after the workers join — no shared output
+//! structure, no coordination on the hot path.
+//!
+//! The engine runs happily *while* a controller reconfigures the target:
+//! each packet reports the epoch it ran under, the report keeps both the
+//! observed epoch set and the per-worker epoch sequences, and tests use
+//! those to assert that concurrent recompiles really interleaved with the
+//! traffic (and that epochs never ran backwards within a worker).
 
-use crate::network::{Network, SimError};
+use crate::egress::EgressQueues;
+use crate::network::{Network, QueuedBatchOutput, SimError};
 use snap_lang::Packet;
 use snap_topology::PortId;
 use std::collections::BTreeSet;
 
-/// Drives a packet workload through a [`Network`] over N worker threads.
+/// Per-packet outcome of driving one batch through a [`TrafficTarget`]:
+/// the epoch the packet executed under and its egress events, or the
+/// packet's error.
+pub type TargetBatch<E> = Vec<Result<(u64, Vec<(PortId, Packet)>), E>>;
+
+/// Anything the [`TrafficEngine`] can drive a workload through: a plane
+/// that executes batches of packets and reports per-packet epochs and
+/// egress. Implemented by [`Network`], [`QueuedNetwork`] and the
+/// distributed plane of `snap-distrib`.
+pub trait TrafficTarget: Sync {
+    /// The plane's per-packet error type.
+    type Error: Send;
+
+    /// Run one batch of packets to completion and report, in batch order,
+    /// each packet's `(epoch, egress)` or error.
+    fn drive_batch(&self, batch: &[(PortId, Packet)]) -> TargetBatch<Self::Error>;
+}
+
+impl TrafficTarget for Network {
+    type Error = SimError;
+
+    fn drive_batch(&self, batch: &[(PortId, Packet)]) -> TargetBatch<SimError> {
+        let out = self.inject_batch(batch);
+        out.outputs
+            .into_iter()
+            .map(|result| result.map(|set| (out.epoch, set.into_iter().collect())))
+            .collect()
+    }
+}
+
+impl<T: TrafficTarget + Send> TrafficTarget for std::sync::Arc<T> {
+    type Error = T::Error;
+
+    fn drive_batch(&self, batch: &[(PortId, Packet)]) -> TargetBatch<Self::Error> {
+        (**self).drive_batch(batch)
+    }
+}
+
+/// A [`Network`] whose egress is *delivered* through bounded per-port FIFO
+/// queues ([`EgressQueues`]) instead of only collected: backpressure
+/// tail-drops are counted on the queues, and consumers drain ports
+/// explicitly — the same delivery model the distributed plane uses, now
+/// available to the in-process simulator under the shared driver.
+pub struct QueuedNetwork<'a> {
+    network: &'a Network,
+    queues: &'a EgressQueues,
+}
+
+impl<'a> QueuedNetwork<'a> {
+    /// Drive `network` with deliveries landing in `queues`.
+    pub fn new(network: &'a Network, queues: &'a EgressQueues) -> QueuedNetwork<'a> {
+        QueuedNetwork { network, queues }
+    }
+
+    /// The underlying queues.
+    pub fn queues(&self) -> &EgressQueues {
+        self.queues
+    }
+
+    /// Inject one batch, delivering through the queues.
+    pub fn inject_batch(&self, batch: &[(PortId, Packet)]) -> QueuedBatchOutput {
+        self.network.inject_batch_queued(batch, self.queues)
+    }
+}
+
+impl TrafficTarget for QueuedNetwork<'_> {
+    type Error = SimError;
+
+    fn drive_batch(&self, batch: &[(PortId, Packet)]) -> TargetBatch<SimError> {
+        let out = self.inject_batch(batch);
+        out.outputs
+            .into_iter()
+            .map(|result| result.map(|list| (out.epoch, list)))
+            .collect()
+    }
+}
+
+/// Drives a packet workload through a [`TrafficTarget`] over N worker
+/// threads.
 #[derive(Clone, Copy, Debug)]
 pub struct TrafficEngine {
     workers: usize,
@@ -29,22 +115,39 @@ pub struct TrafficEngine {
 }
 
 /// What a [`TrafficEngine::run`] did: per-worker egress, counters and the
-/// set of configuration epochs the batches observed.
-#[derive(Clone, Debug, Default)]
-pub struct TrafficReport {
+/// configuration epochs the packets observed. Generic over the target's
+/// error type (defaulting to the in-process plane's [`SimError`]).
+#[derive(Clone, Debug)]
+pub struct TrafficReport<E = SimError> {
     /// Egress events collected by each worker, in that worker's processing
-    /// order.
+    /// order (each packet's egress grouped, packets in shard order).
     pub egress: Vec<Vec<(PortId, Packet)>>,
     /// Packets successfully processed to completion.
     pub processed: usize,
     /// Per-packet errors encountered (a failed packet loses only its own
     /// egress; the rest of its batch is unaffected).
-    pub errors: Vec<SimError>,
-    /// Configuration epochs observed across all batches.
+    pub errors: Vec<E>,
+    /// Configuration epochs observed across all packets.
     pub epochs: BTreeSet<u64>,
+    /// Per worker, the epoch of each successfully processed packet in that
+    /// worker's processing order — what tests use to assert per-worker
+    /// epoch monotonicity under concurrent reconfiguration.
+    pub worker_epochs: Vec<Vec<u64>>,
 }
 
-impl TrafficReport {
+impl<E> Default for TrafficReport<E> {
+    fn default() -> Self {
+        TrafficReport {
+            egress: Vec::new(),
+            processed: 0,
+            errors: Vec::new(),
+            epochs: BTreeSet::new(),
+            worker_epochs: Vec::new(),
+        }
+    }
+}
+
+impl<E> TrafficReport<E> {
     /// Total number of egress events across all workers.
     pub fn total_egress(&self) -> usize {
         self.egress.iter().map(Vec::len).sum()
@@ -66,9 +169,9 @@ impl TrafficEngine {
         }
     }
 
-    /// Packets per [`Network::inject_batch`] call (minimum 1). Larger
-    /// batches amortize the snapshot acquisition; smaller ones observe
-    /// config swaps at a finer grain.
+    /// Packets per [`TrafficTarget::drive_batch`] call (minimum 1). Larger
+    /// batches amortize configuration and store-lock acquisitions; smaller
+    /// ones observe config swaps at a finer grain.
     pub fn with_batch_size(mut self, batch_size: usize) -> TrafficEngine {
         self.batch_size = batch_size.max(1);
         self
@@ -80,24 +183,28 @@ impl TrafficEngine {
     }
 
     /// Shard `workload` across the workers and run every packet to
-    /// completion. Returns when all workers have drained their shards.
-    pub fn run(&self, network: &Network, workload: &[(PortId, Packet)]) -> TrafficReport {
+    /// completion through `target`. Returns when all workers have drained
+    /// their shards.
+    pub fn run<T: TrafficTarget>(
+        &self,
+        target: &T,
+        workload: &[(PortId, Packet)],
+    ) -> TrafficReport<T::Error> {
         let shard_len = workload.len().div_ceil(self.workers).max(1);
         let shards: Vec<&[(PortId, Packet)]> = workload.chunks(shard_len).collect();
-        let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let worker_results: Vec<WorkerResult<T::Error>> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .into_iter()
                 .map(|shard| {
                     scope.spawn(move || {
                         let mut result = WorkerResult::default();
                         for batch in shard.chunks(self.batch_size) {
-                            let out = network.inject_batch(batch);
-                            result.epochs.insert(out.epoch);
-                            for set in out.outputs {
-                                match set {
-                                    Ok(set) => {
+                            for packet in target.drive_batch(batch) {
+                                match packet {
+                                    Ok((epoch, egress)) => {
                                         result.processed += 1;
-                                        result.egress.extend(set);
+                                        result.epochs.push(epoch);
+                                        result.egress.extend(egress);
                                     }
                                     Err(e) => result.errors.push(e),
                                 }
@@ -118,18 +225,29 @@ impl TrafficEngine {
             report.egress.push(w.egress);
             report.processed += w.processed;
             report.errors.extend(w.errors);
-            report.epochs.extend(w.epochs);
+            report.epochs.extend(w.epochs.iter().copied());
+            report.worker_epochs.push(w.epochs);
         }
         report
     }
 }
 
-#[derive(Default)]
-struct WorkerResult {
+struct WorkerResult<E> {
     egress: Vec<(PortId, Packet)>,
     processed: usize,
-    errors: Vec<SimError>,
-    epochs: BTreeSet<u64>,
+    errors: Vec<E>,
+    epochs: Vec<u64>,
+}
+
+impl<E> Default for WorkerResult<E> {
+    fn default() -> Self {
+        WorkerResult {
+            egress: Vec::new(),
+            processed: 0,
+            errors: Vec::new(),
+            epochs: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +302,10 @@ mod tests {
         assert!(multi.is_clean());
         assert_eq!(multi.processed, load.len());
         assert_eq!(multi.epochs, BTreeSet::from([0]));
+        assert!(multi
+            .worker_epochs
+            .iter()
+            .all(|trace| trace.iter().all(|&e| e == 0)));
 
         // Same egress multiset regardless of worker count.
         let collect = |r: &TrafficReport| {
@@ -254,5 +376,35 @@ mod tests {
             })
             .sum();
         assert_eq!(total, load.len() as i64);
+    }
+
+    #[test]
+    fn queued_network_delivers_through_port_queues() {
+        // The same engine, the same network — but egress lands in bounded
+        // per-port FIFO queues, exactly like the distributed plane.
+        let net = counting_network();
+        let queues = EgressQueues::new(net.topology().external_ports().map(|(p, _)| p), 4096);
+        let load = workload(80);
+        let report = TrafficEngine::new(2)
+            .with_batch_size(16)
+            .run(&QueuedNetwork::new(&net, &queues), &load);
+        assert!(report.is_clean());
+        assert_eq!(report.processed, 80);
+        assert_eq!(report.total_egress(), 80);
+        // Every delivery was enqueued (capacity is ample), stamped with the
+        // running epoch, and drains in FIFO order.
+        assert_eq!(queues.total_enqueued(), 80);
+        assert_eq!(queues.total_dropped(), 0);
+        let mut drained = 0;
+        for (_, events) in queues.drain_all() {
+            let mut last = None;
+            for e in &events {
+                assert_eq!(e.epoch, 0);
+                assert!(last.is_none_or(|s| e.seq > s), "per-port FIFO violated");
+                last = Some(e.seq);
+            }
+            drained += events.len();
+        }
+        assert_eq!(drained, 80);
     }
 }

@@ -103,6 +103,32 @@ impl From<CompileError> for DistribError {
     }
 }
 
+/// Tunables of a [`Controller`].
+#[derive(Clone, Debug)]
+pub struct DistribOptions {
+    /// Per-reply transport timeout.
+    pub timeout: Duration,
+    /// Auto-compaction policy for the append-only distribution pool: after
+    /// a successful commit, if the pool holds more than `compact_threshold`
+    /// times the live program's node count, the controller compacts the
+    /// pool down to the live program ([`Controller::compact_distribution`])
+    /// and schedules a full-table resync of every mirror on the next
+    /// update. In-flight packets keep their tags valid throughout: agents
+    /// serve their existing (old-numbering) views until the resync commits,
+    /// and the resync preserves the fresh pool's exact numbering. `None`
+    /// disables auto-compaction.
+    pub compact_threshold: Option<usize>,
+}
+
+impl Default for DistribOptions {
+    fn default() -> Self {
+        DistribOptions {
+            timeout: Duration::from_secs(5),
+            compact_threshold: None,
+        }
+    }
+}
+
 /// What one distributed commit did — the numbers behind the delta-shipping
 /// story.
 #[derive(Clone, Debug)]
@@ -129,6 +155,9 @@ pub struct CommitReport {
     pub meta_shipped: usize,
     /// State tables migrated between owners at commit.
     pub migrated_tables: usize,
+    /// Nodes reclaimed by the auto-compaction that ran after this commit
+    /// (0 when the pool was under threshold or auto-compaction is off).
+    pub compacted_nodes: usize,
     /// Wall-clock spent in the prepare phase (all agents staged).
     pub prepare_time: Duration,
     /// Wall-clock spent in the commit phase (all agents flipped, tables
@@ -174,7 +203,7 @@ pub struct Controller {
     /// compilation, so the baseline statistic does not re-encode the whole
     /// diagram on every working-set flip.
     full_cache: Option<(Arc<Compiled>, usize)>,
-    timeout: Duration,
+    options: DistribOptions,
     history: Vec<CommitReport>,
 }
 
@@ -191,15 +220,26 @@ impl Controller {
             agents: BTreeMap::new(),
             dirty: false,
             full_cache: None,
-            timeout: Duration::from_secs(5),
+            options: DistribOptions::default(),
             history: Vec::new(),
         }
     }
 
     /// Set the per-reply transport timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Controller {
-        self.timeout = timeout;
+        self.options.timeout = timeout;
         self
+    }
+
+    /// Replace the controller's tunables (timeout, auto-compaction policy).
+    pub fn with_options(mut self, options: DistribOptions) -> Controller {
+        self.options = options;
+        self
+    }
+
+    /// The controller's tunables.
+    pub fn options(&self) -> &DistribOptions {
+        &self.options
     }
 
     /// Attach an agent for a switch. The first update it receives is a full
@@ -414,7 +454,7 @@ impl Controller {
         // running configuration.
         let mut failure: Option<DistribError> = None;
         for link in self.agents.values_mut() {
-            match recv_reply(link, self.timeout, epoch) {
+            match recv_reply(link, self.options.timeout, epoch) {
                 Ok(FromAgent::Prepared { epoch: e, .. }) if e == epoch => {
                     link.synced_len = self.dist.len();
                     link.needs_resync = false;
@@ -461,18 +501,18 @@ impl Controller {
         // recovery is conservative: resync everyone and re-ship all
         // metadata on the next update.
         let t_commit = Instant::now();
-        let migrated_tables = match commit_phase(&mut self.agents, epoch, self.timeout, &placement)
-        {
-            Ok(migrated) => migrated,
-            Err(err) => {
-                self.dirty = true;
-                for link in self.agents.values_mut() {
-                    link.needs_resync = true;
-                    link.meta = None;
+        let migrated_tables =
+            match commit_phase(&mut self.agents, epoch, self.options.timeout, &placement) {
+                Ok(migrated) => migrated,
+                Err(err) => {
+                    self.dirty = true;
+                    for link in self.agents.values_mut() {
+                        link.needs_resync = true;
+                        link.meta = None;
+                    }
+                    return Err(err);
                 }
-                return Err(err);
-            }
-        };
+            };
         let commit_time = t_commit.elapsed();
 
         // Bookkeeping: the epoch is committed everywhere.
@@ -484,6 +524,25 @@ impl Controller {
                 .unwrap_or_else(|| empty_meta.clone());
             link.meta = Some(meta);
         }
+        // Auto-compaction policy: the distribution pool is append-only, so
+        // a long-lived controller accumulates every superseded generation.
+        // Once the pool exceeds the configured multiple of the *live*
+        // program's size, compact it down to the live program now — the
+        // agents keep serving their existing views (packet tags stay valid;
+        // views are immutable bundles over the old numbering) and the next
+        // update resyncs every mirror against the renumbered pool.
+        let mut compacted_nodes = 0;
+        if let Some(factor) = self.options.compact_threshold {
+            let mut live = 0usize;
+            self.dist.visit_reachable([root], |_, _| {
+                live += 1;
+                true
+            });
+            if self.dist.len() > factor.max(1) * live.max(1) {
+                compacted_nodes = self.compact_distribution();
+            }
+        }
+
         let report = CommitReport {
             epoch,
             session_epoch: update.session_epoch,
@@ -494,6 +553,7 @@ impl Controller {
             resync_bytes: resync_payload.as_ref().map_or(0, Vec::len),
             meta_shipped,
             migrated_tables,
+            compacted_nodes,
             prepare_time,
             commit_time,
         };

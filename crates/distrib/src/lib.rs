@@ -21,9 +21,14 @@
 //!   packet mixes two configurations: commit is only ordered after every
 //!   agent staged the epoch, and packets resolve their ingress-stamped
 //!   epoch at every hop (see `controller` module docs for the argument).
-//! * [`DistNetwork`] drives traffic through the agents with per-port
-//!   bounded FIFO egress queues and backpressure counters
-//!   ([`snap_dataplane::EgressQueues`]) instead of flat result vectors.
+//! * [`DistNetwork`] drives traffic through the agents via the *same*
+//!   generic batched packet driver as the in-process plane
+//!   ([`snap_dataplane::driver`]): this crate only supplies the view
+//!   resolver (per-agent epoch-history lookup) and the egress sink
+//!   (per-port bounded FIFO queues with backpressure counters,
+//!   [`snap_dataplane::EgressQueues`]). It also implements
+//!   [`snap_dataplane::TrafficTarget`], so the multi-worker
+//!   `TrafficEngine` drives distributed traffic too.
 //! * The transport is a trait seam ([`transport::ControllerEndpoint`] /
 //!   [`transport::AgentEndpoint`]); the in-process backend is a pair of
 //!   mpsc channels, and a socket backend can slot in without touching
@@ -65,7 +70,7 @@ pub mod plane;
 pub mod transport;
 
 pub use agent::{AgentStats, EpochView, SwitchAgent, EPOCH_HISTORY};
-pub use controller::{CommitReport, Controller, DistribError};
+pub use controller::{CommitReport, Controller, DistribError, DistribOptions};
 pub use plane::{DistNetwork, InjectError, InjectOutcome};
 pub use transport::{
     channel_link, AgentEndpoint, ControllerEndpoint, FromAgent, PrepareMsg, SwitchMeta, ToAgent,
@@ -103,12 +108,22 @@ impl InProcessDeployment {
 /// own thread, linked to a [`Controller`] over in-process channels.
 /// `queue_capacity` bounds each agent's per-port egress queues.
 pub fn deploy_in_process(session: CompilerSession, queue_capacity: usize) -> InProcessDeployment {
+    deploy_in_process_with(session, queue_capacity, DistribOptions::default())
+}
+
+/// [`deploy_in_process`] with explicit controller tunables (transport
+/// timeout, auto-compaction threshold).
+pub fn deploy_in_process_with(
+    session: CompilerSession,
+    queue_capacity: usize,
+    options: DistribOptions,
+) -> InProcessDeployment {
     let topology = session.topology().clone();
     let mut ports_per_switch: BTreeMap<SwitchId, Vec<PortId>> = BTreeMap::new();
     for (port, node) in topology.external_ports() {
         ports_per_switch.entry(node).or_default().push(port);
     }
-    let mut controller = Controller::new(session);
+    let mut controller = Controller::new(session).with_options(options);
     let mut agents: BTreeMap<SwitchId, Arc<SwitchAgent>> = BTreeMap::new();
     let mut handles = Vec::new();
     for switch in topology.nodes() {

@@ -8,20 +8,26 @@
 //! view for *that* epoch, so the packet executes exactly one configuration
 //! end to end no matter how the commit wave interleaves with its flight.
 //!
-//! Egress is delivered through each agent's bounded per-port FIFO queues
-//! ([`snap_dataplane::EgressQueues`]) instead of a flat result `Vec`:
-//! deliveries carry the epoch and a per-port sequence number, full queues
-//! tail-drop and count backpressure, and consumers drain ports explicitly.
+//! Execution goes through the *same* generic driver as the in-process
+//! plane ([`snap_dataplane::driver`]): this module only provides the
+//! [`ViewResolver`] (per-agent epoch-history lookup) and the
+//! [`EgressSink`] (per-agent bounded per-port FIFO queues,
+//! [`snap_dataplane::EgressQueues`]) — the dispatch loop, the hop budget
+//! and the batched per-switch store-lock amortization are shared. The
+//! distributed plane also implements [`snap_dataplane::TrafficTarget`], so
+//! the multi-worker [`snap_dataplane::TrafficEngine`] drives it exactly
+//! like it drives a `Network`.
 
-use crate::agent::SwitchAgent;
+use crate::agent::{EpochView, SwitchAgent};
+use parking_lot::Mutex;
+use snap_dataplane::driver::{Driver, EgressSink, HopView, ViewResolver};
 use snap_dataplane::egress::EgressEvent;
-use snap_dataplane::exec::{
-    misplaced_state_error, missing_placement_error, process_at_switch, strip_snap_header, InFlight,
-    NextHops, Progress, SimError, StepOutcome,
-};
-use snap_lang::{Packet, Store, Value};
+use snap_dataplane::exec::{NextHops, SimError};
+use snap_dataplane::{TargetBatch, TrafficTarget};
+use snap_lang::{Packet, StateVar, Store};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
-use std::collections::BTreeMap;
+use snap_xfdd::{FlatId, FlatProgram};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -89,6 +95,90 @@ pub struct DistNetwork {
     hop_budget: usize,
 }
 
+/// [`ViewResolver`] over the per-switch agents: ingress stamps the current
+/// epoch of the ingress agent, and every hop resolves its agent's view for
+/// the *stamped* epoch — a committed one from the history ring, or the
+/// staged one mid-commit (sound because the controller only orders commits
+/// after every agent prepared; see the `agent` module docs).
+struct AgentResolver<'a> {
+    agents: &'a BTreeMap<SwitchId, Arc<SwitchAgent>>,
+}
+
+/// One agent's epoch view, as the shared driver consumes it.
+struct AgentView {
+    view: Arc<EpochView>,
+}
+
+impl HopView for AgentView {
+    fn flat(&self) -> &FlatProgram {
+        &self.view.flat
+    }
+
+    fn local_vars(&self) -> &BTreeSet<StateVar> {
+        &self.view.local_vars
+    }
+
+    fn serves_port(&self, port: PortId) -> bool {
+        self.view.ports.contains(&port)
+    }
+
+    fn owner(&self, var: &StateVar) -> Option<SwitchId> {
+        self.view.placement.get(var).copied()
+    }
+}
+
+impl ViewResolver for AgentResolver<'_> {
+    type View<'v>
+        = AgentView
+    where
+        Self: 'v;
+    type Error = InjectError;
+
+    fn ingress(&self, switch: SwitchId) -> Result<Option<(u64, FlatId)>, InjectError> {
+        let agent = self
+            .agents
+            .get(&switch)
+            .ok_or(InjectError::NoAgent(switch))?;
+        let view = agent
+            .current_view()
+            .ok_or(InjectError::NotConfigured(switch))?;
+        Ok(Some((view.epoch, view.flat.root())))
+    }
+
+    fn resolve(&self, switch: SwitchId, epoch: u64) -> Result<Option<AgentView>, InjectError> {
+        let agent = self
+            .agents
+            .get(&switch)
+            .ok_or(InjectError::NoAgent(switch))?;
+        let view = agent
+            .view_for(epoch)
+            .ok_or(InjectError::EpochUnavailable { switch, epoch })?;
+        Ok(Some(AgentView { view }))
+    }
+
+    fn store(&self, switch: SwitchId) -> Option<&Mutex<Store>> {
+        self.agents.get(&switch).map(|a| a.store())
+    }
+}
+
+/// [`EgressSink`] that delivers into the owning agent's bounded per-port
+/// FIFO queues, counting backpressure tail-drops per packet.
+struct AgentQueueSink<'a> {
+    agents: &'a BTreeMap<SwitchId, Arc<SwitchAgent>>,
+    outcomes: Vec<InjectOutcome>,
+}
+
+impl EgressSink for AgentQueueSink<'_> {
+    fn deliver(&mut self, origin: usize, at: SwitchId, port: PortId, pkt: Packet, epoch: u64) {
+        if let Some(agent) = self.agents.get(&at) {
+            if !agent.egress().push(port, pkt.clone(), epoch) {
+                self.outcomes[origin].backpressure_drops += 1;
+            }
+        }
+        self.outcomes[origin].delivered.push((port, pkt));
+    }
+}
+
 impl DistNetwork {
     /// A network over a set of agents.
     pub fn new(topology: Topology, agents: BTreeMap<SwitchId, Arc<SwitchAgent>>) -> DistNetwork {
@@ -101,10 +191,21 @@ impl DistNetwork {
         }
     }
 
-    /// Set the hop budget.
+    /// Set the hop budget at construction time — the same budget, enforced
+    /// by the same shared driver, as [`snap_dataplane::Network`]'s.
     pub fn with_hop_budget(mut self, budget: usize) -> DistNetwork {
         self.hop_budget = budget;
         self
+    }
+
+    /// Change the hop budget of a network that is not yet shared.
+    pub fn set_hop_budget(&mut self, budget: usize) {
+        self.hop_budget = budget;
+    }
+
+    /// The current hop budget.
+    pub fn hop_budget(&self) -> usize {
+        self.hop_budget
     }
 
     /// The network's topology.
@@ -126,97 +227,59 @@ impl DistNetwork {
     /// agent's current epoch, run it hop by hop against that epoch's views,
     /// and deliver egress into the owning agents' port queues.
     pub fn inject(&self, port: PortId, packet: &Packet) -> Result<InjectOutcome, InjectError> {
-        let ingress = self
-            .topology
-            .port_switch(port)
-            .ok_or(InjectError::Sim(SimError::UnknownPort(port)))?;
-        let ingress_agent = self
-            .agents
-            .get(&ingress)
-            .ok_or(InjectError::NoAgent(ingress))?;
-        let view0 = ingress_agent
-            .current_view()
-            .ok_or(InjectError::NotConfigured(ingress))?;
-        let epoch = view0.epoch;
+        let batch = [(port, packet)];
+        self.inject_batch(&batch)
+            .pop()
+            .expect("one outcome per injected packet")
+    }
 
-        let mut outcome = InjectOutcome {
-            epoch,
-            delivered: Vec::new(),
-            backpressure_drops: 0,
+    /// Inject a batch of packets through the shared batched driver: each
+    /// packet is stamped at its own ingress agent (epochs may differ within
+    /// a batch while a commit wave passes), in-flight packets are grouped
+    /// per switch and drained under one store-lock acquisition per group,
+    /// and results come back in batch order.
+    ///
+    /// Batching widens the window between a packet's epoch stamp and its
+    /// last hop's view lookup: a packet whose batch drains across more than
+    /// [`crate::agent::EPOCH_HISTORY`] commits can find its epoch pruned
+    /// from the ring and fail with [`InjectError::EpochUnavailable`], where
+    /// a solo injection (stamp-to-resolve window of one flight) would have
+    /// completed. Batch size therefore trades throughput against
+    /// commit-rate tolerance; callers racing a fast controller should use
+    /// smaller batches or retry pruned packets (re-injection re-stamps
+    /// against the fresh epoch).
+    pub fn inject_batch<P: std::borrow::Borrow<Packet>>(
+        &self,
+        batch: &[(PortId, P)],
+    ) -> Vec<Result<InjectOutcome, InjectError>> {
+        let resolver = AgentResolver {
+            agents: &self.agents,
         };
-        let mut work = vec![InFlight::ingress(
-            packet.clone(),
-            port,
-            ingress,
-            view0.flat.root(),
-        )];
-
-        while let Some(mut flight) = work.pop() {
-            if flight.hops > self.hop_budget {
-                return Err(InjectError::Sim(SimError::HopBudgetExceeded));
-            }
-            let agent = self
-                .agents
-                .get(&flight.at)
-                .ok_or(InjectError::NoAgent(flight.at))?;
-            let view = agent.view_for(epoch).ok_or(InjectError::EpochUnavailable {
-                switch: flight.at,
-                epoch,
-            })?;
-            let step = process_at_switch(
-                &view.local_vars,
-                &view.flat,
-                Some(agent.store()),
-                &mut flight,
-            )?;
-            match step {
-                StepOutcome::Emit(pkt, outport) => {
-                    if view.ports.contains(&outport) {
-                        let mut clean = pkt;
-                        strip_snap_header(&mut clean);
-                        if !agent.egress().push(outport, clean.clone(), epoch) {
-                            outcome.backpressure_drops += 1;
-                        }
-                        outcome.delivered.push((outport, clean));
-                    } else {
-                        let target = self.topology.port_switch(outport).ok_or(InjectError::Sim(
-                            SimError::BadOutPort(Value::Int(outport.0 as i64)),
-                        ))?;
-                        if target == flight.at {
-                            // The port is attached here, yet this epoch's
-                            // view does not serve it — a misconfigured
-                            // agent. Forwarding "towards" it would spin in
-                            // place forever, so fail the packet instead.
-                            return Err(InjectError::Sim(SimError::BadOutPort(Value::Int(
-                                outport.0 as i64,
-                            ))));
-                        }
-                        flight.pkt = pkt;
-                        flight.progress = Progress::Done;
-                        self.next_hops.forward_towards(&mut flight, target)?;
-                        work.push(flight);
-                    }
+        let mut sink = AgentQueueSink {
+            agents: &self.agents,
+            outcomes: batch
+                .iter()
+                .map(|_| InjectOutcome {
+                    epoch: 0,
+                    delivered: Vec::new(),
+                    backpressure_drops: 0,
+                })
+                .collect(),
+        };
+        let driver = Driver::new(&self.topology, &self.next_hops, self.hop_budget);
+        let results = driver.run_batch(&resolver, &mut sink, batch);
+        results
+            .into_iter()
+            .zip(sink.outcomes)
+            .map(|(result, mut outcome)| match result {
+                Ok(Some(epoch)) => {
+                    outcome.epoch = epoch;
+                    Ok(outcome)
                 }
-                StepOutcome::Dropped => {}
-                StepOutcome::NeedState(var) => {
-                    let owner = view
-                        .placement
-                        .get(&var)
-                        .copied()
-                        .ok_or_else(|| InjectError::Sim(missing_placement_error(&var)))?;
-                    if owner == flight.at {
-                        // The view's placement and local_vars disagree;
-                        // forwarding "towards" the owner would spin in
-                        // place.
-                        return Err(InjectError::Sim(misplaced_state_error(&var)));
-                    }
-                    self.next_hops.forward_towards(&mut flight, owner)?;
-                    work.push(flight);
-                }
-                StepOutcome::Fork(children) => work.extend(children),
-            }
-        }
-        Ok(outcome)
+                Ok(None) => unreachable!("distributed ingress always stamps an epoch or errors"),
+                Err(e) => Err(e),
+            })
+            .collect()
     }
 
     /// Drain the egress queue of a port (wherever its agent is), in FIFO
@@ -265,6 +328,17 @@ impl DistNetwork {
         self.agents
             .values()
             .filter_map(|a| a.current_view().map(|v| v.epoch))
+            .collect()
+    }
+}
+
+impl TrafficTarget for DistNetwork {
+    type Error = InjectError;
+
+    fn drive_batch(&self, batch: &[(PortId, Packet)]) -> TargetBatch<InjectError> {
+        self.inject_batch(batch)
+            .into_iter()
+            .map(|result| result.map(|outcome| (outcome.epoch, outcome.delivered)))
             .collect()
     }
 }

@@ -436,3 +436,122 @@ fn tables_migrate_between_agents_through_yield_and_install() {
         "a write racing the install was discarded"
     );
 }
+
+#[test]
+fn auto_compaction_reclaims_the_pool_and_keeps_packet_tags_valid() {
+    use snap_distrib::{deploy_in_process_with, DistribOptions};
+
+    // Auto-compact once the append-only pool exceeds 2x the live program.
+    let options = DistribOptions {
+        compact_threshold: Some(2),
+        ..DistribOptions::default()
+    };
+    let mut deployment = deploy_in_process_with(campus_session(), 256, options);
+    let network = Arc::clone(&deployment.network);
+
+    // A family of structurally distinct programs with an identical
+    // packet-state mapping: each novel threshold appends nodes to the
+    // distribution pool while the live size stays roughly constant, so the
+    // pool must eventually cross the threshold.
+    let versioned = |threshold: i64| {
+        ite(
+            state_test("count", vec![field(Field::InPort)], int(threshold)),
+            drop(),
+            state_incr("count", vec![field(Field::InPort)]),
+        )
+        .seq(modify(Field::OutPort, Value::Int(6)))
+    };
+    let pkt = Packet::new().with(Field::InPort, 1);
+
+    let mut compacted_at = None;
+    let mut peak_pool = 0;
+    let mut injected = 0i64;
+    for v in 0..24i64 {
+        peak_pool = peak_pool.max(deployment.controller.dist_pool_len());
+        let report = deployment
+            .controller
+            .update_policy(&versioned(1_000_000 + v))
+            .unwrap();
+        // Traffic keeps flowing between commits: the packet's multi-hop
+        // itinerary (state switch, then the egress switch) resolves tags
+        // against whatever views the agents currently serve — including
+        // right after a compaction renumbered the controller's pool.
+        let out = network.inject(PortId(1), &pkt).unwrap();
+        injected += 1;
+        assert_eq!(out.delivered.len(), 1, "version {v} lost its packet");
+        assert_eq!(out.delivered[0].0, PortId(6));
+        if report.compacted_nodes > 0 {
+            compacted_at = Some((v, report.compacted_nodes));
+            // The compacted pool holds only the live program (plus the
+            // fresh-pool base), strictly under the pre-compaction peak.
+            assert!(deployment.controller.dist_pool_len() < peak_pool);
+            break;
+        }
+    }
+    let (compact_version, reclaimed) =
+        compacted_at.expect("24 novel versions never crossed a 2x threshold");
+    assert!(reclaimed > 0);
+
+    // The first update after a compaction re-bootstraps every mirror with a
+    // full-table resync that preserves the fresh pool's exact numbering.
+    let report = deployment
+        .controller
+        .update_policy(&versioned(2_000_000))
+        .unwrap();
+    assert!(
+        report.resyncs > 0,
+        "post-compaction update must resync diverged mirrors"
+    );
+    let out = network.inject(PortId(1), &pkt).unwrap();
+    injected += 1;
+    assert_eq!(out.delivered.len(), 1);
+
+    // Every injected packet incremented exactly once across all the
+    // commits, the compaction and the resync: state is never touched by
+    // pool maintenance.
+    assert_eq!(
+        network
+            .aggregate_store()
+            .get(&"count".into(), &[Value::Int(1)]),
+        Value::Int(injected),
+        "a state write was lost around the compaction at version {compact_version}"
+    );
+    deployment.shutdown();
+}
+
+#[test]
+fn distributed_hop_budget_is_configurable_and_enforced() {
+    let mut deployment = deploy_in_process(campus_session(), 64);
+    deployment
+        .controller
+        .update_policy(&counting_policy(6))
+        .unwrap();
+    let pkt = Packet::new().with(Field::InPort, 1);
+
+    // The deployed plane uses the same default budget as the in-process
+    // `Network`, and the multi-hop itinerary fits in it.
+    assert_eq!(
+        deployment.network.hop_budget(),
+        snap_dataplane::network::DEFAULT_HOP_BUDGET
+    );
+    let out = deployment.network.inject(PortId(1), &pkt).unwrap();
+    assert_eq!(out.delivered.len(), 1);
+
+    // A plane over the *same agents* with a zero-hop budget: the shared
+    // driver cuts the packet off with the budget error instead of spinning
+    // through the loopy forwarding itinerary.
+    let agents: BTreeMap<_, _> = deployment
+        .network
+        .agents()
+        .map(|a| (a.switch(), Arc::clone(a)))
+        .collect();
+    let tiny = snap_distrib::DistNetwork::new(deployment.network.topology().clone(), agents)
+        .with_hop_budget(0);
+    assert_eq!(tiny.hop_budget(), 0);
+    let err = tiny.inject(PortId(1), &pkt).unwrap_err();
+    assert_eq!(
+        err,
+        snap_distrib::InjectError::Sim(snap_dataplane::SimError::HopBudgetExceeded)
+    );
+    deployment.shutdown();
+}

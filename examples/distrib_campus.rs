@@ -7,6 +7,7 @@
 
 use snap_apps as apps;
 use snap_core::SolverChoice;
+use snap_dataplane::TrafficEngine;
 use snap_distrib::deploy_in_process;
 use snap_lang::prelude::*;
 use snap_session::CompilerSession;
@@ -83,6 +84,34 @@ fn main() {
             event.packet.get(&Field::DstIp)
         );
     }
+
+    // The distribution plane is a `TrafficTarget`: the same multi-worker
+    // `TrafficEngine` that drives the in-process `Network` pumps batched
+    // traffic through the agents via the shared packet driver (in-flight
+    // packets grouped per switch, one store-lock acquisition per group).
+    let load: Vec<(PortId, Packet)> = (0..240)
+        .map(|i| {
+            (
+                PortId(1 + i % 6),
+                Packet::new()
+                    .with(Field::SrcIp, Value::ip(8, 8, 8, 8))
+                    .with(Field::DstIp, Value::ip(10, 0, 6, (10 + i % 40) as u8))
+                    .with(Field::SrcPort, 53)
+                    .with(Field::DnsRdata, Value::ip(1, 2, (i % 9) as u8, 4)),
+            )
+        })
+        .collect();
+    let engine = TrafficEngine::new(3).with_batch_size(32);
+    let report = engine.run(&deployment.network, &load);
+    assert!(report.is_clean(), "errors: {:?}", report.errors);
+    let drained = deployment.network.drain_port(PortId(6)).len();
+    println!(
+        "traffic engine: {} workers drove {} packets (epochs {:?}), {} delivered to port 6",
+        engine.workers(),
+        report.processed,
+        report.epochs,
+        drained
+    );
     deployment.shutdown();
     println!("agents shut down cleanly");
 }
