@@ -1,0 +1,98 @@
+//! Profiling harness: drive the campus workload through the network on one
+//! thread, long enough for a sampling profiler to get a clean picture —
+//! e.g. `gprofng collect app ./target/release/examples/profile_net`.
+//!
+//! Prints sustained pkts/s for the raw `drive_batch` loop and for a
+//! 1-worker `TrafficEngine`; useful as a quick steady-state probe between
+//! full `dataplane_throughput` bench runs (which add criterion groups and
+//! cold-start effects on top).
+
+use snap_dataplane::{Network, SwitchConfig, TrafficEngine, TrafficTarget};
+use snap_lang::builder::*;
+use snap_lang::{Field, Packet, Policy, Value};
+use snap_topology::generators::campus;
+use snap_topology::PortId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+fn campus_policy() -> Policy {
+    let mut egress = modify(Field::OutPort, Value::Int(1));
+    for k in (2..=6).rev() {
+        egress = ite(
+            test_prefix(Field::DstIp, 10, 0, k, 0, 24),
+            modify(Field::OutPort, Value::Int(k as i64)),
+            egress,
+        );
+    }
+    ite(
+        test(Field::SrcPort, Value::Int(53)),
+        state_incr("dns", vec![field(Field::SrcIp)]),
+        id(),
+    )
+    .seq(egress)
+}
+
+fn campus_workload(n: usize) -> Vec<(PortId, Packet)> {
+    (0..n)
+        .map(|i| {
+            let sport = if i % 4 == 0 {
+                53
+            } else {
+                40_000 + (i % 101) as i64
+            };
+            (
+                PortId(1 + i % 6),
+                Packet::new()
+                    .with(Field::SrcPort, sport)
+                    .with(
+                        Field::SrcIp,
+                        Value::ip(10, 0, (1 + i % 6) as u8, (i % 251) as u8),
+                    )
+                    .with(Field::DstIp, Value::ip(10, 0, (1 + (i / 6) % 6) as u8, 1)),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let topo = campus();
+    let program = snap_xfdd::compile(&campus_policy()).unwrap();
+    let owners = BTreeMap::from([(
+        topo.node_by_name("C6").unwrap(),
+        BTreeSet::from(["dns".into()]),
+    )]);
+    let configs = SwitchConfig::for_topology(&topo, &program, &owners);
+    let net = Network::new(topo, configs);
+    let load = campus_workload(20_000);
+    let t = Instant::now();
+    let rounds = 500;
+    for _ in 0..rounds {
+        let mut egress: Vec<(snap_topology::PortId, Packet)> = Vec::new();
+        for chunk in load.chunks(64) {
+            for r in net.drive_batch(chunk) {
+                let (_, out) = r.unwrap();
+                egress.extend(out);
+            }
+        }
+        std::hint::black_box(&egress);
+    }
+    let dt = t.elapsed().as_secs_f64();
+    println!(
+        "inline: {} pkts in {dt:.2}s = {:.0} pkts/s",
+        rounds * load.len(),
+        (rounds * load.len()) as f64 / dt
+    );
+
+    let engine = TrafficEngine::new(1).with_batch_size(64);
+    let t = Instant::now();
+    for _ in 0..rounds {
+        let report = engine.run(&net, &load);
+        std::hint::black_box(report.processed);
+    }
+    let dt = t.elapsed().as_secs_f64();
+    println!(
+        "engine(1): {} pkts in {dt:.2}s = {:.0} pkts/s",
+        rounds * load.len(),
+        (rounds * load.len()) as f64 / dt
+    );
+}

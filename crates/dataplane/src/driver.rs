@@ -26,6 +26,16 @@
 //! stages of OPP and the state-access bottleneck observed by State-Compute
 //! Replication. Per-packet injection is simply a batch of one.
 //!
+//! Each group additionally runs in two phases. A lock-free **wave-prefix**
+//! phase first advances the *stateless prefix* of every flight through the
+//! view's table program ([`snap_xfdd::TableProgram`]): flights parked at
+//! the same node step through the same per-field dispatch stage together,
+//! one field column at a time, and park at their first state test or leaf.
+//! Only the survivors that actually reach state then enter the **locked**
+//! phase under the group's store lease — stateless drops and stateless
+//! emits never contend for the lock at all (counted by
+//! [`crate::exec::wave_prefix_stats`]).
+//!
 //! Consistency note: within a batch, packets interleave at switch
 //! granularity, so the *relative order* of state writes from different
 //! packets of one batch is unspecified (exactly as it already was across
@@ -34,13 +44,14 @@
 
 use crate::exec::{
     misplaced_state_error, missing_placement_error, process_at_switch, read_outport,
-    strip_snap_header, InFlight, NextHops, Progress, SimError, StepOutcome, StoreLease,
+    record_wave_prefix, strip_snap_header, InFlight, NextHops, Progress, SimError, StepOutcome,
+    StoreLease,
 };
 use parking_lot::Mutex;
 use snap_lang::{Packet, StateVar, Store, Value};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
-use snap_xfdd::{FlatId, FlatProgram};
-use std::collections::{BTreeSet, VecDeque};
+use snap_xfdd::{FlatId, FlatProgram, TableProgram};
+use std::collections::BTreeSet;
 
 /// One switch's executable view under one epoch, as the driver consumes it:
 /// the program to walk, the state the switch owns, the external ports it
@@ -48,6 +59,11 @@ use std::collections::{BTreeSet, VecDeque};
 pub trait HopView {
     /// The flattened program this view executes.
     fn flat(&self) -> &FlatProgram;
+    /// The table compilation of [`HopView::flat`] (same program, dispatch
+    /// stages over the same flat ids). Rebuilt wherever the flat program
+    /// is: at snapshot indexing in the in-process plane, in each agent's
+    /// *prepare* in the distributed one — never shipped on the wire.
+    fn tables(&self) -> &TableProgram;
     /// State variables the switch owns under this view.
     fn local_vars(&self) -> &BTreeSet<StateVar>;
     /// Does this view serve `port` as a local external port?
@@ -106,6 +122,50 @@ struct Tagged {
     epoch: u64,
 }
 
+impl Default for Tagged {
+    /// An inert placeholder (empty packet, finished progress) left behind
+    /// when the group loop takes a flight out of its slot.
+    fn default() -> Tagged {
+        Tagged {
+            flight: InFlight {
+                pkt: Packet::new(),
+                inport: PortId(0),
+                at: SwitchId(0),
+                progress: Progress::Done,
+                hops: 0,
+            },
+            origin: 0,
+            epoch: 0,
+        }
+    }
+}
+
+/// Recycled buffers for the wave loop: the in-flight and forwarded lists,
+/// the per-switch buckets, the wave-prefix cohort work-list and a pool of
+/// emptied member lists. Kept in a thread-local and shared by every batch a
+/// worker thread drives, so the wave machinery stops allocating once the
+/// buffers have warmed up — not once per batch.
+#[derive(Default)]
+struct WaveScratch {
+    pending: Vec<Tagged>,
+    buckets: Vec<Vec<Tagged>>,
+    next: Vec<Tagged>,
+    cohort: CohortScratch,
+}
+
+/// The wave-prefix pass's slice of [`WaveScratch`], split out so the batch
+/// loop can borrow it independently of the flight buffers.
+#[derive(Default)]
+struct CohortScratch {
+    cohorts: Vec<(usize, FlatId, Vec<usize>)>,
+    spare: Vec<Vec<usize>>,
+}
+
+thread_local! {
+    static WAVE_SCRATCH: std::cell::RefCell<WaveScratch> =
+        std::cell::RefCell::new(WaveScratch::default());
+}
+
 /// The generic packet driver: topology, precomputed next hops and the hop
 /// budget — everything the dispatch loop needs that is not view resolution
 /// or egress delivery. Both planes build one per injection call; it borrows
@@ -156,60 +216,77 @@ impl<'a> Driver<'a> {
         P: std::borrow::Borrow<Packet>,
     {
         let mut results: BatchResults<R::Error> = batch.iter().map(|_| Ok(None)).collect();
-        let mut pending: Vec<Tagged> = Vec::with_capacity(batch.len());
-        for (origin, (port, packet)) in batch.iter().enumerate() {
-            let Some(ingress) = self.topology.port_switch(*port) else {
-                results[origin] = Err(SimError::UnknownPort(*port).into());
-                continue;
-            };
-            match resolver.ingress(ingress) {
-                Err(e) => results[origin] = Err(e),
-                Ok(None) => {} // nothing installed: empty egress
-                Ok(Some((epoch, root))) => {
-                    results[origin] = Ok(Some(epoch));
-                    pending.push(Tagged {
-                        flight: InFlight::ingress(packet.borrow().clone(), *port, ingress, root),
-                        origin,
-                        epoch,
-                    });
-                }
-            }
-        }
-
-        // Wave scheduling: each wave stable-sorts the in-flight packets by
-        // their current switch (preserving arrival order within a switch)
-        // and processes each contiguous run as one group — one store lease
-        // and one view resolution per (switch, epoch) per wave. Flights
-        // forwarded during a wave join the next one. The buffers persist
-        // across waves, so steady state allocates nothing.
-        let mut group: VecDeque<Tagged> = VecDeque::new();
-        let mut next: Vec<Tagged> = Vec::new();
         let mut views: Vec<(u64, Option<R::View<'_>>)> = Vec::new();
-        while !pending.is_empty() {
-            pending.sort_by_key(|tagged| tagged.flight.at);
-            let mut drain = pending.drain(..).peekable();
-            while let Some(first) = drain.next() {
-                let switch = first.flight.at;
-                group.push_back(first);
-                while drain
-                    .peek()
-                    .is_some_and(|tagged| tagged.flight.at == switch)
-                {
-                    group.push_back(drain.next().expect("peeked"));
-                }
-                self.run_group(
-                    resolver,
-                    sink,
-                    switch,
-                    &mut group,
-                    &mut views,
-                    &mut next,
-                    &mut results,
-                );
+        // Wave scheduling: each wave distributes the in-flight packets into
+        // per-switch buckets (a stable one-move-per-flight bucket sort —
+        // arrival order within a switch is preserved, and nothing as large
+        // as a `Tagged` is ever swapped around by a comparison sort) and
+        // processes each non-empty bucket as one group — one store lease
+        // and one view resolution per (switch, epoch) per wave. Flights
+        // forwarded during a wave join the next one. All the flight buffers
+        // live in the thread-local scratch and persist across batches, so a
+        // warmed-up worker runs the whole wave loop without allocating.
+        WAVE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let WaveScratch {
+                pending,
+                buckets,
+                next,
+                cohort,
+            } = scratch;
+            pending.clear();
+            next.clear();
+            let switches = self.topology.num_nodes();
+            if buckets.len() < switches {
+                buckets.resize_with(switches, Vec::new);
             }
-            drop(drain);
-            std::mem::swap(&mut pending, &mut next);
-        }
+            for (origin, (port, packet)) in batch.iter().enumerate() {
+                let Some(ingress) = self.topology.port_switch(*port) else {
+                    results[origin] = Err(SimError::UnknownPort(*port).into());
+                    continue;
+                };
+                match resolver.ingress(ingress) {
+                    Err(e) => results[origin] = Err(e),
+                    Ok(None) => {} // nothing installed: empty egress
+                    Ok(Some((epoch, root))) => {
+                        results[origin] = Ok(Some(epoch));
+                        pending.push(Tagged {
+                            flight: InFlight::ingress(
+                                packet.borrow().clone(),
+                                *port,
+                                ingress,
+                                root,
+                            ),
+                            origin,
+                            epoch,
+                        });
+                    }
+                }
+            }
+            while !pending.is_empty() {
+                for tagged in pending.drain(..) {
+                    buckets[tagged.flight.at.0].push(tagged);
+                }
+                for (switch, bucket) in buckets.iter_mut().enumerate().take(switches) {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    let mut group = std::mem::take(bucket);
+                    self.run_group(
+                        resolver,
+                        sink,
+                        SwitchId(switch),
+                        &mut group,
+                        &mut views,
+                        next,
+                        &mut results,
+                        cohort,
+                    );
+                    *bucket = group; // keep the bucket's capacity warm
+                }
+                std::mem::swap(pending, next);
+            }
+        });
         results
     }
 
@@ -224,14 +301,25 @@ impl<'a> Driver<'a> {
         resolver: &'r R,
         sink: &mut S,
         switch: SwitchId,
-        group: &mut VecDeque<Tagged>,
+        group: &mut Vec<Tagged>,
         views: &mut Vec<(u64, Option<R::View<'r>>)>,
         next: &mut Vec<Tagged>,
         results: &mut BatchResults<R::Error>,
+        scratch: &mut CohortScratch,
     ) {
         let mut lease = StoreLease::new(resolver.store(switch));
         views.clear();
-        while let Some(mut tagged) = group.pop_front() {
+        // Phase one, lock-free: advance every flight's stateless prefix
+        // through the table program, a dispatch stage at a time across the
+        // whole group. Only survivors still need the store below.
+        self.wave_prefix(resolver, switch, group, views, results, scratch);
+        // Phase two, locked: drain the group in place under one store lease.
+        // Flights are taken out of their slot (an inert placeholder stays
+        // behind) so forked copies can be appended while the walk is live.
+        let mut idx = 0;
+        while idx < group.len() {
+            let mut tagged = std::mem::take(&mut group[idx]);
+            idx += 1;
             if results[tagged.origin].is_err() {
                 continue; // a sibling copy already failed this packet
             }
@@ -264,6 +352,7 @@ impl<'a> Driver<'a> {
             let step = match process_at_switch(
                 view.local_vars(),
                 view.flat(),
+                view.tables(),
                 &mut lease,
                 &mut tagged.flight,
             ) {
@@ -274,41 +363,46 @@ impl<'a> Driver<'a> {
                 }
             };
             match step {
-                StepOutcome::Emit(pkt, outport) => {
+                StepOutcome::Emit(outport) => {
                     if view.serves_port(outport) {
-                        let mut clean = pkt;
+                        // The flight ends here: take its packet instead of
+                        // cloning it for delivery.
+                        let mut clean = std::mem::take(&mut tagged.flight.pkt);
                         strip_snap_header(&mut clean);
                         sink.deliver(tagged.origin, switch, outport, clean, tagged.epoch);
                     } else {
-                        tagged.flight.pkt = pkt;
-                        tagged.flight.progress = Progress::Done;
-                        match self.forward_towards_port(&mut tagged.flight, outport) {
-                            Ok(()) => next.push(tagged),
-                            Err(e) => results[tagged.origin] = Err(e.into()),
+                        // Pure forwarding from here to the delivery switch:
+                        // resolve the delivery in place instead of paying
+                        // another wave for a hop that can only emit.
+                        if let Err(e) = self.deliver_remote(resolver, sink, &mut tagged, outport) {
+                            results[tagged.origin] = Err(e);
                         }
                     }
                 }
                 StepOutcome::Dropped => {}
                 StepOutcome::NeedState(var) => {
-                    let Some(owner) = view.owner(&var) else {
-                        results[tagged.origin] = Err(missing_placement_error(&var).into());
+                    let Some(owner) = view.owner(var) else {
+                        results[tagged.origin] = Err(missing_placement_error(var).into());
                         continue;
                     };
                     if owner == switch {
                         // The view's placement and local_vars disagree;
                         // forwarding "towards" the owner would spin in
                         // place forever.
-                        results[tagged.origin] = Err(misplaced_state_error(&var).into());
+                        results[tagged.origin] = Err(misplaced_state_error(var).into());
                         continue;
                     }
-                    match self.next_hops.forward_towards(&mut tagged.flight, owner) {
+                    // The packet can only be forwarded until it reaches the
+                    // owner, so jump there in one step (full hop count
+                    // charged) instead of re-entering the wave loop per hop.
+                    match self.next_hops.jump_towards(&mut tagged.flight, owner) {
                         Ok(()) => next.push(tagged),
                         Err(e) => results[tagged.origin] = Err(e.into()),
                     }
                 }
                 StepOutcome::Fork(children) => {
                     for flight in children {
-                        group.push_back(Tagged {
+                        group.push(Tagged {
                             flight,
                             origin: tagged.origin,
                             epoch: tagged.epoch,
@@ -317,6 +411,164 @@ impl<'a> Driver<'a> {
                 }
             }
         }
+        group.clear();
+    }
+
+    /// The wave-prefix pass of one group: before any store access, advance
+    /// the *stateless prefix* of every resumable flight through the table
+    /// program, and park each flight at its first state test or at a leaf.
+    ///
+    /// Flights parked at the same node under the same view form a cohort,
+    /// and cohorts step together: one dispatch stage (or stateless branch)
+    /// is resolved against every member's field column before any member
+    /// moves on — a table-dispatch loop per stage over the wave, keeping
+    /// the stage's lookup structure hot instead of re-walking the diagram
+    /// per packet. Successor nodes strictly decrease in the flat numbering,
+    /// so the cohort work-list terminates.
+    ///
+    /// The pass is infallible per flight (field tests cannot error and no
+    /// store is touched) and never passes a state test, so it is safe to
+    /// run before the [`StoreLease`] is acquired: packets whose stateless
+    /// prefix ends in a drop or a stateless emit never contend for the
+    /// lock at all. Survivor counts land in
+    /// [`crate::exec::wave_prefix_stats`].
+    fn wave_prefix<'r, R: ViewResolver>(
+        &self,
+        resolver: &'r R,
+        switch: SwitchId,
+        group: &mut [Tagged],
+        views: &mut Vec<(u64, Option<R::View<'r>>)>,
+        results: &mut BatchResults<R::Error>,
+        scratch: &mut CohortScratch,
+    ) {
+        // Seed cohorts, keyed by (view, node): every member is about to
+        // execute the same dispatch step. Member lists are recycled through
+        // the scratch pool, so a warmed-up driver forms cohorts without
+        // allocating.
+        let cohorts = &mut scratch.cohorts;
+        debug_assert!(cohorts.is_empty());
+        let mut packets = 0u64;
+        for (gi, tagged) in group.iter().enumerate() {
+            if results[tagged.origin].is_err() || tagged.flight.hops > self.hop_budget {
+                continue;
+            }
+            let Progress::AtNode(node) = tagged.flight.progress else {
+                continue;
+            };
+            if node.is_leaf() {
+                continue;
+            }
+            let epoch = tagged.epoch;
+            let view_idx = match views.iter().position(|(e, _)| *e == epoch) {
+                Some(idx) => idx,
+                None => match resolver.resolve(switch, epoch) {
+                    Ok(view) => {
+                        views.push((epoch, view));
+                        views.len() - 1
+                    }
+                    Err(e) => {
+                        results[tagged.origin] = Err(e);
+                        continue;
+                    }
+                },
+            };
+            if views[view_idx].1.is_none() {
+                continue; // unconfigured switch: the locked phase forwards it
+            }
+            packets += 1;
+            match cohorts
+                .iter_mut()
+                .find(|(v, n, _)| *v == view_idx && *n == node)
+            {
+                Some((_, _, members)) => members.push(gi),
+                None => {
+                    let mut members = scratch.spare.pop().unwrap_or_default();
+                    members.push(gi);
+                    cohorts.push((view_idx, node, members));
+                }
+            }
+        }
+        let mut survivors = 0u64;
+        while let Some((view_idx, node, mut members)) = cohorts.pop() {
+            let view = views[view_idx]
+                .1
+                .as_ref()
+                .expect("cohorts only form over configured views");
+            let flat = view.flat();
+            let tables = view.tables();
+            for gi in members.drain(..) {
+                let flight = &mut group[gi].flight;
+                match tables.step_stateless(flat, node, &flight.pkt) {
+                    None => {
+                        // A state test: the stateless prefix ends here and
+                        // the flight pays the locked phase.
+                        flight.progress = Progress::AtNode(node);
+                        survivors += 1;
+                    }
+                    Some(next) if next.is_leaf() => {
+                        flight.progress = Progress::AtNode(next);
+                        if flat.leaf(next).writes_state() {
+                            survivors += 1;
+                        }
+                    }
+                    Some(next) => {
+                        flight.progress = Progress::AtNode(next);
+                        match cohorts
+                            .iter_mut()
+                            .find(|(v, n, _)| *v == view_idx && *n == next)
+                        {
+                            Some((_, _, members)) => members.push(gi),
+                            None => {
+                                let mut fresh = scratch.spare.pop().unwrap_or_default();
+                                fresh.push(gi);
+                                cohorts.push((view_idx, next, fresh));
+                            }
+                        }
+                    }
+                }
+            }
+            scratch.spare.push(members);
+        }
+        record_wave_prefix(packets, survivors);
+    }
+
+    /// Finish an emitted flight whose egress port lives on another switch:
+    /// jump the pure-forwarding remainder of its path in one step, then
+    /// deliver against the target switch's view — the same checks the
+    /// packet would have met had it re-entered the wave loop there (hop
+    /// budget after the jump, a configured view that actually serves the
+    /// port), collapsed into its emitting wave.
+    fn deliver_remote<R: ViewResolver, S: EgressSink>(
+        &self,
+        resolver: &R,
+        sink: &mut S,
+        tagged: &mut Tagged,
+        port: PortId,
+    ) -> Result<(), R::Error> {
+        let bad_port = || SimError::BadOutPort(Value::Int(port.0 as i64));
+        let target = self.topology.port_switch(port).ok_or_else(bad_port)?;
+        if target == tagged.flight.at {
+            // The port is attached right here, yet this switch's view does
+            // not serve it (misconfiguration): forwarding "towards" it
+            // would spin in place forever.
+            return Err(bad_port().into());
+        }
+        self.next_hops.jump_towards(&mut tagged.flight, target)?;
+        if tagged.flight.hops > self.hop_budget {
+            return Err(SimError::HopBudgetExceeded.into());
+        }
+        let serves = match resolver.resolve(target, tagged.epoch)? {
+            Some(view) => view.serves_port(port),
+            // An unconfigured switch only forwards; it cannot deliver.
+            None => false,
+        };
+        if !serves {
+            return Err(bad_port().into());
+        }
+        let mut clean = std::mem::take(&mut tagged.flight.pkt);
+        strip_snap_header(&mut clean);
+        sink.deliver(tagged.origin, target, port, clean, tagged.epoch);
+        Ok(())
     }
 
     /// Forwarding for a switch with no configuration: towards the packet's
@@ -326,10 +578,13 @@ impl<'a> Driver<'a> {
         self.forward_towards_port(flight, outport)
     }
 
-    /// Advance one hop towards the switch hosting `port`, with the shared
+    /// Fast-forward to the switch hosting `port`, with the shared
     /// spin-in-place guard: if the port is attached to the *current* switch
     /// yet its view does not serve it (misconfiguration), forwarding
-    /// "towards" it would spin forever, so the packet fails instead.
+    /// "towards" it would spin forever, so the packet fails instead. A
+    /// packet travelling to egress is pure forwarding at every switch in
+    /// between, so the whole remaining path is charged in one jump and the
+    /// packet rejoins the wave loop only at its delivery switch.
     fn forward_towards_port(&self, flight: &mut InFlight, port: PortId) -> Result<(), SimError> {
         let target = self
             .topology
@@ -338,6 +593,6 @@ impl<'a> Driver<'a> {
         if target == flight.at {
             return Err(SimError::BadOutPort(Value::Int(port.0 as i64)));
         }
-        self.next_hops.forward_towards(flight, target)
+        self.next_hops.jump_towards(flight, target)
     }
 }

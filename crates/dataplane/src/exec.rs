@@ -1,21 +1,24 @@
 //! The per-switch execution core under the one generic driver
 //! ([`crate::driver`]).
 //!
-//! Every plane executes packets the same way: walk the dense
-//! [`FlatProgram`] from the packet's SNAP-header tag, pause at state the
-//! local switch does not own, fork at parallel leaves, and emit towards an
-//! egress port. The driver owns the dispatch loop; this module holds the
-//! machinery underneath it: the in-flight packet representation
-//! ([`InFlight`], [`Progress`]), the single-switch step
-//! ([`process_at_switch`], [`StepOutcome`]), the lazily-acquired per-group
-//! store lease ([`StoreLease`], with the process-wide
-//! [`store_lock_acquisitions`] counter), the precomputed shortest-path
-//! next-hop table ([`NextHops`]) and the small packet-header helpers.
+//! Every plane executes packets the same way: resolve the stateless spans
+//! of the dense [`FlatProgram`] through its table compilation
+//! ([`TableProgram`] — one field load and one indexed lookup per collapsed
+//! test run), pause at state the local switch does not own, fork at
+//! parallel leaves, and emit towards an egress port. The driver owns the
+//! dispatch loop; this module holds the machinery underneath it: the
+//! in-flight packet representation ([`InFlight`], [`Progress`]), the
+//! single-switch step ([`process_at_switch`], [`StepOutcome`]), the
+//! lazily-acquired per-group store lease ([`StoreLease`], with the
+//! process-wide [`store_lock_acquisitions`] counter; the wave-prefix
+//! counters [`wave_prefix_stats`] live here too), the precomputed
+//! shortest-path next-hop table ([`NextHops`]) and the small packet-header
+//! helpers.
 
 use parking_lot::{Mutex, MutexGuard};
 use snap_lang::{EvalError, Field, Packet, StateVar, Store, Value};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
-use snap_xfdd::{eval_test, Action, FlatId, FlatNode, FlatProgram};
+use snap_xfdd::{eval_test, Action, FlatId, FlatNode, FlatProgram, TableProgram};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -31,6 +34,35 @@ static STORE_LOCKS: AtomicU64 = AtomicU64::new(0);
 /// difference.
 pub fn store_lock_acquisitions() -> u64 {
     STORE_LOCKS.load(Ordering::Relaxed)
+}
+
+/// Packets whose stateless prefix was advanced by the driver's wave-prefix
+/// pass (see [`wave_prefix_stats`]).
+static WAVE_PREFIX_PACKETS: AtomicU64 = AtomicU64::new(0);
+
+/// Of those, the survivors that still needed the locked phase.
+static WAVE_PREFIX_SURVIVORS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide wave-prefix counters: `(packets, survivors)`. A packet is
+/// counted once per wave-prefix pass that advances it; a *survivor* is a
+/// packet whose stateless prefix ended at a state test or a state-writing
+/// leaf — only survivors proceed to the per-switch locked phase, so
+/// `survivors / packets` is the fraction of wave traffic that still pays
+/// for state. Monotone and process-wide, like
+/// [`store_lock_acquisitions`].
+pub fn wave_prefix_stats() -> (u64, u64) {
+    (
+        WAVE_PREFIX_PACKETS.load(Ordering::Relaxed),
+        WAVE_PREFIX_SURVIVORS.load(Ordering::Relaxed),
+    )
+}
+
+/// Account one wave-prefix pass (driver internal).
+pub(crate) fn record_wave_prefix(packets: u64, survivors: u64) {
+    if packets > 0 {
+        WAVE_PREFIX_PACKETS.fetch_add(packets, Ordering::Relaxed);
+        WAVE_PREFIX_SURVIVORS.fetch_add(survivors, Ordering::Relaxed);
+    }
 }
 
 /// A lazily acquired lease on one switch's store shard.
@@ -89,7 +121,7 @@ impl From<EvalError> for SimError {
 }
 
 /// Processing status carried in the SNAP header of an in-flight packet.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Progress {
     /// Still walking the diagram; the dense flat id of the next node to
     /// process (the §4.5 packet tag).
@@ -137,14 +169,17 @@ impl InFlight {
 }
 
 /// What one switch-local processing step decided.
-pub enum StepOutcome {
-    /// Processing finished; deliver the packet to the given egress port.
-    Emit(Packet, PortId),
+pub enum StepOutcome<'p> {
+    /// Processing finished; deliver the flight's packet (left in
+    /// `flight.pkt` — the driver takes it without a clone) to the given
+    /// egress port.
+    Emit(PortId),
     /// The packet was dropped (by a drop leaf or a dropping sequence).
     Dropped,
     /// The program needs a state variable this switch does not own; forward
-    /// towards its owner and resume there.
-    NeedState(StateVar),
+    /// towards its owner and resume there. Borrowed from the program — the
+    /// hot path never clones the variable name.
+    NeedState(&'p StateVar),
     /// A parallel leaf forked the packet into one copy per sequence.
     Fork(Vec<InFlight>),
 }
@@ -155,70 +190,81 @@ pub enum StepOutcome {
 /// shard only when `local_vars` is empty). Passing the same lease for every
 /// packet of a batch visiting this switch amortizes the shard lock to one
 /// acquisition per group.
-pub fn process_at_switch(
+///
+/// `tables` must be the table compilation of `flat`: stateless spans are
+/// resolved through the dispatch stages (one field load + one lookup per
+/// collapsed run) instead of branch by branch; only state tests evaluate
+/// against the store, branch by branch, as before.
+pub fn process_at_switch<'p>(
     local_vars: &BTreeSet<StateVar>,
-    flat: &FlatProgram,
+    flat: &'p FlatProgram,
+    tables: &TableProgram,
     store: &mut StoreLease<'_>,
     flight: &mut InFlight,
-) -> Result<StepOutcome, SimError> {
-    // Field-only tests never read the store; evaluating them against an
-    // empty one avoids taking the shard lock on the stateless hot path.
-    let stateless = Store::new();
+) -> Result<StepOutcome<'p>, SimError> {
     loop {
-        match flight.progress.clone() {
+        match flight.progress {
             Progress::Done => {
                 // Processing already finished elsewhere; figure the
                 // outport out of the packet and keep delivering.
                 let outport = read_outport(&flight.pkt)?;
-                return Ok(StepOutcome::Emit(flight.pkt.clone(), outport));
+                return Ok(StepOutcome::Emit(outport));
             }
-            Progress::AtNode(idx) => match flat.node(idx) {
-                FlatNode::Branch {
-                    test,
-                    var,
-                    tru,
-                    fls,
-                } => {
-                    let passed = match var {
-                        Some(var) if !local_vars.contains(var) => {
-                            return Ok(StepOutcome::NeedState(var.clone()))
-                        }
-                        Some(_) => store
-                            .with(|s| eval_test(test, &flight.pkt, s))
-                            .expect("switch owning state has a store shard")?,
-                        None => eval_test(test, &flight.pkt, &stateless)?,
+            Progress::AtNode(idx) => {
+                // Table-dispatch the whole stateless span, then handle
+                // whatever stopped it: a state test or a leaf.
+                let reached = tables.advance_stateless(flat, idx, &flight.pkt);
+                if !reached.is_leaf() {
+                    let FlatNode::Branch {
+                        test,
+                        var,
+                        tru,
+                        fls,
+                    } = flat.node(reached)
+                    else {
+                        unreachable!("advance_stateless stops at branches or leaves")
                     };
+                    let var = var.expect("the stateless prefix stops only at state tests");
+                    if !local_vars.contains(var) {
+                        // The tag must record how far the walk got: the
+                        // packet resumes at the state test, not at `idx`.
+                        flight.progress = Progress::AtNode(reached);
+                        return Ok(StepOutcome::NeedState(var));
+                    }
+                    let passed = store
+                        .with(|s| eval_test(test, &flight.pkt, s))
+                        .expect("switch owning state has a store shard")?;
                     flight.progress = Progress::AtNode(if passed { tru } else { fls });
+                    continue;
                 }
-                FlatNode::Leaf(leaf) => {
-                    if leaf.seqs.is_empty() {
-                        return Ok(StepOutcome::Dropped);
-                    }
-                    if leaf.seqs.len() == 1 {
-                        flight.progress = Progress::InLeaf {
-                            node: idx,
-                            seq: 0,
-                            offset: 0,
-                        };
-                    } else {
-                        // Fork one in-flight copy per parallel sequence.
-                        let children = (0..leaf.seqs.len())
-                            .map(|s| InFlight {
-                                pkt: flight.pkt.clone(),
-                                inport: flight.inport,
-                                at: flight.at,
-                                progress: Progress::InLeaf {
-                                    node: idx,
-                                    seq: s,
-                                    offset: 0,
-                                },
-                                hops: flight.hops,
-                            })
-                            .collect();
-                        return Ok(StepOutcome::Fork(children));
-                    }
+                let leaf = flat.leaf(reached);
+                if leaf.seqs.is_empty() {
+                    return Ok(StepOutcome::Dropped);
                 }
-            },
+                if leaf.seqs.len() == 1 {
+                    flight.progress = Progress::InLeaf {
+                        node: reached,
+                        seq: 0,
+                        offset: 0,
+                    };
+                } else {
+                    // Fork one in-flight copy per parallel sequence.
+                    let children = (0..leaf.seqs.len())
+                        .map(|s| InFlight {
+                            pkt: flight.pkt.clone(),
+                            inport: flight.inport,
+                            at: flight.at,
+                            progress: Progress::InLeaf {
+                                node: reached,
+                                seq: s,
+                                offset: 0,
+                            },
+                            hops: flight.hops,
+                        })
+                        .collect();
+                    return Ok(StepOutcome::Fork(children));
+                }
+            }
             Progress::InLeaf { node, seq, offset } => {
                 let sequence = &flat.leaf(node).seqs[seq];
                 let mut off = offset;
@@ -237,7 +283,7 @@ pub fn process_at_switch(
                                     seq,
                                     offset: off,
                                 };
-                                return Ok(StepOutcome::NeedState(var.clone()));
+                                return Ok(StepOutcome::NeedState(var));
                             }
                             store
                                 .with(|s| apply_state_action(action, &flight.pkt, s))
@@ -250,7 +296,7 @@ pub fn process_at_switch(
                     return Ok(StepOutcome::Dropped);
                 }
                 let outport = read_outport(&flight.pkt)?;
-                return Ok(StepOutcome::Emit(flight.pkt.clone(), outport));
+                return Ok(StepOutcome::Emit(outport));
             }
         }
     }
@@ -262,6 +308,10 @@ pub fn process_at_switch(
 pub struct NextHops {
     /// `table[from][to]`: the first hop of a shortest path.
     table: Vec<Vec<Option<SwitchId>>>,
+    /// `dist[from][to]`: hop distance along that path (`usize::MAX` when
+    /// unreachable). Lets the driver fast-forward a packet whose remaining
+    /// journey is pure forwarding in one jump instead of one wave per hop.
+    dist: Vec<Vec<usize>>,
 }
 
 impl NextHops {
@@ -277,6 +327,7 @@ impl NextHops {
             }
         }
         let mut next = vec![vec![None; n]; n];
+        let mut dists = vec![vec![usize::MAX; n]; n];
         let mut dist = vec![usize::MAX; n];
         let mut queue = std::collections::VecDeque::new();
         for t in 0..n {
@@ -294,6 +345,7 @@ impl NextHops {
                 }
             }
             for u in topology.nodes() {
+                dists[u.0][t] = dist[u.0];
                 if u.0 == t || dist[u.0] == usize::MAX {
                     continue;
                 }
@@ -306,13 +358,25 @@ impl NextHops {
                     .find(|v| dist[v.0] == dist[u.0] - 1);
             }
         }
-        NextHops { table: next }
+        NextHops {
+            table: next,
+            dist: dists,
+        }
     }
 
     /// The first hop from `from` towards `to`, if `to` is reachable.
     #[inline]
     pub fn hop(&self, from: SwitchId, to: SwitchId) -> Option<SwitchId> {
         self.table[from.0][to.0]
+    }
+
+    /// Hop distance of the shortest path, if `to` is reachable from `from`.
+    #[inline]
+    pub fn distance(&self, from: SwitchId, to: SwitchId) -> Option<usize> {
+        match self.dist[from.0][to.0] {
+            usize::MAX => None,
+            d => Some(d),
+        }
     }
 
     /// Advance an in-flight packet one hop towards a target switch.
@@ -326,6 +390,27 @@ impl NextHops {
             .ok_or(SimError::HopBudgetExceeded)?;
         flight.at = hop;
         flight.hops += 1;
+        Ok(())
+    }
+
+    /// Fast-forward an in-flight packet all the way to a target switch,
+    /// charging the full shortest-path hop count in one step.
+    ///
+    /// Behaviorally identical to calling [`NextHops::forward_towards`] once
+    /// per wave until arrival — intermediate switches could only have
+    /// forwarded the packet again (its progress is parked at a state test
+    /// another switch owns, or it is done and travelling to egress), and the
+    /// hop-budget check is monotone in the hop count, so charging the hops
+    /// up front trips the budget exactly when per-hop stepping would have.
+    pub fn jump_towards(&self, flight: &mut InFlight, target: SwitchId) -> Result<(), SimError> {
+        if flight.at == target {
+            return Ok(());
+        }
+        let d = self
+            .distance(flight.at, target)
+            .ok_or(SimError::HopBudgetExceeded)?;
+        flight.at = target;
+        flight.hops += d;
         Ok(())
     }
 }
@@ -363,28 +448,39 @@ pub fn apply_state_action(
     pkt: &Packet,
     store: &mut Store,
 ) -> Result<(), EvalError> {
+    // One reusable index buffer per thread: state writes evaluate their
+    // index vector into it instead of allocating a fresh `Vec` per packet,
+    // and the store only clones the index on an entry's first write.
+    thread_local! {
+        static INDEX_SCRATCH: std::cell::RefCell<Vec<Value>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
     match action {
         Action::Modify(_, _) => Ok(()),
-        Action::StateSet { var, index, value } => {
-            let idx = snap_lang::eval_index(index, pkt)?;
+        Action::StateSet { var, index, value } => INDEX_SCRATCH.with(|cell| {
+            let idx = &mut *cell.borrow_mut();
+            snap_lang::eval_index_into(index, pkt, idx)?;
             let val = snap_lang::eval_expr(value, pkt)?;
-            store.set(var, idx, val);
+            store.set_at(var, idx, val);
             Ok(())
-        }
+        }),
         Action::StateIncr { var, index } | Action::StateDecr { var, index } => {
             let delta = if matches!(action, Action::StateIncr { .. }) {
                 1
             } else {
                 -1
             };
-            let idx = snap_lang::eval_index(index, pkt)?;
-            let cur = store.get(var, &idx);
-            let next = cur.as_int().ok_or(EvalError::NotAnInteger {
-                var: var.clone(),
-                value: cur.clone(),
-            })?;
-            store.set(var, idx, Value::Int(next + delta));
-            Ok(())
+            INDEX_SCRATCH.with(|cell| {
+                let idx = &mut *cell.borrow_mut();
+                snap_lang::eval_index_into(index, pkt, idx)?;
+                store.update(var, idx, |cur| {
+                    let n = cur.as_int().ok_or_else(|| EvalError::NotAnInteger {
+                        var: var.clone(),
+                        value: cur.clone(),
+                    })?;
+                    Ok(Value::Int(n + delta))
+                })
+            })
         }
     }
 }
@@ -396,14 +492,5 @@ pub fn strip_snap_header(pkt: &mut Packet) {
     // header field added by the pipeline itself is the OBS outport; keep it,
     // since the OBS program set it explicitly. Custom `snap.*` fields, if a
     // rule generator added any, are removed here.
-    let custom: Vec<Field> = pkt
-        .iter()
-        .filter_map(|(f, _)| match f {
-            Field::Custom(name) if name.starts_with("snap.") => Some(f.clone()),
-            _ => None,
-        })
-        .collect();
-    for f in custom {
-        pkt.remove(&f);
-    }
+    pkt.retain(|f, _| !matches!(f, Field::Custom(name) if name.starts_with("snap.")));
 }

@@ -47,7 +47,8 @@ pub mod traffic;
 pub use driver::{BatchResults, Driver, EgressSink, HopView, ViewResolver};
 pub use egress::{EgressEvent, EgressQueues, DEFAULT_QUEUE_CAPACITY};
 pub use exec::{
-    store_lock_acquisitions, InFlight, NextHops, Progress, SimError, StepOutcome, StoreLease,
+    store_lock_acquisitions, wave_prefix_stats, InFlight, NextHops, Progress, SimError,
+    StepOutcome, StoreLease,
 };
 pub use netasm::{Instruction, NetAsmProgram};
 pub use network::{BatchOutput, ConfigSnapshot, Network, QueuedBatchOutput, SwitchConfig};

@@ -31,7 +31,7 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use snap_lang::{Packet, StateVar, Store};
-use snap_xfdd::{FlatProgram, Xfdd};
+use snap_xfdd::{FlatProgram, TableProgram, Xfdd};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -99,6 +99,9 @@ pub struct ConfigSnapshot {
     /// The shared program, flattened once at install time. `None` when no
     /// programs are installed.
     flat: Option<Arc<FlatProgram>>,
+    /// The table compilation of `flat` (same flat ids, per-field dispatch
+    /// stages), built alongside it at install time. `Some` iff `flat` is.
+    tables: Option<Arc<TableProgram>>,
     /// Which switch holds each state variable (derived from the configs).
     placement: BTreeMap<StateVar, SwitchId>,
     /// Per-switch state shards. Shared across snapshots; each variable's
@@ -125,6 +128,12 @@ impl ConfigSnapshot {
         self.flat.as_ref()
     }
 
+    /// The table compilation of the installed program, if any — the hot
+    /// path the driver actually dispatches through.
+    pub fn tables(&self) -> Option<&Arc<TableProgram>> {
+        self.tables.as_ref()
+    }
+
     /// The configuration installed on a switch.
     pub fn config(&self, switch: SwitchId) -> Option<&SwitchConfig> {
         self.configs.get(&switch)
@@ -137,6 +146,7 @@ impl ConfigSnapshot {
 struct IndexedConfigs {
     map: BTreeMap<SwitchId, SwitchConfig>,
     flat: Option<Arc<FlatProgram>>,
+    tables: Option<Arc<TableProgram>>,
     placement: BTreeMap<StateVar, SwitchId>,
 }
 
@@ -166,7 +176,10 @@ fn index_configs(configs: Vec<SwitchConfig>) -> IndexedConfigs {
     }
     // One flattening pass for the whole network: the dense ids are the
     // packet tags, so every switch must execute the *same* flat program.
+    // The dispatch tables are compiled right next to it — same ids, so
+    // they agree on every switch by construction.
     let flat = shared.map(|program| Arc::new(program.flatten()));
+    let tables = flat.as_ref().map(|f| Arc::new(TableProgram::compile(f)));
     for c in configs {
         for v in &c.local_vars {
             placement.insert(v.clone(), c.node);
@@ -176,6 +189,7 @@ fn index_configs(configs: Vec<SwitchConfig>) -> IndexedConfigs {
     IndexedConfigs {
         map,
         flat,
+        tables,
         placement,
     }
 }
@@ -231,6 +245,7 @@ impl Network {
             snapshot: Mutex::new(Arc::new(ConfigSnapshot {
                 configs: indexed.map,
                 flat: indexed.flat,
+                tables: indexed.tables,
                 placement: indexed.placement,
                 stores,
                 epoch: 0,
@@ -347,6 +362,7 @@ impl Network {
         let next = Arc::new(ConfigSnapshot {
             configs: indexed.map,
             flat: indexed.flat,
+            tables: indexed.tables,
             placement: indexed.placement,
             stores,
             epoch,
@@ -441,6 +457,33 @@ impl Network {
         }
     }
 
+    /// The allocation-lean egress path behind the traffic engine: the same
+    /// events as [`Network::inject_batch`], but each packet's egress is
+    /// collected as a sorted, deduplicated `Vec` instead of a tree set —
+    /// one flat buffer per packet on the hot path rather than a node
+    /// allocation per delivery.
+    pub(crate) fn inject_batch_lists(&self, batch: &[(PortId, Packet)]) -> BatchLists {
+        let snap = self.snapshot();
+        let resolver = SnapshotResolver { snap: &snap };
+        let mut sink = ListSink {
+            outputs: batch.iter().map(|_| Vec::new()).collect(),
+        };
+        let results = self.driver().run_batch(&resolver, &mut sink, batch);
+        let outputs = results
+            .into_iter()
+            .zip(sink.outputs)
+            .map(|(result, mut list)| {
+                result.map(|_| {
+                    // Exactly the set shape: sorted, duplicates collapsed.
+                    list.sort_unstable();
+                    list.dedup();
+                    list
+                })
+            })
+            .collect();
+        (snap.epoch, outputs)
+    }
+
     /// Inject a batch whose egress is *delivered* rather than collected:
     /// every emitted packet is pushed onto its port's bounded FIFO queue in
     /// `queues` (tail-dropping and counting backpressure when full), in
@@ -513,12 +556,17 @@ struct SnapshotResolver<'a> {
 struct SnapshotView<'a> {
     config: &'a SwitchConfig,
     flat: &'a FlatProgram,
+    tables: &'a TableProgram,
     placement: &'a BTreeMap<StateVar, SwitchId>,
 }
 
 impl HopView for SnapshotView<'_> {
     fn flat(&self) -> &FlatProgram {
         self.flat
+    }
+
+    fn tables(&self) -> &TableProgram {
+        self.tables
     }
 
     fn local_vars(&self) -> &BTreeSet<StateVar> {
@@ -555,9 +603,15 @@ impl ViewResolver for SnapshotResolver<'_> {
             .flat
             .as_deref()
             .expect("a non-empty config set always carries a flattened program");
+        let tables = self
+            .snap
+            .tables
+            .as_deref()
+            .expect("the table program is compiled wherever the flat one is");
         Ok(Some(SnapshotView {
             config,
             flat,
+            tables,
             placement: &self.snap.placement,
         }))
     }
@@ -583,6 +637,21 @@ impl SetSink {
 impl EgressSink for SetSink {
     fn deliver(&mut self, origin: usize, _at: SwitchId, port: PortId, pkt: Packet, _epoch: u64) {
         self.outputs[origin].insert((port, pkt));
+    }
+}
+
+/// What [`Network::inject_batch_lists`] returns: the batch's epoch plus each
+/// packet's egress as a sorted, deduplicated list (or its error).
+pub(crate) type BatchLists = (u64, Vec<Result<Vec<(PortId, Packet)>, SimError>>);
+
+/// Collects per-packet egress as flat lists — the traffic engine's shape.
+struct ListSink {
+    outputs: Vec<Vec<(PortId, Packet)>>,
+}
+
+impl EgressSink for ListSink {
+    fn deliver(&mut self, origin: usize, _at: SwitchId, port: PortId, pkt: Packet, _epoch: u64) {
+        self.outputs[origin].push((port, pkt));
     }
 }
 

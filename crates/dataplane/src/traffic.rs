@@ -51,10 +51,13 @@ impl TrafficTarget for Network {
     type Error = SimError;
 
     fn drive_batch(&self, batch: &[(PortId, Packet)]) -> TargetBatch<SimError> {
-        let out = self.inject_batch(batch);
-        out.outputs
+        // The list-collecting path: per-packet egress arrives as the same
+        // sorted, deduplicated events `inject_batch` would report, without
+        // a tree set built per packet in between.
+        let (epoch, outputs) = self.inject_batch_lists(batch);
+        outputs
             .into_iter()
-            .map(|result| result.map(|set| (out.epoch, set.into_iter().collect())))
+            .map(|result| result.map(|list| (epoch, list)))
             .collect()
     }
 }
@@ -190,35 +193,41 @@ impl TrafficEngine {
         target: &T,
         workload: &[(PortId, Packet)],
     ) -> TrafficReport<T::Error> {
-        let shard_len = workload.len().div_ceil(self.workers).max(1);
-        let shards: Vec<&[(PortId, Packet)]> = workload.chunks(shard_len).collect();
-        let worker_results: Vec<WorkerResult<T::Error>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut result = WorkerResult::default();
-                        for batch in shard.chunks(self.batch_size) {
-                            for packet in target.drive_batch(batch) {
-                                match packet {
-                                    Ok((epoch, egress)) => {
-                                        result.processed += 1;
-                                        result.epochs.push(epoch);
-                                        result.egress.extend(egress);
-                                    }
-                                    Err(e) => result.errors.push(e),
-                                }
-                            }
+        let pump = |shard: &[(PortId, Packet)]| {
+            let mut result = WorkerResult::default();
+            for batch in shard.chunks(self.batch_size) {
+                for packet in target.drive_batch(batch) {
+                    match packet {
+                        Ok((epoch, egress)) => {
+                            result.processed += 1;
+                            result.epochs.push(epoch);
+                            result.egress.extend(egress);
                         }
-                        result
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("traffic worker panicked"))
-                .collect()
-        });
+                        Err(e) => result.errors.push(e),
+                    }
+                }
+            }
+            result
+        };
+        let shard_len = workload.len().div_ceil(self.workers).max(1);
+        let worker_results: Vec<WorkerResult<T::Error>> = if self.workers == 1 {
+            // A single worker has nothing to run concurrently with: pump the
+            // workload on the calling thread and keep its warm caches,
+            // instead of paying a spawn/join and a cold core per run.
+            vec![pump(workload)]
+        } else {
+            let shards: Vec<&[(PortId, Packet)]> = workload.chunks(shard_len).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| scope.spawn(move || pump(shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("traffic worker panicked"))
+                    .collect()
+            })
+        };
 
         let mut report = TrafficReport::default();
         for w in worker_results {

@@ -31,7 +31,7 @@ use parking_lot::Mutex;
 use snap_dataplane::EgressQueues;
 use snap_lang::{StateVar, Store};
 use snap_topology::{NodeId as SwitchId, PortId};
-use snap_xfdd::{apply_delta, decode_delta_fresh, FlatProgram, Pool};
+use snap_xfdd::{apply_delta, decode_delta_fresh, FlatProgram, Pool, TableProgram};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -48,6 +48,10 @@ pub struct EpochView {
     /// The program, flattened from the agent's mirror. Identical (same
     /// dense ids) on every agent of the same epoch.
     pub flat: Arc<FlatProgram>,
+    /// The table compilation of `flat`. Never shipped: each agent rebuilds
+    /// it from its own flat program in prepare, and because the flat ids
+    /// agree across agents, so do the tables.
+    pub tables: Arc<TableProgram>,
     /// State variables this switch owns under this epoch.
     pub local_vars: BTreeSet<StateVar>,
     /// External ports attached to this switch.
@@ -303,6 +307,7 @@ impl SwitchAgent {
 
         // Flatten here, in prepare: commit must be a pointer flip.
         let flat = Arc::new(FlatProgram::from_pool(mirror, root));
+        let tables = Arc::new(TableProgram::compile(&flat));
         drop(guard);
 
         let mut core = self.core.lock();
@@ -314,6 +319,7 @@ impl SwitchAgent {
         let view = Arc::new(EpochView {
             epoch: prep.epoch,
             flat,
+            tables,
             local_vars: meta.local_vars.clone(),
             ports: meta.ports.clone(),
             placement,

@@ -26,7 +26,7 @@ use snap_dataplane::exec::{NextHops, SimError};
 use snap_dataplane::{TargetBatch, TrafficTarget};
 use snap_lang::{Packet, StateVar, Store};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
-use snap_xfdd::{FlatId, FlatProgram};
+use snap_xfdd::{FlatId, FlatProgram, TableProgram};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
@@ -112,6 +112,10 @@ struct AgentView {
 impl HopView for AgentView {
     fn flat(&self) -> &FlatProgram {
         &self.view.flat
+    }
+
+    fn tables(&self) -> &TableProgram {
+        &self.view.tables
     }
 
     fn local_vars(&self) -> &BTreeSet<StateVar> {

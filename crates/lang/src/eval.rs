@@ -121,6 +121,20 @@ pub fn eval_index(index: &[Expr], pkt: &Packet) -> Result<Vec<Value>, EvalError>
     index.iter().map(|e| eval_expr(e, pkt)).collect()
 }
 
+/// Evaluate an index vector into a caller-provided buffer (cleared first),
+/// so hot paths can reuse one allocation across packets.
+pub fn eval_index_into(
+    index: &[Expr],
+    pkt: &Packet,
+    out: &mut Vec<Value>,
+) -> Result<(), EvalError> {
+    out.clear();
+    for e in index {
+        out.push(eval_expr(e, pkt)?);
+    }
+    Ok(())
+}
+
 /// Evaluate a predicate: does `pkt` pass, and which state variables were read?
 ///
 /// Predicates never modify the packet or the state, so a boolean plus a log is

@@ -54,7 +54,9 @@ pub mod value;
 
 pub use ast::{Expr, Policy, Pred, StateVar};
 pub use error::{EvalError, ParseError};
-pub use eval::{eval, eval_expr, eval_index, eval_pred, eval_trace, EvalResult, Log};
+pub use eval::{
+    eval, eval_expr, eval_index, eval_index_into, eval_pred, eval_trace, EvalResult, Log,
+};
 pub use packet::Packet;
 pub use parser::{parse_policy, parse_pred};
 pub use state::{StateTable, Store};

@@ -7,16 +7,80 @@
 
 use crate::value::{Field, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A packet: an ordered map from fields to values.
 ///
 /// The map is ordered so that packets have a canonical form, can be placed in
 /// sets (the output of `eval` is a set of packets) and compared structurally.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+///
+/// Internally the map is a vector of `(field, value)` pairs kept sorted by
+/// field: packets carry a dozen headers at most, and at that size a sorted
+/// vector beats a node-based tree on every data-plane hot operation — clone
+/// is one allocation plus a memcpy, lookups are a binary search over
+/// contiguous memory, and ordering/equality are element-wise scans. The
+/// derived `Ord`/`Eq`/`Hash` over the sorted pairs coincide with the old
+/// `BTreeMap`'s (both compare the same key-sorted sequence).
+#[derive(PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Packet {
-    fields: BTreeMap<Field, Value>,
+    fields: Vec<(Field, Value)>,
+}
+
+/// Cap on the per-thread pool of recycled field buffers. Callers routinely
+/// hold a whole run's egress (tens of thousands of packets) before dropping
+/// it in one burst, and the pool has to absorb that burst for the next run's
+/// clones to stay allocation-free; the cap only bounds memory afterwards
+/// (a few megabytes per thread at typical header counts).
+const BUF_POOL_CAP: usize = 32 * 1024;
+
+thread_local! {
+    /// Recycled field buffers: the data plane clones one packet per
+    /// injection and drops one per delivery, so in steady state every clone
+    /// can reuse the allocation of an earlier drop instead of paying the
+    /// allocator per packet.
+    static BUF_POOL: std::cell::RefCell<Vec<Vec<(Field, Value)>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// An empty field buffer from the thread's recycle pool (or freshly
+/// reserved), with room for at least `capacity` pairs.
+fn pooled_buf(capacity: usize) -> Vec<(Field, Value)> {
+    let mut buf = BUF_POOL
+        .try_with(|pool| pool.borrow_mut().pop().unwrap_or_default())
+        .unwrap_or_default();
+    buf.reserve(capacity);
+    buf
+}
+
+impl Clone for Packet {
+    fn clone(&self) -> Self {
+        // Leave a little slack: the data plane's dominant pattern is
+        // "clone, then set one or two fields the original didn't carry"
+        // (the OBS outport, a pushed header), and cloning at exact
+        // capacity would force a reallocation on that first insert.
+        let mut fields = pooled_buf(self.fields.len() + 2);
+        fields.extend(self.fields.iter().cloned());
+        Packet { fields }
+    }
+}
+
+impl Drop for Packet {
+    fn drop(&mut self) {
+        if self.fields.capacity() == 0 {
+            return; // nothing to recycle (empty placeholder packets)
+        }
+        let mut buf = std::mem::take(&mut self.fields);
+        // Drop the values, keep the allocation.
+        buf.clear();
+        // `try_with`: during thread teardown the pool may already be gone —
+        // fall through to a plain deallocation.
+        let _ = BUF_POOL.try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < BUF_POOL_CAP {
+                pool.push(buf);
+            }
+        });
+    }
 }
 
 impl Packet {
@@ -25,35 +89,52 @@ impl Packet {
         Packet::default()
     }
 
+    /// Position of `field`, or where it would be inserted.
+    #[inline]
+    fn find(&self, field: &Field) -> Result<usize, usize> {
+        self.fields.binary_search_by(|(f, _)| f.cmp(field))
+    }
+
     /// Builder-style field assignment.
     pub fn with(mut self, field: Field, value: impl Into<Value>) -> Self {
-        self.fields.insert(field, value.into());
+        self.set(field, value);
         self
     }
 
     /// Read a field.
+    #[inline]
     pub fn get(&self, field: &Field) -> Option<&Value> {
-        self.fields.get(field)
+        match self.find(field) {
+            Ok(i) => Some(&self.fields[i].1),
+            Err(_) => None,
+        }
     }
 
     /// Write a field in place.
     pub fn set(&mut self, field: Field, value: impl Into<Value>) {
-        self.fields.insert(field, value.into());
+        let value = value.into();
+        match self.find(&field) {
+            Ok(i) => self.fields[i].1 = value,
+            Err(i) => self.fields.insert(i, (field, value)),
+        }
     }
 
     /// Remove a field (used by the data plane when stripping the SNAP header).
     pub fn remove(&mut self, field: &Field) -> Option<Value> {
-        self.fields.remove(field)
+        match self.find(field) {
+            Ok(i) => Some(self.fields.remove(i).1),
+            Err(_) => None,
+        }
     }
 
     /// Does the packet carry this field?
     pub fn has(&self, field: &Field) -> bool {
-        self.fields.contains_key(field)
+        self.find(field).is_ok()
     }
 
     /// Iterate over `(field, value)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (&Field, &Value)> {
-        self.fields.iter()
+        self.fields.iter().map(|(f, v)| (f, v))
     }
 
     /// Number of populated fields.
@@ -64,6 +145,11 @@ impl Packet {
     /// Is the packet empty (no fields)?
     pub fn is_empty(&self) -> bool {
         self.fields.is_empty()
+    }
+
+    /// Keep only the fields for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Field, &Value) -> bool) {
+        self.fields.retain(|(f, v)| keep(f, v));
     }
 
     /// Functional update: a copy of the packet with `field` set to `value`
@@ -106,9 +192,21 @@ impl fmt::Debug for Packet {
 
 impl FromIterator<(Field, Value)> for Packet {
     fn from_iter<T: IntoIterator<Item = (Field, Value)>>(iter: T) -> Self {
-        Packet {
-            fields: iter.into_iter().collect(),
-        }
+        let mut fields = pooled_buf(0);
+        fields.extend(iter);
+        // Map semantics: last write to a field wins. The sort is stable, so
+        // within one field the insertion order survives; the swap in
+        // `dedup_by` then moves each run's final value into the kept slot.
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        fields.dedup_by(|later, kept| {
+            if later.0 == kept.0 {
+                std::mem::swap(&mut later.1, &mut kept.1);
+                true
+            } else {
+                false
+            }
+        });
+        Packet { fields }
     }
 }
 

@@ -42,6 +42,35 @@ impl StateTable {
         self.entries.insert(index, value);
     }
 
+    /// Write `value` at a borrowed `index`: the index is only cloned when
+    /// the entry does not exist yet, so overwrites (the steady state of a
+    /// busy counter) never allocate a key.
+    pub fn set_at(&mut self, index: &[Value], value: Value) {
+        if let Some(slot) = self.entries.get_mut(index) {
+            *slot = value;
+        } else {
+            self.entries.insert(index.to_vec(), value);
+        }
+    }
+
+    /// Read-modify-write at `index` in one tree walk: `update` sees the
+    /// current value (the default if never written) and produces the new
+    /// one. An `Err` from `update` leaves the table untouched. Like
+    /// [`StateTable::set_at`], the index is cloned only on first write.
+    pub fn update<E>(
+        &mut self,
+        index: &[Value],
+        update: impl FnOnce(&Value) -> Result<Value, E>,
+    ) -> Result<(), E> {
+        if let Some(slot) = self.entries.get_mut(index) {
+            *slot = update(slot)?;
+        } else {
+            let value = update(&self.default)?;
+            self.entries.insert(index.to_vec(), value);
+        }
+        Ok(())
+    }
+
     /// The default value of this table.
     pub fn default_value(&self) -> &Value {
         &self.default
@@ -108,10 +137,33 @@ impl Store {
 
     /// Write `var[index] ← value`.
     pub fn set(&mut self, var: &StateVar, index: Vec<Value>, value: Value) {
-        self.tables
-            .entry(var.clone())
-            .or_default()
-            .set(index, value);
+        self.table_mut(var).set(index, value);
+    }
+
+    /// Write `var[index] ← value` with a borrowed index — see
+    /// [`StateTable::set_at`].
+    pub fn set_at(&mut self, var: &StateVar, index: &[Value], value: Value) {
+        self.table_mut(var).set_at(index, value);
+    }
+
+    /// Read-modify-write `var[index]` in one table walk — see
+    /// [`StateTable::update`].
+    pub fn update<E>(
+        &mut self,
+        var: &StateVar,
+        index: &[Value],
+        update: impl FnOnce(&Value) -> Result<Value, E>,
+    ) -> Result<(), E> {
+        self.table_mut(var).update(index, update)
+    }
+
+    /// The table backing `var`, created empty on first touch. Clones the
+    /// variable name only on that first touch, not per write.
+    fn table_mut(&mut self, var: &StateVar) -> &mut StateTable {
+        if !self.tables.contains_key(var) {
+            self.tables.insert(var.clone(), StateTable::default());
+        }
+        self.tables.get_mut(var).expect("just ensured")
     }
 
     /// The table backing `var`, if any entry was ever written or declared.

@@ -34,7 +34,15 @@ pub struct Topology {
     links: Vec<Link>,
     adj: Vec<Vec<(NodeId, usize)>>,
     external_ports: BTreeMap<PortId, NodeId>,
+    /// Dense mirror of `external_ports` for small port numbers: the data
+    /// plane resolves a port's switch once or twice per packet, so that
+    /// lookup should be an array load, not a tree walk. Ports at or above
+    /// [`DENSE_PORT_LIMIT`] simply fall back to the map.
+    port_cache: Vec<Option<NodeId>>,
 }
+
+/// Port numbers below this get a slot in the dense port-to-switch cache.
+const DENSE_PORT_LIMIT: usize = 1 << 16;
 
 impl Topology {
     /// An empty topology with a name.
@@ -69,6 +77,12 @@ impl Topology {
     /// Attach an external (OBS) port to a switch.
     pub fn add_external_port(&mut self, port: PortId, node: NodeId) {
         self.external_ports.insert(port, node);
+        if port.0 < DENSE_PORT_LIMIT {
+            if self.port_cache.len() <= port.0 {
+                self.port_cache.resize(port.0 + 1, None);
+            }
+            self.port_cache[port.0] = Some(node);
+        }
     }
 
     /// Number of switches.
@@ -92,7 +106,11 @@ impl Topology {
     }
 
     /// The switch a given external port attaches to.
+    #[inline]
     pub fn port_switch(&self, port: PortId) -> Option<NodeId> {
+        if port.0 < DENSE_PORT_LIMIT {
+            return self.port_cache.get(port.0).copied().flatten();
+        }
         self.external_ports.get(&port).copied()
     }
 

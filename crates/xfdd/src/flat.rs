@@ -1,4 +1,6 @@
-//! Flat struct-of-arrays lowering of an xFDD for wire-speed evaluation.
+//! Flat struct-of-arrays lowering of an xFDD for wire-speed evaluation —
+//! the middle stage of the two-stage dataplane lowering (pool → flat →
+//! tables).
 //!
 //! The interned arena ([`crate::Pool`]) is the right representation for
 //! *building* diagrams — hash-consing, memo tables, GC — but per-packet
@@ -7,19 +9,38 @@
 //! diagram with garbage from superseded compilations, so the reachable
 //! subgraph is scattered across the allocation.
 //!
-//! A [`FlatProgram`] is the dataplane's view: the reachable subgraph of one
-//! root, renumbered densely child-first and split into parallel arrays —
-//! branch tests, branch edges, and leaf action tables each contiguous in
-//! memory. Per-packet evaluation is then index arithmetic over a few dense
-//! arrays: follow an edge, load a test by the same index, repeat. The dense
-//! [`FlatId`]s also replace the arena [`NodeId`]s as the §4.5 packet-tag node
-//! identifiers carried in the SNAP header, so a flattened program is all a
-//! switch needs to resume processing mid-diagram.
+//! A [`FlatProgram`] is the dataplane's canonical view: the reachable
+//! subgraph of one root, renumbered densely child-first and split into
+//! parallel arrays — branch tests, branch edges, and leaf action tables
+//! each contiguous in memory. Per-packet evaluation is then index
+//! arithmetic over a few dense arrays: follow an edge, load a test by the
+//! same index, repeat. The dense [`FlatId`]s also replace the arena
+//! [`NodeId`]s as the §4.5 packet-tag node identifiers carried in the SNAP
+//! header, so a flattened program is all a switch needs to resume
+//! processing mid-diagram.
 //!
 //! Each branch additionally caches the state variable its test reads (if
 //! any): the distributed simulator checks ownership of that variable on
 //! every hop, and the cache turns that from a match over the test structure
 //! into an array load.
+//!
+//! ## The two-stage lowering, and which stage to use when
+//!
+//! 1. **Pool** ([`crate::Pool`]): building and composing diagrams —
+//!    hash-consing, memoized `⊕`/`⊖`/`⊙`, deltas, GC. Never the per-packet
+//!    path.
+//! 2. **Flat** (this module): the portable program. Flat ids are the
+//!    packet-tag wire format, leaves carry the executable action tables,
+//!    and [`FlatProgram::walk`] is the reference per-packet semantics that
+//!    everything else (netasm lowering, table dispatch) is checked against.
+//! 3. **Tables** ([`crate::tables::TableProgram`]): a derived dispatch
+//!    structure *over* the flat arrays — runs of same-field tests collapsed
+//!    into per-field lookup tables, so the hot path resolves a whole chain
+//!    with one field load and one probe. Compiled locally from the flat
+//!    program wherever one is installed (never shipped: the wire format
+//!    and the tags stay flat). Use it for the per-packet hot path; use
+//!    `walk` when you need the one-test-per-step reference, e.g. in
+//!    differential tests.
 
 use crate::action::{ActionSeq, Leaf};
 use crate::pool::{eval_test, Node, NodeId, Pool};
@@ -44,15 +65,18 @@ impl FlatId {
         self.0 & LEAF_BIT != 0
     }
 
-    /// Index into the branch arrays (tests/edges). Panics on leaf ids.
+    /// Index into the branch arrays (tests/edges). Panics on leaf ids —
+    /// in every build: a leaf id used as a branch index would silently
+    /// read an unrelated branch in release mode otherwise.
     pub fn branch_index(self) -> usize {
-        debug_assert!(!self.is_leaf());
+        assert!(!self.is_leaf(), "branch_index called on leaf id {self:?}");
         self.0 as usize
     }
 
-    /// Index into the leaf array. Panics on branch ids.
+    /// Index into the leaf array. Panics on branch ids — in every build,
+    /// for the same reason as [`FlatId::branch_index`].
     pub fn leaf_index(self) -> usize {
-        debug_assert!(self.is_leaf());
+        assert!(self.is_leaf(), "leaf_index called on branch id {self:?}");
         (self.0 & !LEAF_BIT) as usize
     }
 
@@ -436,6 +460,18 @@ mod tests {
             flat.branch_var(flat.root()).map(|v| v.name().to_string()),
             Some("seen".to_string())
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "branch_index called on leaf id")]
+    fn branch_index_panics_on_leaf_ids_in_release_too() {
+        FlatId::leaf(0).branch_index();
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf_index called on branch id")]
+    fn leaf_index_panics_on_branch_ids_in_release_too() {
+        FlatId::branch(0).leaf_index();
     }
 
     #[test]

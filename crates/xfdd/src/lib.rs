@@ -34,9 +34,13 @@
 //!   mark-from-roots compactor ([`Pool::compact`]) bounding arena growth,
 //!   and a serde-free wire format for frozen diagrams ([`encode_diagram`] /
 //!   [`decode_diagram`]),
-//! * a flat struct-of-arrays lowering for the dataplane ([`FlatProgram`]):
-//!   the reachable subgraph renumbered densely child-first, so per-packet
-//!   evaluation is index arithmetic instead of arena chasing.
+//! * a two-stage dataplane lowering: the flat struct-of-arrays program
+//!   ([`FlatProgram`] — the reachable subgraph renumbered densely
+//!   child-first, so per-packet evaluation is index arithmetic instead of
+//!   arena chasing) and, below it, the table-compiled program
+//!   ([`TableProgram`] — runs of same-field tests collapsed into per-field
+//!   dispatch tables, so a whole field-test chain resolves with one field
+//!   load and one indexed lookup).
 //!
 //! ## Example
 //!
@@ -70,6 +74,7 @@ pub mod error;
 pub mod flat;
 pub mod import;
 pub mod pool;
+pub mod tables;
 pub mod test;
 pub mod translate;
 pub mod wire;
@@ -82,6 +87,7 @@ pub use diagram::{eval_test, Xfdd};
 pub use error::CompileError;
 pub use flat::{FlatId, FlatLeaf, FlatNode, FlatProgram};
 pub use pool::{CtxId, Node, NodeId, Pool};
+pub use tables::{Lookup, TableProgram, TableStats};
 pub use test::{Test, VarOrder};
 pub use translate::{compile, pred_to_xfdd, to_xfdd};
 pub use wire::{
