@@ -177,7 +177,7 @@ fn report_speedup(_c: &mut Criterion) {
         live.update_policy(&policy(t)).unwrap();
     });
 
-    let stats = *live.stats();
+    let stats = live.stats();
     println!(
         "\nsession_recompile summary (campus, {} pool nodes, {} cached subtrees):",
         live.pool_len(),

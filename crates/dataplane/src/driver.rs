@@ -33,8 +33,16 @@
 //! one field column at a time, and park at their first state test or leaf.
 //! Only the survivors that actually reach state then enter the **locked**
 //! phase under the group's store lease — stateless drops and stateless
-//! emits never contend for the lock at all (counted by
-//! [`crate::exec::wave_prefix_stats`]).
+//! emits never contend for the lock at all (counted per instance by the
+//! `driver.wave_prefix.*` counters of [`crate::PlaneTelemetry`]).
+//!
+//! The driver is also the telemetry plane's observation point: when a
+//! plane attaches its [`crate::PlaneTelemetry`] bundle
+//! ([`Driver::with_metrics`]), the loop counts ingress admissions, hop
+//! visits, state writes, store-lock acquisitions, deliveries and drops
+//! per instance, and carries the [`snap_telemetry::PacketTrace`] of a
+//! 1-in-N sampled packet across its hops. Without a bundle all of it
+//! compiles down to a handful of `None` checks.
 //!
 //! Consistency note: within a batch, packets interleave at switch
 //! granularity, so the *relative order* of state writes from different
@@ -44,11 +52,12 @@
 
 use crate::exec::{
     misplaced_state_error, missing_placement_error, process_at_switch, read_outport,
-    record_wave_prefix, strip_snap_header, InFlight, NextHops, Progress, SimError, StepOutcome,
-    StoreLease,
+    strip_snap_header, InFlight, NextHops, Progress, SimError, StepOutcome, StoreLease,
 };
+use crate::metrics::PlaneTelemetry;
 use parking_lot::Mutex;
 use snap_lang::{Packet, StateVar, Store, Value};
+use snap_telemetry::{HopRecord, LocalHistogram, PacketTrace};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
 use snap_xfdd::{FlatId, FlatProgram, TableProgram};
 use std::collections::BTreeSet;
@@ -115,11 +124,14 @@ pub trait EgressSink {
 pub type BatchResults<E> = Vec<Result<Option<u64>, E>>;
 
 /// An in-flight packet plus the driver's batch bookkeeping: which batch
-/// packet it belongs to and the epoch it was stamped with at ingress.
+/// packet it belongs to, the epoch it was stamped with at ingress and —
+/// for the 1-in-N sampled packets — the trace being built. A fork moves
+/// the trace to the first child, so a trace follows exactly one flight.
 struct Tagged {
     flight: InFlight,
     origin: usize,
     epoch: u64,
+    trace: Option<Box<PacketTrace>>,
 }
 
 impl Default for Tagged {
@@ -136,7 +148,92 @@ impl Default for Tagged {
             },
             origin: 0,
             epoch: 0,
+            trace: None,
         }
+    }
+}
+
+/// Plain per-batch accumulator for the hot-path metrics: the driver
+/// tallies admissions, deliveries and drops with ordinary arithmetic while
+/// a batch runs and flushes into the sharded registry once at the end, so
+/// the per-packet cost of telemetry is a couple of integer adds instead of
+/// sharded atomic RMWs. Per-switch ingress counts are a linear-scan list —
+/// a batch touches a handful of distinct ingress switches.
+#[derive(Default)]
+struct BatchTally {
+    packets: u64,
+    ingress: Vec<(usize, u64)>,
+    deliveries: u64,
+    delivery_hops: LocalHistogram,
+    policy_drops: u64,
+    switch_hops: Vec<(usize, u64)>,
+    state_writes: Vec<(usize, u64)>,
+    store_locks: u64,
+    wave_prefix_packets: u64,
+    wave_prefix_survivors: u64,
+}
+
+/// Add `n` under `switch` in a linear-scan per-switch tally list.
+fn bump(list: &mut Vec<(usize, u64)>, switch: usize, n: u64) {
+    match list.iter_mut().find(|(s, _)| *s == switch) {
+        Some((_, total)) => *total += n,
+        None => list.push((switch, n)),
+    }
+}
+
+impl BatchTally {
+    fn admit(&mut self, switch: usize) {
+        self.packets += 1;
+        bump(&mut self.ingress, switch, 1);
+    }
+
+    fn flush(&self, m: &PlaneTelemetry) {
+        if self.packets > 0 {
+            m.packets.add(self.packets);
+        }
+        for &(switch, n) in &self.ingress {
+            m.switch_packets.add(switch, n);
+        }
+        if self.deliveries > 0 {
+            m.deliveries.add(self.deliveries);
+        }
+        m.delivery_hops.merge(&self.delivery_hops);
+        if self.policy_drops > 0 {
+            m.policy_drops.add(self.policy_drops);
+        }
+        for &(switch, n) in &self.switch_hops {
+            m.switch_hops.add(switch, n);
+        }
+        for &(switch, n) in &self.state_writes {
+            m.switch_state_writes.add(switch, n);
+        }
+        if self.store_locks > 0 {
+            m.store_locks.add(self.store_locks);
+        }
+        if self.wave_prefix_packets > 0 {
+            m.wave_prefix_packets.add(self.wave_prefix_packets);
+            m.wave_prefix_survivors.add(self.wave_prefix_survivors);
+        }
+    }
+}
+
+/// Set the outcome of a traced flight's current (last) hop record. The
+/// closure only runs for sampled packets, so untraced packets never
+/// format a string.
+fn note_outcome(tagged: &mut Tagged, outcome: impl FnOnce() -> String) {
+    if let Some(trace) = tagged.trace.as_deref_mut() {
+        if let Some(hop) = trace.hops.last_mut() {
+            hop.outcome = outcome();
+        }
+    }
+}
+
+/// The §4.5 packet tag of a flight, rendered for its hop record.
+fn progress_tag(progress: &Progress) -> String {
+    match progress {
+        Progress::AtNode(id) => format!("{id:?}"),
+        Progress::InLeaf { node, seq, .. } => format!("{node:?}.{seq}"),
+        Progress::Done => "done".to_string(),
     }
 }
 
@@ -174,6 +271,7 @@ pub struct Driver<'a> {
     topology: &'a Topology,
     next_hops: &'a NextHops,
     hop_budget: usize,
+    metrics: Option<&'a PlaneTelemetry>,
 }
 
 impl<'a> Driver<'a> {
@@ -184,7 +282,16 @@ impl<'a> Driver<'a> {
             topology,
             next_hops,
             hop_budget,
+            metrics: None,
         }
+    }
+
+    /// Attach the plane's telemetry bundle: the loop records per-instance
+    /// counters and carries sampled packet traces. `None` (the default)
+    /// reduces telemetry to a branch per recording site.
+    pub fn with_metrics(mut self, metrics: Option<&'a PlaneTelemetry>) -> Driver<'a> {
+        self.metrics = metrics;
+        self
     }
 
     /// Drive a batch of packets to completion — the single dispatch loop of
@@ -215,6 +322,17 @@ impl<'a> Driver<'a> {
         S: EgressSink,
         P: std::borrow::Borrow<Packet>,
     {
+        let start = self.metrics.map(|_| std::time::Instant::now());
+        let mut tally = BatchTally::default();
+        // One countdown reservation covers the whole batch: `samples` holds
+        // the (ascending) admitted-packet offsets to trace, almost always
+        // none. Offsets index *admitted* packets, so a rejected port never
+        // shifts which packet a trace follows mid-batch.
+        let samples = match self.metrics {
+            Some(m) => m.telemetry().tracer().sample_offsets(batch.len() as u64),
+            None => Vec::new(),
+        };
+        let mut next_sample = samples.iter().copied().peekable();
         let mut results: BatchResults<R::Error> = batch.iter().map(|_| Ok(None)).collect();
         let mut views: Vec<(u64, Option<R::View<'_>>)> = Vec::new();
         // Wave scheduling: each wave distributes the in-flight packets into
@@ -250,6 +368,18 @@ impl<'a> Driver<'a> {
                     Ok(None) => {} // nothing installed: empty egress
                     Ok(Some((epoch, root))) => {
                         results[origin] = Ok(Some(epoch));
+                        let trace = match self.metrics {
+                            Some(m) => {
+                                let admitted = tally.packets;
+                                tally.admit(ingress.0);
+                                if next_sample.next_if_eq(&admitted).is_some() {
+                                    Some(Box::new(m.telemetry().tracer().start(port.0, epoch)))
+                                } else {
+                                    None
+                                }
+                            }
+                            None => None,
+                        };
                         pending.push(Tagged {
                             flight: InFlight::ingress(
                                 packet.borrow().clone(),
@@ -259,6 +389,7 @@ impl<'a> Driver<'a> {
                             ),
                             origin,
                             epoch,
+                            trace,
                         });
                     }
                 }
@@ -281,12 +412,21 @@ impl<'a> Driver<'a> {
                         next,
                         &mut results,
                         cohort,
+                        &mut tally,
                     );
                     *bucket = group; // keep the bucket's capacity warm
                 }
                 std::mem::swap(pending, next);
             }
         });
+        if let (Some(m), Some(t0)) = (self.metrics, start) {
+            m.batch_ns.record(t0.elapsed().as_nanos() as u64);
+            tally.flush(m);
+            let errors = results.iter().filter(|r| r.is_err()).count();
+            if errors > 0 {
+                m.errors.add(errors as u64);
+            }
+        }
         results
     }
 
@@ -306,16 +446,18 @@ impl<'a> Driver<'a> {
         next: &mut Vec<Tagged>,
         results: &mut BatchResults<R::Error>,
         scratch: &mut CohortScratch,
+        tally: &mut BatchTally,
     ) {
         let mut lease = StoreLease::new(resolver.store(switch));
         views.clear();
         // Phase one, lock-free: advance every flight's stateless prefix
         // through the table program, a dispatch stage at a time across the
         // whole group. Only survivors still need the store below.
-        self.wave_prefix(resolver, switch, group, views, results, scratch);
+        self.wave_prefix(resolver, switch, group, views, results, scratch, tally);
         // Phase two, locked: drain the group in place under one store lease.
         // Flights are taken out of their slot (an inert placeholder stays
         // behind) so forked copies can be appended while the walk is live.
+        let mut visits = 0u64;
         let mut idx = 0;
         while idx < group.len() {
             let mut tagged = std::mem::take(&mut group[idx]);
@@ -327,6 +469,7 @@ impl<'a> Driver<'a> {
                 results[tagged.origin] = Err(SimError::HopBudgetExceeded.into());
                 continue;
             }
+            visits += 1;
             let view_idx = match views.iter().position(|(e, _)| *e == tagged.epoch) {
                 Some(idx) => idx,
                 None => match resolver.resolve(switch, tagged.epoch) {
@@ -349,38 +492,65 @@ impl<'a> Driver<'a> {
                 }
                 continue;
             };
+            // A sampled packet opens a hop record for this visit; the step
+            // below fills in the state variables it touches, and the
+            // dispatch arms stamp the outcome.
+            if let Some(trace) = tagged.trace.as_deref_mut() {
+                trace.hops.push(HopRecord::begin(
+                    switch.0,
+                    self.topology.node_name(switch),
+                    tagged.epoch,
+                    progress_tag(&tagged.flight.progress),
+                ));
+            }
             let step = match process_at_switch(
                 view.local_vars(),
                 view.flat(),
                 view.tables(),
                 &mut lease,
                 &mut tagged.flight,
+                tagged.trace.as_deref_mut().and_then(|t| t.hops.last_mut()),
             ) {
                 Ok(step) => step,
                 Err(e) => {
+                    note_outcome(&mut tagged, || "error".to_string());
                     results[tagged.origin] = Err(e.into());
                     continue;
                 }
             };
             match step {
                 StepOutcome::Emit(outport) => {
+                    note_outcome(&mut tagged, || format!("emit:port{}", outport.0));
                     if view.serves_port(outport) {
                         // The flight ends here: take its packet instead of
                         // cloning it for delivery.
                         let mut clean = std::mem::take(&mut tagged.flight.pkt);
                         strip_snap_header(&mut clean);
                         sink.deliver(tagged.origin, switch, outport, clean, tagged.epoch);
+                        self.record_delivery(&mut tagged, switch, outport, tally);
                     } else {
                         // Pure forwarding from here to the delivery switch:
                         // resolve the delivery in place instead of paying
                         // another wave for a hop that can only emit.
-                        if let Err(e) = self.deliver_remote(resolver, sink, &mut tagged, outport) {
+                        if let Err(e) =
+                            self.deliver_remote(resolver, sink, &mut tagged, outport, tally)
+                        {
                             results[tagged.origin] = Err(e);
                         }
                     }
                 }
-                StepOutcome::Dropped => {}
+                StepOutcome::Dropped => {
+                    note_outcome(&mut tagged, || "drop".to_string());
+                    if let Some(m) = self.metrics {
+                        tally.policy_drops += 1;
+                        if let Some(mut trace) = tagged.trace.take() {
+                            trace.dropped = true;
+                            m.telemetry().tracer().finish(*trace);
+                        }
+                    }
+                }
                 StepOutcome::NeedState(var) => {
+                    note_outcome(&mut tagged, || format!("need-state:{var}"));
                     let Some(owner) = view.owner(var) else {
                         results[tagged.origin] = Err(missing_placement_error(var).into());
                         continue;
@@ -401,17 +571,50 @@ impl<'a> Driver<'a> {
                     }
                 }
                 StepOutcome::Fork(children) => {
+                    note_outcome(&mut tagged, || format!("fork:{}", children.len()));
+                    // The trace follows the first forked copy only.
+                    let mut trace = tagged.trace.take();
                     for flight in children {
                         group.push(Tagged {
                             flight,
                             origin: tagged.origin,
                             epoch: tagged.epoch,
+                            trace: trace.take(),
                         });
                     }
                 }
             }
         }
         group.clear();
+        if self.metrics.is_some() {
+            if visits > 0 {
+                bump(&mut tally.switch_hops, switch.0, visits);
+            }
+            tally.store_locks += lease.lock_acquisitions();
+            if lease.state_writes() > 0 {
+                bump(&mut tally.state_writes, switch.0, lease.state_writes());
+            }
+        }
+    }
+
+    /// Account a completed delivery: the batch tally, and — for a sampled
+    /// packet — the finished trace.
+    fn record_delivery(
+        &self,
+        tagged: &mut Tagged,
+        at: SwitchId,
+        port: PortId,
+        tally: &mut BatchTally,
+    ) {
+        let Some(m) = self.metrics else {
+            return;
+        };
+        tally.deliveries += 1;
+        tally.delivery_hops.record(tagged.flight.hops as u64);
+        if let Some(mut trace) = tagged.trace.take() {
+            trace.egress = Some((at.0, port.0));
+            m.telemetry().tracer().finish(*trace);
+        }
     }
 
     /// The wave-prefix pass of one group: before any store access, advance
@@ -430,8 +633,9 @@ impl<'a> Driver<'a> {
     /// store is touched) and never passes a state test, so it is safe to
     /// run before the [`StoreLease`] is acquired: packets whose stateless
     /// prefix ends in a drop or a stateless emit never contend for the
-    /// lock at all. Survivor counts land in
-    /// [`crate::exec::wave_prefix_stats`].
+    /// lock at all. Survivor counts land on this instance's
+    /// `driver.wave_prefix.*` counters ([`PlaneTelemetry`]).
+    #[allow(clippy::too_many_arguments)]
     fn wave_prefix<'r, R: ViewResolver>(
         &self,
         resolver: &'r R,
@@ -440,6 +644,7 @@ impl<'a> Driver<'a> {
         views: &mut Vec<(u64, Option<R::View<'r>>)>,
         results: &mut BatchResults<R::Error>,
         scratch: &mut CohortScratch,
+        tally: &mut BatchTally,
     ) {
         // Seed cohorts, keyed by (view, node): every member is about to
         // execute the same dispatch step. Member lists are recycled through
@@ -529,7 +734,10 @@ impl<'a> Driver<'a> {
             }
             scratch.spare.push(members);
         }
-        record_wave_prefix(packets, survivors);
+        if packets > 0 && self.metrics.is_some() {
+            tally.wave_prefix_packets += packets;
+            tally.wave_prefix_survivors += survivors;
+        }
     }
 
     /// Finish an emitted flight whose egress port lives on another switch:
@@ -544,6 +752,7 @@ impl<'a> Driver<'a> {
         sink: &mut S,
         tagged: &mut Tagged,
         port: PortId,
+        tally: &mut BatchTally,
     ) -> Result<(), R::Error> {
         let bad_port = || SimError::BadOutPort(Value::Int(port.0 as i64));
         let target = self.topology.port_switch(port).ok_or_else(bad_port)?;
@@ -568,6 +777,7 @@ impl<'a> Driver<'a> {
         let mut clean = std::mem::take(&mut tagged.flight.pkt);
         strip_snap_header(&mut clean);
         sink.deliver(tagged.origin, target, port, clean, tagged.epoch);
+        self.record_delivery(tagged, target, port, tally);
         Ok(())
     }
 

@@ -9,61 +9,24 @@
 //! dispatch loop; this module holds the machinery underneath it: the
 //! in-flight packet representation ([`InFlight`], [`Progress`]), the
 //! single-switch step ([`process_at_switch`], [`StepOutcome`]), the
-//! lazily-acquired per-group store lease ([`StoreLease`], with the
-//! process-wide [`store_lock_acquisitions`] counter; the wave-prefix
-//! counters [`wave_prefix_stats`] live here too), the precomputed
-//! shortest-path next-hop table ([`NextHops`]) and the small packet-header
-//! helpers.
+//! lazily-acquired per-group store lease ([`StoreLease`], which tallies
+//! its own lock acquisitions and state writes for the per-instance
+//! telemetry registry), the precomputed shortest-path next-hop table
+//! ([`NextHops`]) and the small packet-header helpers.
+//!
+//! The process-wide `store_lock_acquisitions` / `wave_prefix_stats`
+//! statics that used to live here are gone: they were shared by every
+//! `Network` in a process, so concurrently running tests contaminated
+//! each other's readings. Their successors are per-instance counters on
+//! [`crate::PlaneTelemetry`], fed from the [`StoreLease`] tallies and the
+//! driver's wave-prefix pass.
 
 use parking_lot::{Mutex, MutexGuard};
 use snap_lang::{EvalError, Field, Packet, StateVar, Store, Value};
+use snap_telemetry::HopRecord;
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
 use snap_xfdd::{eval_test, Action, FlatId, FlatNode, FlatProgram, TableProgram};
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Process-wide count of store-shard lock acquisitions (see
-/// [`store_lock_acquisitions`]).
-static STORE_LOCKS: AtomicU64 = AtomicU64::new(0);
-
-/// Total store-shard lock acquisitions since process start — monotone and
-/// process-wide, incremented whenever a [`StoreLease`] first touches its
-/// shard. This is the observable behind the batched-execution claim: the
-/// driver takes one acquisition per (switch, batch-group) instead of one
-/// per packet visit, and the `dataplane_throughput` bench reports the
-/// difference.
-pub fn store_lock_acquisitions() -> u64 {
-    STORE_LOCKS.load(Ordering::Relaxed)
-}
-
-/// Packets whose stateless prefix was advanced by the driver's wave-prefix
-/// pass (see [`wave_prefix_stats`]).
-static WAVE_PREFIX_PACKETS: AtomicU64 = AtomicU64::new(0);
-
-/// Of those, the survivors that still needed the locked phase.
-static WAVE_PREFIX_SURVIVORS: AtomicU64 = AtomicU64::new(0);
-
-/// Process-wide wave-prefix counters: `(packets, survivors)`. A packet is
-/// counted once per wave-prefix pass that advances it; a *survivor* is a
-/// packet whose stateless prefix ended at a state test or a state-writing
-/// leaf — only survivors proceed to the per-switch locked phase, so
-/// `survivors / packets` is the fraction of wave traffic that still pays
-/// for state. Monotone and process-wide, like
-/// [`store_lock_acquisitions`].
-pub fn wave_prefix_stats() -> (u64, u64) {
-    (
-        WAVE_PREFIX_PACKETS.load(Ordering::Relaxed),
-        WAVE_PREFIX_SURVIVORS.load(Ordering::Relaxed),
-    )
-}
-
-/// Account one wave-prefix pass (driver internal).
-pub(crate) fn record_wave_prefix(packets: u64, survivors: u64) {
-    if packets > 0 {
-        WAVE_PREFIX_PACKETS.fetch_add(packets, Ordering::Relaxed);
-        WAVE_PREFIX_SURVIVORS.fetch_add(survivors, Ordering::Relaxed);
-    }
-}
 
 /// A lazily acquired lease on one switch's store shard.
 ///
@@ -76,6 +39,8 @@ pub(crate) fn record_wave_prefix(packets: u64, survivors: u64) {
 pub struct StoreLease<'a> {
     mutex: Option<&'a Mutex<Store>>,
     guard: Option<MutexGuard<'a, Store>>,
+    locks: u64,
+    writes: u64,
 }
 
 impl<'a> StoreLease<'a> {
@@ -85,6 +50,8 @@ impl<'a> StoreLease<'a> {
         StoreLease {
             mutex: store,
             guard: None,
+            locks: 0,
+            writes: 0,
         }
     }
 
@@ -92,11 +59,27 @@ impl<'a> StoreLease<'a> {
     /// guard for the lease's lifetime. `None` when the switch has no shard.
     pub fn with<T>(&mut self, f: impl FnOnce(&mut Store) -> T) -> Option<T> {
         let mutex = self.mutex?;
-        let guard = self.guard.get_or_insert_with(|| {
-            STORE_LOCKS.fetch_add(1, Ordering::Relaxed);
-            mutex.lock()
-        });
+        let guard = match &mut self.guard {
+            Some(guard) => guard,
+            slot @ None => {
+                self.locks += 1;
+                slot.insert(mutex.lock())
+            }
+        };
         Some(f(guard))
+    }
+
+    /// Lock acquisitions this lease performed (0 or 1 per lease; the
+    /// driver sums them into the per-instance
+    /// `driver.store_lock_acquisitions` counter at group end).
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.locks
+    }
+
+    /// State actions applied through this lease (summed into the
+    /// per-switch `switch.state_writes` family at group end).
+    pub fn state_writes(&self) -> u64 {
+        self.writes
     }
 }
 
@@ -195,12 +178,18 @@ pub enum StepOutcome<'p> {
 /// resolved through the dispatch stages (one field load + one lookup per
 /// collapsed run) instead of branch by branch; only state tests evaluate
 /// against the store, branch by branch, as before.
+///
+/// `trace` is the hop record of a sampled packet, if this flight is being
+/// traced: the state variables tested and written at this switch are
+/// appended to it. `None` (every unsampled packet) costs a branch per
+/// state access.
 pub fn process_at_switch<'p>(
     local_vars: &BTreeSet<StateVar>,
     flat: &'p FlatProgram,
     tables: &TableProgram,
     store: &mut StoreLease<'_>,
     flight: &mut InFlight,
+    mut trace: Option<&mut HopRecord>,
 ) -> Result<StepOutcome<'p>, SimError> {
     loop {
         match flight.progress {
@@ -230,6 +219,9 @@ pub fn process_at_switch<'p>(
                         // packet resumes at the state test, not at `idx`.
                         flight.progress = Progress::AtNode(reached);
                         return Ok(StepOutcome::NeedState(var));
+                    }
+                    if let Some(h) = trace.as_deref_mut() {
+                        h.state_tests.push(var.to_string());
                     }
                     let passed = store
                         .with(|s| eval_test(test, &flight.pkt, s))
@@ -285,9 +277,13 @@ pub fn process_at_switch<'p>(
                                 };
                                 return Ok(StepOutcome::NeedState(var));
                             }
+                            if let Some(h) = trace.as_deref_mut() {
+                                h.state_writes.push(var.to_string());
+                            }
                             store
                                 .with(|s| apply_state_action(action, &flight.pkt, s))
                                 .expect("switch with state has a store")?;
+                            store.writes += 1;
                         }
                     }
                     off += 1;

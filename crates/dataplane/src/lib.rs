@@ -29,7 +29,12 @@
 //! * [`TrafficEngine`] — drives a packet workload through any
 //!   [`TrafficTarget`] (the in-process network, the queue-delivering
 //!   [`QueuedNetwork`], the distributed plane) from N worker threads with
-//!   per-worker egress collection.
+//!   per-worker egress collection;
+//! * [`PlaneTelemetry`] — the pre-registered `snap-telemetry` handle
+//!   bundle the driver records through: per-instance packet / hop /
+//!   state-write counters, wave-prefix survivor ratios, latency
+//!   histograms and 1-in-N sampled packet traces, aggregated only on
+//!   read ([`Network::metrics_snapshot`]).
 //!
 //! Programs are executed via their dense flat node ids, which double as the
 //! §4.5 packet-tag node identifiers; the flattening is pure index
@@ -40,16 +45,15 @@
 pub mod driver;
 pub mod egress;
 pub mod exec;
+pub mod metrics;
 pub mod netasm;
 pub mod network;
 pub mod traffic;
 
 pub use driver::{BatchResults, Driver, EgressSink, HopView, ViewResolver};
 pub use egress::{EgressEvent, EgressQueues, DEFAULT_QUEUE_CAPACITY};
-pub use exec::{
-    store_lock_acquisitions, wave_prefix_stats, InFlight, NextHops, Progress, SimError,
-    StepOutcome, StoreLease,
-};
+pub use exec::{InFlight, NextHops, Progress, SimError, StepOutcome, StoreLease};
+pub use metrics::{export_egress, PlaneTelemetry};
 pub use netasm::{Instruction, NetAsmProgram};
 pub use network::{BatchOutput, ConfigSnapshot, Network, QueuedBatchOutput, SwitchConfig};
 pub use traffic::{QueuedNetwork, TargetBatch, TrafficEngine, TrafficReport, TrafficTarget};

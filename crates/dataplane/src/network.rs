@@ -39,6 +39,8 @@ use crate::driver::{Driver, EgressSink, HopView, ViewResolver};
 use crate::egress::EgressQueues;
 use crate::exec::NextHops;
 pub use crate::exec::SimError;
+use crate::metrics::PlaneTelemetry;
+use snap_telemetry::{MetricsSnapshot, Telemetry};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
 
 /// Per-switch configuration produced by rule generation.
@@ -224,6 +226,10 @@ pub struct Network {
     /// Maximum number of hops a packet may take before the simulator reports
     /// a routing loop.
     hop_budget: usize,
+    /// This instance's telemetry plane (pre-registered driver handles).
+    /// `None` disables all recording — every injection pays one branch per
+    /// observation site and nothing else.
+    telemetry: Option<Arc<PlaneTelemetry>>,
 }
 
 /// Default hop budget (see [`Network::with_hop_budget`]).
@@ -239,6 +245,7 @@ impl Network {
             .map(|&n| (n, Arc::new(Mutex::new(Store::new()))))
             .collect();
         let next_hop = NextHops::compute(&topology);
+        let telemetry = Some(PlaneTelemetry::new(Telemetry::new(), &topology));
         Network {
             topology,
             next_hop,
@@ -252,7 +259,43 @@ impl Network {
             })),
             swap_lock: Mutex::new(()),
             hop_budget: DEFAULT_HOP_BUDGET,
+            telemetry,
         }
+    }
+
+    /// Record this network's metrics into `telemetry` instead of the
+    /// private instance created by [`Network::new`] — used by the
+    /// distribution plane to share one registry between the controller,
+    /// the agents and the packet driver.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(PlaneTelemetry::new(telemetry, &self.topology));
+        self
+    }
+
+    /// Disable telemetry entirely: no counters, no traces. This is the
+    /// baseline leg of the bench's overhead guard.
+    pub fn without_telemetry(mut self) -> Self {
+        self.telemetry = None;
+        self
+    }
+
+    /// This network's telemetry handles, if enabled.
+    pub fn telemetry(&self) -> Option<&Arc<PlaneTelemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Snapshot this instance's metrics, traces and events, enriched with
+    /// the current configuration epoch (gauge `network.epoch`). Returns an
+    /// empty snapshot when telemetry is disabled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let Some(t) = &self.telemetry else {
+            return MetricsSnapshot::default();
+        };
+        t.telemetry()
+            .registry()
+            .gauge("network.epoch")
+            .set(self.current_epoch() as i64);
+        t.telemetry().snapshot()
     }
 
     /// Set the hop budget at construction time (default
@@ -413,6 +456,7 @@ impl Network {
     /// table and hop budget.
     fn driver(&self) -> Driver<'_> {
         Driver::new(&self.topology, &self.next_hop, self.hop_budget)
+            .with_metrics(self.telemetry.as_deref())
     }
 
     /// Inject a packet at an OBS external port and run it to completion

@@ -95,6 +95,15 @@ impl<'a> QueuedNetwork<'a> {
     pub fn inject_batch(&self, batch: &[(PortId, Packet)]) -> QueuedBatchOutput {
         self.network.inject_batch_queued(batch, self.queues)
     }
+
+    /// The network's [`Network::metrics_snapshot`] enriched with this
+    /// target's egress queue stats (`egress.enqueued` / `.dropped` /
+    /// `.depth`, one row per port).
+    pub fn metrics_snapshot(&self) -> snap_telemetry::MetricsSnapshot {
+        let mut snap = self.network.metrics_snapshot();
+        crate::metrics::export_egress(&mut snap, "egress", self.queues);
+        snap
+    }
 }
 
 impl TrafficTarget for QueuedNetwork<'_> {

@@ -42,6 +42,7 @@ use crate::transport::{
 use snap_core::Compiled;
 use snap_lang::{Policy, StateTable, StateVar};
 use snap_session::{CompilerSession, SessionUpdate};
+use snap_telemetry::{CommitEvent, Telemetry};
 use snap_topology::{NodeId as SwitchId, TrafficMatrix};
 use snap_xfdd::{encode_delta, encode_diagram, CompileError, Pool};
 use std::collections::{BTreeMap, BTreeSet};
@@ -205,6 +206,10 @@ pub struct Controller {
     full_cache: Option<(Arc<Compiled>, usize)>,
     options: DistribOptions,
     history: Vec<CommitReport>,
+    /// Where commit events (prepare/commit/abort/compaction, with payload
+    /// sizes and per-agent ack timings) are logged; shared with the data
+    /// plane by the deployment helpers so one snapshot covers both.
+    telemetry: Option<Telemetry>,
 }
 
 impl Controller {
@@ -222,6 +227,27 @@ impl Controller {
             full_cache: None,
             options: DistribOptions::default(),
             history: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Log commit events (and the session's compile counters) into
+    /// `telemetry`. Events cost nothing per packet — they are recorded at
+    /// control-plane rate, once per distribute call.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Controller {
+        self.session.set_telemetry(telemetry.clone());
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The controller's telemetry instance, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    fn record_event(&self, event: CommitEvent) {
+        if let Some(t) = &self.telemetry {
+            t.events().record(event);
         }
     }
 
@@ -447,17 +473,23 @@ impl Controller {
                 let _ = link.endpoint.send(ToAgent::Abort { epoch });
             }
             self.dirty = true;
+            self.record_event(CommitEvent::Abort {
+                epoch,
+                reason: err.to_string(),
+            });
             return Err(err);
         }
 
         // Collect one Prepared/PrepareFailed per agent before touching any
         // running configuration.
         let mut failure: Option<DistribError> = None;
+        let mut prepare_acks: Vec<(String, u64)> = Vec::new();
         for link in self.agents.values_mut() {
             match recv_reply(link, self.options.timeout, epoch) {
                 Ok(FromAgent::Prepared { epoch: e, .. }) if e == epoch => {
                     link.synced_len = self.dist.len();
                     link.needs_resync = false;
+                    prepare_acks.push((link.name.clone(), t_prepare.elapsed().as_micros() as u64));
                 }
                 Ok(FromAgent::PrepareFailed { reason, .. }) => {
                     link.needs_resync = true;
@@ -491,9 +523,22 @@ impl Controller {
                 let _ = link.endpoint.send(ToAgent::Abort { epoch });
             }
             self.dirty = true;
+            self.record_event(CommitEvent::Abort {
+                epoch,
+                reason: err.to_string(),
+            });
             return Err(err);
         }
         let prepare_time = t_prepare.elapsed();
+        self.record_event(CommitEvent::Prepare {
+            epoch,
+            agents: self.agents.len(),
+            resyncs,
+            delta_bytes: delta.len(),
+            resync_bytes: resync_payload.as_ref().map_or(0, Vec::len),
+            micros: prepare_time.as_micros() as u64,
+            per_agent: prepare_acks,
+        });
 
         // -- Phase two: flip everywhere, then migrate yielded state. -------
         // If this phase fails partway, some agent already holds a committed
@@ -501,19 +546,36 @@ impl Controller {
         // recovery is conservative: resync everyone and re-ship all
         // metadata on the next update.
         let t_commit = Instant::now();
-        let migrated_tables =
+        let (migrated_tables, commit_acks) =
             match commit_phase(&mut self.agents, epoch, self.options.timeout, &placement) {
-                Ok(migrated) => migrated,
+                Ok(done) => done,
                 Err(err) => {
                     self.dirty = true;
                     for link in self.agents.values_mut() {
                         link.needs_resync = true;
                         link.meta = None;
                     }
+                    self.record_event(CommitEvent::Abort {
+                        epoch,
+                        reason: err.to_string(),
+                    });
                     return Err(err);
                 }
             };
         let commit_time = t_commit.elapsed();
+        self.record_event(CommitEvent::Commit {
+            epoch,
+            migrated_tables,
+            micros: commit_time.as_micros() as u64,
+            per_agent: commit_acks,
+        });
+        if let Some(t) = &self.telemetry {
+            let r = t.registry();
+            r.histogram("commit.prepare_us")
+                .record(prepare_time.as_micros() as u64);
+            r.histogram("commit.commit_us")
+                .record(commit_time.as_micros() as u64);
+        }
 
         // Bookkeeping: the epoch is committed everywhere.
         self.dirty = false;
@@ -540,6 +602,10 @@ impl Controller {
             });
             if self.dist.len() > factor.max(1) * live.max(1) {
                 compacted_nodes = self.compact_distribution();
+                self.record_event(CommitEvent::Compaction {
+                    epoch,
+                    reclaimed: compacted_nodes,
+                });
             }
         }
 
@@ -608,7 +674,8 @@ fn recv_reply(
 
 /// Phase two of one update: order the flip on every agent, collect the
 /// commit acknowledgements, and relay yielded state tables to their new
-/// owners. Returns the number of migrated tables.
+/// owners. Returns the number of migrated tables and per-agent
+/// flip-acknowledgement timings (phase start → ack, microseconds).
 ///
 /// Failures are collected, not short-circuited: agents that committed have
 /// already *removed* their yielded tables, so every yield the controller
@@ -622,7 +689,8 @@ fn commit_phase(
     epoch: u64,
     timeout: Duration,
     placement: &BTreeMap<StateVar, SwitchId>,
-) -> Result<usize, DistribError> {
+) -> Result<(usize, Vec<(String, u64)>), DistribError> {
+    let start = Instant::now();
     let mut failure: Option<DistribError> = None;
     for link in agents.values() {
         if let Err(error) = link.endpoint.send(ToAgent::Commit { epoch }) {
@@ -633,13 +701,17 @@ fn commit_phase(
         }
     }
     let mut yields: Vec<(StateVar, StateTable)> = Vec::new();
+    let mut acks: Vec<(String, u64)> = Vec::new();
     for link in agents.values_mut() {
         match recv_reply(link, timeout, epoch) {
             Ok(FromAgent::Committed {
                 epoch: e,
                 yields: y,
                 ..
-            }) if e == epoch => yields.extend(y),
+            }) if e == epoch => {
+                acks.push((link.name.clone(), start.elapsed().as_micros() as u64));
+                yields.extend(y);
+            }
             Ok(other) => {
                 failure.get_or_insert(DistribError::Protocol {
                     switch: link.name.clone(),
@@ -694,6 +766,6 @@ fn commit_phase(
     }
     match failure {
         Some(err) => Err(err),
-        None => Ok(migrated_tables),
+        None => Ok((migrated_tables, acks)),
     }
 }

@@ -123,7 +123,14 @@ pub fn deploy_in_process_with(
     for (port, node) in topology.external_ports() {
         ports_per_switch.entry(node).or_default().push(port);
     }
-    let mut controller = Controller::new(session).with_options(options);
+    // One telemetry instance for the whole deployment: the controller's
+    // commit events, the session's compile counters and the data plane's
+    // packet counters all land in the same registry, so a single snapshot
+    // tells the whole story.
+    let telemetry = snap_telemetry::Telemetry::new();
+    let mut controller = Controller::new(session)
+        .with_options(options)
+        .with_telemetry(telemetry.clone());
     let mut agents: BTreeMap<SwitchId, Arc<SwitchAgent>> = BTreeMap::new();
     let mut handles = Vec::new();
     for switch in topology.nodes() {
@@ -139,7 +146,7 @@ pub fn deploy_in_process_with(
         controller.attach(switch, Box::new(controller_end));
         agents.insert(switch, agent);
     }
-    let network = Arc::new(DistNetwork::new(topology, agents));
+    let network = Arc::new(DistNetwork::new(topology, agents).with_telemetry(telemetry));
     InProcessDeployment {
         controller,
         network,

@@ -23,8 +23,10 @@ use parking_lot::Mutex;
 use snap_dataplane::driver::{Driver, EgressSink, HopView, ViewResolver};
 use snap_dataplane::egress::EgressEvent;
 use snap_dataplane::exec::{NextHops, SimError};
+use snap_dataplane::metrics::{export_egress, PlaneTelemetry};
 use snap_dataplane::{TargetBatch, TrafficTarget};
 use snap_lang::{Packet, StateVar, Store};
+use snap_telemetry::{MetricsSnapshot, Telemetry};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
 use snap_xfdd::{FlatId, FlatProgram, TableProgram};
 use std::collections::{BTreeMap, BTreeSet};
@@ -93,6 +95,10 @@ pub struct DistNetwork {
     next_hops: NextHops,
     agents: BTreeMap<SwitchId, Arc<SwitchAgent>>,
     hop_budget: usize,
+    /// This plane's telemetry handles; shared with the controller by
+    /// [`crate::deploy_in_process`] so one snapshot covers packet counters
+    /// *and* commit events. `None` disables recording.
+    telemetry: Option<Arc<PlaneTelemetry>>,
 }
 
 /// [`ViewResolver`] over the per-switch agents: ingress stamps the current
@@ -187,12 +193,89 @@ impl DistNetwork {
     /// A network over a set of agents.
     pub fn new(topology: Topology, agents: BTreeMap<SwitchId, Arc<SwitchAgent>>) -> DistNetwork {
         let next_hops = NextHops::compute(&topology);
+        let telemetry = Some(PlaneTelemetry::new(Telemetry::new(), &topology));
         DistNetwork {
             topology,
             next_hops,
             agents,
             hop_budget: snap_dataplane::network::DEFAULT_HOP_BUDGET,
+            telemetry,
         }
+    }
+
+    /// Record this plane's metrics into `telemetry` instead of the private
+    /// instance created by [`DistNetwork::new`] — how the deployment
+    /// helpers share one registry between controller and data plane.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> DistNetwork {
+        self.telemetry = Some(PlaneTelemetry::new(telemetry, &self.topology));
+        self
+    }
+
+    /// Disable telemetry entirely (baseline leg of the overhead guard).
+    pub fn without_telemetry(mut self) -> DistNetwork {
+        self.telemetry = None;
+        self
+    }
+
+    /// This plane's telemetry handles, if enabled.
+    pub fn telemetry(&self) -> Option<&Arc<PlaneTelemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Snapshot this instance's metrics, traces and commit events,
+    /// enriched at read time with per-agent data the hot path never
+    /// touches: each agent's egress queue stats (`egress.<switch>.*`),
+    /// its protocol counters (`agent.*` families labeled by switch name)
+    /// and the committed-epoch gauge `network.epoch` (the max across
+    /// agents; `network.epoch_skew` is nonzero only mid-commit). Returns
+    /// an empty snapshot when telemetry is disabled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let Some(t) = &self.telemetry else {
+            return MetricsSnapshot::default();
+        };
+        let epochs = self.current_epochs();
+        let registry = t.telemetry().registry();
+        let max = epochs.iter().next_back().copied().unwrap_or(0);
+        let min = epochs.iter().next().copied().unwrap_or(0);
+        registry.gauge("network.epoch").set(max as i64);
+        registry.gauge("network.epoch_skew").set((max - min) as i64);
+        let mut snap = t.telemetry().snapshot();
+        let mut stat_families: BTreeMap<&str, Vec<(String, u64)>> = BTreeMap::new();
+        for agent in self.agents.values() {
+            export_egress(
+                &mut snap,
+                &format!("egress.{}", agent.name()),
+                agent.egress(),
+            );
+            let stats = agent.stats();
+            let relaxed = std::sync::atomic::Ordering::Relaxed;
+            for (stat, value) in [
+                ("agent.prepares", stats.prepares.load(relaxed)),
+                (
+                    "agent.prepare_failures",
+                    stats.prepare_failures.load(relaxed),
+                ),
+                ("agent.commits", stats.commits.load(relaxed)),
+                ("agent.aborts", stats.aborts.load(relaxed)),
+                ("agent.resyncs", stats.resyncs.load(relaxed)),
+                ("agent.delta_bytes", stats.delta_bytes.load(relaxed)),
+                ("agent.nodes_appended", stats.nodes_appended.load(relaxed)),
+                (
+                    "agent.tables_installed",
+                    stats.tables_installed.load(relaxed),
+                ),
+                ("agent.mirror_nodes", agent.mirror_len() as u64),
+            ] {
+                stat_families
+                    .entry(stat)
+                    .or_default()
+                    .push((agent.name().to_string(), value));
+            }
+        }
+        for (name, rows) in stat_families {
+            snap.families.insert(name.to_string(), rows);
+        }
+        snap
     }
 
     /// Set the hop budget at construction time — the same budget, enforced
@@ -270,7 +353,8 @@ impl DistNetwork {
                 })
                 .collect(),
         };
-        let driver = Driver::new(&self.topology, &self.next_hops, self.hop_budget);
+        let driver = Driver::new(&self.topology, &self.next_hops, self.hop_budget)
+            .with_metrics(self.telemetry.as_deref());
         let results = driver.run_batch(&resolver, &mut sink, batch);
         results
             .into_iter()

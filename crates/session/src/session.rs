@@ -7,6 +7,7 @@ use snap_core::{
 };
 use snap_dataplane::Network;
 use snap_lang::{Policy, Pred, StateVar};
+use snap_telemetry::{Counter, Telemetry};
 use snap_topology::{NodeId as SwitchId, PortId, Topology, TrafficMatrix};
 use snap_xfdd::{
     pred_to_xfdd, to_xfdd, Action, CompileError, Leaf, NodeId, Pool, StateDependencies, VarOrder,
@@ -55,7 +56,10 @@ impl Default for SessionOptions {
     }
 }
 
-/// Counters describing what a session has done so far.
+/// A point-in-time reading of the session's counters (the counters
+/// themselves live on the session's `snap-telemetry` registry as the
+/// `session.*` metrics; this is the value [`CompilerSession::stats`]
+/// assembles from them).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Policy compilations (initial compile + policy updates).
@@ -82,6 +86,61 @@ pub struct SessionStats {
     pub order_resets: u64,
     /// Distribution updates handed out by [`CompilerSession::take_update`].
     pub updates_taken: u64,
+}
+
+/// The registry-backed counters behind [`SessionStats`], pre-registered as
+/// the `session.*` metrics so increments are handle writes, never name
+/// lookups. [`CompilerSession::set_telemetry`] swaps the backing registry
+/// and carries the accumulated counts over.
+struct SessionCounters {
+    telemetry: Telemetry,
+    compiles: Counter,
+    reroutes: Counter,
+    subtree_hits: Counter,
+    subtree_misses: Counter,
+    parallel_translations: Counter,
+    placement_reuses: Counter,
+    version_hits: Counter,
+    gc_runs: Counter,
+    nodes_reclaimed: Counter,
+    order_resets: Counter,
+    updates_taken: Counter,
+}
+
+impl SessionCounters {
+    fn new(telemetry: Telemetry) -> SessionCounters {
+        let r = telemetry.registry();
+        SessionCounters {
+            compiles: r.counter("session.compiles"),
+            reroutes: r.counter("session.reroutes"),
+            subtree_hits: r.counter("session.subtree_hits"),
+            subtree_misses: r.counter("session.subtree_misses"),
+            parallel_translations: r.counter("session.parallel_translations"),
+            placement_reuses: r.counter("session.placement_reuses"),
+            version_hits: r.counter("session.version_hits"),
+            gc_runs: r.counter("session.gc_runs"),
+            nodes_reclaimed: r.counter("session.nodes_reclaimed"),
+            order_resets: r.counter("session.order_resets"),
+            updates_taken: r.counter("session.updates_taken"),
+            telemetry,
+        }
+    }
+
+    fn read(&self) -> SessionStats {
+        SessionStats {
+            compiles: self.compiles.get(),
+            reroutes: self.reroutes.get(),
+            subtree_hits: self.subtree_hits.get(),
+            subtree_misses: self.subtree_misses.get(),
+            parallel_translations: self.parallel_translations.get(),
+            placement_reuses: self.placement_reuses.get(),
+            version_hits: self.version_hits.get(),
+            gc_runs: self.gc_runs.get(),
+            nodes_reclaimed: self.nodes_reclaimed.get(),
+            order_resets: self.order_resets.get(),
+            updates_taken: self.updates_taken.get(),
+        }
+    }
 }
 
 /// What one pool compaction did.
@@ -128,7 +187,7 @@ pub struct CompilerSession {
     /// What the last [`Self::take_update`] shipped, for change tracking.
     shipped: Option<ShippedState>,
     epoch: u64,
-    stats: SessionStats,
+    stats: SessionCounters,
 }
 
 struct VersionEntry {
@@ -207,8 +266,33 @@ impl CompilerSession {
             current: None,
             shipped: None,
             epoch: 0,
-            stats: SessionStats::default(),
+            stats: SessionCounters::new(Telemetry::new()),
         }
+    }
+
+    /// Move the session's counters onto `telemetry`'s registry — a
+    /// deployment shares one registry between session, controller and data
+    /// plane this way. Counts accumulated so far carry over.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        let old = self.stats.read();
+        let fresh = SessionCounters::new(telemetry);
+        fresh.compiles.add(old.compiles);
+        fresh.reroutes.add(old.reroutes);
+        fresh.subtree_hits.add(old.subtree_hits);
+        fresh.subtree_misses.add(old.subtree_misses);
+        fresh.parallel_translations.add(old.parallel_translations);
+        fresh.placement_reuses.add(old.placement_reuses);
+        fresh.version_hits.add(old.version_hits);
+        fresh.gc_runs.add(old.gc_runs);
+        fresh.nodes_reclaimed.add(old.nodes_reclaimed);
+        fresh.order_resets.add(old.order_resets);
+        fresh.updates_taken.add(old.updates_taken);
+        self.stats = fresh;
+    }
+
+    /// The telemetry instance the session's counters are registered on.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.stats.telemetry
     }
 
     /// Use specific session options.
@@ -244,9 +328,9 @@ impl CompilerSession {
         self.cache.len()
     }
 
-    /// Session counters.
-    pub fn stats(&self) -> &SessionStats {
-        &self.stats
+    /// A point-in-time reading of the session counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats.read()
     }
 
     /// The session's target topology.
@@ -262,14 +346,14 @@ impl CompilerSession {
     /// The first call behaves like a cold [`snap_core::Compiler::compile`];
     /// subsequent calls are incremental.
     pub fn compile(&mut self, policy: &Policy) -> Result<Compiled, CompileError> {
-        self.stats.compiles += 1;
+        self.stats.compiles.inc();
         self.cache.bump_generation();
 
         // Version cache: a policy the session has already fully compiled
         // (rollback, attack/calm toggle, A/B flip) under the current traffic
         // matrix needs no phase to run at all.
         if let Some(cached) = self.version_lookup(policy) {
-            self.stats.version_hits += 1;
+            self.stats.version_hits.inc();
             self.epoch += 1;
             self.current = Some(Arc::clone(&cached));
             // One deep clone at the API boundary; zeroed timings record that
@@ -291,7 +375,7 @@ impl CompilerSession {
             // (Adopting the order on the very first compile is not counted:
             // there is nothing warm to lose yet.)
             if !self.cache.is_empty() {
-                self.stats.order_resets += 1;
+                self.stats.order_resets.inc();
             }
             self.pool = Pool::new(order);
             self.cache.clear();
@@ -339,7 +423,7 @@ impl CompilerSession {
         });
         let (placement, opt_timings) = match reusable {
             Some(placement) => {
-                self.stats.placement_reuses += 1;
+                self.stats.placement_reuses.inc();
                 (placement, OptimizeTimings::default())
             }
             None => {
@@ -432,7 +516,7 @@ impl CompilerSession {
         // Cached versions embed placement/routing for the old matrix.
         self.versions.clear();
         let prev = Arc::clone(self.current.as_ref()?);
-        self.stats.reroutes += 1;
+        self.stats.reroutes.inc();
         let input = OptimizeInput {
             topology: &self.topology,
             traffic: &self.traffic,
@@ -520,7 +604,7 @@ impl CompilerSession {
             meta: meta.clone(),
             placement,
         });
-        self.stats.updates_taken += 1;
+        self.stats.updates_taken.inc();
         Some(SessionUpdate {
             session_epoch: self.epoch,
             compiled,
@@ -582,8 +666,10 @@ impl CompilerSession {
         let dropped = self.cache.remap(&remap);
         debug_assert_eq!(dropped, 0, "a GC root was collected");
         let nodes_after = self.pool.len();
-        self.stats.gc_runs += 1;
-        self.stats.nodes_reclaimed += (nodes_before - nodes_after) as u64;
+        self.stats.gc_runs.inc();
+        self.stats
+            .nodes_reclaimed
+            .add((nodes_before - nodes_after) as u64);
         GcReport {
             nodes_before,
             nodes_after,
@@ -598,11 +684,11 @@ impl CompilerSession {
     fn lookup_counted(&mut self, policy: &Policy) -> Option<NodeId> {
         match self.cache.lookup(policy) {
             Some(id) => {
-                self.stats.subtree_hits += 1;
+                self.stats.subtree_hits.inc();
                 Some(id)
             }
             None => {
-                self.stats.subtree_misses += 1;
+                self.stats.subtree_misses.inc();
                 None
             }
         }
@@ -716,7 +802,7 @@ impl CompilerSession {
                     let imported = self.pool.import(&worker_pool, worker_root);
                     self.cache.insert(ops[i], imported);
                     results[i] = Some(imported);
-                    self.stats.parallel_translations += 1;
+                    self.stats.parallel_translations.inc();
                 }
             }
         } else {

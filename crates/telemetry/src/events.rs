@@ -1,0 +1,263 @@
+//! The structured event log of the distribution plane.
+//!
+//! Two-phase commits happen at control-plane rate (per policy update, not
+//! per packet), so the log is a plain bounded `Vec` under a mutex — no
+//! sharding needed. Each entry records what the controller did, how many
+//! bytes it shipped and how long each agent took to acknowledge, which is
+//! exactly the data the prepare/commit latency claims in EXPERIMENTS.md
+//! are made of.
+
+use crate::json;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One distribution-plane event.
+#[derive(Clone, Debug)]
+pub enum CommitEvent {
+    /// The prepare phase of a two-phase commit: deltas (and full programs,
+    /// for resyncing agents) shipped and acknowledged.
+    Prepare {
+        /// The epoch being prepared.
+        epoch: u64,
+        /// Agents the prepare was sent to.
+        agents: usize,
+        /// Of those, agents that received a full resync instead of a delta.
+        resyncs: usize,
+        /// Total delta payload bytes shipped.
+        delta_bytes: usize,
+        /// Total full-program payload bytes shipped to resyncing agents.
+        resync_bytes: usize,
+        /// Wall-clock duration of the whole phase, in microseconds.
+        micros: u64,
+        /// Per-agent time from phase start to that agent's ack, in
+        /// microseconds.
+        per_agent: Vec<(String, u64)>,
+    },
+    /// The commit phase: every prepared agent flipped to the new epoch.
+    Commit {
+        /// The committed epoch.
+        epoch: u64,
+        /// State tables migrated between agents during the commit.
+        migrated_tables: usize,
+        /// Wall-clock duration of the whole phase, in microseconds.
+        micros: u64,
+        /// Per-agent time from phase start to that agent's ack, in
+        /// microseconds.
+        per_agent: Vec<(String, u64)>,
+    },
+    /// A commit was aborted (send failure, agent rejection or timeout).
+    Abort {
+        /// The epoch that was being prepared when the abort happened.
+        epoch: u64,
+        /// Why.
+        reason: String,
+    },
+    /// Distribution-state compaction reclaimed nodes no live agent needs.
+    Compaction {
+        /// The epoch after which the compaction ran.
+        epoch: u64,
+        /// Pool nodes reclaimed.
+        reclaimed: usize,
+    },
+}
+
+impl CommitEvent {
+    fn kind(&self) -> &'static str {
+        match self {
+            CommitEvent::Prepare { .. } => "prepare",
+            CommitEvent::Commit { .. } => "commit",
+            CommitEvent::Abort { .. } => "abort",
+            CommitEvent::Compaction { .. } => "compaction",
+        }
+    }
+
+    /// The epoch the event concerns.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            CommitEvent::Prepare { epoch, .. }
+            | CommitEvent::Commit { epoch, .. }
+            | CommitEvent::Abort { epoch, .. }
+            | CommitEvent::Compaction { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// A logged event plus its monotone sequence number.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// Position in the log since construction (monotone even when older
+    /// records have been evicted from the bounded buffer).
+    pub seq: u64,
+    /// The event.
+    pub event: CommitEvent,
+}
+
+impl EventRecord {
+    pub(crate) fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"seq\": {}, \"kind\": \"{}\", \"epoch\": {}",
+            self.seq,
+            self.event.kind(),
+            self.event.epoch()
+        );
+        match &self.event {
+            CommitEvent::Prepare {
+                agents,
+                resyncs,
+                delta_bytes,
+                resync_bytes,
+                micros,
+                per_agent,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"agents\": {agents}, \"resyncs\": {resyncs}, \"delta_bytes\": {delta_bytes}, \"resync_bytes\": {resync_bytes}, \"micros\": {micros}, \"per_agent_micros\": "
+                );
+                write_per_agent(out, per_agent);
+            }
+            CommitEvent::Commit {
+                migrated_tables,
+                micros,
+                per_agent,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"migrated_tables\": {migrated_tables}, \"micros\": {micros}, \"per_agent_micros\": "
+                );
+                write_per_agent(out, per_agent);
+            }
+            CommitEvent::Abort { reason, .. } => {
+                out.push_str(", \"reason\": ");
+                json::write_str(out, reason);
+            }
+            CommitEvent::Compaction { reclaimed, .. } => {
+                let _ = write!(out, ", \"reclaimed\": {reclaimed}");
+            }
+        }
+        out.push('}');
+    }
+
+    /// A one-line human-readable rendering.
+    pub fn render(&self) -> String {
+        match &self.event {
+            CommitEvent::Prepare {
+                epoch,
+                agents,
+                resyncs,
+                delta_bytes,
+                resync_bytes,
+                micros,
+                ..
+            } => format!(
+                "#{} prepare epoch {epoch}: {agents} agents ({resyncs} resyncs), {delta_bytes}B delta + {resync_bytes}B resync, {micros}us",
+                self.seq
+            ),
+            CommitEvent::Commit {
+                epoch,
+                migrated_tables,
+                micros,
+                ..
+            } => format!(
+                "#{} commit  epoch {epoch}: {migrated_tables} tables migrated, {micros}us",
+                self.seq
+            ),
+            CommitEvent::Abort { epoch, reason } => {
+                format!("#{} abort   epoch {epoch}: {reason}", self.seq)
+            }
+            CommitEvent::Compaction { epoch, reclaimed } => {
+                format!(
+                    "#{} compact epoch {epoch}: {reclaimed} nodes reclaimed",
+                    self.seq
+                )
+            }
+        }
+    }
+}
+
+fn write_per_agent(out: &mut String, per_agent: &[(String, u64)]) {
+    out.push('{');
+    for (i, (name, us)) in per_agent.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json::write_str(out, name);
+        let _ = write!(out, ": {us}");
+    }
+    out.push('}');
+}
+
+/// A bounded, mutex-guarded log of [`CommitEvent`]s.
+pub struct EventLog {
+    events: Mutex<VecDeque<EventRecord>>,
+    capacity: usize,
+    next_seq: AtomicU64,
+}
+
+/// Default event-log capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+impl EventLog {
+    /// A log keeping at most `capacity` most-recent events.
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            events: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event, evicting the oldest when full. Returns the event's
+    /// sequence number.
+    pub fn record(&self, event: CommitEvent) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.events.lock();
+        if events.len() >= self.capacity {
+            events.pop_front();
+        }
+        events.push_back(EventRecord { seq, event });
+        seq
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.events.lock().iter().cloned().collect()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog::new(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_is_bounded_with_monotone_seqs() {
+        let log = EventLog::new(2);
+        for epoch in 0..5 {
+            log.record(CommitEvent::Abort {
+                epoch,
+                reason: "test".into(),
+            });
+        }
+        assert_eq!(log.recorded(), 5);
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[1].seq, 4);
+        assert_eq!(events[1].event.epoch(), 4);
+    }
+}

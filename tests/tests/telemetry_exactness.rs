@@ -1,0 +1,255 @@
+//! Metric exactness under concurrency, over both planes.
+//!
+//! The telemetry registry shards hot-path counters per worker and only
+//! aggregates on read; the contract is that once the workers have joined,
+//! the sums are *exact*. These tests pin that down by driving the same
+//! workload through the multi-worker `TrafficEngine` and comparing the
+//! aggregated per-switch packet / hop / state-write counters against
+//! totals computed independently — the workload size, and the state
+//! counter the existing invariant tests already prove exact via
+//! `aggregate_store`.
+
+use snap_core::SolverChoice;
+use snap_dataplane::{Network, PlaneTelemetry, SwitchConfig, TrafficEngine};
+use snap_lang::prelude::*;
+use snap_session::CompilerSession;
+use snap_telemetry::MetricsSnapshot;
+use snap_topology::generators::campus;
+use snap_topology::{PortId, TrafficMatrix};
+use std::collections::{BTreeMap, BTreeSet};
+
+const TOTAL: usize = 600;
+
+/// Count every packet per inport on C6, then deliver via port 6.
+fn counting_policy() -> Policy {
+    state_incr("count", vec![field(Field::InPort)]).seq(modify(Field::OutPort, Value::Int(6)))
+}
+
+fn campus_network() -> Network {
+    let topo = campus();
+    let program = snap_xfdd::compile(&counting_policy()).unwrap();
+    let owners = BTreeMap::from([(
+        topo.node_by_name("C6").unwrap(),
+        BTreeSet::from(["count".into()]),
+    )]);
+    let configs = SwitchConfig::for_topology(&topo, &program, &owners);
+    Network::new(topo, configs)
+}
+
+fn workload() -> Vec<(PortId, Packet)> {
+    (0..TOTAL)
+        .map(|i| (PortId(1 + i % 6), Packet::new().with(Field::InPort, 1)))
+        .collect()
+}
+
+fn family_total(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.families[name].iter().map(|(_, v)| v).sum()
+}
+
+/// The independently exact totals: every packet counted, every state
+/// write landed on C6, and every counter family consistent with them.
+fn assert_exact(snap: &MetricsSnapshot, state_writes_per_packet: u64) {
+    assert_eq!(snap.counters["driver.packets"], TOTAL as u64);
+    assert_eq!(snap.counters["driver.deliveries"], TOTAL as u64);
+    assert_eq!(snap.counters["driver.policy_drops"], 0);
+    assert_eq!(snap.counters["driver.errors"], 0);
+    assert_eq!(family_total(snap, "switch.packets"), TOTAL as u64);
+    assert_eq!(
+        family_total(snap, "switch.state_writes"),
+        TOTAL as u64 * state_writes_per_packet
+    );
+    // Each state variable lives on exactly one switch, so one row — the
+    // counter's owner, wherever placement put it — carries the entire
+    // family.
+    let max_writes = snap.families["switch.state_writes"]
+        .iter()
+        .map(|(_, v)| *v)
+        .max()
+        .unwrap();
+    assert_eq!(max_writes, TOTAL as u64 * state_writes_per_packet);
+    // Every locked-phase visit is attributed to exactly one switch, and
+    // every delivered packet visited at least its state owner.
+    assert!(family_total(snap, "switch.hops") >= TOTAL as u64);
+    // The delivery histogram saw every delivered packet.
+    assert_eq!(snap.histograms["packet.delivery_hops"].count, TOTAL as u64);
+    // Wave-prefix accounting is consistent: survivors are a subset.
+    assert!(
+        snap.counters["driver.wave_prefix.survivors"]
+            <= snap.counters["driver.wave_prefix.packets"]
+    );
+}
+
+#[test]
+fn network_counters_are_exact_across_workers() {
+    let load = workload();
+
+    let single = campus_network();
+    TrafficEngine::new(1)
+        .with_batch_size(16)
+        .run(&single, &load);
+    let single_snap = single.metrics_snapshot();
+    assert_exact(&single_snap, 1);
+
+    let multi = campus_network();
+    let report = TrafficEngine::new(4).with_batch_size(16).run(&multi, &load);
+    assert!(report.is_clean());
+    let multi_snap = multi.metrics_snapshot();
+    assert_exact(&multi_snap, 1);
+
+    // The exact total the existing invariant tests compute independently.
+    assert_eq!(
+        multi
+            .aggregate_store()
+            .get(&"count".into(), &[Value::Int(1)]),
+        Value::Int(TOTAL as i64)
+    );
+
+    // Worker count must not change any aggregated reading: same workload,
+    // same per-switch attribution, sharded or not.
+    for family in ["switch.packets", "switch.hops", "switch.state_writes"] {
+        assert_eq!(
+            single_snap.families[family], multi_snap.families[family],
+            "{family} diverged between 1 and 4 workers"
+        );
+    }
+    for counter in [
+        "driver.packets",
+        "driver.deliveries",
+        "driver.wave_prefix.packets",
+        "driver.wave_prefix.survivors",
+    ] {
+        assert_eq!(
+            single_snap.counters[counter], multi_snap.counters[counter],
+            "{counter} diverged between 1 and 4 workers"
+        );
+    }
+    // Lock acquisitions are amortized per (switch, batch-group), so their
+    // count depends on how the engine split the workload — bounded by the
+    // packet count either way, and never zero with state traffic.
+    for snap in [&single_snap, &multi_snap] {
+        let locks = snap.counters["driver.store_lock_acquisitions"];
+        assert!(locks > 0 && locks <= TOTAL as u64);
+    }
+}
+
+#[test]
+fn two_instances_never_contaminate_each_other() {
+    // The regression the per-instance registry fixed: before it, these
+    // counters were process-wide statics, and two networks driven in the
+    // same process bled into each other's readings.
+    let load = workload();
+    let a = campus_network();
+    let b = campus_network();
+    TrafficEngine::new(2).with_batch_size(16).run(&a, &load);
+    let half: Vec<_> = load[..TOTAL / 2].to_vec();
+    TrafficEngine::new(2).with_batch_size(16).run(&b, &half);
+    assert_eq!(
+        a.metrics_snapshot().counters["driver.packets"],
+        TOTAL as u64
+    );
+    assert_eq!(
+        b.metrics_snapshot().counters["driver.packets"],
+        (TOTAL / 2) as u64
+    );
+}
+
+#[test]
+fn dist_plane_counters_are_exact_across_workers() {
+    let topo = campus();
+    let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+    let session = CompilerSession::new(topo, tm).with_solver(SolverChoice::Heuristic);
+    let mut deployment = snap_distrib::deploy_in_process(session, 4096);
+    deployment
+        .controller
+        .update_policy(&counting_policy())
+        .unwrap();
+
+    let load = workload();
+    let report = TrafficEngine::new(4)
+        .with_batch_size(16)
+        .run(deployment.network.as_ref(), &load);
+    assert!(report.is_clean(), "errors: {:?}", report.errors);
+
+    let snap = deployment.network.metrics_snapshot();
+    assert_exact(&snap, 1);
+    assert_eq!(
+        deployment
+            .network
+            .aggregate_store()
+            .get(&"count".into(), &[Value::Int(1)]),
+        Value::Int(TOTAL as i64)
+    );
+    // The deployment shares one registry: the session's compile counters
+    // land in the same snapshot as the packet counters.
+    assert_eq!(snap.counters["session.compiles"], 1);
+    deployment.shutdown();
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let net = campus_network().without_telemetry();
+    TrafficEngine::new(2)
+        .with_batch_size(16)
+        .run(&net, &workload());
+    assert!(net.telemetry().is_none());
+    let snap = net.metrics_snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.traces.is_empty());
+}
+
+#[test]
+fn shared_telemetry_can_merge_two_planes() {
+    // Sharing is explicit: two networks handed the same Telemetry instance
+    // sum into one registry (the deployment helpers use exactly this to
+    // merge controller and data plane).
+    let telemetry = snap_telemetry::Telemetry::new();
+    let a = campus_network().with_telemetry(telemetry.clone());
+    let b = campus_network().with_telemetry(telemetry.clone());
+    let load = workload();
+    TrafficEngine::new(2).with_batch_size(16).run(&a, &load);
+    TrafficEngine::new(2).with_batch_size(16).run(&b, &load);
+    assert_eq!(
+        telemetry.snapshot().counters["driver.packets"],
+        2 * TOTAL as u64
+    );
+}
+
+#[test]
+fn plane_telemetry_wave_prefix_stats_matches_counters() {
+    // Needs a program with a stateless prefix: an all-state root goes
+    // straight to the locked phase and the wave-prefix pass sees nothing.
+    let topo = campus();
+    let policy = ite(
+        test(Field::SrcPort, Value::Int(53)),
+        state_incr("count", vec![field(Field::InPort)]),
+        id(),
+    )
+    .seq(modify(Field::OutPort, Value::Int(6)));
+    let program = snap_xfdd::compile(&policy).unwrap();
+    let owners = BTreeMap::from([(
+        topo.node_by_name("C6").unwrap(),
+        BTreeSet::from(["count".into()]),
+    )]);
+    let configs = SwitchConfig::for_topology(&topo, &program, &owners);
+    let net = Network::new(topo, configs);
+
+    let load: Vec<(PortId, Packet)> = (0..TOTAL)
+        .map(|i| {
+            (
+                PortId(1 + i % 6),
+                Packet::new()
+                    .with(Field::InPort, 1)
+                    .with(Field::SrcPort, if i % 4 == 0 { 53 } else { 9999 }),
+            )
+        })
+        .collect();
+    TrafficEngine::new(2).with_batch_size(16).run(&net, &load);
+    let t: &PlaneTelemetry = net.telemetry().unwrap();
+    let (packets, survivors) = t.wave_prefix_stats();
+    let snap = net.metrics_snapshot();
+    assert_eq!(snap.counters["driver.wave_prefix.packets"], packets);
+    assert_eq!(snap.counters["driver.wave_prefix.survivors"], survivors);
+    assert!(packets > 0);
+    // Only the DNS-flavoured quarter of the workload pays for state.
+    assert!(survivors < packets);
+}
