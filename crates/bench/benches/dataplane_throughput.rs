@@ -262,17 +262,22 @@ fn bench_batched_execution(c: &mut Criterion) {
 
     // Store-lock accounting for one pass over the workload, per execution
     // style — the numbers quoted in EXPERIMENTS.md ("Batched execution").
-    // Counted per network instance by its own telemetry registry, so the
-    // criterion warmup passes above cannot leak into the figures.
+    // Counted per network instance off its state shards' own counters
+    // (the `store.shard.acquisitions` family, summed across switches and
+    // shards), so the criterion warmup passes above cannot leak into the
+    // figures.
     println!("\nstore-lock acquisitions for {n} campus packets (1/4 stateful):");
     let count_locks = |net: &Network, f: &dyn Fn()| {
-        let locks = &net
-            .telemetry()
-            .expect("telemetry on by default")
-            .store_locks;
-        let before = locks.get();
+        let total = |net: &Network| {
+            net.metrics_snapshot()
+                .families
+                .get("store.shard.acquisitions")
+                .map(|rows| rows.iter().map(|(_, v)| *v).sum::<u64>())
+                .unwrap_or(0)
+        };
+        let before = total(net);
         f();
-        locks.get() - before
+        total(net) - before
     };
     let net = campus_network();
     let per_packet = count_locks(&net, &|| {
@@ -362,6 +367,7 @@ fn throughput_summary(_c: &mut Criterion) {
 
     let mut base = 0.0;
     let mut network_pps = Vec::new();
+    let mut shard_contention = Vec::new();
     let (mut prefix_pkts, mut prefix_survivors) = (0u64, 0u64);
     for workers in [1usize, 2, 4, 8] {
         let net = campus_network();
@@ -380,10 +386,30 @@ fn throughput_summary(_c: &mut Criterion) {
         let (wp, ws) = net.telemetry().expect("telemetry on").wave_prefix_stats();
         prefix_pkts += wp;
         prefix_survivors += ws;
+        let snap = net.metrics_snapshot();
+        let fam_total = |name: &str| {
+            snap.families
+                .get(name)
+                .map(|rows| rows.iter().map(|(_, v)| *v).sum::<u64>())
+                .unwrap_or(0)
+        };
+        shard_contention.push((
+            workers,
+            fam_total("store.shard.acquisitions"),
+            fam_total("store.shard.contended"),
+        ));
         println!(
             "  network, {workers} worker(s):        {pps:>12.0} pkts/s  ({:.2}x vs 1 worker)",
             pps / base
         );
+    }
+    // Lock contention is the hardware-independent signal behind the worker
+    // scaling: on a single-core container the pkts/s columns above cannot
+    // scale, but a contended-acquisition count that stays flat as workers
+    // grow shows the shard plane removed the serialization.
+    println!("  store-shard contention across the scaling runs:");
+    for (workers, acq, cont) in &shard_contention {
+        println!("    {workers} worker(s): {acq:>9} shard-lock acquisitions, {cont:>7} contended");
     }
     let survivor_rate = prefix_survivors as f64 / (prefix_pkts.max(1)) as f64;
     println!(
@@ -426,10 +452,23 @@ fn throughput_summary(_c: &mut Criterion) {
     ratios.sort_by(f64::total_cmp);
     let telemetry_on_pps = n as f64 / best_on;
     let telemetry_off_pps = n as f64 / best_off;
-    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+    // The legs differ by less than this container's run-to-run noise, so
+    // the median ratio can land on either side of 1.0. A negative reading
+    // means "below the noise floor", not that telemetry sped the plane up:
+    // record it clamped to zero and keep the raw reading alongside,
+    // flagged whenever its magnitude is within the floor.
+    const NOISE_FLOOR_PCT: f64 = 2.0;
+    let overhead_raw_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+    let below_noise_floor = overhead_raw_pct.abs() <= NOISE_FLOOR_PCT;
+    let overhead_pct = overhead_raw_pct.max(0.0);
     println!(
         "  telemetry: {telemetry_on_pps:.0} pkts/s enabled vs {telemetry_off_pps:.0} disabled \
-         ({overhead_pct:+.2}% overhead)"
+         ({overhead_pct:.2}% overhead, raw {overhead_raw_pct:+.2}%{})",
+        if below_noise_floor {
+            ", below noise floor"
+        } else {
+            ""
+        }
     );
 
     // The enabled leg's full snapshot — per-switch counters, histograms,
@@ -454,6 +493,27 @@ fn throughput_summary(_c: &mut Criterion) {
     for (i, (workers, pps)) in network_pps.iter().enumerate() {
         let comma = if i + 1 == network_pps.len() { "" } else { "," };
         let _ = writeln!(json, "    \"network_workers_{workers}\": {pps:.0}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    // Worker-scaling ratios (network_workers_N / network_workers_1): the
+    // regression-trackable form of the scaling columns above.
+    let _ = writeln!(json, "  \"scaling_vs_1_worker\": {{");
+    for (i, (workers, pps)) in network_pps.iter().enumerate() {
+        let comma = if i + 1 == network_pps.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"workers_{workers}\": {:.3}{comma}", pps / base);
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"store_shards\": {{");
+    for (i, (workers, acq, cont)) in shard_contention.iter().enumerate() {
+        let comma = if i + 1 == shard_contention.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "    \"workers_{workers}\": {{ \"acquisitions\": {acq}, \"contended\": {cont} }}{comma}"
+        );
     }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"campus_program\": {{");
@@ -485,7 +545,9 @@ fn throughput_summary(_c: &mut Criterion) {
     let _ = writeln!(json, "  \"telemetry\": {{");
     let _ = writeln!(json, "    \"enabled_pps\": {telemetry_on_pps:.0},");
     let _ = writeln!(json, "    \"disabled_pps\": {telemetry_off_pps:.0},");
-    let _ = writeln!(json, "    \"overhead_pct\": {overhead_pct:.2}");
+    let _ = writeln!(json, "    \"overhead_pct\": {overhead_pct:.2},");
+    let _ = writeln!(json, "    \"overhead_raw_pct\": {overhead_raw_pct:.2},");
+    let _ = writeln!(json, "    \"below_noise_floor\": {below_noise_floor}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dataplane.json");

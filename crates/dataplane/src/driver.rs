@@ -39,8 +39,9 @@
 //! The driver is also the telemetry plane's observation point: when a
 //! plane attaches its [`crate::PlaneTelemetry`] bundle
 //! ([`Driver::with_metrics`]), the loop counts ingress admissions, hop
-//! visits, state writes, store-lock acquisitions, deliveries and drops
-//! per instance, and carries the [`snap_telemetry::PacketTrace`] of a
+//! visits, state writes, deliveries and drops per instance (store-lock
+//! contention is counted on each switch's [`StateShards`] directly),
+//! and carries the [`snap_telemetry::PacketTrace`] of a
 //! 1-in-N sampled packet across its hops. Without a bundle all of it
 //! compiles down to a handful of `None` checks.
 //!
@@ -55,8 +56,8 @@ use crate::exec::{
     strip_snap_header, InFlight, NextHops, Progress, SimError, StepOutcome, StoreLease,
 };
 use crate::metrics::PlaneTelemetry;
-use parking_lot::Mutex;
-use snap_lang::{Packet, StateVar, Store, Value};
+use crate::shards::StateShards;
+use snap_lang::{Packet, StateVar, Value};
 use snap_telemetry::{HopRecord, LocalHistogram, PacketTrace};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
 use snap_xfdd::{FlatId, FlatProgram, TableProgram};
@@ -104,10 +105,10 @@ pub trait ViewResolver {
     /// the switch has no configuration and only forwards.
     fn resolve(&self, switch: SwitchId, epoch: u64) -> Result<Option<Self::View<'_>>, Self::Error>;
 
-    /// The switch's state shard. Epoch-independent in every plane — state
-    /// survives reconfiguration — which is what lets the driver lease it
-    /// once per (switch, batch-group).
-    fn store(&self, switch: SwitchId) -> Option<&Mutex<Store>>;
+    /// The switch's key-range state shards. Epoch-independent in every
+    /// plane — state survives reconfiguration — which is what lets the
+    /// driver lease them once per (switch, batch-group).
+    fn store(&self, switch: SwitchId) -> Option<&StateShards>;
 }
 
 /// Where delivered packets land. `origin` is the index of the packet within
@@ -168,7 +169,6 @@ struct BatchTally {
     policy_drops: u64,
     switch_hops: Vec<(usize, u64)>,
     state_writes: Vec<(usize, u64)>,
-    store_locks: u64,
     wave_prefix_packets: u64,
     wave_prefix_survivors: u64,
 }
@@ -206,9 +206,6 @@ impl BatchTally {
         }
         for &(switch, n) in &self.state_writes {
             m.switch_state_writes.add(switch, n);
-        }
-        if self.store_locks > 0 {
-            m.store_locks.add(self.store_locks);
         }
         if self.wave_prefix_packets > 0 {
             m.wave_prefix_packets.add(self.wave_prefix_packets);
@@ -586,11 +583,14 @@ impl<'a> Driver<'a> {
             }
         }
         group.clear();
+        // Merge buffered replica deltas into the authoritative shards
+        // before the lease drops — unconditionally, not only when metrics
+        // are attached: the flush is what makes the writes visible.
+        lease.flush();
         if self.metrics.is_some() {
             if visits > 0 {
                 bump(&mut tally.switch_hops, switch.0, visits);
             }
-            tally.store_locks += lease.lock_acquisitions();
             if lease.state_writes() > 0 {
                 bump(&mut tally.state_writes, switch.0, lease.state_writes());
             }

@@ -9,75 +9,254 @@
 //! dispatch loop; this module holds the machinery underneath it: the
 //! in-flight packet representation ([`InFlight`], [`Progress`]), the
 //! single-switch step ([`process_at_switch`], [`StepOutcome`]), the
-//! lazily-acquired per-group store lease ([`StoreLease`], which tallies
-//! its own lock acquisitions and state writes for the per-instance
-//! telemetry registry), the precomputed shortest-path next-hop table
-//! ([`NextHops`]) and the small packet-header helpers.
+//! lazily-locking per-group lease over the switch's key-range state shards
+//! ([`StoreLease`] — commuting writes buffer lock-free replica deltas,
+//! exact accesses lock only the key's shard, at most one shard guard is
+//! held at a time so leases cannot deadlock, and lock contention is
+//! counted on the [`StateShards`] themselves), the precomputed
+//! shortest-path next-hop table ([`NextHops`]) and the small packet-header
+//! helpers.
 //!
 //! The process-wide `store_lock_acquisitions` / `wave_prefix_stats`
 //! statics that used to live here are gone: they were shared by every
 //! `Network` in a process, so concurrently running tests contaminated
-//! each other's readings. Their successors are per-instance counters on
-//! [`crate::PlaneTelemetry`], fed from the [`StoreLease`] tallies and the
-//! driver's wave-prefix pass.
+//! each other's readings. Their successors are the per-shard contention
+//! counters on [`StateShards`] (exported as `store.shard.*` families) and
+//! the per-instance wave-prefix counters on [`crate::PlaneTelemetry`].
 
-use parking_lot::{Mutex, MutexGuard};
-use snap_lang::{EvalError, Field, Packet, StateVar, Store, Value};
+use crate::shards::StateShards;
+use parking_lot::MutexGuard;
+use snap_lang::{EvalError, Expr, Field, Packet, StateVar, Store, Value};
 use snap_telemetry::HopRecord;
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
-use snap_xfdd::{eval_test, Action, FlatId, FlatNode, FlatProgram, TableProgram};
+use snap_xfdd::{Action, FlatId, FlatNode, FlatProgram, StateClass, TableProgram, Test};
 use std::collections::BTreeSet;
 
-/// A lazily acquired lease on one switch's store shard.
+// One reusable index buffer per thread: state accesses evaluate their index
+// vector into it instead of allocating a fresh `Vec` per packet, and the
+// store only clones the index on an entry's first write.
+thread_local! {
+    static INDEX_SCRATCH: std::cell::RefCell<Vec<Value>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// One buffered commuting update, awaiting the merge flush.
+enum ReplicaOp {
+    /// Net increment of a [`StateClass::Counter`] key.
+    Add(i64),
+    /// Idempotent literal set of a [`StateClass::IdempotentSet`] key.
+    Set(Value),
+}
+
+/// A lazily locking lease on one switch's [`StateShards`].
 ///
-/// The driver creates one lease per (switch, batch-group): the first state
-/// access locks the shard and the guard is then held until the lease drops
-/// at the end of the group, so a batch of packets visiting the same switch
-/// pays one lock acquisition instead of one per access. Stateless traffic
-/// never locks at all — the guard is only taken when a state test or state
-/// action actually needs the store.
+/// The driver creates one lease per (switch, batch-group). Accesses route
+/// to the key's shard and lock it on first touch (counted into the shard's
+/// contention stats), and the lease keeps the guard across consecutive
+/// accesses to the same shard — so a run of packets hitting the same key
+/// range pays one lock acquisition instead of one per access, and packets
+/// on *different* key ranges (or different workers' groups) don't
+/// serialize at all.
+///
+/// **A lease holds at most one shard guard at any moment.** Touching a
+/// different shard drops the held guard before acquiring the new one, so
+/// no lease can hold-and-wait and two workers' leases can never deadlock,
+/// whatever order their packets visit the key ranges in. The invariant
+/// still guarantees what the exactness tests rely on: a state test and
+/// the leaf action it guards address the same variable and key, hence the
+/// same shard, hence one uninterrupted guard hold — test-then-act on a
+/// key is atomic. Only accesses to *different* keys interleave across
+/// workers at op granularity, which is within the plane's existing
+/// cross-worker ordering contract.
+///
+/// Writes to variables the program classified as commuting
+/// ([`StateClass::is_replicable`]) never lock: they accumulate in a private
+/// delta buffer and are merged into the authoritative shards by
+/// [`StoreLease::flush`] under one short lock per touched shard — exact,
+/// because classification guarantees nothing on the packet path observes
+/// the intermediate values and the buffered updates are order-independent.
 pub struct StoreLease<'a> {
-    mutex: Option<&'a Mutex<Store>>,
-    guard: Option<MutexGuard<'a, Store>>,
-    locks: u64,
+    shards: Option<&'a StateShards>,
+    /// The single currently held shard guard, if any: `(shard index,
+    /// guard)`. Never more than one — see the no-hold-and-wait invariant
+    /// above.
+    guard: Option<(usize, MutexGuard<'a, Store>)>,
+    /// Buffered commuting updates: `(var, index, op, shard)`. Linear-scan
+    /// coalesced — batch groups are small (≤ the driver's group size), so
+    /// a scan beats a hash map here.
+    deltas: Vec<(StateVar, Vec<Value>, ReplicaOp, usize)>,
     writes: u64,
 }
 
 impl<'a> StoreLease<'a> {
-    /// A lease over a switch's shard (`None` for a switch with no shard —
+    /// A lease over a switch's shards (`None` for a switch with no state —
     /// every state access will then report the missing store).
-    pub fn new(store: Option<&'a Mutex<Store>>) -> StoreLease<'a> {
+    pub fn new(shards: Option<&'a StateShards>) -> StoreLease<'a> {
         StoreLease {
-            mutex: store,
+            shards,
             guard: None,
-            locks: 0,
+            deltas: Vec::new(),
             writes: 0,
         }
     }
 
-    /// Run `f` against the shard, locking it on first use and keeping the
-    /// guard for the lease's lifetime. `None` when the switch has no shard.
-    pub fn with<T>(&mut self, f: impl FnOnce(&mut Store) -> T) -> Option<T> {
-        let mutex = self.mutex?;
-        let guard = match &mut self.guard {
-            Some(guard) => guard,
-            slot @ None => {
-                self.locks += 1;
-                slot.insert(mutex.lock())
+    /// The store of shard `i`: reuses the held guard when it is already
+    /// `i`'s, otherwise drops it first and locks `i` (counted). Holding at
+    /// most one guard at a time is what rules out cross-worker deadlock.
+    fn shard_store(&mut self, i: usize) -> &mut Store {
+        let shards = self.shards.expect("state access requires shards");
+        match self.guard {
+            Some((held, _)) if held == i => {}
+            _ => {
+                self.guard = None;
+                self.guard = Some((i, shards.lock_shard_counted(i)));
             }
+        }
+        &mut self.guard.as_mut().expect("guard just ensured").1
+    }
+
+    /// Evaluate a state test against the authoritative shard of the tested
+    /// key. `None` when the switch has no shards.
+    pub fn state_test(&mut self, test: &Test, pkt: &Packet) -> Option<Result<bool, EvalError>> {
+        let shards = self.shards?;
+        let Test::State { var, index, value } = test else {
+            unreachable!("state_test called on a field test")
         };
-        Some(f(guard))
+        Some(INDEX_SCRATCH.with(|cell| {
+            let idx = &mut *cell.borrow_mut();
+            snap_lang::eval_index_into(index, pkt, idx)?;
+            let expected = snap_lang::eval_expr(value, pkt)?;
+            let shard = shards.shard_of(var, idx);
+            let current = self.shard_store(shard).get(var, idx);
+            Ok(current == expected)
+        }))
     }
 
-    /// Lock acquisitions this lease performed (0 or 1 per lease; the
-    /// driver sums them into the per-instance
-    /// `driver.store_lock_acquisitions` counter at group end).
-    pub fn lock_acquisitions(&self) -> u64 {
-        self.locks
+    /// Apply a state action under the variable's compile-time
+    /// classification: commuting writes buffer a delta without locking,
+    /// exact writes lock the key's shard. `None` when the switch has no
+    /// shards.
+    pub fn apply_action(
+        &mut self,
+        class: StateClass,
+        action: &Action,
+        pkt: &Packet,
+    ) -> Option<Result<(), EvalError>> {
+        let shards = self.shards?;
+        let result = INDEX_SCRATCH.with(|cell| {
+            let idx = &mut *cell.borrow_mut();
+            match (class, action) {
+                (
+                    StateClass::Counter,
+                    Action::StateIncr { var, index } | Action::StateDecr { var, index },
+                ) => {
+                    let delta = if matches!(action, Action::StateIncr { .. }) {
+                        1
+                    } else {
+                        -1
+                    };
+                    snap_lang::eval_index_into(index, pkt, idx)?;
+                    let shard = shards.shard_of(var, idx);
+                    self.buffer(var, idx, ReplicaOp::Add(delta), shard);
+                    Ok(())
+                }
+                (
+                    StateClass::IdempotentSet,
+                    Action::StateSet {
+                        var,
+                        index,
+                        value: Expr::Value(v),
+                    },
+                ) => {
+                    snap_lang::eval_index_into(index, pkt, idx)?;
+                    let shard = shards.shard_of(var, idx);
+                    self.buffer(var, idx, ReplicaOp::Set(v.clone()), shard);
+                    Ok(())
+                }
+                _ => {
+                    // Exact read-modify-write on the authoritative shard.
+                    let var = action.written_var().expect("state action writes a var");
+                    let index = match action {
+                        Action::StateSet { index, .. }
+                        | Action::StateIncr { index, .. }
+                        | Action::StateDecr { index, .. } => index,
+                        Action::Modify(_, _) => unreachable!("not a state action"),
+                    };
+                    snap_lang::eval_index_into(index, pkt, idx)?;
+                    let shard = shards.shard_of(var, idx);
+                    apply_state_action_at(action, pkt, idx, self.shard_store(shard))
+                }
+            }
+        });
+        if result.is_ok() {
+            self.writes += 1;
+        }
+        Some(result)
     }
 
-    /// State actions applied through this lease (summed into the
-    /// per-switch `switch.state_writes` family at group end).
+    /// Coalesce a commuting update into the delta buffer.
+    fn buffer(&mut self, var: &StateVar, idx: &[Value], op: ReplicaOp, shard: usize) {
+        for (v, i, existing, _) in self.deltas.iter_mut() {
+            if v == var && i == idx {
+                match (existing, op) {
+                    (ReplicaOp::Add(n), ReplicaOp::Add(d)) => *n += d,
+                    (slot @ ReplicaOp::Set(_), set @ ReplicaOp::Set(_)) => *slot = set,
+                    // Classification never mixes kinds for one variable.
+                    _ => unreachable!("mixed replica ops for one variable"),
+                }
+                return;
+            }
+        }
+        self.deltas.push((var.clone(), idx.to_vec(), op, shard));
+    }
+
+    /// Merge the buffered commuting updates into the authoritative shards
+    /// (one short counted lock per touched shard) and release every guard.
+    /// The driver calls this at the end of each batch-group, bounding how
+    /// stale a concurrent `aggregate_store` can observe replicated totals:
+    /// exact once the workers have joined.
+    pub fn flush(&mut self) {
+        let mut deltas = std::mem::take(&mut self.deltas);
+        // Group by shard so the single held guard swaps once per touched
+        // shard; the ops commute, so reordering them is exact.
+        deltas.sort_by_key(|(_, _, _, shard)| *shard);
+        for (var, idx, op, shard) in &deltas {
+            let store = self.shard_store(*shard);
+            match op {
+                ReplicaOp::Add(n) => {
+                    store
+                        .update(var, idx, |cur| {
+                            // Classification guarantees every program write
+                            // to this variable is an increment, so non-int
+                            // values can only come from hand-installed
+                            // tables; coerce them to 0 rather than fail a
+                            // flush that can no longer be attributed to a
+                            // packet.
+                            Ok::<_, std::convert::Infallible>(Value::Int(
+                                cur.as_int().unwrap_or(0) + n,
+                            ))
+                        })
+                        .unwrap();
+                }
+                ReplicaOp::Set(v) => {
+                    store.set_at(var, idx, v.clone());
+                }
+            }
+        }
+        if let Some(shards) = self.shards {
+            let mut flushed = vec![false; shards.num_shards()];
+            for (_, _, _, shard) in &deltas {
+                if !flushed[*shard] {
+                    flushed[*shard] = true;
+                    shards.note_flush(*shard);
+                }
+            }
+        }
+        self.guard = None;
+    }
+
+    /// State actions applied through this lease, buffered or exact (summed
+    /// into the per-switch `switch.state_writes` family at group end).
     pub fn state_writes(&self) -> u64 {
         self.writes
     }
@@ -224,7 +403,7 @@ pub fn process_at_switch<'p>(
                         h.state_tests.push(var.to_string());
                     }
                     let passed = store
-                        .with(|s| eval_test(test, &flight.pkt, s))
+                        .state_test(test, &flight.pkt)
                         .expect("switch owning state has a store shard")?;
                     flight.progress = Progress::AtNode(if passed { tru } else { fls });
                     continue;
@@ -281,9 +460,8 @@ pub fn process_at_switch<'p>(
                                 h.state_writes.push(var.to_string());
                             }
                             store
-                                .with(|s| apply_state_action(action, &flight.pkt, s))
+                                .apply_action(flat.state_class(var), action, &flight.pkt)
                                 .expect("switch with state has a store")?;
-                            store.writes += 1;
                         }
                     }
                     off += 1;
@@ -437,45 +615,55 @@ pub fn read_outport(pkt: &Packet) -> Result<PortId, SimError> {
     }
 }
 
-/// Apply one state action against a switch's store shard. `Modify` actions
-/// are packet-local and ignored here.
+/// Apply one state action against a switch's store. `Modify` actions are
+/// packet-local and ignored here.
 pub fn apply_state_action(
     action: &Action,
     pkt: &Packet,
     store: &mut Store,
 ) -> Result<(), EvalError> {
-    // One reusable index buffer per thread: state writes evaluate their
-    // index vector into it instead of allocating a fresh `Vec` per packet,
-    // and the store only clones the index on an entry's first write.
-    thread_local! {
-        static INDEX_SCRATCH: std::cell::RefCell<Vec<Value>> =
-            const { std::cell::RefCell::new(Vec::new()) };
-    }
+    INDEX_SCRATCH.with(|cell| {
+        let idx = &mut *cell.borrow_mut();
+        match action {
+            Action::Modify(_, _) => return Ok(()),
+            Action::StateSet { index, .. }
+            | Action::StateIncr { index, .. }
+            | Action::StateDecr { index, .. } => {
+                snap_lang::eval_index_into(index, pkt, idx)?;
+            }
+        }
+        apply_state_action_at(action, pkt, idx, store)
+    })
+}
+
+/// Apply one state action whose index vector is already evaluated into
+/// `idx` — the sharded lease evaluates the index first (it needs the key to
+/// route to a shard) and then applies here without re-evaluating.
+fn apply_state_action_at(
+    action: &Action,
+    pkt: &Packet,
+    idx: &[Value],
+    store: &mut Store,
+) -> Result<(), EvalError> {
     match action {
         Action::Modify(_, _) => Ok(()),
-        Action::StateSet { var, index, value } => INDEX_SCRATCH.with(|cell| {
-            let idx = &mut *cell.borrow_mut();
-            snap_lang::eval_index_into(index, pkt, idx)?;
+        Action::StateSet { var, value, .. } => {
             let val = snap_lang::eval_expr(value, pkt)?;
             store.set_at(var, idx, val);
             Ok(())
-        }),
-        Action::StateIncr { var, index } | Action::StateDecr { var, index } => {
+        }
+        Action::StateIncr { var, .. } | Action::StateDecr { var, .. } => {
             let delta = if matches!(action, Action::StateIncr { .. }) {
                 1
             } else {
                 -1
             };
-            INDEX_SCRATCH.with(|cell| {
-                let idx = &mut *cell.borrow_mut();
-                snap_lang::eval_index_into(index, pkt, idx)?;
-                store.update(var, idx, |cur| {
-                    let n = cur.as_int().ok_or_else(|| EvalError::NotAnInteger {
-                        var: var.clone(),
-                        value: cur.clone(),
-                    })?;
-                    Ok(Value::Int(n + delta))
-                })
+            store.update(var, idx, |cur| {
+                let n = cur.as_int().ok_or_else(|| EvalError::NotAnInteger {
+                    var: var.clone(),
+                    value: cur.clone(),
+                })?;
+                Ok(Value::Int(n + delta))
             })
         }
     }

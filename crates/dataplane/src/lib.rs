@@ -23,9 +23,11 @@
 //!   single Emit/Dropped/NeedState/Fork dispatch loop, parameterized over a
 //!   [`ViewResolver`] (how a hop resolves its executable view) and an
 //!   [`EgressSink`] (where deliveries land), executing batches grouped per
-//!   switch so a store lock is taken once per (switch, batch-group). Both
-//!   [`Network`] and the distributed plane of `snap-distrib` are thin
-//!   adapters over it;
+//!   switch so state locking is amortized per (switch, batch-group):
+//!   commuting updates buffer lock-free in per-worker replicas and merge
+//!   into the [`StateShards`] at group end, exact variables take one
+//!   key-range shard lock. Both [`Network`] and the distributed plane of
+//!   `snap-distrib` are thin adapters over it;
 //! * [`TrafficEngine`] — drives a packet workload through any
 //!   [`TrafficTarget`] (the in-process network, the queue-delivering
 //!   [`QueuedNetwork`], the distributed plane) from N worker threads with
@@ -48,12 +50,14 @@ pub mod exec;
 pub mod metrics;
 pub mod netasm;
 pub mod network;
+pub mod shards;
 pub mod traffic;
 
 pub use driver::{BatchResults, Driver, EgressSink, HopView, ViewResolver};
 pub use egress::{EgressEvent, EgressQueues, DEFAULT_QUEUE_CAPACITY};
 pub use exec::{InFlight, NextHops, Progress, SimError, StepOutcome, StoreLease};
-pub use metrics::{export_egress, PlaneTelemetry};
+pub use metrics::{export_egress, export_shards, PlaneTelemetry};
 pub use netasm::{Instruction, NetAsmProgram};
 pub use network::{BatchOutput, ConfigSnapshot, Network, QueuedBatchOutput, SwitchConfig};
+pub use shards::{StateShards, DEFAULT_STATE_SHARDS};
 pub use traffic::{QueuedNetwork, TargetBatch, TrafficEngine, TrafficReport, TrafficTarget};

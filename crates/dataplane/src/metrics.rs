@@ -32,10 +32,6 @@ pub struct PlaneTelemetry {
     /// `driver.errors` — packets that failed (unknown port, hop budget,
     /// evaluation error, ...).
     pub errors: Counter,
-    /// `driver.store_lock_acquisitions` — store-shard locks taken; the
-    /// batched driver takes one per (switch, batch-group) with state
-    /// traffic, which is the observable behind the batching claim.
-    pub store_locks: Counter,
     /// `driver.wave_prefix.packets` — flights advanced by the lock-free
     /// wave-prefix pass.
     pub wave_prefix_packets: Counter,
@@ -74,7 +70,6 @@ impl PlaneTelemetry {
             deliveries: r.counter("driver.deliveries"),
             policy_drops: r.counter("driver.policy_drops"),
             errors: r.counter("driver.errors"),
-            store_locks: r.counter("driver.store_lock_acquisitions"),
             wave_prefix_packets: r.counter("driver.wave_prefix.packets"),
             wave_prefix_survivors: r.counter("driver.wave_prefix.survivors"),
             batch_ns: r.histogram("driver.batch_ns"),
@@ -120,4 +115,35 @@ pub fn export_egress(snap: &mut MetricsSnapshot, prefix: &str, queues: &EgressQu
     snap.families.insert(format!("{prefix}.enqueued"), enqueued);
     snap.families.insert(format!("{prefix}.dropped"), dropped);
     snap.families.insert(format!("{prefix}.depth"), depth);
+}
+
+/// Append one switch's [`StateShards`](crate::StateShards) contention
+/// stats to a snapshot as
+/// three per-shard families — `store.shard.acquisitions` /
+/// `.contended` / `.merge_flushes`, row label `<owner>/s<i>` — appending
+/// to rows already exported for other switches. This replaces the old
+/// process-wide `driver.store_lock_acquisitions` counter: the readings are
+/// taken off the shards at snapshot time, so the packet path pays one
+/// relaxed add per counted lock and nothing per snapshot-less run.
+pub fn export_shards(snap: &mut MetricsSnapshot, owner: &str, shards: &crate::StateShards) {
+    let mut acquisitions = Vec::new();
+    let mut contended = Vec::new();
+    let mut flushes = Vec::new();
+    for i in 0..shards.num_shards() {
+        let (a, c, f) = shards.shard_stats(i);
+        let label = format!("{owner}/s{i}");
+        acquisitions.push((label.clone(), a));
+        contended.push((label.clone(), c));
+        flushes.push((label, f));
+    }
+    for (name, rows) in [
+        ("store.shard.acquisitions", acquisitions),
+        ("store.shard.contended", contended),
+        ("store.shard.merge_flushes", flushes),
+    ] {
+        snap.families
+            .entry(name.to_string())
+            .or_default()
+            .extend(rows);
+    }
 }

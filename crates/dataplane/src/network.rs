@@ -11,11 +11,15 @@
 //!   batch) and process against it without further coordination; a packet
 //!   therefore never mixes two configurations, no matter how many
 //!   [`Network::swap_configs`] calls race with it.
-//! * sharded mutable state: one `Arc<Mutex<Store>>` per switch, shared
-//!   *across* snapshots so state survives recompiles. The paper's invariant
-//!   that each state variable lives on exactly one switch makes the shard
-//!   the variable's single writer; locks are held per table access, never
-//!   across a hop.
+//! * sharded mutable state: one [`StateShards`] per switch (`K`
+//!   independently-locked key-range partitions plus per-shard contention
+//!   counters), shared *across* snapshots so state survives recompiles.
+//!   The paper's invariant that each state variable lives on exactly one
+//!   switch pins a variable to one switch; within that switch its keys
+//!   spread over the shards, so workers serialize only when they hit the
+//!   same key range — and commuting updates (see
+//!   [`snap_xfdd::StateClass`]) don't lock at all, merging per-worker
+//!   replica deltas at batch-group boundaries.
 //!
 //! [`Network::inject`] takes `&self`: traffic and recompile-and-swap run
 //! concurrently. [`Network::swap_configs`] builds the next snapshot on the
@@ -39,7 +43,8 @@ use crate::driver::{Driver, EgressSink, HopView, ViewResolver};
 use crate::egress::EgressQueues;
 use crate::exec::NextHops;
 pub use crate::exec::SimError;
-use crate::metrics::PlaneTelemetry;
+use crate::metrics::{export_shards, PlaneTelemetry};
+use crate::shards::{StateShards, DEFAULT_STATE_SHARDS};
 use snap_telemetry::{MetricsSnapshot, Telemetry};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
 
@@ -106,9 +111,10 @@ pub struct ConfigSnapshot {
     tables: Option<Arc<TableProgram>>,
     /// Which switch holds each state variable (derived from the configs).
     placement: BTreeMap<StateVar, SwitchId>,
-    /// Per-switch state shards. Shared across snapshots; each variable's
-    /// table lives in exactly one shard (its owner's).
-    stores: BTreeMap<SwitchId, Arc<Mutex<Store>>>,
+    /// Per-switch key-range state shards. Shared across snapshots; each
+    /// variable's table lives on exactly one switch (its owner's), split
+    /// across that switch's shards by index hash.
+    stores: BTreeMap<SwitchId, Arc<StateShards>>,
     /// Configuration epoch: 0 at construction, bumped by every
     /// [`Network::swap_configs`].
     epoch: u64,
@@ -230,6 +236,9 @@ pub struct Network {
     /// `None` disables all recording — every injection pays one branch per
     /// observation site and nothing else.
     telemetry: Option<Arc<PlaneTelemetry>>,
+    /// Shards per switch, used when a swap creates a store for a switch
+    /// that had none (see [`Network::with_state_shards`]).
+    state_shards: usize,
 }
 
 /// Default hop budget (see [`Network::with_hop_budget`]).
@@ -242,7 +251,7 @@ impl Network {
         let stores = indexed
             .map
             .keys()
-            .map(|&n| (n, Arc::new(Mutex::new(Store::new()))))
+            .map(|&n| (n, Arc::new(StateShards::new(DEFAULT_STATE_SHARDS))))
             .collect();
         let next_hop = NextHops::compute(&topology);
         let telemetry = Some(PlaneTelemetry::new(Telemetry::new(), &topology));
@@ -260,7 +269,22 @@ impl Network {
             swap_lock: Mutex::new(()),
             hop_budget: DEFAULT_HOP_BUDGET,
             telemetry,
+            state_shards: DEFAULT_STATE_SHARDS,
         }
+    }
+
+    /// Set the number of key-range state shards per switch (default
+    /// [`DEFAULT_STATE_SHARDS`]). Construction-time only: the network must
+    /// not have processed traffic yet, since existing (empty) shards are
+    /// replaced.
+    pub fn with_state_shards(mut self, k: usize) -> Self {
+        self.state_shards = k.max(1);
+        let snap = Arc::get_mut(self.snapshot.get_mut())
+            .expect("with_state_shards is construction-time only");
+        for store in snap.stores.values_mut() {
+            *store = Arc::new(StateShards::new(self.state_shards));
+        }
+        self
     }
 
     /// Record this network's metrics into `telemetry` instead of the
@@ -285,8 +309,10 @@ impl Network {
     }
 
     /// Snapshot this instance's metrics, traces and events, enriched with
-    /// the current configuration epoch (gauge `network.epoch`). Returns an
-    /// empty snapshot when telemetry is disabled.
+    /// the current configuration epoch (gauge `network.epoch`) and each
+    /// switch's per-shard store contention (`store.shard.*` families, read
+    /// off the shards at snapshot time). Returns an empty snapshot when
+    /// telemetry is disabled.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let Some(t) = &self.telemetry else {
             return MetricsSnapshot::default();
@@ -295,7 +321,12 @@ impl Network {
             .registry()
             .gauge("network.epoch")
             .set(self.current_epoch() as i64);
-        t.telemetry().snapshot()
+        let mut out = t.telemetry().snapshot();
+        let snap = self.snapshot();
+        for (node, shards) in &snap.stores {
+            export_shards(&mut out, self.topology.node_name(*node), shards);
+        }
+        out
     }
 
     /// Set the hop budget at construction time (default
@@ -375,18 +406,18 @@ impl Network {
         // program no longer places.
         let mut stores = cur.stores.clone();
         for (var, &old_owner) in &cur.placement {
-            let take = |stores: &BTreeMap<SwitchId, Arc<Mutex<Store>>>| {
-                stores
-                    .get(&old_owner)
-                    .and_then(|s| s.lock().remove_table(var))
+            // Removing a variable unions its key-disjoint per-shard
+            // partials back into one exact table; installing it on the new
+            // owner redistributes the entries across that switch's shards.
+            let take = |stores: &BTreeMap<SwitchId, Arc<StateShards>>| {
+                stores.get(&old_owner).and_then(|s| s.remove_var(var))
             };
             match indexed.placement.get(var) {
                 Some(&new_owner) if new_owner != old_owner => {
                     if let Some(table) = take(&stores) {
                         stores
                             .entry(new_owner)
-                            .or_insert_with(|| Arc::new(Mutex::new(Store::new())))
-                            .lock()
+                            .or_insert_with(|| Arc::new(StateShards::new(self.state_shards)))
                             .insert_table(var.clone(), table);
                     }
                 }
@@ -399,7 +430,7 @@ impl Network {
         for &n in indexed.map.keys() {
             stores
                 .entry(n)
-                .or_insert_with(|| Arc::new(Mutex::new(Store::new())));
+                .or_insert_with(|| Arc::new(StateShards::new(self.state_shards)));
         }
         let epoch = cur.epoch + 1;
         let next = Arc::new(ConfigSnapshot {
@@ -423,10 +454,13 @@ impl Network {
     /// (each variable lives on exactly one switch, so this is a disjoint
     /// union).
     ///
-    /// The store locks are taken per *table*, not per switch: listing a
-    /// shard's variables is one short lock, and each table is then cloned
-    /// under its own acquisition, so a switch with a huge table cannot
-    /// stall packet workers for the duration of the whole clone.
+    /// Shard locks are taken one at a time, per table: listing a switch's
+    /// variables and unioning a table's per-shard partials each lock one
+    /// shard at a time, so a switch with a huge table cannot stall packet
+    /// workers for the duration of the whole clone. Replicated (commuting)
+    /// updates buffered by in-flight batch groups merge at group
+    /// boundaries, so a concurrent aggregate may lag them by at most one
+    /// group; totals are exact once the workers have joined.
     pub fn aggregate_store(&self) -> Store {
         let snap = self.snapshot();
         let mut out = Store::new();
@@ -434,17 +468,11 @@ impl Network {
             let Some(config) = snap.configs.get(node) else {
                 continue;
             };
-            let vars: Vec<StateVar> = {
-                let guard = store.lock();
-                guard
-                    .variables()
-                    .filter(|v| config.local_vars.contains(*v))
-                    .cloned()
-                    .collect()
-            };
-            for var in vars {
-                let table = store.lock().table(&var).cloned();
-                if let Some(table) = table {
+            for var in store.variables() {
+                if !config.local_vars.contains(&var) {
+                    continue;
+                }
+                if let Some(table) = store.collect_table(&var) {
                     out.insert_table(var, table);
                 }
             }
@@ -660,7 +688,7 @@ impl ViewResolver for SnapshotResolver<'_> {
         }))
     }
 
-    fn store(&self, switch: SwitchId) -> Option<&Mutex<Store>> {
+    fn store(&self, switch: SwitchId) -> Option<&StateShards> {
         self.snap.stores.get(&switch).map(|s| s.as_ref())
     }
 }

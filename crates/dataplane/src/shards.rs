@@ -1,0 +1,317 @@
+//! Key-range sharded state for one switch: `K` independently-locked
+//! [`Store`] partitions plus per-shard contention counters.
+//!
+//! One `Arc<Mutex<Store>>` per switch serializes every stateful packet from
+//! every worker on one lock — on the campus workload all DNS-tunnel state
+//! lands on one switch, so adding workers *loses* throughput. A
+//! [`StateShards`] splits that switch's tables by index hash across `K`
+//! shards: workers contend only when they hit the same key range, and the
+//! per-shard counters (acquisitions / contended acquisitions / merge
+//! flushes) make the remaining contention observable independent of the
+//! host's core count.
+//!
+//! ## Exactness contract
+//!
+//! A variable's table is the *disjoint union* of its per-shard partials:
+//! every key routes to exactly one shard ([`StateShards::shard_of`] is a
+//! deterministic hash), so unioning the partials ([`StateTable::absorb`])
+//! reconstructs the table bit-identically — `aggregate_store`, config-swap
+//! migration, and distrib table yield all go through
+//! [`StateShards::collect_table`] / [`StateShards::remove_var`] and see
+//! exactly what a single authoritative table would hold. Installing a table
+//! ([`StateShards::insert_table`]) writes the table *skeleton* (empty
+//! entries, the table's default) into **every** shard so a read of an
+//! absent key returns the correct default no matter which shard the key
+//! routes to.
+//!
+//! Counted locking ([`StateShards::lock_shard_counted`]) is for the packet
+//! path only; control-plane operations use plain uncounted locks so the
+//! contention counters measure dataplane behaviour.
+
+use parking_lot::{Mutex, MutexGuard};
+use snap_lang::{StateTable, StateVar, Store, Value};
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default shard count per switch. Eight shards keep the per-switch
+/// footprint trivial while splitting a hot table's keys finely enough that
+/// same-key collisions, not the lock itself, are the remaining contention.
+pub const DEFAULT_STATE_SHARDS: usize = 8;
+
+/// FNV-1a, hand-rolled so key→shard routing is deterministic across runs
+/// and processes (std's `DefaultHasher` is randomly seeded per process).
+struct Fnv(u64);
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// The sharded state of one switch (see the module docs).
+#[derive(Debug)]
+pub struct StateShards {
+    shards: Vec<Mutex<Store>>,
+    /// Packet-path lock acquisitions per shard (counted in
+    /// [`StateShards::lock_shard_counted`], relaxed — summed on read).
+    acquisitions: Vec<AtomicU64>,
+    /// The subset of acquisitions that found the shard already locked.
+    contended: Vec<AtomicU64>,
+    /// Replica-delta merge flushes applied to each shard.
+    merge_flushes: Vec<AtomicU64>,
+}
+
+impl StateShards {
+    /// `k` independently-locked, initially empty shards (`k` is clamped to
+    /// at least 1).
+    pub fn new(k: usize) -> StateShards {
+        let k = k.max(1);
+        StateShards {
+            shards: (0..k).map(|_| Mutex::new(Store::new())).collect(),
+            acquisitions: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            contended: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            merge_flushes: (0..k).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `var[index]`: a deterministic hash of the variable
+    /// name and index values, so every worker routes a key identically.
+    pub fn shard_of(&self, var: &StateVar, index: &[Value]) -> usize {
+        let mut h = Fnv::new();
+        var.hash(&mut h);
+        index.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Packet-path lock: counts the acquisition, and whether it had to wait
+    /// for another worker, into the shard's contention counters.
+    pub fn lock_shard_counted(&self, i: usize) -> MutexGuard<'_, Store> {
+        self.acquisitions[i].fetch_add(1, Ordering::Relaxed);
+        match self.shards[i].try_lock() {
+            Some(g) => g,
+            None => {
+                self.contended[i].fetch_add(1, Ordering::Relaxed);
+                self.shards[i].lock()
+            }
+        }
+    }
+
+    /// Control-plane lock: uncounted, so aggregation/migration/tests don't
+    /// pollute the dataplane contention counters.
+    pub fn lock_shard(&self, i: usize) -> MutexGuard<'_, Store> {
+        self.shards[i].lock()
+    }
+
+    /// Record one replica-delta merge flush applied to shard `i`.
+    pub fn note_flush(&self, i: usize) {
+        self.merge_flushes[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-shard `(acquisitions, contended, merge_flushes)` readings.
+    pub fn shard_stats(&self, i: usize) -> (u64, u64, u64) {
+        (
+            self.acquisitions[i].load(Ordering::Relaxed),
+            self.contended[i].load(Ordering::Relaxed),
+            self.merge_flushes[i].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total packet-path lock acquisitions across all shards.
+    pub fn total_acquisitions(&self) -> u64 {
+        self.acquisitions
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total contended packet-path acquisitions across all shards.
+    pub fn total_contended(&self) -> u64 {
+        self.contended
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Read `var[index]` (routes to the owning shard; the table skeleton in
+    /// every shard makes absent-key reads return the right default).
+    pub fn get(&self, var: &StateVar, index: &[Value]) -> Value {
+        let i = self.shard_of(var, index);
+        self.lock_shard(i).get(var, index)
+    }
+
+    /// Write `var[index] ← value` on the owning shard.
+    pub fn set(&self, var: &StateVar, index: Vec<Value>, value: Value) {
+        let i = self.shard_of(var, &index);
+        self.lock_shard(i).set(var, index, value);
+    }
+
+    /// Every variable with a table in any shard.
+    pub fn variables(&self) -> BTreeSet<StateVar> {
+        let mut out = BTreeSet::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().variables().cloned());
+        }
+        out
+    }
+
+    /// Non-destructive union of `var`'s per-shard partials: the exact table
+    /// a single authoritative store would hold, or `None` if no shard has
+    /// one. Locks shards one at a time (never nested).
+    pub fn collect_table(&self, var: &StateVar) -> Option<StateTable> {
+        let mut out: Option<StateTable> = None;
+        for shard in &self.shards {
+            if let Some(part) = shard.lock().table(var) {
+                match &mut out {
+                    None => out = Some(part.clone()),
+                    Some(acc) => acc.absorb(part.clone()),
+                }
+            }
+        }
+        out
+    }
+
+    /// Remove `var` from every shard and return the union of the partials
+    /// (used when migrating a variable to another switch).
+    pub fn remove_var(&self, var: &StateVar) -> Option<StateTable> {
+        let mut out: Option<StateTable> = None;
+        for shard in &self.shards {
+            if let Some(part) = shard.lock().remove_table(var) {
+                match &mut out {
+                    None => out = Some(part),
+                    Some(acc) => acc.absorb(part),
+                }
+            }
+        }
+        out
+    }
+
+    /// Install a whole table for `var`, redistributing its entries to their
+    /// owning shards. Every shard gets the table skeleton (the correct
+    /// default) so absent-key reads behave identically to the unsharded
+    /// store; entries land only where their key routes.
+    pub fn insert_table(&self, var: StateVar, table: StateTable) {
+        let default = table.default_value().clone();
+        for shard in &self.shards {
+            shard
+                .lock()
+                .insert_table(var.clone(), StateTable::with_default(default.clone()));
+        }
+        for (index, value) in table.iter() {
+            let i = self.shard_of(&var, index);
+            self.lock_shard(i).set(&var, index.clone(), value.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(s: &str) -> StateVar {
+        StateVar::new(s)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let shards = StateShards::new(8);
+        for i in 0..100i64 {
+            let idx = [Value::Int(i)];
+            let a = shards.shard_of(&sv("x"), &idx);
+            let b = shards.shard_of(&sv("x"), &idx);
+            assert_eq!(a, b);
+            assert!(a < 8);
+        }
+        // Distinct keys actually spread over multiple shards.
+        let used: BTreeSet<usize> = (0..100i64)
+            .map(|i| shards.shard_of(&sv("x"), &[Value::Int(i)]))
+            .collect();
+        assert!(used.len() > 1, "all keys landed on one shard");
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_shards() {
+        let shards = StateShards::new(4);
+        for i in 0..32i64 {
+            shards.set(&sv("c"), vec![Value::Int(i)], Value::Int(i * 10));
+        }
+        for i in 0..32i64 {
+            assert_eq!(
+                shards.get(&sv("c"), &[Value::Int(i)]),
+                Value::Int(i * 10),
+                "key {i}"
+            );
+        }
+        // Unwritten keys still read the default.
+        assert_eq!(shards.get(&sv("c"), &[Value::Int(999)]), Value::Int(0));
+    }
+
+    #[test]
+    fn insert_collect_remove_are_bit_identical() {
+        let shards = StateShards::new(8);
+        let mut table = StateTable::with_default(Value::Bool(false));
+        for i in 0..40i64 {
+            table.set(vec![Value::Int(i)], Value::Bool(i % 2 == 0));
+        }
+        shards.insert_table(sv("flags"), table.clone());
+        // The skeleton keeps default reads correct in every shard.
+        assert_eq!(
+            shards.get(&sv("flags"), &[Value::Int(12345)]),
+            Value::Bool(false)
+        );
+        assert_eq!(shards.collect_table(&sv("flags")), Some(table.clone()));
+        assert_eq!(shards.remove_var(&sv("flags")), Some(table));
+        assert_eq!(shards.collect_table(&sv("flags")), None);
+        assert!(shards.variables().is_empty());
+    }
+
+    #[test]
+    fn counted_locks_feed_stats() {
+        let shards = StateShards::new(2);
+        drop(shards.lock_shard_counted(0));
+        drop(shards.lock_shard_counted(0));
+        drop(shards.lock_shard_counted(1));
+        assert_eq!(shards.shard_stats(0).0, 2);
+        assert_eq!(shards.shard_stats(1).0, 1);
+        assert_eq!(shards.total_acquisitions(), 3);
+        assert_eq!(shards.total_contended(), 0);
+        shards.note_flush(1);
+        assert_eq!(shards.shard_stats(1).2, 1);
+        // Control-plane locks are uncounted.
+        drop(shards.lock_shard(0));
+        assert_eq!(shards.total_acquisitions(), 3);
+    }
+
+    #[test]
+    fn contended_acquisition_is_counted() {
+        let shards = std::sync::Arc::new(StateShards::new(1));
+        let g = shards.lock_shard_counted(0);
+        let s2 = shards.clone();
+        let t = std::thread::spawn(move || {
+            drop(s2.lock_shard_counted(0));
+        });
+        // Give the thread time to hit the held lock.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(g);
+        t.join().unwrap();
+        assert_eq!(shards.total_acquisitions(), 2);
+        assert_eq!(shards.total_contended(), 1);
+    }
+}

@@ -13,8 +13,8 @@
 //!   placement. Traffic is stamped with its ingress epoch and every hop
 //!   resolves the view for *that* epoch, so a packet never mixes two
 //!   configurations even while the distributed commit is mid-flip;
-//! * its **state shard** and bounded per-port **egress queues**
-//!   ([`snap_dataplane::EgressQueues`]).
+//! * its **sharded state plane** ([`snap_dataplane::StateShards`]) and
+//!   bounded per-port **egress queues** ([`snap_dataplane::EgressQueues`]).
 //!
 //! The two-phase protocol does all expensive work in *prepare* (delta
 //! decode, re-intern, flatten — off the packet path's critical flip) and
@@ -28,8 +28,8 @@
 
 use crate::transport::{AgentEndpoint, FromAgent, PrepareMsg, SwitchMeta, ToAgent};
 use parking_lot::Mutex;
-use snap_dataplane::EgressQueues;
-use snap_lang::{StateVar, Store};
+use snap_dataplane::{EgressQueues, StateShards, DEFAULT_STATE_SHARDS};
+use snap_lang::StateVar;
 use snap_topology::{NodeId as SwitchId, PortId};
 use snap_xfdd::{apply_delta, decode_delta_fresh, FlatProgram, Pool, TableProgram};
 use std::collections::{BTreeMap, BTreeSet};
@@ -110,7 +110,7 @@ pub struct SwitchAgent {
     /// blocks the packet path, which only locks `core` to resolve views.
     mirror: Mutex<Option<Pool>>,
     core: Mutex<AgentCore>,
-    store: Mutex<Store>,
+    store: StateShards,
     egress: EgressQueues,
     stats: AgentStats,
 }
@@ -138,7 +138,7 @@ impl SwitchAgent {
                 },
                 placement: Arc::new(BTreeMap::new()),
             }),
-            store: Mutex::new(Store::new()),
+            store: StateShards::new(DEFAULT_STATE_SHARDS),
             egress: EgressQueues::new(ports, queue_capacity),
             stats: AgentStats::default(),
         }
@@ -154,8 +154,8 @@ impl SwitchAgent {
         &self.name
     }
 
-    /// The agent's state shard.
-    pub fn store(&self) -> &Mutex<Store> {
+    /// The agent's sharded state plane.
+    pub fn store(&self) -> &StateShards {
         &self.store
     }
 
@@ -209,24 +209,21 @@ impl SwitchAgent {
                 Vec::new()
             }
             ToAgent::InstallTable { epoch, var, table } => {
-                {
-                    let mut store = self.store.lock();
-                    match store.remove_table(&var) {
-                        None => store.insert_table(var.clone(), table),
-                        Some(fresh) => {
-                            // New-epoch packets may already have written
-                            // this variable here before the migrated table
-                            // arrived; those entries are newer and win,
-                            // the migrated history fills in the rest.
-                            // (Read-modify-write entries touched in the
-                            // window still lose the migrated base — see the
-                            // migration caveat in the controller docs.)
-                            let mut merged = table;
-                            for (index, value) in fresh.iter() {
-                                merged.set(index.clone(), value.clone());
-                            }
-                            store.insert_table(var.clone(), merged);
+                match self.store.remove_var(&var) {
+                    None => self.store.insert_table(var.clone(), table),
+                    Some(fresh) => {
+                        // New-epoch packets may already have written
+                        // this variable here before the migrated table
+                        // arrived; those entries are newer and win,
+                        // the migrated history fills in the rest.
+                        // (Read-modify-write entries touched in the
+                        // window still lose the migrated base — see the
+                        // migration caveat in the controller docs.)
+                        let mut merged = table;
+                        for (index, value) in fresh.iter() {
+                            merged.set(index.clone(), value.clone());
                         }
+                        self.store.insert_table(var.clone(), merged);
                     }
                 }
                 self.stats.tables_installed.fetch_add(1, Ordering::Relaxed);
@@ -368,17 +365,15 @@ impl SwitchAgent {
         // this also evicts tables stranded by an earlier failed update, so
         // stale state can never silently resurface on a later re-placement.
         let mut yields = Vec::new();
-        {
-            let mut store = self.store.lock();
-            let to_yield: Vec<StateVar> = store
-                .variables()
-                .filter(|v| !view.local_vars.contains(*v))
-                .cloned()
-                .collect();
-            for var in to_yield {
-                if let Some(table) = store.remove_table(&var) {
-                    yields.push((var, table));
-                }
+        let to_yield: Vec<StateVar> = self
+            .store
+            .variables()
+            .into_iter()
+            .filter(|v| !view.local_vars.contains(v))
+            .collect();
+        for var in to_yield {
+            if let Some(table) = self.store.remove_var(&var) {
+                yields.push((var, table));
             }
         }
         self.stats.commits.fetch_add(1, Ordering::Relaxed);

@@ -19,12 +19,11 @@
 //! like it drives a `Network`.
 
 use crate::agent::{EpochView, SwitchAgent};
-use parking_lot::Mutex;
 use snap_dataplane::driver::{Driver, EgressSink, HopView, ViewResolver};
 use snap_dataplane::egress::EgressEvent;
 use snap_dataplane::exec::{NextHops, SimError};
-use snap_dataplane::metrics::{export_egress, PlaneTelemetry};
-use snap_dataplane::{TargetBatch, TrafficTarget};
+use snap_dataplane::metrics::{export_egress, export_shards, PlaneTelemetry};
+use snap_dataplane::{StateShards, TargetBatch, TrafficTarget};
 use snap_lang::{Packet, StateVar, Store};
 use snap_telemetry::{MetricsSnapshot, Telemetry};
 use snap_topology::{NodeId as SwitchId, PortId, Topology};
@@ -166,7 +165,7 @@ impl ViewResolver for AgentResolver<'_> {
         Ok(Some(AgentView { view }))
     }
 
-    fn store(&self, switch: SwitchId) -> Option<&Mutex<Store>> {
+    fn store(&self, switch: SwitchId) -> Option<&StateShards> {
         self.agents.get(&switch).map(|a| a.store())
     }
 }
@@ -225,10 +224,12 @@ impl DistNetwork {
     /// Snapshot this instance's metrics, traces and commit events,
     /// enriched at read time with per-agent data the hot path never
     /// touches: each agent's egress queue stats (`egress.<switch>.*`),
-    /// its protocol counters (`agent.*` families labeled by switch name)
-    /// and the committed-epoch gauge `network.epoch` (the max across
-    /// agents; `network.epoch_skew` is nonzero only mid-commit). Returns
-    /// an empty snapshot when telemetry is disabled.
+    /// its per-shard store contention stats (`store.shard.*`, rows
+    /// labeled `<switch>/s<i>`), its protocol counters (`agent.*`
+    /// families labeled by switch name) and the committed-epoch gauge
+    /// `network.epoch` (the max across agents; `network.epoch_skew` is
+    /// nonzero only mid-commit). Returns an empty snapshot when
+    /// telemetry is disabled.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let Some(t) = &self.telemetry else {
             return MetricsSnapshot::default();
@@ -247,6 +248,7 @@ impl DistNetwork {
                 &format!("egress.{}", agent.name()),
                 agent.egress(),
             );
+            export_shards(&mut snap, agent.name(), agent.store());
             let stats = agent.stats();
             let relaxed = std::sync::atomic::Ordering::Relaxed;
             for (stat, value) in [
@@ -401,8 +403,7 @@ impl DistNetwork {
                 continue;
             };
             for var in &view.local_vars {
-                let table = agent.store().lock().table(var).cloned();
-                if let Some(table) = table {
+                if let Some(table) = agent.store().collect_table(var) {
                     out.insert_table(var.clone(), table);
                 }
             }

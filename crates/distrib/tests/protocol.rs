@@ -374,11 +374,8 @@ fn tables_migrate_between_agents_through_yield_and_install() {
     // Some state accrues on A — plus a stray table A was never assigned
     // (as a failed earlier migration would leave behind).
     let stray: snap_lang::StateVar = "stray".into();
-    {
-        let mut store = a.store().lock();
-        store.set(&x, vec![Value::Int(7)], Value::Int(42));
-        store.set(&stray, vec![Value::Int(0)], Value::Int(9));
-    }
+    a.store().set(&x, vec![Value::Int(7)], Value::Int(42));
+    a.store().set(&stray, vec![Value::Int(0)], Value::Int(9));
 
     // Epoch 2: x moves to B. The agent's store is authoritative: at commit
     // it yields every table its new view no longer owns.
@@ -406,14 +403,16 @@ fn tables_migrate_between_agents_through_yield_and_install() {
     // Both x (the planned migration) and the stray table are yielded: the
     // store, not a controller-provided list, decides what leaves.
     assert_eq!(yields.len(), 2);
-    assert_eq!(a.store().lock().table(&x), None, "A kept a yielded table");
-    assert_eq!(a.store().lock().table(&stray), None, "stray table stranded");
+    assert_eq!(a.store().collect_table(&x), None, "A kept a yielded table");
+    assert_eq!(
+        a.store().collect_table(&stray),
+        None,
+        "stray table stranded"
+    );
 
     // Meanwhile a new-epoch packet already wrote x on B before the
     // migrated table arrives (the eager-migration window).
-    b.store()
-        .lock()
-        .set(&x, vec![Value::Int(99)], Value::Int(7));
+    b.store().set(&x, vec![Value::Int(99)], Value::Int(7));
 
     // The controller relays x's table to B (the stray one has no owner in
     // the placement and would be dropped). The install merges: migrated
@@ -426,12 +425,12 @@ fn tables_migrate_between_agents_through_yield_and_install() {
     });
     assert!(matches!(installed[0], FromAgent::Installed { .. }));
     assert_eq!(
-        b.store().lock().get(&x, &[Value::Int(7)]),
+        b.store().get(&x, &[Value::Int(7)]),
         Value::Int(42),
         "the migrated table lost its contents"
     );
     assert_eq!(
-        b.store().lock().get(&x, &[Value::Int(99)]),
+        b.store().get(&x, &[Value::Int(99)]),
         Value::Int(7),
         "a write racing the install was discarded"
     );

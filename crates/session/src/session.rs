@@ -10,8 +10,8 @@ use snap_lang::{Policy, Pred, StateVar};
 use snap_telemetry::{Counter, Telemetry};
 use snap_topology::{NodeId as SwitchId, PortId, Topology, TrafficMatrix};
 use snap_xfdd::{
-    pred_to_xfdd, to_xfdd, Action, CompileError, Leaf, NodeId, Pool, StateDependencies, VarOrder,
-    Xfdd,
+    pred_to_xfdd, to_xfdd, Action, CompileError, Leaf, NodeId, Pool, StateClass, StateDependencies,
+    VarOrder, Xfdd,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -611,6 +611,19 @@ impl CompilerSession {
             changes,
             switch_meta: meta,
         })
+    }
+
+    /// Classify every state variable of the current compilation by its
+    /// update structure (see [`snap_xfdd::StateClass`]): `Counter` and
+    /// `IdempotentSet` variables take the data plane's lock-free replica
+    /// path; `Exact` variables pay a shard lock per access. Flattens the
+    /// current diagram on demand — a control-plane query, not something to
+    /// call per packet. Empty before the first compile.
+    pub fn state_classes(&self) -> BTreeMap<StateVar, StateClass> {
+        self.current
+            .as_ref()
+            .map(|c| c.xfdd.flatten().state_classes().clone())
+            .unwrap_or_default()
     }
 
     /// Instantiate a fresh data plane for the current compilation.

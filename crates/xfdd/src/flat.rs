@@ -42,12 +42,47 @@
 //!    `walk` when you need the one-test-per-step reference, e.g. in
 //!    differential tests.
 
-use crate::action::{ActionSeq, Leaf};
+use crate::action::{Action, ActionSeq, Leaf};
 use crate::pool::{eval_test, Node, NodeId, Pool};
 use crate::test::Test;
-use snap_lang::{EvalError, Packet, StateVar, Store};
-use std::collections::BTreeSet;
+use snap_lang::{EvalError, Expr, Packet, StateVar, Store, Value};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// Compile-time classification of a state variable's transitions, derived
+/// from the flattened diagram's read set (branch tests) and write set (leaf
+/// action sequences).
+///
+/// The dataplane uses this to decide how a variable's table may be sharded
+/// across workers: a variable whose updates commute and which no branch ever
+/// reads can be accumulated in per-worker replica buffers and merged on a
+/// bounded cadence — the merged totals are exact because the updates are
+/// order-independent and nothing on the packet path observes intermediate
+/// values. Everything else needs the authoritative table (key-range locked)
+/// on every access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateClass {
+    /// Every write is a `StateIncr`/`StateDecr` and no branch test reads the
+    /// variable: increments commute, so per-worker deltas merged later give
+    /// the exact total.
+    Counter,
+    /// Every write is a `StateSet` storing the *same literal* value and no
+    /// branch test reads the variable: identical idempotent sets are
+    /// order-independent, so deferred replica application is exact.
+    IdempotentSet,
+    /// Anything else — read by some test, written with computed values, or
+    /// written with mixed/conflicting kinds. Needs exact read-modify-write
+    /// on the authoritative (key-range sharded) table.
+    Exact,
+}
+
+impl StateClass {
+    /// May this variable's writes be buffered in per-worker replicas and
+    /// merged later, instead of locking the authoritative table per write?
+    pub fn is_replicable(self) -> bool {
+        !matches!(self, StateClass::Exact)
+    }
+}
 
 /// Dense identifier of a node in a [`FlatProgram`]: the top bit distinguishes
 /// leaves from branches, the remainder indexes the respective array. Flat ids
@@ -212,6 +247,10 @@ pub struct FlatProgram {
     leaves: Vec<FlatLeaf>,
     /// Entry node.
     root: FlatId,
+    /// Per-variable transition classification (see [`StateClass`]),
+    /// computed once at flatten time from the read set (`test_vars`) and
+    /// the write kinds in the leaves.
+    classes: BTreeMap<StateVar, StateClass>,
 }
 
 impl FlatProgram {
@@ -231,6 +270,7 @@ impl FlatProgram {
             edges: Vec::new(),
             leaves: Vec::new(),
             root: FlatId(0),
+            classes: BTreeMap::new(),
         };
         for id in ids {
             let flat = match pool.node(id) {
@@ -248,7 +288,87 @@ impl FlatProgram {
             flat_of[id.index()] = flat;
         }
         out.root = flat_of[root.index()];
+        out.classes = out.classify_state();
         out
+    }
+
+    /// Classify every written variable by write kind, then demote anything
+    /// a branch test reads to [`StateClass::Exact`]: replication is only
+    /// sound when the packet path never observes intermediate values, and a
+    /// state test is exactly such an observation.
+    fn classify_state(&self) -> BTreeMap<StateVar, StateClass> {
+        let mut classes: BTreeMap<StateVar, StateClass> = BTreeMap::new();
+        for leaf in &self.leaves {
+            for seq in &leaf.seqs {
+                for action in &seq.actions {
+                    let (var, kind) = match action {
+                        Action::Modify(_, _) => continue,
+                        Action::StateIncr { var, .. } | Action::StateDecr { var, .. } => {
+                            (var, StateClass::Counter)
+                        }
+                        Action::StateSet {
+                            var,
+                            value: Expr::Value(_),
+                            ..
+                        } => (var, StateClass::IdempotentSet),
+                        Action::StateSet { var, .. } => (var, StateClass::Exact),
+                    };
+                    classes
+                        .entry(var.clone())
+                        .and_modify(|c| {
+                            if *c != kind {
+                                // Mixed write kinds (incr + set, or sets of
+                                // differing shape) do not commute.
+                                *c = StateClass::Exact;
+                            }
+                        })
+                        .or_insert(kind);
+                }
+            }
+        }
+        // Sets are only idempotent if every set stores the *same* literal;
+        // two seqs writing different literals would be order-dependent.
+        let mut set_literal: BTreeMap<&StateVar, &Value> = BTreeMap::new();
+        for leaf in &self.leaves {
+            for seq in &leaf.seqs {
+                for action in &seq.actions {
+                    if let Action::StateSet {
+                        var,
+                        value: Expr::Value(v),
+                        ..
+                    } = action
+                    {
+                        if classes.get(var) == Some(&StateClass::IdempotentSet) {
+                            match set_literal.get(var) {
+                                None => {
+                                    set_literal.insert(var, v);
+                                }
+                                Some(seen) if *seen != v => {
+                                    classes.insert(var.clone(), StateClass::Exact);
+                                }
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for var in self.test_vars.iter().flatten() {
+            classes.insert(var.clone(), StateClass::Exact);
+        }
+        classes
+    }
+
+    /// The classification of `var`'s transitions in this program.
+    /// Unknown variables are [`StateClass::Exact`] — the conservative
+    /// answer for tables installed out-of-band (e.g. hand-seeded in tests).
+    pub fn state_class(&self, var: &StateVar) -> StateClass {
+        self.classes.get(var).copied().unwrap_or(StateClass::Exact)
+    }
+
+    /// All classified variables and their classes.
+    pub fn state_classes(&self) -> &BTreeMap<StateVar, StateClass> {
+        &self.classes
     }
 
     /// The entry node.
@@ -472,6 +592,67 @@ mod tests {
     #[should_panic(expected = "leaf_index called on branch id")]
     fn leaf_index_panics_on_branch_ids_in_release_too() {
         FlatId::branch(0).leaf_index();
+    }
+
+    #[test]
+    fn state_classes_counter_and_exact() {
+        // `dns` is only ever incremented and never tested: Counter.
+        // `seen` is tested: Exact, even though its only write is a set.
+        let policy = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            state_incr("dns", vec![field(Field::DstIp)]),
+            ite(
+                state_test("seen", vec![field(Field::SrcIp)], int(1)),
+                state_set("seen", vec![field(Field::SrcIp)], int(1)),
+                drop(),
+            ),
+        );
+        let (_, _, flat) = flatten(&policy);
+        assert_eq!(flat.state_class(&"dns".into()), StateClass::Counter);
+        assert!(flat.state_class(&"dns".into()).is_replicable());
+        assert_eq!(flat.state_class(&"seen".into()), StateClass::Exact);
+        // Unknown variables are conservatively Exact.
+        assert_eq!(flat.state_class(&"nope".into()), StateClass::Exact);
+        assert_eq!(flat.state_classes().len(), 2);
+    }
+
+    #[test]
+    fn state_classes_idempotent_set_requires_one_literal() {
+        // A flag set to the same literal everywhere and never tested is an
+        // idempotent set.
+        let policy = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            state_set("flag", vec![field(Field::InPort)], int(1)),
+            state_set("flag", vec![field(Field::DstPort)], int(1)),
+        );
+        let (_, _, flat) = flatten(&policy);
+        assert_eq!(flat.state_class(&"flag".into()), StateClass::IdempotentSet);
+
+        // Different literals on different branches: order-dependent, Exact.
+        let policy = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            state_set("flag", vec![field(Field::InPort)], int(1)),
+            state_set("flag", vec![field(Field::InPort)], int(2)),
+        );
+        let (_, _, flat) = flatten(&policy);
+        assert_eq!(flat.state_class(&"flag".into()), StateClass::Exact);
+
+        // A computed value is never idempotent.
+        let policy = state_set("flag", vec![field(Field::InPort)], field(Field::SrcPort));
+        let (_, _, flat) = flatten(&policy);
+        assert_eq!(flat.state_class(&"flag".into()), StateClass::Exact);
+    }
+
+    #[test]
+    fn state_classes_mixed_write_kinds_are_exact() {
+        let policy = ite(
+            test(Field::SrcPort, Value::Int(53)),
+            state_incr("c", vec![field(Field::InPort)]),
+            state_set("c", vec![field(Field::InPort)], int(0)),
+        );
+        let (_, _, flat) = flatten(&policy);
+        assert_eq!(flat.state_class(&"c".into()), StateClass::Exact);
+        assert!(!flat.state_class(&"c".into()).is_replicable());
     }
 
     #[test]

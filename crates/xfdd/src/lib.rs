@@ -85,7 +85,7 @@ pub use context::Context;
 pub use deps::StateDependencies;
 pub use diagram::{eval_test, Xfdd};
 pub use error::CompileError;
-pub use flat::{FlatId, FlatLeaf, FlatNode, FlatProgram};
+pub use flat::{FlatId, FlatLeaf, FlatNode, FlatProgram, StateClass};
 pub use pool::{CtxId, Node, NodeId, Pool};
 pub use tables::{Lookup, TableProgram, TableStats};
 pub use test::{Test, VarOrder};

@@ -8,6 +8,13 @@
 //! totals computed independently — the workload size, and the state
 //! counter the existing invariant tests already prove exact via
 //! `aggregate_store`.
+//!
+//! The replicated-state suite at the bottom extends the same contract to
+//! the sharded state plane: per-worker replica buffers (commuting
+//! variables) and key-range shard locks (exact variables) must produce
+//! totals bit-identical to a single-threaded run, at 1/2/4/8 workers, on
+//! both planes, and across a config swap that migrates a replicated
+//! variable.
 
 use snap_core::SolverChoice;
 use snap_dataplane::{Network, PlaneTelemetry, SwitchConfig, TrafficEngine};
@@ -39,6 +46,19 @@ fn campus_network() -> Network {
 fn workload() -> Vec<(PortId, Packet)> {
     (0..TOTAL)
         .map(|i| (PortId(1 + i % 6), Packet::new().with(Field::InPort, 1)))
+        .collect()
+}
+
+/// Like [`workload`], but spreading the state index across six inports so
+/// replica merges and key-range shard routing both see multiple keys.
+fn keyed_workload() -> Vec<(PortId, Packet)> {
+    (0..TOTAL)
+        .map(|i| {
+            (
+                PortId(1 + i % 6),
+                Packet::new().with(Field::InPort, (1 + i % 6) as i64),
+            )
+        })
         .collect()
 }
 
@@ -123,12 +143,18 @@ fn network_counters_are_exact_across_workers() {
             "{counter} diverged between 1 and 4 workers"
         );
     }
-    // Lock acquisitions are amortized per (switch, batch-group), so their
-    // count depends on how the engine split the workload — bounded by the
-    // packet count either way, and never zero with state traffic.
+    // Store-lock accounting lives on the per-switch shard planes now (the
+    // process-wide `driver.store_lock_acquisitions` counter is gone):
+    // per-shard families are read off the shards at snapshot time.
+    // Acquisitions are amortized per (switch, batch-group) and the counting
+    // variable is replicable, so the only locks are replica merge flushes —
+    // bounded by the packet count either way, and never zero with state
+    // traffic.
     for snap in [&single_snap, &multi_snap] {
-        let locks = snap.counters["driver.store_lock_acquisitions"];
+        let locks = family_total(snap, "store.shard.acquisitions");
         assert!(locks > 0 && locks <= TOTAL as u64);
+        assert!(family_total(snap, "store.shard.contended") <= locks);
+        assert!(family_total(snap, "store.shard.merge_flushes") > 0);
     }
 }
 
@@ -212,6 +238,161 @@ fn shared_telemetry_can_merge_two_planes() {
         telemetry.snapshot().counters["driver.packets"],
         2 * TOTAL as u64
     );
+}
+
+// ---------------------------------------------------------------------------
+// Replicated-state exactness: the sharded state plane buffers commuting
+// updates in per-worker replicas and key-range-shards exact variables;
+// neither path may change any total a single-threaded run would produce.
+// ---------------------------------------------------------------------------
+
+/// Per-inport counter totals after one run of `load` at `workers` workers.
+fn run_and_collect(workers: usize, load: &[(PortId, Packet)]) -> Vec<(i64, Value)> {
+    let net = campus_network();
+    let report = TrafficEngine::new(workers)
+        .with_batch_size(16)
+        .run(&net, load);
+    assert!(report.is_clean(), "errors: {:?}", report.errors);
+    let store = net.aggregate_store();
+    (1..=6)
+        .map(|p| (p, store.get(&"count".into(), &[Value::Int(p)])))
+        .collect()
+}
+
+#[test]
+fn replicated_counter_is_exact_across_worker_counts() {
+    // The compiler proves "count" commuting (every write an increment,
+    // never tested), so the data plane takes the lock-free replica path —
+    // and the merged totals must still be bit-identical to the
+    // single-threaded reference at every worker count.
+    let flat = snap_xfdd::compile(&counting_policy()).unwrap().flatten();
+    assert_eq!(
+        flat.state_class(&"count".into()),
+        snap_xfdd::StateClass::Counter
+    );
+
+    let load = keyed_workload();
+    let reference = run_and_collect(1, &load);
+    for (p, total) in &reference {
+        assert_eq!(*total, Value::Int((TOTAL / 6) as i64), "inport {p}");
+    }
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            run_and_collect(workers, &load),
+            reference,
+            "{workers}-worker totals diverged from the single-threaded reference"
+        );
+    }
+}
+
+#[test]
+fn exact_keyed_flag_is_exact_across_worker_counts() {
+    // A *tested* variable is not replicable — it takes the key-range shard
+    // path, one short lock per access. The first packet per inport sets
+    // the flag, every later one reads it; the final table is
+    // order-independent, so any divergence is a locking bug, not
+    // scheduling noise.
+    let policy = ite(
+        state_test("seen", vec![field(Field::InPort)], int(1)),
+        id(),
+        state_set("seen", vec![field(Field::InPort)], int(1)),
+    )
+    .seq(modify(Field::OutPort, Value::Int(6)));
+    let flat = snap_xfdd::compile(&policy).unwrap().flatten();
+    assert_eq!(
+        flat.state_class(&"seen".into()),
+        snap_xfdd::StateClass::Exact
+    );
+
+    let topo = campus();
+    let program = snap_xfdd::compile(&policy).unwrap();
+    let owners = BTreeMap::from([(
+        topo.node_by_name("C6").unwrap(),
+        BTreeSet::from(["seen".into()]),
+    )]);
+    let load = keyed_workload();
+    for workers in [1usize, 2, 4, 8] {
+        let configs = SwitchConfig::for_topology(&topo, &program, &owners);
+        let net = Network::new(topo.clone(), configs);
+        let report = TrafficEngine::new(workers)
+            .with_batch_size(16)
+            .run(&net, &load);
+        assert!(report.is_clean(), "errors: {:?}", report.errors);
+        let store = net.aggregate_store();
+        for p in 1..=6 {
+            assert_eq!(
+                store.get(&"seen".into(), &[Value::Int(p)]),
+                Value::Int(1),
+                "{workers} workers, inport {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dist_plane_replicated_totals_match_reference_across_workers() {
+    // The same replica path on the distributed plane: one deployment per
+    // worker count, each compared against the arithmetic reference.
+    let load = keyed_workload();
+    for workers in [1usize, 2, 4, 8] {
+        let topo = campus();
+        let tm = TrafficMatrix::gravity(&topo, 600.0, 42);
+        let session = CompilerSession::new(topo, tm).with_solver(SolverChoice::Heuristic);
+        let mut deployment = snap_distrib::deploy_in_process(session, 4096);
+        deployment
+            .controller
+            .update_policy(&counting_policy())
+            .unwrap();
+        let report = TrafficEngine::new(workers)
+            .with_batch_size(16)
+            .run(deployment.network.as_ref(), &load);
+        assert!(report.is_clean(), "errors: {:?}", report.errors);
+        let store = deployment.network.aggregate_store();
+        for p in 1..=6 {
+            assert_eq!(
+                store.get(&"count".into(), &[Value::Int(p)]),
+                Value::Int((TOTAL / 6) as i64),
+                "{workers} workers, inport {p}"
+            );
+        }
+        deployment.shutdown();
+    }
+}
+
+#[test]
+fn config_swap_migrates_replicated_variable_mid_run() {
+    // Half the workload accrues on C6, the variable's owner moves to C1,
+    // the rest accrues there: the replica deltas flushed before the swap
+    // must migrate with the table, exactly.
+    let topo = campus();
+    let program = snap_xfdd::compile(&counting_policy()).unwrap();
+    let on_c6 = BTreeMap::from([(
+        topo.node_by_name("C6").unwrap(),
+        BTreeSet::from(["count".into()]),
+    )]);
+    let on_c1 = BTreeMap::from([(
+        topo.node_by_name("C1").unwrap(),
+        BTreeSet::from(["count".into()]),
+    )]);
+    let net = Network::new(
+        topo.clone(),
+        SwitchConfig::for_topology(&topo, &program, &on_c6),
+    );
+    let load = keyed_workload();
+    let engine = TrafficEngine::new(4).with_batch_size(16);
+    let report = engine.run(&net, &load[..TOTAL / 2]);
+    assert!(report.is_clean(), "errors: {:?}", report.errors);
+    net.swap_configs(SwitchConfig::for_topology(&topo, &program, &on_c1));
+    let report = engine.run(&net, &load[TOTAL / 2..]);
+    assert!(report.is_clean(), "errors: {:?}", report.errors);
+    let store = net.aggregate_store();
+    for p in 1..=6 {
+        assert_eq!(
+            store.get(&"count".into(), &[Value::Int(p)]),
+            Value::Int((TOTAL / 6) as i64),
+            "inport {p} total lost in migration"
+        );
+    }
 }
 
 #[test]
