@@ -251,6 +251,17 @@ impl Controller {
         }
     }
 
+    /// Publish the distribution pool's size as the `pool.distribution_nodes`
+    /// gauge — called whenever the pool grows (import) or shrinks
+    /// (compaction), i.e. at control-plane rate, so the name lookup is fine.
+    fn update_pool_gauge(&self) {
+        if let Some(t) = &self.telemetry {
+            t.registry()
+                .gauge("pool.distribution_nodes")
+                .set(self.dist.len() as i64);
+        }
+    }
+
     /// Set the per-reply transport timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Controller {
         self.options.timeout = timeout;
@@ -367,6 +378,7 @@ impl Controller {
         let base = self.dist.len();
         let root = self.dist.import(xfdd.pool(), xfdd.root());
         let new_nodes = self.dist.len() - base;
+        self.update_pool_gauge();
         // The epoch number is burned up front, success or failure: once any
         // Prepare (let alone Commit) may have reached an agent, replies and
         // staged views for this number can exist out there, and reusing it
@@ -643,6 +655,7 @@ impl Controller {
         for link in self.agents.values_mut() {
             link.needs_resync = true;
         }
+        self.update_pool_gauge();
         before.saturating_sub(self.dist.len())
     }
 }

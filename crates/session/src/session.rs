@@ -7,7 +7,7 @@ use snap_core::{
 };
 use snap_dataplane::Network;
 use snap_lang::{Policy, Pred, StateVar};
-use snap_telemetry::{Counter, Telemetry};
+use snap_telemetry::{Counter, Gauge, Telemetry};
 use snap_topology::{NodeId as SwitchId, PortId, Topology, TrafficMatrix};
 use snap_xfdd::{
     pred_to_xfdd, to_xfdd, Action, CompileError, Leaf, NodeId, Pool, StateClass, StateDependencies,
@@ -105,6 +105,10 @@ struct SessionCounters {
     nodes_reclaimed: Counter,
     order_resets: Counter,
     updates_taken: Counter,
+    /// `pool.live_nodes` — nodes interned in the session pool, set after
+    /// every compile and compaction so bounded-memory monitors read a live
+    /// number instead of re-deriving it.
+    pool_nodes: Gauge,
 }
 
 impl SessionCounters {
@@ -122,6 +126,7 @@ impl SessionCounters {
             nodes_reclaimed: r.counter("session.nodes_reclaimed"),
             order_resets: r.counter("session.order_resets"),
             updates_taken: r.counter("session.updates_taken"),
+            pool_nodes: r.gauge("pool.live_nodes"),
             telemetry,
         }
     }
@@ -287,6 +292,7 @@ impl CompilerSession {
         fresh.nodes_reclaimed.add(old.nodes_reclaimed);
         fresh.order_resets.add(old.order_resets);
         fresh.updates_taken.add(old.updates_taken);
+        fresh.pool_nodes.set(self.pool.len() as i64);
         self.stats = fresh;
     }
 
@@ -469,6 +475,7 @@ impl CompilerSession {
         if self.pool.len() > self.options.gc_threshold {
             self.run_gc();
         }
+        self.stats.pool_nodes.set(self.pool.len() as i64);
     }
 
     fn version_lookup(&mut self, policy: &Policy) -> Option<Arc<Compiled>> {
@@ -683,6 +690,7 @@ impl CompilerSession {
         self.stats
             .nodes_reclaimed
             .add((nodes_before - nodes_after) as u64);
+        self.stats.pool_nodes.set(nodes_after as i64);
         GcReport {
             nodes_before,
             nodes_after,

@@ -1,0 +1,118 @@
+//! End-to-end smoke soak: the full rig (igen topology, traffic workers,
+//! policy churn, interval monitors) on a small network for a few seconds.
+//! This is the suite CI greps the pass count of; the assertions here are
+//! the machine-checkable half of the acceptance criteria, at smoke scale.
+
+use snap_soak::{run, SoakConfig};
+use std::time::Duration;
+
+fn smoke_outcome() -> snap_soak::SoakOutcome {
+    let mut config = SoakConfig::smoke();
+    // Keep the suite fast: the default smoke preset is already ~5 s; trim
+    // further for the unit-test context while keeping every code path.
+    config.duration = Duration::from_secs(3);
+    config.interval = Duration::from_millis(300);
+    config.churn_period = Duration::from_millis(350);
+    config.min_intervals = 6;
+    config.min_commits = 3;
+    run(config)
+}
+
+#[test]
+fn smoke_soak_passes_with_zero_violations() {
+    let outcome = smoke_outcome();
+    assert_eq!(
+        outcome.total_violations,
+        0,
+        "invariant violations: {:?}",
+        outcome
+            .violations
+            .iter()
+            .map(|v| format!("[{}] {}: {}", v.interval, v.monitor, v.detail))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        outcome.worker_errors, 0,
+        "errors: {:?}",
+        outcome.error_samples
+    );
+    assert_eq!(outcome.aborts, 0, "aborts: {:?}", outcome.error_samples);
+    assert!(
+        outcome.commits >= outcome.config.min_commits,
+        "only {} commits landed (need {})",
+        outcome.commits,
+        outcome.config.min_commits
+    );
+    assert!(
+        outcome.intervals.len() >= outcome.config.min_intervals,
+        "only {} intervals sampled (need {})",
+        outcome.intervals.len(),
+        outcome.config.min_intervals
+    );
+    assert!(outcome.passed(), "verdict: {}", outcome.verdict());
+    assert!(outcome.packets > 0 && outcome.deliveries > 0);
+}
+
+#[test]
+fn smoke_soak_artifact_is_well_formed() {
+    let outcome = smoke_outcome();
+    let json = outcome.to_json();
+    // Structural spot-checks on the hand-rolled artifact.
+    for key in [
+        "\"config\"",
+        "\"intervals\"",
+        "\"rates\"",
+        "\"histograms\"",
+        "\"pkts_per_s\"",
+        "\"violation_count\"",
+        "\"verdict\"",
+        "\"p99\"",
+    ] {
+        assert!(json.contains(key), "artifact missing {key}:\n{json}");
+    }
+    assert_eq!(
+        json.matches("\"index\":").count(),
+        outcome.intervals.len(),
+        "one intervals-array entry per sampled interval"
+    );
+    // Balanced braces/brackets as a cheap well-formedness proxy (the
+    // workspace has no JSON parser to round-trip through).
+    let balance =
+        |open: char, close: char| json.matches(open).count() == json.matches(close).count();
+    assert!(
+        balance('{', '}') && balance('[', ']'),
+        "unbalanced JSON:\n{json}"
+    );
+    assert!(
+        json.contains("\"verdict\": \"pass\""),
+        "{}",
+        outcome.summary()
+    );
+}
+
+#[test]
+fn interval_series_reports_live_traffic_and_churn() {
+    let outcome = smoke_outcome();
+    assert!(
+        outcome.intervals.iter().any(|s| s.pkts_per_s > 0.0),
+        "no interval saw packet throughput"
+    );
+    assert!(
+        outcome.intervals.iter().map(|s| s.commits).sum::<u64>() > 0,
+        "no interval captured a churn commit event"
+    );
+    // The series is ordered and timestamped.
+    for w in outcome.intervals.windows(2) {
+        assert!(w[0].index + 1 == w[1].index && w[0].at_secs < w[1].at_secs);
+    }
+    // Pool gauges were exported (satellite: session + distribution pools).
+    let last = outcome.intervals.last().expect("intervals nonempty");
+    assert!(
+        last.pool_live_nodes > 0,
+        "pool.live_nodes gauge not exported"
+    );
+    assert!(
+        last.pool_distribution_nodes > 0,
+        "pool.distribution_nodes gauge not exported"
+    );
+}

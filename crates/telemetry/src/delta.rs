@@ -1,0 +1,262 @@
+//! Interval diffs between two [`MetricsSnapshot`]s.
+//!
+//! A soak monitor (or any periodic scraper) samples
+//! [`crate::Telemetry::snapshot`] on a fixed interval; the difference of
+//! two consecutive snapshots is the *interval view* — how many packets,
+//! deliveries, state writes and commits landed in that window, at what
+//! rate. [`MetricsSnapshot::delta`] computes that view: saturating diffs
+//! for counters and counter families, interval histograms
+//! ([`HistogramSnapshot::delta_since`]), point-in-time gauges carried
+//! through, and the event-log suffix new since the previous snapshot
+//! (identified by the records' monotone sequence numbers, so a bounded,
+//! partially evicted log still diffs correctly).
+//!
+//! The sharded-registry aggregation contract carries over: a snapshot
+//! taken while writers are running includes every write that
+//! happened-before the read and may miss in-flight ones, so an interval
+//! delta is a consistent-enough window, not an exact one — a write missed
+//! by interval N's read is included in interval N+1's. Sums over all
+//! intervals plus the final quiesced snapshot are exact.
+
+use crate::registry::{HistogramSnapshot, MetricsSnapshot};
+use crate::EventRecord;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The difference between two [`MetricsSnapshot`]s of the same telemetry
+/// instance — see the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotDelta {
+    /// Wall-clock time between the two snapshots (zero when either side
+    /// was built by hand and carries no timestamp).
+    pub elapsed: Duration,
+    /// Per-counter increase over the interval (saturating: a counter
+    /// absent from the older snapshot diffs against zero).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values *now* — gauges are points in time, not accumulations,
+    /// so the newer snapshot's reading is carried through undiffed.
+    pub gauges: BTreeMap<String, i64>,
+    /// Interval histograms: observations recorded during the window.
+    /// `max` is the lifetime max, not the interval's (see
+    /// [`HistogramSnapshot::delta_since`]).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Per-row increase of every counter family over the interval.
+    pub families: BTreeMap<String, Vec<(String, u64)>>,
+    /// Event records new since the previous snapshot (sequence number
+    /// greater than any the previous snapshot retained).
+    pub events: Vec<EventRecord>,
+}
+
+impl MetricsSnapshot {
+    /// The interval view between `prev` (an earlier snapshot of the same
+    /// instance) and `self`. Counters and families diff saturating — a
+    /// metric registered mid-interval diffs against zero, and a snapshot
+    /// pair accidentally passed in the wrong order yields zeros rather
+    /// than wrapping.
+    pub fn delta(&self, prev: &MetricsSnapshot) -> SnapshotDelta {
+        let elapsed = match (prev.taken_at, self.taken_at) {
+            (Some(a), Some(b)) => b.saturating_duration_since(a),
+            _ => Duration::ZERO,
+        };
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &now)| {
+                let before = prev.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), now.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, now)| {
+                let delta = match prev.histograms.get(name) {
+                    Some(before) => now.delta_since(before),
+                    None => now.clone(),
+                };
+                (name.clone(), delta)
+            })
+            .collect();
+        let families = self
+            .families
+            .iter()
+            .map(|(name, rows)| {
+                let before: BTreeMap<&str, u64> = prev
+                    .families
+                    .get(name)
+                    .map(|rows| rows.iter().map(|(l, v)| (l.as_str(), *v)).collect())
+                    .unwrap_or_default();
+                let diffed = rows
+                    .iter()
+                    .map(|(label, now)| {
+                        let b = before.get(label.as_str()).copied().unwrap_or(0);
+                        (label.clone(), now.saturating_sub(b))
+                    })
+                    .collect();
+                (name.clone(), diffed)
+            })
+            .collect();
+        let last_seen = prev.events.last().map(|e| e.seq);
+        let events = self
+            .events
+            .iter()
+            .filter(|e| last_seen.is_none_or(|seq| e.seq > seq))
+            .cloned()
+            .collect();
+        SnapshotDelta {
+            elapsed,
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            families,
+            events,
+        }
+    }
+}
+
+impl SnapshotDelta {
+    /// The interval length in seconds.
+    pub fn secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+
+    /// A counter's increase over the interval (0 when unregistered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A counter's per-second rate over the interval (0 when the interval
+    /// has no measurable duration).
+    pub fn rate(&self, name: &str) -> f64 {
+        per_second(self.counter(name), self.elapsed)
+    }
+
+    /// A gauge's value at the newer snapshot (0 when unregistered).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of a counter family's per-row increases over the interval.
+    pub fn family_total(&self, name: &str) -> u64 {
+        self.families
+            .get(name)
+            .map(|rows| rows.iter().map(|(_, v)| v).sum())
+            .unwrap_or(0)
+    }
+
+    /// A family total's per-second rate over the interval.
+    pub fn family_rate(&self, name: &str) -> f64 {
+        per_second(self.family_total(name), self.elapsed)
+    }
+
+    /// `numerator_family / denominator_family` over the interval (0 when
+    /// the denominator saw no traffic) — e.g. the shard contention ratio
+    /// `store.shard.contended / store.shard.acquisitions`.
+    pub fn family_ratio(&self, numerator: &str, denominator: &str) -> f64 {
+        let d = self.family_total(denominator);
+        if d == 0 {
+            0.0
+        } else {
+            self.family_total(numerator) as f64 / d as f64
+        }
+    }
+}
+
+fn per_second(count: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommitEvent, Telemetry};
+
+    #[test]
+    fn delta_diffs_counters_families_histograms_and_events() {
+        let t = Telemetry::new();
+        let r = t.registry();
+        r.counter("c").add(5);
+        r.gauge("g").set(10);
+        r.histogram("h").record(4);
+        r.counter_family("f", &["a".into(), "b".into()]).add(0, 2);
+        t.events().record(CommitEvent::Commit {
+            epoch: 1,
+            migrated_tables: 0,
+            micros: 3,
+            per_agent: vec![],
+        });
+        let before = t.snapshot();
+
+        r.counter("c").add(7);
+        r.gauge("g").set(4);
+        r.histogram("h").record(4);
+        r.histogram("h").record(100);
+        r.counter_family("f", &[]).add(1, 9);
+        t.events().record(CommitEvent::Abort {
+            epoch: 2,
+            reason: "x".into(),
+        });
+        let after = t.snapshot();
+
+        let d = after.delta(&before);
+        assert_eq!(d.counter("c"), 7);
+        assert_eq!(d.counter("missing"), 0);
+        assert_eq!(d.gauge("g"), 4);
+        assert_eq!(d.family_total("f"), 9);
+        assert_eq!(
+            d.families["f"],
+            vec![("a".to_string(), 0), ("b".to_string(), 9)]
+        );
+        let h = &d.histograms["h"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 104);
+        // Only the events recorded after `before` survive the diff.
+        assert_eq!(d.events.len(), 1);
+        assert_eq!(d.events[0].event.epoch(), 2);
+        assert!(d.elapsed <= after.taken_at.unwrap().elapsed() + d.elapsed);
+    }
+
+    #[test]
+    fn rates_derive_from_the_snapshot_timestamps() {
+        let t = Telemetry::new();
+        t.registry().counter("c").add(100);
+        let before = t.snapshot();
+        t.registry().counter("c").add(100);
+        std::thread::sleep(Duration::from_millis(20));
+        let after = t.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counter("c"), 100);
+        assert!(d.secs() >= 0.019, "elapsed {:?}", d.elapsed);
+        let rate = d.rate("c");
+        assert!(rate > 0.0 && rate <= 100.0 / 0.019);
+        // A hand-built snapshot has no timestamp: rates degrade to zero
+        // instead of dividing by zero.
+        let blank = MetricsSnapshot::default();
+        let d2 = after.delta(&blank);
+        assert_eq!(d2.secs(), 0.0);
+        assert_eq!(d2.rate("c"), 0.0);
+        assert_eq!(d2.counter("c"), 200);
+    }
+
+    #[test]
+    fn reversed_order_saturates_to_zero() {
+        let t = Telemetry::new();
+        t.registry().counter("c").add(3);
+        let before = t.snapshot();
+        t.registry().counter("c").add(1);
+        let after = t.snapshot();
+        let wrong = before.delta(&after);
+        assert_eq!(wrong.counter("c"), 0);
+    }
+
+    #[test]
+    fn family_ratio_handles_empty_denominator() {
+        let d = SnapshotDelta::default();
+        assert_eq!(d.family_ratio("a", "b"), 0.0);
+    }
+}

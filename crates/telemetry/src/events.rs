@@ -196,6 +196,7 @@ pub struct EventLog {
     events: Mutex<VecDeque<EventRecord>>,
     capacity: usize,
     next_seq: AtomicU64,
+    dropped: AtomicU64,
 }
 
 /// Default event-log capacity.
@@ -208,6 +209,7 @@ impl EventLog {
             events: Mutex::new(VecDeque::new()),
             capacity: capacity.max(1),
             next_seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -218,6 +220,7 @@ impl EventLog {
         let mut events = self.events.lock();
         if events.len() >= self.capacity {
             events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         events.push_back(EventRecord { seq, event });
         seq
@@ -226,6 +229,18 @@ impl EventLog {
     /// Total events ever recorded (including evicted ones).
     pub fn recorded(&self) -> u64 {
         self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted from the bounded buffer to make room for newer ones —
+    /// `recorded() - dropped()` is the number currently retained.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The log's capacity: [`EventLog::events`] never returns more than
+    /// this many records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The retained events, oldest first.

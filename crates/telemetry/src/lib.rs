@@ -48,11 +48,13 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 mod events;
 mod json;
 pub mod registry;
 mod trace;
 
+pub use delta::SnapshotDelta;
 pub use events::{CommitEvent, EventLog, EventRecord, DEFAULT_EVENT_CAPACITY};
 pub use registry::{
     Counter, CounterFamily, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricsSnapshot,

@@ -317,6 +317,72 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// inside the log₂ bucket holding the target rank. The estimate is
+    /// bounded by the bucket's range — at most a factor of 2 off — and is
+    /// clamped to the observed `max`, so the tail quantiles of a
+    /// single-bucket distribution stay honest. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation (1-based, clamped into range).
+        let rank = (q * self.count as f64).max(1.0).min(self.count as f64);
+        let mut below = 0u64;
+        for &(lower, count) in &self.buckets {
+            let upto = below + count;
+            if (upto as f64) >= rank {
+                if lower == 0 {
+                    return 0.0;
+                }
+                // Interpolate within [lower, 2*lower), assuming observations
+                // spread uniformly across the bucket.
+                let into = (rank - below as f64) / count as f64;
+                let est = lower as f64 * (1.0 + into);
+                return est.min(self.max as f64);
+            }
+            below = upto;
+        }
+        self.max as f64
+    }
+
+    /// The (p50, p90, p99) percentile estimates — what
+    /// [`MetricsSnapshot::to_json`] exports per histogram.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+        )
+    }
+
+    /// The interval histogram between `prev` (an earlier snapshot of the
+    /// same histogram) and `self`: bucket-wise saturating difference of
+    /// counts and sum. `max` cannot be diffed from log₂ buckets, so the
+    /// delta keeps the running (lifetime) max — an over-estimate for the
+    /// interval, documented rather than hidden.
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        let prev_by_lower: BTreeMap<u64, u64> = prev.buckets.iter().copied().collect();
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .map(|&(lower, count)| {
+                (
+                    lower,
+                    count.saturating_sub(prev_by_lower.get(&lower).copied().unwrap_or(0)),
+                )
+            })
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().map(|&(_, c)| c).sum(),
+            sum: self.sum.saturating_sub(prev.sum),
+            max: self.max,
+            buckets,
+        }
+    }
 }
 
 /// A dense family of counters sharing one name, indexed by a small integer
@@ -505,6 +571,7 @@ impl Registry {
                 .collect(),
             traces: Vec::new(),
             events: Vec::new(),
+            taken_at: Some(std::time::Instant::now()),
         }
     }
 }
@@ -530,6 +597,9 @@ pub struct MetricsSnapshot {
     pub traces: Vec<crate::PacketTrace>,
     /// Distribution-plane commit events, in record order.
     pub events: Vec<crate::EventRecord>,
+    /// When the registry was read, so [`MetricsSnapshot::delta`] can derive
+    /// per-second rates. `None` for hand-built snapshots.
+    pub taken_at: Option<std::time::Instant>,
 }
 
 impl MetricsSnapshot {
@@ -551,13 +621,17 @@ impl MetricsSnapshot {
             for (name, h) in &self.histograms {
                 map.key(name);
                 let out = map.out();
+                let (p50, p90, p99) = h.percentiles();
                 let _ = write!(
                     out,
-                    "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}, \"buckets\": [",
+                    "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"buckets\": [",
                     h.count,
                     h.sum,
                     h.max,
-                    h.mean()
+                    h.mean(),
+                    p50,
+                    p90,
+                    p99
                 );
                 for (i, (lower, count)) in h.buckets.iter().enumerate() {
                     if i > 0 {
@@ -633,9 +707,12 @@ impl MetricsSnapshot {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "  {name:<40} count={} mean={:.1} max={}",
+                "  {name:<40} count={} mean={:.1} p50={:.0} p90={:.0} p99={:.0} max={}",
                 h.count,
                 h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
                 h.max
             );
         }

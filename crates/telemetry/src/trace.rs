@@ -154,6 +154,7 @@ pub struct TraceSampler {
     ring: Mutex<VecDeque<PacketTrace>>,
     capacity: usize,
     sampled: AtomicU64,
+    dropped: AtomicU64,
 }
 
 /// Default sampling period: 1 trace per 1024 packets per worker.
@@ -173,6 +174,7 @@ impl TraceSampler {
             ring: Mutex::new(VecDeque::new()),
             capacity: capacity.max(1),
             sampled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -259,6 +261,7 @@ impl TraceSampler {
         let mut ring = self.ring.lock();
         if ring.len() >= self.capacity {
             ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(trace);
     }
@@ -266,6 +269,19 @@ impl TraceSampler {
     /// Total traces ever finished (including those evicted from the ring).
     pub fn sampled(&self) -> u64 {
         self.sampled.load(Ordering::Relaxed)
+    }
+
+    /// Traces evicted from the ring to make room for newer ones —
+    /// `sampled() - dropped()` is the number currently retained (until the
+    /// next eviction).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The ring's capacity: [`TraceSampler::traces`] never returns more
+    /// than this many.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The traces currently in the ring, oldest first.

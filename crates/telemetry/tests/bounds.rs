@@ -1,0 +1,134 @@
+//! Capacity bounds of the telemetry plane's two bounded buffers.
+//!
+//! The soak monitor's bounded-memory invariant leans on the trace ring and
+//! the event log never growing past their construction-time capacity, no
+//! matter how long the run. This suite fills both far past capacity and
+//! pins down the contract: the newest entries are kept, nothing panics,
+//! and the eviction count is reported.
+
+use snap_telemetry::{CommitEvent, EventLog, Telemetry, TraceSampler};
+
+#[test]
+fn trace_ring_keeps_newest_and_counts_evictions() {
+    let s = TraceSampler::new(1, 8);
+    assert_eq!(s.capacity(), 8);
+    for i in 0..1000 {
+        let t = s.maybe_start(i, 0).expect("every=1 samples all");
+        s.finish(t);
+    }
+    assert_eq!(s.sampled(), 1000);
+    assert_eq!(s.dropped(), 1000 - 8);
+    let traces = s.traces();
+    assert_eq!(traces.len(), 8);
+    // Newest 8 survive, oldest first.
+    let inports: Vec<usize> = traces.iter().map(|t| t.inport).collect();
+    assert_eq!(inports, (992..1000).collect::<Vec<_>>());
+}
+
+#[test]
+fn trace_ring_under_capacity_drops_nothing() {
+    let s = TraceSampler::new(1, 32);
+    for i in 0..10 {
+        let t = s.maybe_start(i, 0).unwrap();
+        s.finish(t);
+    }
+    assert_eq!(s.sampled(), 10);
+    assert_eq!(s.dropped(), 0);
+    assert_eq!(s.traces().len(), 10);
+}
+
+#[test]
+fn degenerate_capacities_are_clamped_to_one() {
+    // capacity 0 would make every push evict itself or panic; both buffers
+    // clamp to 1 instead.
+    let s = TraceSampler::new(1, 0);
+    assert_eq!(s.capacity(), 1);
+    for i in 0..3 {
+        let t = s.maybe_start(i, 0).unwrap();
+        s.finish(t);
+    }
+    assert_eq!(s.traces().len(), 1);
+    assert_eq!(s.traces()[0].inport, 2);
+    assert_eq!(s.dropped(), 2);
+
+    let log = EventLog::new(0);
+    assert_eq!(log.capacity(), 1);
+    for epoch in 0..3 {
+        log.record(CommitEvent::Compaction {
+            epoch,
+            reclaimed: 0,
+        });
+    }
+    assert_eq!(log.events().len(), 1);
+    assert_eq!(log.events()[0].event.epoch(), 2);
+    assert_eq!(log.dropped(), 2);
+}
+
+#[test]
+fn event_log_keeps_newest_and_counts_evictions() {
+    let log = EventLog::new(16);
+    assert_eq!(log.capacity(), 16);
+    for epoch in 0..500 {
+        log.record(CommitEvent::Abort {
+            epoch,
+            reason: "bounds test".into(),
+        });
+    }
+    assert_eq!(log.recorded(), 500);
+    assert_eq!(log.dropped(), 500 - 16);
+    let events = log.events();
+    assert_eq!(events.len(), 16);
+    // Newest 16 survive with their original (monotone) seqs.
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, (484..500).collect::<Vec<_>>());
+    assert_eq!(events.last().unwrap().event.epoch(), 499);
+}
+
+#[test]
+fn event_log_under_capacity_drops_nothing() {
+    let log = EventLog::new(64);
+    for epoch in 0..5 {
+        log.record(CommitEvent::Commit {
+            epoch,
+            migrated_tables: 0,
+            micros: 1,
+            per_agent: vec![],
+        });
+    }
+    assert_eq!(log.recorded(), 5);
+    assert_eq!(log.dropped(), 0);
+    assert_eq!(log.events().len(), 5);
+}
+
+#[test]
+fn concurrent_overfill_stays_bounded_and_accounts_every_eviction() {
+    let t = Telemetry::with_trace_sampling(1, 4);
+    let log = EventLog::new(4);
+    std::thread::scope(|scope| {
+        for w in 0..4 {
+            let t = &t;
+            let log = &log;
+            scope.spawn(move || {
+                for i in 0..250 {
+                    let trace = t.tracer().maybe_start(w * 1000 + i, 0).unwrap();
+                    t.tracer().finish(trace);
+                    log.record(CommitEvent::Compaction {
+                        epoch: (w * 1000 + i) as u64,
+                        reclaimed: 0,
+                    });
+                }
+            });
+        }
+    });
+    // At quiesce the accounting is exact: everything beyond capacity was
+    // evicted, exactly capacity retained.
+    assert_eq!(t.tracer().sampled(), 1000);
+    assert_eq!(t.tracer().dropped(), 1000 - 4);
+    assert_eq!(t.tracer().traces().len(), 4);
+    assert_eq!(log.recorded(), 1000);
+    assert_eq!(log.dropped(), 1000 - 4);
+    let events = log.events();
+    assert_eq!(events.len(), 4);
+    // Retained seqs are still strictly increasing even under contention.
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+}

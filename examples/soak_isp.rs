@@ -1,0 +1,53 @@
+//! The standing soak: an ISP-scale igen network under concurrent traffic
+//! and policy churn for over a minute, with interval monitors checking
+//! epoch purity, exact state totals, per-port FIFO and bounded memory.
+//! Writes the `BENCH_soak.json` trajectory artifact and exits nonzero on
+//! any invariant violation, so CI can run it directly.
+//!
+//! ```text
+//! cargo run --release -p snap-examples --example soak_isp          # full ≥60 s run
+//! SNAP_SOAK_SMOKE=1 cargo run --release --example soak_isp         # ~5 s CI smoke
+//! ```
+
+use snap_soak::{run, SoakConfig};
+
+fn main() {
+    let smoke = std::env::var("SNAP_SOAK_SMOKE").is_ok_and(|v| v == "1");
+    let mut config = if smoke {
+        SoakConfig::smoke()
+    } else {
+        SoakConfig::isp()
+    };
+    config.progress = true;
+
+    eprintln!(
+        "soak: igen-{} topology, {} workers x batch {}, {:.0}s traffic, churn every {:.1}s ({})",
+        config.switches,
+        config.workers,
+        config.batch_size,
+        config.duration.as_secs_f64(),
+        config.churn_period.as_secs_f64(),
+        if smoke { "smoke" } else { "full" },
+    );
+
+    let outcome = run(config);
+
+    println!("{}", outcome.summary());
+    for v in &outcome.violations {
+        eprintln!(
+            "violation [interval {}] {}: {}",
+            v.interval, v.monitor, v.detail
+        );
+    }
+    for e in &outcome.error_samples {
+        eprintln!("error sample: {e}");
+    }
+
+    let artifact = "BENCH_soak.json";
+    std::fs::write(artifact, outcome.to_json()).expect("write BENCH_soak.json");
+    println!("wrote {artifact}");
+
+    if !outcome.passed() {
+        std::process::exit(1);
+    }
+}

@@ -1,7 +1,8 @@
 //! Tour of the telemetry plane: drive a campus workload through a
 //! distributed commit, then read everything back from one snapshot —
 //! per-switch counters, egress queue stats, histograms, a sampled
-//! end-to-end packet trace, and the commit event log.
+//! end-to-end packet trace, the commit event log, and interval deltas
+//! between successive snapshots rendered one line per interval.
 //!
 //! ```text
 //! cargo run --release -p snap-examples --example telemetry_tour
@@ -43,23 +44,45 @@ fn main() {
     deployment.controller.update_policy(&calm).unwrap();
     deployment.controller.update_policy(&attack).unwrap();
 
-    // A multi-worker traffic run against the committed epoch.
-    let load: Vec<(PortId, Packet)> = (0..240)
-        .map(|i| {
-            (
-                PortId(1 + i % 6),
-                Packet::new()
-                    .with(Field::SrcIp, Value::ip(8, 8, 8, 8))
-                    .with(Field::DstIp, Value::ip(10, 0, 6, (10 + i % 40) as u8))
-                    .with(Field::SrcPort, 53)
-                    .with(Field::DnsRdata, Value::ip(1, 2, (i % 9) as u8, 4)),
-            )
-        })
-        .collect();
-    let report = TrafficEngine::new(3)
-        .with_batch_size(32)
-        .run(deployment.network.as_ref(), &load);
-    assert!(report.is_clean(), "errors: {:?}", report.errors);
+    // Traffic arrives in waves; between waves the monitor pattern from
+    // snap-soak applies: snapshot, diff against the previous snapshot
+    // with `MetricsSnapshot::delta`, and render the interval as one line
+    // of derived rates (pkts/s, commits, shard contention, queue depth).
+    let start = std::time::Instant::now();
+    let mut prev = deployment.network.metrics_snapshot();
+    println!("interval deltas, one line per traffic wave:");
+    for wave in 0..3 {
+        let load: Vec<(PortId, Packet)> = (0..240)
+            .map(|i| {
+                (
+                    PortId(1 + i % 6),
+                    Packet::new()
+                        .with(Field::SrcIp, Value::ip(8, 8, 8, 8))
+                        .with(
+                            Field::DstIp,
+                            Value::ip(10, 0, 6, (10 + wave * 40 + i % 40) as u8),
+                        )
+                        .with(Field::SrcPort, 53)
+                        .with(Field::DnsRdata, Value::ip(1, 2, (i % 9) as u8, 4)),
+                )
+            })
+            .collect();
+        let report = TrafficEngine::new(3)
+            .with_batch_size(32)
+            .run(deployment.network.as_ref(), &load);
+        assert!(report.is_clean(), "errors: {:?}", report.errors);
+
+        let snap = deployment.network.metrics_snapshot();
+        let delta = snap.delta(&prev);
+        let stats = snap_soak::IntervalStats::from_delta(
+            wave,
+            start.elapsed().as_secs_f64(),
+            &delta,
+            &snap,
+        );
+        println!("{}", stats.render_line());
+        prev = snap;
+    }
 
     // One snapshot, everything in it: counters, gauges, histograms,
     // per-switch and per-agent families, traces and commit events.
