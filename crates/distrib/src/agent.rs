@@ -31,15 +31,56 @@ use parking_lot::Mutex;
 use snap_dataplane::{EgressQueues, StateShards, DEFAULT_STATE_SHARDS};
 use snap_lang::StateVar;
 use snap_topology::{NodeId as SwitchId, PortId};
-use snap_xfdd::{apply_delta, decode_delta_fresh, FlatProgram, Pool, TableProgram};
-use std::collections::{BTreeMap, BTreeSet};
+use snap_xfdd::{
+    apply_delta, decode_delta_fresh, FlatProgram, NodeId as PoolNodeId, Pool, TableProgram,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How many committed epochs an agent keeps resolvable for in-flight
 /// packets. Packets live for a handful of hops; anything older than this
 /// many commits is a stray.
 pub const EPOCH_HISTORY: usize = 8;
+
+/// How many flattened programs an agent caches by root (see
+/// [`SwitchAgent`]'s flatten cache). Rollbacks and A/B flips revisit recent
+/// roots; anything deeper is a cold program that costs one flatten.
+pub const FLAT_CACHE_CAP: usize = 16;
+
+/// A FIFO-bounded cache of flatten results, keyed by the program's root in
+/// the mirror pool. Sound because the mirror is append-only: under one
+/// numbering, a root id names exactly one program, so a rollback or an A/B
+/// flip back to a recent root can skip the whole flatten + table compile.
+/// Cleared whenever the numbering changes (resync, dropped mirror).
+#[derive(Default)]
+struct FlatCache {
+    entries: BTreeMap<PoolNodeId, (Arc<FlatProgram>, Arc<TableProgram>)>,
+    order: VecDeque<PoolNodeId>,
+}
+
+impl FlatCache {
+    fn get(&self, root: PoolNodeId) -> Option<(Arc<FlatProgram>, Arc<TableProgram>)> {
+        self.entries.get(&root).cloned()
+    }
+
+    fn insert(&mut self, root: PoolNodeId, flat: Arc<FlatProgram>, tables: Arc<TableProgram>) {
+        if self.entries.insert(root, (flat, tables)).is_none() {
+            self.order.push_back(root);
+            while self.order.len() > FLAT_CACHE_CAP {
+                if let Some(evict) = self.order.pop_front() {
+                    self.entries.remove(&evict);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+}
 
 /// One epoch's immutable configuration, as a switch executes it.
 pub struct EpochView {
@@ -98,6 +139,9 @@ pub struct AgentStats {
     pub nodes_appended: AtomicU64,
     /// Migrated tables adopted.
     pub tables_installed: AtomicU64,
+    /// Prepares that reused a cached flatten (rollback / A/B flip to a
+    /// recently staged root) instead of re-flattening the mirror.
+    pub flat_cache_hits: AtomicU64,
 }
 
 /// A per-switch update agent (see the module docs).
@@ -109,10 +153,17 @@ pub struct SwitchAgent {
     /// expensive prepare work (delta decode, re-intern, flatten) never
     /// blocks the packet path, which only locks `core` to resolve views.
     mirror: Mutex<Option<Pool>>,
+    /// Flatten results by root, for revisited programs (locked after
+    /// `mirror` when both are held).
+    flat_cache: Mutex<FlatCache>,
     core: Mutex<AgentCore>,
     store: StateShards,
     egress: EgressQueues,
     stats: AgentStats,
+    /// Artificial delay before each reply send — emulates the control
+    /// network's RTT in benchmarks and soak runs so fan-out scaling is
+    /// measured against realistic per-agent latency, not loopback time.
+    ack_delay: Option<Duration>,
 }
 
 impl SwitchAgent {
@@ -128,6 +179,7 @@ impl SwitchAgent {
             switch,
             name: name.into(),
             mirror: Mutex::new(None),
+            flat_cache: Mutex::new(FlatCache::default()),
             core: Mutex::new(AgentCore {
                 current: None,
                 views: BTreeMap::new(),
@@ -141,7 +193,15 @@ impl SwitchAgent {
             store: StateShards::new(DEFAULT_STATE_SHARDS),
             egress: EgressQueues::new(ports, queue_capacity),
             stats: AgentStats::default(),
+            ack_delay: None,
         }
+    }
+
+    /// Delay every reply by `delay` — an emulated control-network RTT for
+    /// benchmarks and soak runs (see the `ack_delay` field docs).
+    pub fn with_ack_delay(mut self, delay: Duration) -> SwitchAgent {
+        self.ack_delay = Some(delay);
+        self
     }
 
     /// The switch this agent manages.
@@ -246,7 +306,11 @@ impl SwitchAgent {
                 Err(_) => return,
             };
             let shutdown = matches!(msg, ToAgent::Shutdown);
-            for reply in self.handle(msg) {
+            let replies = self.handle(msg);
+            if let (Some(delay), false) = (self.ack_delay, replies.is_empty()) {
+                std::thread::sleep(delay);
+            }
+            for reply in replies {
                 if endpoint.send(reply).is_err() {
                     return;
                 }
@@ -280,6 +344,9 @@ impl SwitchAgent {
             match decode_delta_fresh(&prep.delta) {
                 Ok((pool, root)) => {
                     *guard = Some(pool);
+                    // A resync renumbers the mirror: cached flatten results
+                    // keyed by old-numbering roots are meaningless now.
+                    self.flat_cache.lock().clear();
                     self.stats.resyncs.fetch_add(1, Ordering::Relaxed);
                     root
                 }
@@ -295,6 +362,7 @@ impl SwitchAgent {
                     // A failed apply may have left partial suffix nodes
                     // behind; drop the mirror so the controller resyncs.
                     *guard = None;
+                    self.flat_cache.lock().clear();
                     return fail(&self.stats, format!("delta rejected: {e}"));
                 }
             }
@@ -302,9 +370,25 @@ impl SwitchAgent {
         let mirror = guard.as_ref().expect("mirror just (re)built");
         let new_nodes = (mirror.len() - before) as u64;
 
-        // Flatten here, in prepare: commit must be a pointer flip.
-        let flat = Arc::new(FlatProgram::from_pool(mirror, root));
-        let tables = Arc::new(TableProgram::compile(&flat));
+        // Flatten here, in prepare: commit must be a pointer flip. Revisited
+        // roots (rollbacks, A/B flips) come out of the flatten cache — the
+        // append-only mirror guarantees a root id still names the same
+        // program.
+        let (flat, tables) = {
+            let mut cache = self.flat_cache.lock();
+            match cache.get(root) {
+                Some(hit) => {
+                    self.stats.flat_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    hit
+                }
+                None => {
+                    let flat = Arc::new(FlatProgram::from_pool(mirror, root));
+                    let tables = Arc::new(TableProgram::compile(&flat));
+                    cache.insert(root, Arc::clone(&flat), Arc::clone(&tables));
+                    (flat, tables)
+                }
+            }
+        };
         drop(guard);
 
         let mut core = self.core.lock();

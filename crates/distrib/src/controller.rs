@@ -35,16 +35,37 @@
 //! the migrated base value. Placement-stable updates (the session reuses
 //! placement whenever mapping and dependencies are unchanged) have no such
 //! window.
+//!
+//! **Concurrent fan-out.** Sends go out per-link, but every agent reply
+//! arrives on one shared channel (the reply mux, [`ReplyTx`]) and is
+//! consumed in *arrival order*, routed by `(switch, epoch)`: a straggler at
+//! the front of the agent map no longer blocks reading everyone else's
+//! already-queued acks, per-agent timings are stamped at reply arrival, one
+//! deadline covers the whole phase instead of compounding per agent, and
+//! stale or duplicate acks from burned epochs are discarded by key (counted
+//! in [`MuxStats`]). `InstallTable` migrations for independent variables fan
+//! out the same way.
+//!
+//! **Pipelined epochs.** [`Controller::distribute_async`] stages epoch N+1
+//! on every agent while epoch N's commit acks are still draining, and
+//! [`Controller::flush`] completes whatever is in flight. The 2PC invariant
+//! is untouched because per-link FIFO order already guarantees each agent
+//! sees `Commit{N}` before `Prepare{N+1}`, agents hold an `EPOCH_HISTORY`
+//! ring of views, and the controller never orders `Commit{N+1}` until epoch
+//! N has fully finished (commit acks *and* table installs). A prepare
+//! failure for N+1 aborts only N+1; an N-commit failure cascade-aborts the
+//! staged N+1 — both numbers are burned.
 
 use crate::transport::{
-    ControllerEndpoint, FromAgent, PrepareMsg, SwitchMeta, ToAgent, TransportError,
+    reply_channel, ControllerEndpoint, FromAgent, PrepareMsg, ReplyRx, ReplyTx, SwitchMeta,
+    ToAgent, TransportError,
 };
 use snap_core::Compiled;
 use snap_lang::{Policy, StateTable, StateVar};
 use snap_session::{CompilerSession, SessionUpdate};
-use snap_telemetry::{CommitEvent, Telemetry};
+use snap_telemetry::{AgentTimings, CommitEvent, Telemetry};
 use snap_topology::{NodeId as SwitchId, TrafficMatrix};
-use snap_xfdd::{encode_delta, encode_diagram, CompileError, Pool};
+use snap_xfdd::{encode_delta, encode_diagram, CompileError, NodeId, Pool};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
@@ -107,7 +128,9 @@ impl From<CompileError> for DistribError {
 /// Tunables of a [`Controller`].
 #[derive(Clone, Debug)]
 pub struct DistribOptions {
-    /// Per-reply transport timeout.
+    /// Transport timeout covering one whole phase (all agents' prepare acks,
+    /// or all commit acks, or all table installs) — it does not compound per
+    /// agent, so the worst case is one timeout per phase, not N.
     pub timeout: Duration,
     /// Auto-compaction policy for the append-only distribution pool: after
     /// a successful commit, if the pool holds more than `compact_threshold`
@@ -164,6 +187,10 @@ pub struct CommitReport {
     /// Wall-clock spent in the commit phase (all agents flipped, tables
     /// migrated).
     pub commit_time: Duration,
+    /// How long this epoch's prepare fan-out overlapped the previous
+    /// epoch's commit-ack drain — nonzero only on pipelined distributes
+    /// ([`Controller::distribute_async`] back to back).
+    pub pipeline_overlap: Duration,
 }
 
 impl CommitReport {
@@ -183,6 +210,55 @@ struct AgentLink {
     needs_resync: bool,
     /// Metadata last committed to this agent.
     meta: Option<SwitchMeta>,
+}
+
+/// Reply-mux bookkeeping: messages that arrived on the shared channel but
+/// matched no outstanding expectation and were discarded by key.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MuxStats {
+    /// Replies carrying an epoch older than every active one — acks of a
+    /// burned epoch that arrived after the abort, or after their phase's
+    /// deadline already passed.
+    pub stale: u64,
+    /// Replies from a switch whose ack for that phase was already consumed.
+    pub duplicates: u64,
+}
+
+/// The prepare phase of one epoch, collected in ack-arrival order.
+struct PrepCollect {
+    epoch: u64,
+    expect: BTreeSet<SwitchId>,
+    consumed: BTreeSet<SwitchId>,
+    /// (agent, micros from fan-out start to ack arrival), arrival order.
+    acks: Vec<(String, u64)>,
+    started: Instant,
+    /// When the last prepare ack arrived (phase end, excluding any
+    /// concurrent commit-ack drain time).
+    finished: Instant,
+    failure: Option<DistribError>,
+}
+
+/// A commit-ordered epoch whose acks may still be draining: everything
+/// needed to finish it (collect `Committed`s, fan out table installs,
+/// record events, finalize the report) after an arbitrary delay.
+struct InFlight {
+    epoch: u64,
+    /// The epoch's root in the distribution pool (compaction liveness).
+    root: NodeId,
+    expect: BTreeSet<SwitchId>,
+    consumed: BTreeSet<SwitchId>,
+    /// (agent, micros from commit fan-out to ack arrival), arrival order.
+    acks: Vec<(String, u64)>,
+    yields: Vec<(StateVar, StateTable)>,
+    placement: BTreeMap<StateVar, SwitchId>,
+    meta_by_switch: BTreeMap<SwitchId, SwitchMeta>,
+    started: Instant,
+    /// When the most recent commit ack arrived (overlap measurement).
+    last_ack: Instant,
+    failure: Option<DistribError>,
+    /// The report under construction; commit-phase fields are filled at
+    /// completion.
+    report: CommitReport,
 }
 
 /// The distribution controller (see the module docs).
@@ -210,6 +286,12 @@ pub struct Controller {
     /// sizes and per-agent ack timings) are logged; shared with the data
     /// plane by the deployment helpers so one snapshot covers both.
     telemetry: Option<Telemetry>,
+    /// The shared reply channel every agent link funnels into.
+    reply_tx: ReplyTx,
+    reply_rx: ReplyRx,
+    /// The commit-ordered epoch whose acks are still draining, if any.
+    in_flight: Option<InFlight>,
+    mux: MuxStats,
 }
 
 impl Controller {
@@ -217,6 +299,7 @@ impl Controller {
     pub fn new(session: CompilerSession) -> Controller {
         let dist = Pool::new(snap_xfdd::VarOrder::empty());
         let fresh_len = dist.len();
+        let (reply_tx, reply_rx) = reply_channel();
         Controller {
             session,
             dist,
@@ -228,7 +311,29 @@ impl Controller {
             options: DistribOptions::default(),
             history: Vec::new(),
             telemetry: None,
+            reply_tx,
+            reply_rx,
+            in_flight: None,
+            mux: MuxStats::default(),
         }
+    }
+
+    /// The sending half of this controller's reply mux: clone one into
+    /// every agent link (`channel_link`) or socket reader so agent replies
+    /// reach the controller.
+    pub fn reply_sender(&self) -> ReplyTx {
+        self.reply_tx.clone()
+    }
+
+    /// Reply-mux discard counters (stale / duplicate acks).
+    pub fn mux_stats(&self) -> MuxStats {
+        self.mux
+    }
+
+    /// The epoch whose commit acks are still draining, if a pipelined
+    /// distribute is in flight.
+    pub fn in_flight_epoch(&self) -> Option<u64> {
+        self.in_flight.as_ref().map(|f| f.epoch)
     }
 
     /// Log commit events (and the session's compile counters) into
@@ -335,6 +440,22 @@ impl Controller {
         self.distribute(update)
     }
 
+    /// Pipelined variant of [`Self::update_policy`]: stage and
+    /// commit-order this update without waiting for its commit acks (see
+    /// [`Self::distribute_async`]). Returns the reports of any *previous*
+    /// epochs completed during the call.
+    pub fn update_policy_async(
+        &mut self,
+        policy: &Policy,
+    ) -> Result<Vec<CommitReport>, DistribError> {
+        self.session.update_policy(policy)?;
+        let update = self
+            .session
+            .take_update()
+            .expect("successful compile yields an update");
+        self.distribute_async(update)
+    }
+
     /// React to a traffic-matrix change and distribute the re-routed
     /// result. `Ok(None)` when nothing has been compiled yet.
     pub fn update_traffic(
@@ -351,21 +472,50 @@ impl Controller {
         self.distribute(update).map(Some)
     }
 
-    /// Tell every agent to stop its message loop.
+    /// Tell every agent to stop its message loop (completing any in-flight
+    /// pipelined commit first).
     pub fn shutdown(&mut self) {
+        let _ = self.flush();
         for link in self.agents.values() {
             let _ = link.endpoint.send(ToAgent::Shutdown);
         }
     }
 
-    /// Distribute one session update (see [`Self::update_policy`]).
+    /// Distribute one session update and wait for it to commit everywhere
+    /// (see [`Self::update_policy`]): [`Self::distribute_async`] followed by
+    /// [`Self::flush`].
     pub fn distribute(&mut self, update: SessionUpdate) -> Result<CommitReport, DistribError> {
+        self.distribute_async(update)?;
+        let mut reports = self.flush()?;
+        Ok(reports.pop().expect("flush completes the staged epoch"))
+    }
+
+    /// Stage this update on every agent, wait for the prepare acks, and
+    /// *order* the commit — without waiting for the commit acks. Back-to-back
+    /// calls pipeline: while this epoch's prepare fan-out runs, the previous
+    /// epoch's commit acks drain off the same reply mux, and the previous
+    /// epoch is fully finished (acks, table installs, report) before this
+    /// one's commit is ordered. Returns the reports of epochs *completed*
+    /// during the call (at most one); [`Self::flush`] completes the epoch
+    /// this call leaves in flight.
+    ///
+    /// Failure semantics preserve the 2PC invariant: a prepare failure for
+    /// this epoch aborts only this epoch (the previous one still completes
+    /// into [`Self::history`]); a commit failure of the *previous* epoch
+    /// cascade-aborts this staged epoch, since its base configuration is now
+    /// unknown — both numbers are burned and every mirror resyncs.
+    pub fn distribute_async(
+        &mut self,
+        update: SessionUpdate,
+    ) -> Result<Vec<CommitReport>, DistribError> {
         let xfdd = &update.compiled.xfdd;
 
         // A changed state-variable order invalidates every mirror: the
-        // interned diagrams were composed under the old test order. Reset
-        // the distribution pool and resync everyone.
+        // interned diagrams were composed under the old test order. Finish
+        // anything in flight, then reset the distribution pool and resync
+        // everyone.
         if xfdd.pool().order() != self.dist.order() {
+            self.flush()?;
             self.dist = Pool::new(xfdd.pool().order().clone());
             self.fresh_len = self.dist.len();
             for link in self.agents.values_mut() {
@@ -479,8 +629,9 @@ impl Controller {
         if let Some(err) = send_failure {
             // Abort the (burned) epoch everywhere and bail without
             // collecting replies — any already-queued Prepared acks carry
-            // this epoch and will be discarded by the next update's recv
-            // loop as stale.
+            // this epoch and will be discarded by the reply mux as stale.
+            // The previous epoch is still finished as best we can (its own
+            // failure would have set `dirty` too).
             for link in self.agents.values() {
                 let _ = link.endpoint.send(ToAgent::Abort { epoch });
             }
@@ -489,44 +640,64 @@ impl Controller {
                 epoch,
                 reason: err.to_string(),
             });
+            let _ = self.flush();
             return Err(err);
         }
 
-        // Collect one Prepared/PrepareFailed per agent before touching any
-        // running configuration.
-        let mut failure: Option<DistribError> = None;
-        let mut prepare_acks: Vec<(String, u64)> = Vec::new();
-        for link in self.agents.values_mut() {
-            match recv_reply(link, self.options.timeout, epoch) {
-                Ok(FromAgent::Prepared { epoch: e, .. }) if e == epoch => {
-                    link.synced_len = self.dist.len();
-                    link.needs_resync = false;
-                    prepare_acks.push((link.name.clone(), t_prepare.elapsed().as_micros() as u64));
+        // -- Joint drain off the reply mux: this epoch's prepare acks and
+        // the previous epoch's commit acks, in arrival order. -------------
+        let mut prep = PrepCollect {
+            epoch,
+            expect: self.agents.keys().copied().collect(),
+            consumed: BTreeSet::new(),
+            acks: Vec::new(),
+            started: t_prepare,
+            finished: t_prepare,
+            failure: None,
+        };
+        let mut prev = self.in_flight.take();
+        self.drain_replies(Some(&mut prep), prev.as_mut());
+
+        let mut completed = Vec::new();
+        if let Some(prev) = prev {
+            // The overlap this pipelining bought: how long after this
+            // epoch's fan-out began the previous commit was still draining.
+            let overlap = prev.last_ack.saturating_duration_since(t_prepare);
+            let prev_epoch = prev.epoch;
+            match self.finish_commit(prev) {
+                Ok(mut report) => {
+                    report.pipeline_overlap = overlap;
+                    if let Some(last) = self.history.last_mut() {
+                        last.pipeline_overlap = overlap;
+                    }
+                    completed.push(report);
                 }
-                Ok(FromAgent::PrepareFailed { reason, .. }) => {
-                    link.needs_resync = true;
-                    failure.get_or_insert(DistribError::PrepareRejected {
-                        switch: link.name.clone(),
-                        reason,
+                Err(err) => {
+                    // Cascade-abort the staged epoch: its base configuration
+                    // diverged, so committing on top of it is unsound. Both
+                    // epoch numbers are burned; `finish_commit` already
+                    // marked every mirror for resync.
+                    for link in self.agents.values() {
+                        let _ = link.endpoint.send(ToAgent::Abort { epoch });
+                    }
+                    self.record_event(CommitEvent::Abort {
+                        epoch,
+                        reason: format!("cascade: epoch {prev_epoch} commit failed: {err}"),
                     });
-                }
-                Ok(other) => {
-                    link.needs_resync = true;
-                    failure.get_or_insert(DistribError::Protocol {
-                        switch: link.name.clone(),
-                        unexpected: format!("{other:?}"),
-                    });
-                }
-                Err(error) => {
-                    link.needs_resync = true;
-                    failure.get_or_insert(DistribError::Transport {
-                        switch: link.name.clone(),
-                        error,
-                    });
+                    return Err(err);
                 }
             }
         }
-        if let Some(err) = failure {
+
+        // This epoch's prepare outcome.
+        if prep.failure.is_none() && !prep.expect.is_empty() {
+            let missing = first_missing(&self.agents, &prep.expect);
+            prep.failure = Some(DistribError::Transport {
+                switch: missing,
+                error: TransportError::Timeout,
+            });
+        }
+        if let Some(err) = prep.failure.take() {
             // Abort everywhere: nobody flips, the previous epoch keeps
             // running on every switch (the burned epoch number is simply
             // skipped), and the session's change baseline now includes an
@@ -541,7 +712,7 @@ impl Controller {
             });
             return Err(err);
         }
-        let prepare_time = t_prepare.elapsed();
+        let prepare_time = prep.finished.saturating_duration_since(t_prepare);
         self.record_event(CommitEvent::Prepare {
             epoch,
             agents: self.agents.len(),
@@ -549,50 +720,305 @@ impl Controller {
             delta_bytes: delta.len(),
             resync_bytes: resync_payload.as_ref().map_or(0, Vec::len),
             micros: prepare_time.as_micros() as u64,
-            per_agent: prepare_acks,
-        });
-
-        // -- Phase two: flip everywhere, then migrate yielded state. -------
-        // If this phase fails partway, some agent already holds a committed
-        // view for `epoch` (which is why the number was burned up front);
-        // recovery is conservative: resync everyone and re-ship all
-        // metadata on the next update.
-        let t_commit = Instant::now();
-        let (migrated_tables, commit_acks) =
-            match commit_phase(&mut self.agents, epoch, self.options.timeout, &placement) {
-                Ok(done) => done,
-                Err(err) => {
-                    self.dirty = true;
-                    for link in self.agents.values_mut() {
-                        link.needs_resync = true;
-                        link.meta = None;
-                    }
-                    self.record_event(CommitEvent::Abort {
-                        epoch,
-                        reason: err.to_string(),
-                    });
-                    return Err(err);
-                }
-            };
-        let commit_time = t_commit.elapsed();
-        self.record_event(CommitEvent::Commit {
-            epoch,
-            migrated_tables,
-            micros: commit_time.as_micros() as u64,
-            per_agent: commit_acks,
+            per_agent: AgentTimings::from_acks(prep.acks),
         });
         if let Some(t) = &self.telemetry {
-            let r = t.registry();
-            r.histogram("commit.prepare_us")
+            t.registry()
+                .histogram("commit.prepare_us")
                 .record(prepare_time.as_micros() as u64);
-            r.histogram("commit.commit_us")
+        }
+
+        // -- Phase two: order the flip everywhere; acks drain later (next
+        // distribute_async call, or flush). If the commit fails partway,
+        // some agent already holds a committed view for `epoch` (which is
+        // why the number was burned up front); recovery is conservative:
+        // resync everyone and re-ship all metadata on the next update.
+        let t_commit = Instant::now();
+        let mut inflight = InFlight {
+            epoch,
+            root,
+            expect: self.agents.keys().copied().collect(),
+            consumed: BTreeSet::new(),
+            acks: Vec::new(),
+            yields: Vec::new(),
+            placement,
+            meta_by_switch,
+            started: t_commit,
+            last_ack: t_commit,
+            failure: None,
+            report: CommitReport {
+                epoch,
+                session_epoch: update.session_epoch,
+                new_nodes,
+                delta_bytes: delta.len(),
+                full_bytes,
+                resyncs,
+                resync_bytes: resync_payload.as_ref().map_or(0, Vec::len),
+                meta_shipped,
+                migrated_tables: 0,
+                compacted_nodes: 0,
+                prepare_time,
+                commit_time: Duration::ZERO,
+                pipeline_overlap: Duration::ZERO,
+            },
+        };
+        for link in self.agents.values_mut() {
+            if let Err(error) = link.endpoint.send(ToAgent::Commit { epoch }) {
+                // This agent never got the flip order: its config is now
+                // behind. It will not ack; fail the epoch at completion.
+                inflight.expect.remove(&link.switch);
+                link.needs_resync = true;
+                inflight.failure.get_or_insert(DistribError::Transport {
+                    switch: link.name.clone(),
+                    error,
+                });
+            }
+        }
+        self.in_flight = Some(inflight);
+        Ok(completed)
+    }
+
+    /// Complete the in-flight epoch, if any: drain its remaining commit
+    /// acks, fan out the yielded-table installs, record events and return
+    /// its report. `Ok(vec![])` when nothing is in flight.
+    pub fn flush(&mut self) -> Result<Vec<CommitReport>, DistribError> {
+        let Some(mut inflight) = self.in_flight.take() else {
+            return Ok(Vec::new());
+        };
+        self.drain_replies(None, Some(&mut inflight));
+        self.finish_commit(inflight).map(|r| vec![r])
+    }
+
+    /// Consume replies off the shared mux in arrival order, routing each to
+    /// the prepare collector or the in-flight commit by `(switch, epoch)`.
+    /// One deadline covers the whole drain; timeouts are attributed to the
+    /// first still-missing agent of each phase. Stale and duplicate replies
+    /// are discarded and counted.
+    fn drain_replies(
+        &mut self,
+        mut prep: Option<&mut PrepCollect>,
+        mut commit: Option<&mut InFlight>,
+    ) {
+        let deadline = Instant::now() + self.options.timeout;
+        loop {
+            let prep_open = prep.as_ref().is_some_and(|p| !p.expect.is_empty());
+            let commit_open = commit.as_ref().is_some_and(|c| !c.expect.is_empty());
+            if !prep_open && !commit_open {
+                return;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let msg = match self.reply_rx.recv_timeout(remaining) {
+                Ok(msg) => msg,
+                Err(error) => {
+                    // Deadline (or the reply channel itself died): mark the
+                    // missing mirrors unknown and attribute the failure.
+                    if let Some(p) = prep.as_deref_mut() {
+                        if !p.expect.is_empty() {
+                            for switch in &p.expect {
+                                if let Some(link) = self.agents.get_mut(switch) {
+                                    link.needs_resync = true;
+                                }
+                            }
+                            p.failure.get_or_insert(DistribError::Transport {
+                                switch: first_missing(&self.agents, &p.expect),
+                                error: error.clone(),
+                            });
+                        }
+                    }
+                    if let Some(c) = commit.as_deref_mut() {
+                        if !c.expect.is_empty() {
+                            c.failure.get_or_insert(DistribError::Transport {
+                                switch: first_missing(&self.agents, &c.expect),
+                                error,
+                            });
+                        }
+                    }
+                    return;
+                }
+            };
+            self.route_reply(msg, prep.as_deref_mut(), commit.as_deref_mut());
+        }
+    }
+
+    /// Route one mux message. Consumes it into the matching collector, or
+    /// discards it as stale/duplicate, or records a protocol failure.
+    fn route_reply(
+        &mut self,
+        msg: FromAgent,
+        prep: Option<&mut PrepCollect>,
+        commit: Option<&mut InFlight>,
+    ) {
+        let switch = msg.switch();
+        let msg_epoch = msg.epoch();
+        if let Some(p) = prep {
+            if msg_epoch == p.epoch {
+                match msg {
+                    FromAgent::Prepared { .. } if p.expect.remove(&switch) => {
+                        p.consumed.insert(switch);
+                        p.finished = Instant::now();
+                        let us = p.started.elapsed().as_micros() as u64;
+                        if let Some(link) = self.agents.get_mut(&switch) {
+                            link.synced_len = self.dist.len();
+                            link.needs_resync = false;
+                            p.acks.push((link.name.clone(), us));
+                        }
+                        if let Some(t) = &self.telemetry {
+                            t.registry().histogram("commit.prepare_ack_us").record(us);
+                        }
+                    }
+                    FromAgent::PrepareFailed { reason, .. } if p.expect.remove(&switch) => {
+                        p.consumed.insert(switch);
+                        p.finished = Instant::now();
+                        if let Some(link) = self.agents.get_mut(&switch) {
+                            link.needs_resync = true;
+                        }
+                        p.failure.get_or_insert(DistribError::PrepareRejected {
+                            switch: self.agent_name(switch),
+                            reason,
+                        });
+                    }
+                    _ if p.consumed.contains(&switch) => self.mux.duplicates += 1,
+                    other => {
+                        if let Some(link) = self.agents.get_mut(&switch) {
+                            link.needs_resync = true;
+                        }
+                        p.failure.get_or_insert(DistribError::Protocol {
+                            switch: self.agent_name(switch),
+                            unexpected: format!("{other:?}"),
+                        });
+                    }
+                }
+                return;
+            }
+        }
+        if let Some(c) = commit {
+            if msg_epoch == c.epoch {
+                match msg {
+                    FromAgent::Committed { yields, .. } if c.expect.remove(&switch) => {
+                        c.consumed.insert(switch);
+                        c.last_ack = Instant::now();
+                        let us = c.started.elapsed().as_micros() as u64;
+                        c.acks.push((self.agent_name(switch), us));
+                        c.yields.extend(yields);
+                        if let Some(t) = &self.telemetry {
+                            t.registry().histogram("commit.commit_ack_us").record(us);
+                        }
+                    }
+                    FromAgent::Committed { .. } if !c.consumed.contains(&switch) => {
+                        // A Committed from a switch this commit never
+                        // expected an ack from (e.g. its Commit send
+                        // failed): genuinely out of protocol.
+                        c.failure.get_or_insert(DistribError::Protocol {
+                            switch: self.agent_name(switch),
+                            unexpected: "Committed from unexpected switch".to_string(),
+                        });
+                    }
+                    // Anything else carrying this epoch is a straggler from
+                    // an already-closed phase (a duplicate Committed, or a
+                    // late prepare-phase reply): discard by key.
+                    _ => self.mux.duplicates += 1,
+                }
+                return;
+            }
+        }
+        if msg_epoch < self.epoch {
+            // An ack of a burned or already-completed epoch: harmless.
+            self.mux.stale += 1;
+        } else {
+            // A reply for the current-or-future epoch that matches no
+            // outstanding expectation — count it rather than failing a
+            // phase it does not belong to.
+            self.mux.duplicates += 1;
+        }
+    }
+
+    /// Finish a commit-ordered epoch whose acks have been drained: fan out
+    /// the yielded-table installs, record events and bookkeeping, run the
+    /// auto-compaction check, and finalize the report.
+    fn finish_commit(&mut self, mut inflight: InFlight) -> Result<CommitReport, DistribError> {
+        let epoch = inflight.epoch;
+        if inflight.failure.is_none() && !inflight.expect.is_empty() {
+            inflight.failure = Some(DistribError::Transport {
+                switch: first_missing(&self.agents, &inflight.expect),
+                error: TransportError::Timeout,
+            });
+        }
+        if inflight.failure.is_none() {
+            // Relay yielded tables to their new owners, fanned out like any
+            // other phase: all sends first, then the acks in arrival order.
+            // A variable the new program no longer places is dropped
+            // (deterministic fresh start on re-placement, matching
+            // `Network::swap_configs`).
+            let yields = std::mem::take(&mut inflight.yields);
+            inflight.report.migrated_tables = yields.len();
+            let mut expect: BTreeSet<(SwitchId, StateVar)> = BTreeSet::new();
+            for (var, table) in yields {
+                let Some(&owner) = inflight.placement.get(&var) else {
+                    continue;
+                };
+                let Some(link) = self.agents.get(&owner) else {
+                    continue;
+                };
+                if let Err(error) = link.endpoint.send(ToAgent::InstallTable {
+                    epoch,
+                    var: var.clone(),
+                    table,
+                }) {
+                    inflight.failure.get_or_insert(DistribError::Transport {
+                        switch: link.name.clone(),
+                        error,
+                    });
+                } else {
+                    expect.insert((owner, var));
+                }
+            }
+            if !expect.is_empty() {
+                if let Some(err) = self.collect_installs(epoch, expect) {
+                    inflight.failure.get_or_insert(err);
+                }
+            }
+        }
+        if let Some(err) = inflight.failure {
+            // Some agents may have flipped, others not — the running fleet
+            // is only trusted again after a full resync. Yields inside a
+            // reply that never arrived are unrecoverable here; the agents'
+            // store-authoritative yield on the next commit re-homes anything
+            // stranded on a switch.
+            self.dirty = true;
+            for link in self.agents.values_mut() {
+                link.needs_resync = true;
+                link.meta = None;
+            }
+            self.record_event(CommitEvent::Abort {
+                epoch,
+                reason: err.to_string(),
+            });
+            return Err(err);
+        }
+
+        let commit_time = inflight.started.elapsed();
+        inflight.report.commit_time = commit_time;
+        self.record_event(CommitEvent::Commit {
+            epoch,
+            migrated_tables: inflight.report.migrated_tables,
+            micros: commit_time.as_micros() as u64,
+            per_agent: AgentTimings::from_acks(inflight.acks),
+        });
+        if let Some(t) = &self.telemetry {
+            t.registry()
+                .histogram("commit.commit_us")
                 .record(commit_time.as_micros() as u64);
         }
 
         // Bookkeeping: the epoch is committed everywhere.
         self.dirty = false;
+        let empty_meta = SwitchMeta {
+            local_vars: BTreeSet::new(),
+            ports: BTreeSet::new(),
+        };
         for link in self.agents.values_mut() {
-            let meta = meta_by_switch
+            let meta = inflight
+                .meta_by_switch
                 .get(&link.switch)
                 .cloned()
                 .unwrap_or_else(|| empty_meta.clone());
@@ -604,39 +1030,86 @@ impl Controller {
         // program's size, compact it down to the live program now — the
         // agents keep serving their existing views (packet tags stay valid;
         // views are immutable bundles over the old numbering) and the next
-        // update resyncs every mirror against the renumbered pool.
-        let mut compacted_nodes = 0;
+        // update resyncs every mirror against the renumbered pool. (With a
+        // successor epoch already staged, "live" is measured from this
+        // epoch's root; the compacted pool holds the session's latest
+        // program either way, and the forced resync squares everyone up.)
         if let Some(factor) = self.options.compact_threshold {
             let mut live = 0usize;
-            self.dist.visit_reachable([root], |_, _| {
+            self.dist.visit_reachable([inflight.root], |_, _| {
                 live += 1;
                 true
             });
             if self.dist.len() > factor.max(1) * live.max(1) {
-                compacted_nodes = self.compact_distribution();
+                let compacted = self.compact_distribution();
+                inflight.report.compacted_nodes = compacted;
                 self.record_event(CommitEvent::Compaction {
                     epoch,
-                    reclaimed: compacted_nodes,
+                    reclaimed: compacted,
                 });
             }
         }
 
-        let report = CommitReport {
-            epoch,
-            session_epoch: update.session_epoch,
-            new_nodes,
-            delta_bytes: delta.len(),
-            full_bytes,
-            resyncs,
-            resync_bytes: resync_payload.as_ref().map_or(0, Vec::len),
-            meta_shipped,
-            migrated_tables,
-            compacted_nodes,
-            prepare_time,
-            commit_time,
-        };
-        self.history.push(report.clone());
-        Ok(report)
+        self.history.push(inflight.report.clone());
+        Ok(inflight.report)
+    }
+
+    /// Collect `Installed` acks for a fanned-out set of table installs.
+    /// Returns the first failure, after draining as much as possible —
+    /// losing one ack must not also lose the other installs.
+    fn collect_installs(
+        &mut self,
+        epoch: u64,
+        mut expect: BTreeSet<(SwitchId, StateVar)>,
+    ) -> Option<DistribError> {
+        let deadline = Instant::now() + self.options.timeout;
+        let mut consumed: BTreeSet<(SwitchId, StateVar)> = BTreeSet::new();
+        let mut failure: Option<DistribError> = None;
+        while !expect.is_empty() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let msg = match self.reply_rx.recv_timeout(remaining) {
+                Ok(msg) => msg,
+                Err(error) => {
+                    let (switch, _) = expect.first().expect("non-empty");
+                    failure.get_or_insert(DistribError::Transport {
+                        switch: self.agent_name(*switch),
+                        error,
+                    });
+                    break;
+                }
+            };
+            match msg {
+                FromAgent::Installed {
+                    switch,
+                    epoch: e,
+                    ref var,
+                } if e == epoch && expect.remove(&(switch, var.clone())) => {
+                    consumed.insert((switch, var.clone()));
+                }
+                other => {
+                    if other.epoch() < self.epoch {
+                        self.mux.stale += 1;
+                    } else if matches!(&other, FromAgent::Installed { switch, epoch: e, var }
+                        if *e == epoch && consumed.contains(&(*switch, var.clone())))
+                    {
+                        self.mux.duplicates += 1;
+                    } else {
+                        failure.get_or_insert(DistribError::Protocol {
+                            switch: self.agent_name(other.switch()),
+                            unexpected: format!("{other:?}"),
+                        });
+                    }
+                }
+            }
+        }
+        failure
+    }
+
+    fn agent_name(&self, switch: SwitchId) -> String {
+        self.agents
+            .get(&switch)
+            .map(|l| l.name.clone())
+            .unwrap_or_else(|| format!("switch-{}", switch.0))
     }
 
     /// Reset the distribution pool to only the currently shipped program and
@@ -660,125 +1133,16 @@ impl Controller {
     }
 }
 
-/// Receive the next reply for `epoch` on one agent link, discarding stale
-/// replies left queued by an update that failed mid-flight (e.g. `Committed`
-/// acknowledgements of a burned epoch that were never collected).
-fn recv_reply(
-    link: &mut AgentLink,
-    timeout: Duration,
-    epoch: u64,
-) -> Result<FromAgent, TransportError> {
-    let deadline = Instant::now() + timeout;
-    loop {
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        let msg = link.endpoint.recv_timeout(remaining)?;
-        let msg_epoch = match &msg {
-            FromAgent::Prepared { epoch, .. }
-            | FromAgent::PrepareFailed { epoch, .. }
-            | FromAgent::Committed { epoch, .. }
-            | FromAgent::Installed { epoch, .. } => *epoch,
-        };
-        if msg_epoch < epoch {
-            continue;
-        }
-        return Ok(msg);
-    }
-}
-
-/// Phase two of one update: order the flip on every agent, collect the
-/// commit acknowledgements, and relay yielded state tables to their new
-/// owners. Returns the number of migrated tables and per-agent
-/// flip-acknowledgement timings (phase start → ack, microseconds).
-///
-/// Failures are collected, not short-circuited: agents that committed have
-/// already *removed* their yielded tables, so every yield the controller
-/// managed to receive is still delivered to its new owner before the first
-/// error is reported — losing an acknowledgement must not also lose state.
-/// (A table inside a reply that never arrived is unrecoverable here; the
-/// agents' store-authoritative yield on the next commit re-homes anything
-/// stranded on a switch, but counts carried by a lost reply are gone.)
-fn commit_phase(
-    agents: &mut BTreeMap<SwitchId, AgentLink>,
-    epoch: u64,
-    timeout: Duration,
-    placement: &BTreeMap<StateVar, SwitchId>,
-) -> Result<(usize, Vec<(String, u64)>), DistribError> {
-    let start = Instant::now();
-    let mut failure: Option<DistribError> = None;
-    for link in agents.values() {
-        if let Err(error) = link.endpoint.send(ToAgent::Commit { epoch }) {
-            failure.get_or_insert(DistribError::Transport {
-                switch: link.name.clone(),
-                error,
-            });
-        }
-    }
-    let mut yields: Vec<(StateVar, StateTable)> = Vec::new();
-    let mut acks: Vec<(String, u64)> = Vec::new();
-    for link in agents.values_mut() {
-        match recv_reply(link, timeout, epoch) {
-            Ok(FromAgent::Committed {
-                epoch: e,
-                yields: y,
-                ..
-            }) if e == epoch => {
-                acks.push((link.name.clone(), start.elapsed().as_micros() as u64));
-                yields.extend(y);
-            }
-            Ok(other) => {
-                failure.get_or_insert(DistribError::Protocol {
-                    switch: link.name.clone(),
-                    unexpected: format!("{other:?}"),
-                });
-            }
-            Err(error) => {
-                failure.get_or_insert(DistribError::Transport {
-                    switch: link.name.clone(),
-                    error,
-                });
-            }
-        }
-    }
-    let migrated_tables = yields.len();
-    for (var, table) in yields {
-        // A yielded table moves to the variable's new owner; a variable
-        // the new program no longer places is dropped (deterministic
-        // fresh start on re-placement, matching `Network::swap_configs`).
-        let Some(owner) = placement.get(&var) else {
-            continue;
-        };
-        let Some(link) = agents.get_mut(owner) else {
-            continue;
-        };
-        if let Err(error) = link.endpoint.send(ToAgent::InstallTable {
-            epoch,
-            var: var.clone(),
-            table,
-        }) {
-            failure.get_or_insert(DistribError::Transport {
-                switch: link.name.clone(),
-                error,
-            });
-            continue;
-        }
-        match recv_reply(link, timeout, epoch) {
-            Ok(FromAgent::Installed { .. }) => {}
-            Ok(other) => {
-                failure.get_or_insert(DistribError::Protocol {
-                    switch: link.name.clone(),
-                    unexpected: format!("{other:?}"),
-                });
-            }
-            Err(error) => {
-                failure.get_or_insert(DistribError::Transport {
-                    switch: link.name.clone(),
-                    error,
-                });
-            }
-        }
-    }
-    match failure {
-        Some(err) => Err(err),
-        None => Ok((migrated_tables, acks)),
-    }
+/// The display name of the first switch still missing from `expect` —
+/// timeout attribution for a phase that did not fully drain.
+fn first_missing(agents: &BTreeMap<SwitchId, AgentLink>, expect: &BTreeSet<SwitchId>) -> String {
+    expect
+        .first()
+        .map(|switch| {
+            agents
+                .get(switch)
+                .map(|l| l.name.clone())
+                .unwrap_or_else(|| format!("switch-{}", switch.0))
+        })
+        .unwrap_or_else(|| "<none>".to_string())
 }

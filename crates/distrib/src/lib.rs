@@ -30,9 +30,11 @@
 //!   [`snap_dataplane::TrafficTarget`], so the multi-worker
 //!   `TrafficEngine` drives distributed traffic too.
 //! * The transport is a trait seam ([`transport::ControllerEndpoint`] /
-//!   [`transport::AgentEndpoint`]); the in-process backend is a pair of
-//!   mpsc channels, and a socket backend can slot in without touching
-//!   controller or agent logic.
+//!   [`transport::AgentEndpoint`]) with every agent reply converging on the
+//!   controller's shared **reply mux**. Two backends ship: in-process mpsc
+//!   channels ([`deploy_in_process`]) and length-prefixed TCP frames
+//!   ([`deploy_tcp`], [`tcp`]) for controller and agents as genuinely
+//!   separate processes.
 //!
 //! ## Quick start
 //!
@@ -66,22 +68,27 @@
 
 pub mod agent;
 pub mod controller;
+pub mod frame;
 pub mod plane;
+pub mod tcp;
 pub mod transport;
 
-pub use agent::{AgentStats, EpochView, SwitchAgent, EPOCH_HISTORY};
-pub use controller::{CommitReport, Controller, DistribError, DistribOptions};
+pub use agent::{AgentStats, EpochView, SwitchAgent, EPOCH_HISTORY, FLAT_CACHE_CAP};
+pub use controller::{CommitReport, Controller, DistribError, DistribOptions, MuxStats};
 pub use plane::{DistNetwork, InjectError, InjectOutcome};
+pub use tcp::{TcpAgentEndpoint, TcpControllerEndpoint, TcpTransportListener};
 pub use transport::{
-    channel_link, AgentEndpoint, ControllerEndpoint, FromAgent, PrepareMsg, SwitchMeta, ToAgent,
-    TransportError,
+    channel_link, reply_channel, AgentEndpoint, ControllerEndpoint, FromAgent, PrepareMsg, ReplyRx,
+    ReplyTx, SwitchMeta, ToAgent, TransportError,
 };
 
 use snap_session::CompilerSession;
 use snap_topology::{NodeId as SwitchId, PortId};
 use std::collections::BTreeMap;
+use std::io;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A fully wired in-process deployment: one agent thread per switch,
 /// channel transports, a traffic-facing [`DistNetwork`] over the same
@@ -104,6 +111,18 @@ impl InProcessDeployment {
     }
 }
 
+/// Knobs of the deployment helpers beyond the controller's own
+/// [`DistribOptions`].
+#[derive(Clone, Debug, Default)]
+pub struct DeployOptions {
+    /// Controller tunables (transport timeout, auto-compaction threshold).
+    pub distrib: DistribOptions,
+    /// Emulated control-network RTT: every agent sleeps this long before
+    /// each reply (see [`SwitchAgent::with_ack_delay`]). `None` replies at
+    /// loopback speed.
+    pub ack_delay: Option<Duration>,
+}
+
 /// Deploy one [`SwitchAgent`] per switch of the session's topology on its
 /// own thread, linked to a [`Controller`] over in-process channels.
 /// `queue_capacity` bounds each agent's per-port egress queues.
@@ -118,6 +137,22 @@ pub fn deploy_in_process_with(
     queue_capacity: usize,
     options: DistribOptions,
 ) -> InProcessDeployment {
+    deploy_in_process_custom(
+        session,
+        queue_capacity,
+        DeployOptions {
+            distrib: options,
+            ack_delay: None,
+        },
+    )
+}
+
+/// [`deploy_in_process`] with full [`DeployOptions`].
+pub fn deploy_in_process_custom(
+    session: CompilerSession,
+    queue_capacity: usize,
+    deploy: DeployOptions,
+) -> InProcessDeployment {
     let topology = session.topology().clone();
     let mut ports_per_switch: BTreeMap<SwitchId, Vec<PortId>> = BTreeMap::new();
     for (port, node) in topology.external_ports() {
@@ -129,18 +164,22 @@ pub fn deploy_in_process_with(
     // tells the whole story.
     let telemetry = snap_telemetry::Telemetry::new();
     let mut controller = Controller::new(session)
-        .with_options(options)
+        .with_options(deploy.distrib)
         .with_telemetry(telemetry.clone());
     let mut agents: BTreeMap<SwitchId, Arc<SwitchAgent>> = BTreeMap::new();
     let mut handles = Vec::new();
     for switch in topology.nodes() {
-        let agent = Arc::new(SwitchAgent::new(
+        let mut agent = SwitchAgent::new(
             switch,
             topology.node_name(switch),
             ports_per_switch.remove(&switch).unwrap_or_default(),
             queue_capacity,
-        ));
-        let (controller_end, agent_end) = channel_link();
+        );
+        if let Some(delay) = deploy.ack_delay {
+            agent = agent.with_ack_delay(delay);
+        }
+        let agent = Arc::new(agent);
+        let (controller_end, agent_end) = channel_link(controller.reply_sender());
         let runner = Arc::clone(&agent);
         handles.push(std::thread::spawn(move || runner.run(agent_end)));
         controller.attach(switch, Box::new(controller_end));
@@ -152,4 +191,64 @@ pub fn deploy_in_process_with(
         network,
         handles,
     }
+}
+
+/// Deploy like [`deploy_in_process_custom`], but carry every
+/// controller↔agent link over a framed TCP connection on loopback: the
+/// controller binds one listener, each agent thread connects and
+/// introduces itself, and a per-connection reader thread feeds the
+/// controller's reply mux. Same processes, real sockets — the protocol
+/// exercised end to end is exactly what two separate processes speak (see
+/// `examples/distrib_campus.rs --transport tcp-proc` for the
+/// multi-process form).
+pub fn deploy_tcp(
+    session: CompilerSession,
+    queue_capacity: usize,
+    deploy: DeployOptions,
+) -> io::Result<InProcessDeployment> {
+    let topology = session.topology().clone();
+    let mut ports_per_switch: BTreeMap<SwitchId, Vec<PortId>> = BTreeMap::new();
+    for (port, node) in topology.external_ports() {
+        ports_per_switch.entry(node).or_default().push(port);
+    }
+    let telemetry = snap_telemetry::Telemetry::new();
+    let mut controller = Controller::new(session)
+        .with_options(deploy.distrib)
+        .with_telemetry(telemetry.clone());
+    let listener = TcpTransportListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let mut agents: BTreeMap<SwitchId, Arc<SwitchAgent>> = BTreeMap::new();
+    let mut handles = Vec::new();
+    for switch in topology.nodes() {
+        let mut agent = SwitchAgent::new(
+            switch,
+            topology.node_name(switch),
+            ports_per_switch.remove(&switch).unwrap_or_default(),
+            queue_capacity,
+        );
+        if let Some(delay) = deploy.ack_delay {
+            agent = agent.with_ack_delay(delay);
+        }
+        let agent = Arc::new(agent);
+        // Connect-then-accept per agent keeps the accept association
+        // deterministic and never outruns the listener backlog, even at a
+        // thousand agents.
+        let runner = Arc::clone(&agent);
+        handles.push(std::thread::spawn(move || {
+            let Ok(endpoint) = TcpAgentEndpoint::connect(addr, switch) else {
+                return;
+            };
+            runner.run(endpoint);
+        }));
+        let (claimed, endpoint) = listener.accept_agent(controller.reply_sender())?;
+        debug_assert_eq!(claimed, switch, "hello names the connecting switch");
+        controller.attach(claimed, Box::new(endpoint));
+        agents.insert(switch, agent);
+    }
+    let network = Arc::new(DistNetwork::new(topology, agents).with_telemetry(telemetry));
+    Ok(InProcessDeployment {
+        controller,
+        network,
+        handles,
+    })
 }

@@ -2,9 +2,14 @@
 //!
 //! The controller talks to each switch agent over a pair of endpoint traits
 //! ([`ControllerEndpoint`] on its side, [`AgentEndpoint`] on the switch
-//! side). The in-process backend ([`channel_link`]) is a pair of `mpsc`
-//! channels; a socket backend slots in by implementing the same two traits
-//! over a serialized stream — the program payloads already *are* bytes
+//! side). Sends are per-link, but *all* agent replies converge on one shared
+//! reply channel ([`ReplyTx`]) owned by the controller: every [`FromAgent`]
+//! message names its switch and epoch, so the controller consumes acks in
+//! arrival order and routes them by `(switch, epoch)` instead of blocking on
+//! one link at a time. The in-process backend ([`channel_link`]) forwards the
+//! agent's sends straight into that shared channel; a socket backend slots in
+//! by implementing the same two traits over a serialized stream (see
+//! [`crate::tcp`]) — the program payloads already *are* bytes
 //! (`snap_xfdd::wire` deltas), and the remaining message fields are plain
 //! data.
 //!
@@ -135,6 +140,28 @@ pub enum FromAgent {
     },
 }
 
+impl FromAgent {
+    /// The switch that sent this reply — the mux routing key's first half.
+    pub fn switch(&self) -> SwitchId {
+        match self {
+            FromAgent::Prepared { switch, .. }
+            | FromAgent::PrepareFailed { switch, .. }
+            | FromAgent::Committed { switch, .. }
+            | FromAgent::Installed { switch, .. } => *switch,
+        }
+    }
+
+    /// The epoch this reply concerns — the mux routing key's second half.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            FromAgent::Prepared { epoch, .. }
+            | FromAgent::PrepareFailed { epoch, .. }
+            | FromAgent::Committed { epoch, .. }
+            | FromAgent::Installed { epoch, .. } => *epoch,
+        }
+    }
+}
+
 /// Transport failures.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TransportError {
@@ -155,12 +182,12 @@ impl fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
-/// The controller's end of one agent link.
+/// The controller's end of one agent link. Send-only: replies do not come
+/// back through the link, they arrive on the controller's shared reply
+/// channel ([`ReplyTx`]) keyed by the switch id every [`FromAgent`] carries.
 pub trait ControllerEndpoint: Send {
     /// Send a message to the agent.
     fn send(&self, msg: ToAgent) -> Result<(), TransportError>;
-    /// Wait for the agent's next message.
-    fn recv_timeout(&self, timeout: Duration) -> Result<FromAgent, TransportError>;
 }
 
 /// The agent's end of its controller link.
@@ -171,29 +198,70 @@ pub trait AgentEndpoint: Send {
     fn send(&self, msg: FromAgent) -> Result<(), TransportError>;
 }
 
-/// In-process controller endpoint over a pair of `mpsc` channels.
-pub struct ChannelControllerEndpoint {
-    tx: mpsc::Sender<ToAgent>,
+/// The sending half of the controller's shared reply channel. One of these
+/// is cloned into every agent link (and every socket reader thread): all
+/// agents' acks funnel into the single receiver the controller drains in
+/// arrival order.
+#[derive(Clone)]
+pub struct ReplyTx {
+    tx: mpsc::Sender<FromAgent>,
+}
+
+impl ReplyTx {
+    /// Wrap a raw sender. Tests interpose on the reply path by building
+    /// their own channel, filtering, and forwarding into the real one.
+    pub fn from_sender(tx: mpsc::Sender<FromAgent>) -> ReplyTx {
+        ReplyTx { tx }
+    }
+
+    /// Deliver an agent reply to the controller.
+    pub fn send(&self, msg: FromAgent) -> Result<(), TransportError> {
+        self.tx.send(msg).map_err(|_| TransportError::Disconnected)
+    }
+}
+
+/// The receiving half of the controller's reply channel.
+pub struct ReplyRx {
     rx: mpsc::Receiver<FromAgent>,
 }
 
-/// In-process agent endpoint over a pair of `mpsc` channels.
+impl ReplyRx {
+    /// Wait up to `timeout` for the next agent reply, whoever sent it.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<FromAgent, TransportError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => TransportError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
+    }
+}
+
+/// A fresh reply channel: the controller keeps the receiver, every link
+/// gets a clone of the sender.
+pub fn reply_channel() -> (ReplyTx, ReplyRx) {
+    let (tx, rx) = mpsc::channel();
+    (ReplyTx { tx }, ReplyRx { rx })
+}
+
+/// In-process controller endpoint: an `mpsc` sender into the agent's inbox.
+pub struct ChannelControllerEndpoint {
+    tx: mpsc::Sender<ToAgent>,
+}
+
+/// In-process agent endpoint: an `mpsc` inbox plus the controller's shared
+/// reply sender.
 pub struct ChannelAgentEndpoint {
-    tx: mpsc::Sender<FromAgent>,
+    reply: ReplyTx,
     rx: mpsc::Receiver<ToAgent>,
 }
 
-/// An in-process bidirectional link: the controller half and the agent half.
-pub fn channel_link() -> (ChannelControllerEndpoint, ChannelAgentEndpoint) {
+/// An in-process link: the controller half (send-only) and the agent half,
+/// whose sends go straight into the controller's shared reply channel.
+pub fn channel_link(reply: ReplyTx) -> (ChannelControllerEndpoint, ChannelAgentEndpoint) {
     let (to_agent_tx, to_agent_rx) = mpsc::channel();
-    let (from_agent_tx, from_agent_rx) = mpsc::channel();
     (
-        ChannelControllerEndpoint {
-            tx: to_agent_tx,
-            rx: from_agent_rx,
-        },
+        ChannelControllerEndpoint { tx: to_agent_tx },
         ChannelAgentEndpoint {
-            tx: from_agent_tx,
+            reply,
             rx: to_agent_rx,
         },
     )
@@ -203,13 +271,6 @@ impl ControllerEndpoint for ChannelControllerEndpoint {
     fn send(&self, msg: ToAgent) -> Result<(), TransportError> {
         self.tx.send(msg).map_err(|_| TransportError::Disconnected)
     }
-
-    fn recv_timeout(&self, timeout: Duration) -> Result<FromAgent, TransportError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
-            mpsc::RecvTimeoutError::Timeout => TransportError::Timeout,
-            mpsc::RecvTimeoutError::Disconnected => TransportError::Disconnected,
-        })
-    }
 }
 
 impl AgentEndpoint for ChannelAgentEndpoint {
@@ -218,6 +279,6 @@ impl AgentEndpoint for ChannelAgentEndpoint {
     }
 
     fn send(&self, msg: FromAgent) -> Result<(), TransportError> {
-        self.tx.send(msg).map_err(|_| TransportError::Disconnected)
+        self.reply.send(msg)
     }
 }

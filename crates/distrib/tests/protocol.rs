@@ -4,15 +4,15 @@
 
 use snap_core::SolverChoice;
 use snap_distrib::{
-    channel_link, deploy_in_process, Controller, ControllerEndpoint, DistribError, FromAgent,
-    PrepareMsg, SwitchAgent, SwitchMeta, ToAgent, TransportError,
+    channel_link, deploy_in_process, Controller, DistribError, FromAgent, PrepareMsg, ReplyTx,
+    SwitchAgent, SwitchMeta, ToAgent,
 };
 use snap_lang::prelude::*;
 use snap_session::CompilerSession;
 use snap_topology::{generators::campus, PortId, TrafficMatrix};
 use snap_xfdd::{encode_delta, Pool, VarOrder};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,36 +26,26 @@ fn counting_policy(egress: i64) -> Policy {
     state_incr("count", vec![field(Field::InPort)]).seq(modify(Field::OutPort, Value::Int(egress)))
 }
 
-/// A controller endpoint that rewrites the first `n` `Prepared` replies into
-/// `PrepareFailed` — a switch whose staging "fails" while the real agent
-/// actually advanced its mirror, i.e. the worst divergence case.
-struct SabotagePrepares<E> {
-    inner: E,
-    remaining: AtomicU32,
-}
-
-impl<E: ControllerEndpoint> ControllerEndpoint for SabotagePrepares<E> {
-    fn send(&self, msg: ToAgent) -> Result<(), TransportError> {
-        self.inner.send(msg)
-    }
-
-    fn recv_timeout(&self, timeout: Duration) -> Result<FromAgent, TransportError> {
-        let msg = self.inner.recv_timeout(timeout)?;
-        if let FromAgent::Prepared { switch, epoch, .. } = &msg {
-            if self
-                .remaining
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-                .is_ok()
-            {
-                return Ok(FromAgent::PrepareFailed {
-                    switch: *switch,
-                    epoch: *epoch,
-                    reason: "sabotaged by test".into(),
-                });
+/// Interpose on the controller's reply path: replies routed through the
+/// returned [`ReplyTx`] pass through `rewrite` (drop with `None`) before
+/// reaching the controller's real mux. The forwarder thread exits when
+/// every clone of the returned sender is gone.
+fn interpose(
+    controller: &Controller,
+    mut rewrite: impl FnMut(FromAgent) -> Option<FromAgent> + Send + 'static,
+) -> (ReplyTx, std::thread::JoinHandle<()>) {
+    let real = controller.reply_sender();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        while let Ok(msg) = rx.recv() {
+            if let Some(msg) = rewrite(msg) {
+                if real.send(msg).is_err() {
+                    return;
+                }
             }
         }
-        Ok(msg)
-    }
+    });
+    (ReplyTx::from_sender(tx), handle)
 }
 
 #[test]
@@ -63,24 +53,36 @@ fn failed_prepare_aborts_everywhere_and_recovers_by_resync() {
     let session = campus_session();
     let topo = session.topology().clone();
     let mut controller = Controller::new(session);
+    // The first agent's replies pass through a saboteur that rewrites its
+    // first `Prepared` into `PrepareFailed` — a switch whose staging
+    // "fails" while the real agent actually advanced its mirror, i.e. the
+    // worst divergence case.
+    let mut remaining = 1u32;
+    let (sabotage_tx, forwarder) = interpose(&controller, move |msg| match msg {
+        FromAgent::Prepared { switch, epoch, .. } if remaining > 0 => {
+            remaining -= 1;
+            Some(FromAgent::PrepareFailed {
+                switch,
+                epoch,
+                reason: "sabotaged by test".into(),
+            })
+        }
+        other => Some(other),
+    });
+    let mut sabotage_tx = Some(sabotage_tx);
     let mut agents = Vec::new();
     let mut handles = Vec::new();
     for (i, switch) in topo.nodes().enumerate() {
         let agent = Arc::new(SwitchAgent::new(switch, topo.node_name(switch), [], 64));
-        let (ctrl_end, agent_end) = channel_link();
+        let reply = if i == 0 {
+            sabotage_tx.take().expect("one sabotaged link")
+        } else {
+            controller.reply_sender()
+        };
+        let (ctrl_end, agent_end) = channel_link(reply);
         let runner = Arc::clone(&agent);
         handles.push(std::thread::spawn(move || runner.run(agent_end)));
-        if i == 0 {
-            controller.attach(
-                switch,
-                Box::new(SabotagePrepares {
-                    inner: ctrl_end,
-                    remaining: AtomicU32::new(1),
-                }),
-            );
-        } else {
-            controller.attach(switch, Box::new(ctrl_end));
-        }
+        controller.attach(switch, Box::new(ctrl_end));
         agents.push(agent);
     }
 
@@ -115,32 +117,7 @@ fn failed_prepare_aborts_everywhere_and_recovers_by_resync() {
     for h in handles {
         h.join().unwrap();
     }
-}
-
-/// A controller endpoint that eats the first `Committed` reply (turning it
-/// into a timeout): the agent really flipped, the controller never heard.
-struct EatCommitted<E> {
-    inner: E,
-    remaining: AtomicU32,
-}
-
-impl<E: ControllerEndpoint> ControllerEndpoint for EatCommitted<E> {
-    fn send(&self, msg: ToAgent) -> Result<(), TransportError> {
-        self.inner.send(msg)
-    }
-
-    fn recv_timeout(&self, timeout: Duration) -> Result<FromAgent, TransportError> {
-        let msg = self.inner.recv_timeout(timeout)?;
-        if matches!(msg, FromAgent::Committed { .. })
-            && self
-                .remaining
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-                .is_ok()
-        {
-            return Err(TransportError::Timeout);
-        }
-        Ok(msg)
-    }
+    forwarder.join().unwrap();
 }
 
 #[test]
@@ -148,24 +125,30 @@ fn commit_phase_failure_burns_the_epoch_and_resyncs() {
     let session = campus_session();
     let topo = session.topology().clone();
     let mut controller = Controller::new(session).with_timeout(Duration::from_millis(500));
+    // The first agent's reply path eats its first `Committed` (turning it
+    // into a timeout): the agent really flipped, the controller never heard.
+    let mut remaining = 1u32;
+    let (eat_tx, forwarder) = interpose(&controller, move |msg| match msg {
+        FromAgent::Committed { .. } if remaining > 0 => {
+            remaining -= 1;
+            None
+        }
+        other => Some(other),
+    });
+    let mut eat_tx = Some(eat_tx);
     let mut agents = Vec::new();
     let mut handles = Vec::new();
     for (i, switch) in topo.nodes().enumerate() {
         let agent = Arc::new(SwitchAgent::new(switch, topo.node_name(switch), [], 64));
-        let (ctrl_end, agent_end) = channel_link();
+        let reply = if i == 0 {
+            eat_tx.take().expect("one interposed link")
+        } else {
+            controller.reply_sender()
+        };
+        let (ctrl_end, agent_end) = channel_link(reply);
         let runner = Arc::clone(&agent);
         handles.push(std::thread::spawn(move || runner.run(agent_end)));
-        if i == 0 {
-            controller.attach(
-                switch,
-                Box::new(EatCommitted {
-                    inner: ctrl_end,
-                    remaining: AtomicU32::new(1),
-                }),
-            );
-        } else {
-            controller.attach(switch, Box::new(ctrl_end));
-        }
+        controller.attach(switch, Box::new(ctrl_end));
         agents.push(agent);
     }
 
@@ -194,6 +177,7 @@ fn commit_phase_failure_burns_the_epoch_and_resyncs() {
     for h in handles {
         h.join().unwrap();
     }
+    forwarder.join().unwrap();
 }
 
 #[test]
@@ -255,7 +239,7 @@ fn late_joining_agent_is_bootstrapped_by_full_resync() {
     // A fresh agent joins after two generations were distributed.
     let switch = topo.node_by_name("C1").unwrap();
     let late = Arc::new(SwitchAgent::new(switch, "late-C1", [], 64));
-    let (ctrl_end, agent_end) = channel_link();
+    let (ctrl_end, agent_end) = channel_link(deployment.controller.reply_sender());
     let runner = Arc::clone(&late);
     let handle = std::thread::spawn(move || runner.run(agent_end));
     deployment.controller.attach(switch, Box::new(ctrl_end));

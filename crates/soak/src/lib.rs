@@ -60,13 +60,47 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use snap_apps as apps;
 use snap_core::SolverChoice;
-use snap_distrib::{deploy_in_process_with, DistNetwork, DistribOptions};
+use snap_distrib::{
+    deploy_in_process_custom, deploy_tcp, DeployOptions, DistNetwork, DistribOptions,
+};
 use snap_lang::{Field, Packet, Policy, Value};
 use snap_session::CompilerSession;
 use snap_topology::generators::igen_topology;
 use snap_topology::{PortId, Topology, TrafficMatrix};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Which controller↔agent transport the rig deploys over. Both run the
+/// identical protocol; TCP adds real framing, socket buffering and reader
+/// threads to the soak's failure surface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// In-process bounded channels (the default; fastest, no sockets).
+    InProcess,
+    /// Length-prefixed TCP over loopback, one connection per agent.
+    Tcp,
+}
+
+impl Transport {
+    /// Read the `SNAP_SOAK_TRANSPORT` override: `tcp` selects
+    /// [`Transport::Tcp`], anything else (or unset) the in-process
+    /// channels. Presets call this so CI can sweep both backends without
+    /// code changes.
+    pub fn from_env() -> Transport {
+        match std::env::var("SNAP_SOAK_TRANSPORT") {
+            Ok(v) if v.eq_ignore_ascii_case("tcp") => Transport::Tcp,
+            _ => Transport::InProcess,
+        }
+    }
+
+    /// The artifact label (`"in-process"` / `"tcp"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Transport::InProcess => "in-process",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
 
 /// Everything one soak run is parameterized by. Start from
 /// [`SoakConfig::isp`] (the acceptance-scale run) or [`SoakConfig::smoke`]
@@ -112,6 +146,8 @@ pub struct SoakConfig {
     pub min_intervals: usize,
     /// Print one line per interval to stderr while running.
     pub progress: bool,
+    /// Controller↔agent transport (presets honor `SNAP_SOAK_TRANSPORT`).
+    pub transport: Transport,
 }
 
 impl SoakConfig {
@@ -136,6 +172,7 @@ impl SoakConfig {
             min_commits: 20,
             min_intervals: 10,
             progress: false,
+            transport: Transport::from_env(),
         }
     }
 
@@ -160,6 +197,7 @@ impl SoakConfig {
             min_commits: 5,
             min_intervals: 8,
             progress: false,
+            transport: Transport::from_env(),
         }
     }
 }
@@ -435,8 +473,12 @@ fn churn_loop(
         std::thread::sleep(slice);
         gate.checkpoint();
         if since.elapsed() >= period {
-            match controller.update_policy(&variants[next % variants.len()]) {
-                Ok(_) => totals.commits += 1,
+            // Pipelined: stage epoch N+1 while N's commit acks drain. A
+            // successful call may therefore complete zero epochs (the
+            // first of the run) or one; the final `flush` below drains
+            // whatever is still in flight when the run ends.
+            match controller.update_policy_async(&variants[next % variants.len()]) {
+                Ok(reports) => totals.commits += reports.len() as u64,
                 Err(e) => {
                     totals.aborts += 1;
                     if totals.samples.len() < 4 {
@@ -446,6 +488,15 @@ fn churn_loop(
             }
             next += 1;
             since = Instant::now();
+        }
+    }
+    match controller.flush() {
+        Ok(reports) => totals.commits += reports.len() as u64,
+        Err(e) => {
+            totals.aborts += 1;
+            if totals.samples.len() < 4 {
+                totals.samples.push(format!("churn flush: {e}"));
+            }
         }
     }
     gate.leave();
@@ -485,17 +536,23 @@ pub fn run(mut config: SoakConfig) -> SoakOutcome {
     let matrix = TrafficMatrix::gravity(&topology, config.traffic_volume, config.seed);
     let session =
         CompilerSession::new(topology.clone(), matrix.clone()).with_solver(SolverChoice::Heuristic);
-    let mut deployment = deploy_in_process_with(
-        session,
-        config.queue_capacity,
-        DistribOptions {
+    let deploy_options = DeployOptions {
+        distrib: DistribOptions {
             // Keep the append-only distribution pool bounded across
             // unbounded churn: compact once it exceeds 8× the live
             // program (the bounded-memory monitor watches the gauge).
             compact_threshold: Some(8),
             ..DistribOptions::default()
         },
-    );
+        ack_delay: None,
+    };
+    let mut deployment = match config.transport {
+        Transport::InProcess => {
+            deploy_in_process_custom(session, config.queue_capacity, deploy_options)
+        }
+        Transport::Tcp => deploy_tcp(session, config.queue_capacity, deploy_options)
+            .expect("tcp deployment over loopback must bind and connect"),
+    };
     if let Some(pt) = deployment.network.telemetry() {
         pt.telemetry().tracer().set_every(config.trace_every);
     }

@@ -13,9 +13,12 @@
 //!   the queue lock only on successful enqueue, so gaps or reordering
 //!   mean the queue broke);
 //! * **bounded memory** — the trace ring and the event log never exceed
-//!   their capacity, no egress queue reports a depth past its bound, and
-//!   the `pool.live_nodes` / `pool.distribution_nodes` gauges stay under
-//!   the configured ceilings;
+//!   their capacity, no egress queue reports a depth past its bound, no
+//!   commit event retains more than
+//!   [`AgentTimings::SUMMARY_THRESHOLD`] per-agent timing entries (the
+//!   O(1)-per-event guarantee that keeps the log flat at a thousand
+//!   agents), and the `pool.live_nodes` / `pool.distribution_nodes`
+//!   gauges stay under the configured ceilings;
 //! * **exact state** (quiesce points only — see the crate docs for the
 //!   exactness caveat) — the aggregated `count[inport]` totals equal the
 //!   independently folded per-port injection ledger.
@@ -27,7 +30,7 @@
 
 use snap_distrib::DistNetwork;
 use snap_lang::Value;
-use snap_telemetry::{CommitEvent, MetricsSnapshot, SnapshotDelta};
+use snap_telemetry::{AgentTimings, CommitEvent, MetricsSnapshot, SnapshotDelta};
 use snap_topology::PortId;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,6 +55,14 @@ pub struct IntervalStats {
     pub commits: u64,
     /// Commits aborted during the interval.
     pub aborts: u64,
+    /// Slowest prepare phase that landed during the interval (µs, 0 when
+    /// no prepare finished).
+    pub prepare_us_max: u64,
+    /// Slowest commit phase that landed during the interval (µs).
+    pub commit_us_max: u64,
+    /// Slowest single agent ack across the interval's commit events (µs)
+    /// — the straggler the fan-out waited on.
+    pub slowest_ack_us: u64,
     /// Shard contention ratio: contended / total shard-lock acquisitions
     /// over the interval (0 when no locks were taken).
     pub contention: f64,
@@ -95,6 +106,26 @@ impl IntervalStats {
                 tail_drops += rows.iter().map(|(_, v)| v).sum::<u64>();
             }
         }
+        let mut prepare_us_max = 0u64;
+        let mut commit_us_max = 0u64;
+        let mut slowest_ack_us = 0u64;
+        for rec in &d.events {
+            match &rec.event {
+                CommitEvent::Prepare {
+                    micros, per_agent, ..
+                } => {
+                    prepare_us_max = prepare_us_max.max(*micros);
+                    slowest_ack_us = slowest_ack_us.max(per_agent.max_us());
+                }
+                CommitEvent::Commit {
+                    micros, per_agent, ..
+                } => {
+                    commit_us_max = commit_us_max.max(*micros);
+                    slowest_ack_us = slowest_ack_us.max(per_agent.max_us());
+                }
+                _ => {}
+            }
+        }
         IntervalStats {
             index,
             at_secs,
@@ -112,6 +143,9 @@ impl IntervalStats {
                 .iter()
                 .filter(|e| matches!(e.event, CommitEvent::Abort { .. }))
                 .count() as u64,
+            prepare_us_max,
+            commit_us_max,
+            slowest_ack_us,
             contention: d.family_ratio("store.shard.contended", "store.shard.acquisitions"),
             queue_depth_max,
             tail_drops,
@@ -355,6 +389,39 @@ impl Monitors {
                     "egress depth past capacity {}: {}",
                     b.queue_capacity,
                     depth_excess.join(", ")
+                ),
+                snap,
+            );
+        }
+        // Commit events must stay O(1) regardless of fleet size: above
+        // `AgentTimings::SUMMARY_THRESHOLD` agents the controller is
+        // required to summarize per-agent timings, so no retained event
+        // may store more per-agent entries than the threshold.
+        let mut oversized = Vec::new();
+        for rec in &snap.events {
+            let per_agent = match &rec.event {
+                CommitEvent::Prepare { per_agent, .. } | CommitEvent::Commit { per_agent, .. } => {
+                    per_agent
+                }
+                _ => continue,
+            };
+            if per_agent.stored_entries() > AgentTimings::SUMMARY_THRESHOLD {
+                oversized.push(format!(
+                    "event #{} (epoch {}) stores {} per-agent entries",
+                    rec.seq,
+                    rec.event.epoch(),
+                    per_agent.stored_entries()
+                ));
+            }
+        }
+        if !oversized.is_empty() {
+            self.record(
+                interval,
+                "bounded-memory",
+                format!(
+                    "commit events exceed the {}-entry timing bound: {}",
+                    AgentTimings::SUMMARY_THRESHOLD,
+                    oversized.join(", ")
                 ),
                 snap,
             );

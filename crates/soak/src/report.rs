@@ -102,11 +102,12 @@ impl SoakOutcome {
         out.push_str("{\n  \"config\": {");
         let _ = write!(
             out,
-            "\"topology\": \"igen-{}\", \"seed\": {}, \"workers\": {}, \"batch_size\": {}, \
+            "\"topology\": \"igen-{}\", \"transport\": \"{}\", \"seed\": {}, \"workers\": {}, \"batch_size\": {}, \
              \"duration_s\": {:.3}, \"interval_s\": {:.3}, \"churn_period_s\": {:.3}, \
              \"quiesce_every\": {}, \"queue_capacity\": {}, \"egress_ports\": {}, \
              \"min_commits\": {}, \"min_intervals\": {}",
             c.switches,
+            c.transport.label(),
             c.seed,
             c.workers,
             c.batch_size,
@@ -128,7 +129,8 @@ impl SoakOutcome {
                 out,
                 "\n    {{\"index\": {}, \"at_s\": {:.3}, \"elapsed_s\": {:.3}, \
                  \"pkts_per_s\": {:.1}, \"deliveries_per_s\": {:.1}, \"state_writes_per_s\": {:.1}, \
-                 \"commits\": {}, \"aborts\": {}, \"contention\": {:.4}, \
+                 \"commits\": {}, \"aborts\": {}, \"prepare_us_max\": {}, \
+                 \"commit_us_max\": {}, \"slowest_ack_us\": {}, \"contention\": {:.4}, \
                  \"queue_depth_max\": {}, \"tail_drops\": {}, \"errors\": {}, \
                  \"pool_live_nodes\": {}, \"pool_distribution_nodes\": {}, \
                  \"epoch\": {}, \"epoch_skew\": {}}}",
@@ -140,6 +142,9 @@ impl SoakOutcome {
                 s.state_writes_per_s,
                 s.commits,
                 s.aborts,
+                s.prepare_us_max,
+                s.commit_us_max,
+                s.slowest_ack_us,
                 s.contention,
                 s.queue_depth_max,
                 s.tail_drops,
@@ -162,6 +167,10 @@ impl SoakOutcome {
                 self.rate_summary(|s| s.state_writes_per_s),
             ),
             ("contention", self.rate_summary(|s| s.contention)),
+            (
+                "commit_us_max",
+                self.rate_summary(|s| s.commit_us_max as f64),
+            ),
             (
                 "queue_depth_max",
                 self.rate_summary(|s| s.queue_depth_max as f64),
@@ -186,6 +195,8 @@ impl SoakOutcome {
             "packet.delivery_hops",
             "commit.prepare_us",
             "commit.commit_us",
+            "commit.prepare_ack_us",
+            "commit.commit_ack_us",
         ] {
             let Some(h) = self.final_snapshot.histograms.get(name) else {
                 continue;

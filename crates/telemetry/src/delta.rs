@@ -174,7 +174,7 @@ fn per_second(count: u64, elapsed: Duration) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CommitEvent, Telemetry};
+    use crate::{AgentTimings, CommitEvent, Telemetry};
 
     #[test]
     fn delta_diffs_counters_families_histograms_and_events() {
@@ -188,7 +188,7 @@ mod tests {
             epoch: 1,
             migrated_tables: 0,
             micros: 3,
-            per_agent: vec![],
+            per_agent: AgentTimings::Full(vec![]),
         });
         let before = t.snapshot();
 

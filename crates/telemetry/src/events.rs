@@ -13,6 +13,87 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Per-agent ack timings for one commit phase, bounded at ISP scale.
+///
+/// Below [`AgentTimings::SUMMARY_THRESHOLD`] agents the full arrival-order
+/// vector is kept; above it the vector is collapsed to percentiles plus the
+/// slowest few, so one event costs O(1) memory at a thousand agents instead
+/// of O(agents) — the event log's byte ceiling stays flat no matter how
+/// large the fleet is.
+#[derive(Clone, Debug)]
+pub enum AgentTimings {
+    /// Every agent's `(name, micros-from-phase-start)`, in ack-arrival order.
+    Full(Vec<(String, u64)>),
+    /// Summarized timings for large fleets.
+    Summary {
+        /// How many agents acked.
+        agents: usize,
+        /// Median ack latency, microseconds.
+        p50_us: u64,
+        /// 90th-percentile ack latency, microseconds.
+        p90_us: u64,
+        /// 99th-percentile ack latency, microseconds.
+        p99_us: u64,
+        /// The slowest [`AgentTimings::SLOWEST_KEPT`] agents, slowest first.
+        slowest: Vec<(String, u64)>,
+    },
+}
+
+impl AgentTimings {
+    /// Fleets at or below this size keep the full per-agent vector.
+    pub const SUMMARY_THRESHOLD: usize = 64;
+    /// How many stragglers a summary names.
+    pub const SLOWEST_KEPT: usize = 5;
+
+    /// Build timings from arrival-order acks, summarizing large fleets.
+    pub fn from_acks(acks: Vec<(String, u64)>) -> AgentTimings {
+        if acks.len() <= AgentTimings::SUMMARY_THRESHOLD {
+            return AgentTimings::Full(acks);
+        }
+        let agents = acks.len();
+        let mut sorted: Vec<u64> = acks.iter().map(|(_, us)| *us).collect();
+        sorted.sort_unstable();
+        let pct = |p: f64| sorted[((agents - 1) as f64 * p) as usize];
+        let mut slowest = acks;
+        slowest.sort_by_key(|entry| std::cmp::Reverse(entry.1));
+        slowest.truncate(AgentTimings::SLOWEST_KEPT);
+        AgentTimings::Summary {
+            agents,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            slowest,
+        }
+    }
+
+    /// How many agents acked in this phase.
+    pub fn agents(&self) -> usize {
+        match self {
+            AgentTimings::Full(v) => v.len(),
+            AgentTimings::Summary { agents, .. } => *agents,
+        }
+    }
+
+    /// Per-agent entries actually retained in memory — bounded by
+    /// [`AgentTimings::SUMMARY_THRESHOLD`] regardless of fleet size.
+    pub fn stored_entries(&self) -> usize {
+        match self {
+            AgentTimings::Full(v) => v.len(),
+            AgentTimings::Summary { slowest, .. } => slowest.len(),
+        }
+    }
+
+    /// The slowest agent's latency in microseconds (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        match self {
+            AgentTimings::Full(v) => v.iter().map(|(_, us)| *us).max().unwrap_or(0),
+            AgentTimings::Summary { slowest, .. } => {
+                slowest.first().map(|(_, us)| *us).unwrap_or(0)
+            }
+        }
+    }
+}
+
 /// One distribution-plane event.
 #[derive(Clone, Debug)]
 pub enum CommitEvent {
@@ -31,9 +112,9 @@ pub enum CommitEvent {
         resync_bytes: usize,
         /// Wall-clock duration of the whole phase, in microseconds.
         micros: u64,
-        /// Per-agent time from phase start to that agent's ack, in
-        /// microseconds.
-        per_agent: Vec<(String, u64)>,
+        /// Per-agent time from phase start to that agent's ack arrival,
+        /// summarized above [`AgentTimings::SUMMARY_THRESHOLD`] agents.
+        per_agent: AgentTimings,
     },
     /// The commit phase: every prepared agent flipped to the new epoch.
     Commit {
@@ -43,9 +124,9 @@ pub enum CommitEvent {
         migrated_tables: usize,
         /// Wall-clock duration of the whole phase, in microseconds.
         micros: u64,
-        /// Per-agent time from phase start to that agent's ack, in
-        /// microseconds.
-        per_agent: Vec<(String, u64)>,
+        /// Per-agent time from phase start to that agent's ack arrival,
+        /// summarized above [`AgentTimings::SUMMARY_THRESHOLD`] agents.
+        per_agent: AgentTimings,
     },
     /// A commit was aborted (send failure, agent rejection or timeout).
     Abort {
@@ -179,9 +260,29 @@ impl EventRecord {
     }
 }
 
-fn write_per_agent(out: &mut String, per_agent: &[(String, u64)]) {
+fn write_per_agent(out: &mut String, per_agent: &AgentTimings) {
+    match per_agent {
+        AgentTimings::Full(entries) => write_agent_map(out, entries),
+        AgentTimings::Summary {
+            agents,
+            p50_us,
+            p90_us,
+            p99_us,
+            slowest,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"agents\": {agents}, \"p50_us\": {p50_us}, \"p90_us\": {p90_us}, \"p99_us\": {p99_us}, \"slowest\": "
+            );
+            write_agent_map(out, slowest);
+            out.push('}');
+        }
+    }
+}
+
+fn write_agent_map(out: &mut String, entries: &[(String, u64)]) {
     out.push('{');
-    for (i, (name, us)) in per_agent.iter().enumerate() {
+    for (i, (name, us)) in entries.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }

@@ -55,7 +55,7 @@ pub mod registry;
 mod trace;
 
 pub use delta::SnapshotDelta;
-pub use events::{CommitEvent, EventLog, EventRecord, DEFAULT_EVENT_CAPACITY};
+pub use events::{AgentTimings, CommitEvent, EventLog, EventRecord, DEFAULT_EVENT_CAPACITY};
 pub use registry::{
     Counter, CounterFamily, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricsSnapshot,
     Registry, HISTOGRAM_BUCKETS,
@@ -145,7 +145,7 @@ mod tests {
             epoch: 1,
             migrated_tables: 0,
             micros: 5,
-            per_agent: vec![("A".into(), 5)],
+            per_agent: AgentTimings::Full(vec![("A".into(), 5)]),
         });
         let snap = t.snapshot();
         assert_eq!(snap.counters["c"], 2);

@@ -6,7 +6,7 @@
 //! pins down the contract: the newest entries are kept, nothing panics,
 //! and the eviction count is reported.
 
-use snap_telemetry::{CommitEvent, EventLog, Telemetry, TraceSampler};
+use snap_telemetry::{AgentTimings, CommitEvent, EventLog, Telemetry, TraceSampler};
 
 #[test]
 fn trace_ring_keeps_newest_and_counts_evictions() {
@@ -92,7 +92,7 @@ fn event_log_under_capacity_drops_nothing() {
             epoch,
             migrated_tables: 0,
             micros: 1,
-            per_agent: vec![],
+            per_agent: AgentTimings::Full(vec![]),
         });
     }
     assert_eq!(log.recorded(), 5);

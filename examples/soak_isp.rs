@@ -7,6 +7,7 @@
 //! ```text
 //! cargo run --release -p snap-examples --example soak_isp          # full ≥60 s run
 //! SNAP_SOAK_SMOKE=1 cargo run --release --example soak_isp         # ~5 s CI smoke
+//! SNAP_SOAK_TRANSPORT=tcp ...                                      # framed-TCP agent links
 //! ```
 
 use snap_soak::{run, SoakConfig};
@@ -21,13 +22,14 @@ fn main() {
     config.progress = true;
 
     eprintln!(
-        "soak: igen-{} topology, {} workers x batch {}, {:.0}s traffic, churn every {:.1}s ({})",
+        "soak: igen-{} topology, {} workers x batch {}, {:.0}s traffic, churn every {:.1}s ({}, {} transport)",
         config.switches,
         config.workers,
         config.batch_size,
         config.duration.as_secs_f64(),
         config.churn_period.as_secs_f64(),
         if smoke { "smoke" } else { "full" },
+        config.transport.label(),
     );
 
     let outcome = run(config);

@@ -106,7 +106,7 @@ fn campus_distributed_snapshot_is_complete() {
             .unwrap_or_else(|| panic!("no commit event for epoch {epoch}"));
         if let CommitEvent::Commit { per_agent, .. } = &commit.event {
             assert_eq!(
-                per_agent.len(),
+                per_agent.agents(),
                 deployment.controller.agent_count(),
                 "per-agent timings incomplete"
             );
